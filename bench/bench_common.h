@@ -1,0 +1,55 @@
+#ifndef KLINK_BENCH_BENCH_COMMON_H_
+#define KLINK_BENCH_BENCH_COMMON_H_
+
+#include <cstdlib>
+#include <vector>
+
+#include "src/harness/experiment.h"
+
+namespace klink::bench {
+
+/// All policies compared in the single-node experiments, in the paper's
+/// legend order.
+inline std::vector<PolicyKind> AllPolicies() {
+  return {PolicyKind::kDefault,     PolicyKind::kFcfs,
+          PolicyKind::kRoundRobin,  PolicyKind::kHighestRate,
+          PolicyKind::kStreamBox,   PolicyKind::kKlinkNoMm,
+          PolicyKind::kKlink};
+}
+
+/// Baseline experiment configuration shared by the figure benches. The
+/// paper's 20-minute, 10K-events/s/query runs are scaled down 10x so every
+/// bench finishes in seconds of wall time; the contention regime (offered
+/// load vs. core capacity, memory headroom vs. backlog) is preserved. See
+/// DESIGN.md "Substitutions".
+inline ExperimentConfig BaseConfig() {
+  ExperimentConfig config;
+  config.events_per_second = 1000.0;
+  config.duration = SecondsToMicros(120);
+  config.warmup = SecondsToMicros(30);
+  config.deploy_spread = SecondsToMicros(20);
+  config.engine.num_cores = 8;
+  config.engine.cycle_length = MillisToMicros(120);
+  config.engine.memory_capacity_bytes = 16ll << 20;
+  config.seed = 1;
+  return config;
+}
+
+/// Smoke mode: KLINK_BENCH_SMOKE=1 shrinks runs so the whole bench suite
+/// can be exercised quickly (CI); results are noisier but the harness path
+/// is identical.
+inline bool SmokeMode() {
+  const char* env = std::getenv("KLINK_BENCH_SMOKE");
+  return env != nullptr && env[0] == '1';
+}
+
+inline void ApplySmoke(ExperimentConfig* config) {
+  if (!SmokeMode()) return;
+  config->duration = SecondsToMicros(40);
+  config->warmup = SecondsToMicros(10);
+  config->deploy_spread = SecondsToMicros(5);
+}
+
+}  // namespace klink::bench
+
+#endif  // KLINK_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,108 @@
+// Microbenchmarks of Klink's hot components (google-benchmark): the slack
+// integration (Alg. 1), estimator bookkeeping, window assignment, queue
+// operations, histogram recording and delay sampling. These bound the
+// real (not modeled) cost of one scheduler evaluation.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "src/common/histogram.h"
+#include "src/common/rng.h"
+#include "src/common/zipf.h"
+#include "src/event/stream_queue.h"
+#include "src/klink/epoch_tracker.h"
+#include "src/klink/slack.h"
+#include "src/klink/swm_estimator.h"
+#include "src/window/window_assigner.h"
+
+namespace klink {
+namespace {
+
+void BM_SlackComputation(benchmark::State& state) {
+  IngestionPrediction pred;
+  pred.mean = 3.2e6;
+  pred.stddev = static_cast<double>(state.range(0));
+  pred.lo = pred.mean - 2 * pred.stddev;
+  pred.hi = pred.mean + 2 * pred.stddev;
+  pred.valid = true;
+  double now = 1.0e6;
+  for (auto _ : state) {
+    const SlackResult r = ComputeExpectedSlack(now, 50000.0, pred, 120000.0);
+    benchmark::DoNotOptimize(r.slack);
+    now += 1.0;  // defeat value caching
+  }
+}
+BENCHMARK(BM_SlackComputation)->Arg(50000)->Arg(500000)->Arg(5000000);
+
+void BM_EpochTrackerPush(benchmark::State& state) {
+  EpochTracker tracker(400);
+  double offset = 300000.0;
+  for (auto _ : state) {
+    tracker.PushEpoch(50000.0, 3.0e9, offset, true);
+    benchmark::DoNotOptimize(tracker.MeanOffset());
+    offset += 1.0;
+  }
+}
+BENCHMARK(BM_EpochTrackerPush);
+
+void BM_TumblingAssign(benchmark::State& state) {
+  TumblingWindowAssigner assigner(SecondsToMicros(3));
+  std::vector<WindowSpan> out;
+  TimeMicros t = 0;
+  for (auto _ : state) {
+    out.clear();
+    assigner.AssignWindows(t, &out);
+    benchmark::DoNotOptimize(out.data());
+    t += 1000;
+  }
+}
+BENCHMARK(BM_TumblingAssign);
+
+void BM_SlidingAssign(benchmark::State& state) {
+  SlidingWindowAssigner assigner(SecondsToMicros(5), SecondsToMicros(1));
+  std::vector<WindowSpan> out;
+  TimeMicros t = 0;
+  for (auto _ : state) {
+    out.clear();
+    assigner.AssignWindows(t, &out);
+    benchmark::DoNotOptimize(out.data());
+    t += 1000;
+  }
+}
+BENCHMARK(BM_SlidingAssign);
+
+void BM_StreamQueuePushPop(benchmark::State& state) {
+  StreamQueue queue;
+  const Event e = MakeDataEvent(0, 100, 7, 1.0);
+  for (auto _ : state) {
+    queue.Push(e);
+    benchmark::DoNotOptimize(queue.Pop());
+  }
+}
+BENCHMARK(BM_StreamQueuePushPop);
+
+void BM_HistogramAdd(benchmark::State& state) {
+  Histogram h;
+  int64_t v = 1;
+  for (auto _ : state) {
+    h.Add(v);
+    v = (v * 2862933555777941757LL + 3037000493LL) & 0xffffff;
+  }
+  benchmark::DoNotOptimize(h.count());
+}
+BENCHMARK(BM_HistogramAdd);
+
+void BM_ZipfSample(benchmark::State& state) {
+  ZipfSampler sampler(200, 0.99);
+  Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.Sample(rng));
+  }
+}
+BENCHMARK(BM_ZipfSample);
+
+}  // namespace
+}  // namespace klink
+
+BENCHMARK_MAIN();

@@ -1,0 +1,59 @@
+// Quickstart: build a windowed query, run it under the Klink scheduler,
+// and print the output latency it achieves.
+//
+// The pipeline is the "hello world" of stream processing: count events per
+// key in a 2-second tumbling window. Events arrive with random network
+// delay; periodic watermarks tell the window when its input is complete.
+
+#include <cstdio>
+#include <memory>
+
+#include "src/klink/klink_policy.h"
+#include "src/net/delay_model.h"
+#include "src/query/pipeline_builder.h"
+#include "src/runtime/engine.h"
+#include "src/workloads/workload.h"
+
+int main() {
+  using namespace klink;
+
+  // 1. Describe the query: source -> filter -> windowed count -> sink.
+  PipelineBuilder builder("quickstart");
+  builder.Source("sensor-events", /*cost_micros=*/20.0)
+      .Filter("drop-noise", /*cost_micros=*/15.0,
+              FilterOperator::HashPassRate(0.8), /*expected_pass_rate=*/0.8)
+      .TumblingAggregate("count-per-sensor", /*cost_micros=*/40.0,
+                         SecondsToMicros(2), AggregationKind::kCount)
+      .Sink("alerts", /*cost_micros=*/5.0);
+  std::unique_ptr<Query> query = builder.Build(/*id=*/0);
+
+  // 2. Describe the input: 2000 events/s over 50 sensors, watermarks every
+  //    250 ms that tolerate 120 ms of lateness, uniform network delay.
+  SourceSpec source;
+  source.events_per_second = 2000.0;
+  source.key_cardinality = 50;
+  source.watermark_period = MillisToMicros(250);
+  source.watermark_lag = MillisToMicros(120);
+  auto feed = std::make_unique<SyntheticFeed>(
+      std::vector<SourceSpec>{source},
+      std::make_unique<UniformDelay>(MillisToMicros(5), MillisToMicros(100)),
+      /*seed=*/7, /*start_time=*/0);
+
+  // 3. Run it for 60 virtual seconds under the Klink scheduler.
+  EngineConfig config;
+  config.num_cores = 2;
+  Engine engine(config, std::make_unique<KlinkPolicy>());
+  engine.AddQuery(std::move(query), std::move(feed));
+  engine.RunFor(SecondsToMicros(60));
+
+  // 4. Report.
+  const Histogram latency = engine.AggregateSwmLatency();
+  std::printf("quickstart: processed %lld operator-events in 60 virtual s\n",
+              static_cast<long long>(engine.metrics().processed_events()));
+  std::printf("  window results produced : %lld\n",
+              static_cast<long long>(engine.query(0).sink().results_received()));
+  std::printf("  output latency mean     : %.1f ms\n", latency.mean() / 1e3);
+  std::printf("  output latency p99      : %.1f ms\n",
+              static_cast<double>(latency.Percentile(99)) / 1e3);
+  return 0;
+}

@@ -1,0 +1,45 @@
+#ifndef KLINK_COMMON_CHECK_H_
+#define KLINK_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Invariant-checking macros. KLINK_CHECK is always on; KLINK_DCHECK compiles
+// away in NDEBUG builds. Both abort on failure: a violated engine invariant
+// is a programming error, not a recoverable condition (see common/status.h
+// for recoverable errors).
+
+#define KLINK_CHECK(cond)                                                  \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "KLINK_CHECK failed at %s:%d: %s\n", __FILE__,  \
+                   __LINE__, #cond);                                       \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+#define KLINK_CHECK_OP(op, a, b)                                           \
+  do {                                                                     \
+    if (!((a)op(b))) {                                                     \
+      std::fprintf(stderr, "KLINK_CHECK failed at %s:%d: %s %s %s\n",      \
+                   __FILE__, __LINE__, #a, #op, #b);                       \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+#define KLINK_CHECK_EQ(a, b) KLINK_CHECK_OP(==, a, b)
+#define KLINK_CHECK_NE(a, b) KLINK_CHECK_OP(!=, a, b)
+#define KLINK_CHECK_LT(a, b) KLINK_CHECK_OP(<, a, b)
+#define KLINK_CHECK_LE(a, b) KLINK_CHECK_OP(<=, a, b)
+#define KLINK_CHECK_GT(a, b) KLINK_CHECK_OP(>, a, b)
+#define KLINK_CHECK_GE(a, b) KLINK_CHECK_OP(>=, a, b)
+
+#ifdef NDEBUG
+#define KLINK_DCHECK(cond) \
+  do {                     \
+  } while (0)
+#else
+#define KLINK_DCHECK(cond) KLINK_CHECK(cond)
+#endif
+
+#endif  // KLINK_COMMON_CHECK_H_

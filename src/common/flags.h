@@ -1,0 +1,44 @@
+#ifndef KLINK_COMMON_FLAGS_H_
+#define KLINK_COMMON_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace klink {
+
+/// Minimal command-line flag parser for the CLI tools: accepts
+/// `--key=value` and `--key value` tokens plus bare positional arguments.
+/// Unknown flags are kept (callers validate), repeated flags keep the last
+/// value. No dependencies, no global state.
+class FlagParser {
+ public:
+  /// Parses argv (excluding argv[0]). Returns InvalidArgument on malformed
+  /// tokens (e.g. `--` with no name).
+  Status Parse(int argc, const char* const* argv);
+
+  bool Has(const std::string& name) const;
+
+  /// Typed getters returning `fallback` when the flag is absent.
+  /// GetInt/GetDouble return InvalidArgument-like fallback on parse errors
+  /// via the ok flag overloads below.
+  std::string GetString(const std::string& name,
+                        const std::string& fallback) const;
+  int64_t GetInt(const std::string& name, int64_t fallback) const;
+  double GetDouble(const std::string& name, double fallback) const;
+  bool GetBool(const std::string& name, bool fallback) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+  const std::map<std::string, std::string>& flags() const { return flags_; }
+
+ private:
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace klink
+
+#endif  // KLINK_COMMON_FLAGS_H_

@@ -1,0 +1,22 @@
+#include "src/common/gaussian.h"
+
+#include <cmath>
+
+namespace klink {
+
+double GaussianQ(double x) { return 0.5 * std::erfc(x / std::sqrt(2.0)); }
+
+double GaussianCdf(double x) { return 1.0 - GaussianQ(x); }
+
+double GaussianIntervalProb(double a, double b, double mean, double stddev) {
+  if (b < a) return 0.0;
+  if (stddev <= 0.0) return (mean >= a && mean <= b) ? 1.0 : 0.0;
+  return GaussianCdf((b - mean) / stddev) - GaussianCdf((a - mean) / stddev);
+}
+
+double GaussianTailProb(double t, double mean, double stddev) {
+  if (stddev <= 0.0) return mean > t ? 1.0 : 0.0;
+  return GaussianQ((t - mean) / stddev);
+}
+
+}  // namespace klink

@@ -1,0 +1,22 @@
+#ifndef KLINK_COMMON_GAUSSIAN_H_
+#define KLINK_COMMON_GAUSSIAN_H_
+
+namespace klink {
+
+/// Gaussian Q-function: Q(x) = P(Z > x) for Z ~ N(0, 1).
+/// Klink approximates SWM ingestion probabilities with Q (paper Eq. 10).
+double GaussianQ(double x);
+
+/// Standard normal CDF: Phi(x) = P(Z <= x) = 1 - Q(x).
+double GaussianCdf(double x);
+
+/// P(a <= X <= b) for X ~ N(mean, stddev^2). Returns 0 when b < a.
+/// When stddev == 0 the distribution is a point mass at mean.
+double GaussianIntervalProb(double a, double b, double mean, double stddev);
+
+/// P(X > t) for X ~ N(mean, stddev^2); point mass at mean when stddev == 0.
+double GaussianTailProb(double t, double mean, double stddev);
+
+}  // namespace klink
+
+#endif  // KLINK_COMMON_GAUSSIAN_H_

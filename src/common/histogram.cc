@@ -1,0 +1,87 @@
+#include "src/common/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <limits>
+
+#include "src/common/check.h"
+
+namespace klink {
+
+namespace {
+// 64 sub-buckets per power of two above 2^6; values < 64 are exact.
+constexpr int kExactLimit = 64;
+constexpr int kMaxPow = 63;
+}  // namespace
+
+Histogram::Histogram()
+    : buckets_(kExactLimit + (kMaxPow - 6) * kSubBuckets, 0),
+      min_(std::numeric_limits<int64_t>::max()) {}
+
+int Histogram::BucketFor(int64_t value) {
+  if (value < kExactLimit) return static_cast<int>(value);
+  const int pow = 63 - std::countl_zero(static_cast<uint64_t>(value));
+  // Sub-bucket index: top 6 bits after the leading bit.
+  const int sub = static_cast<int>((static_cast<uint64_t>(value) >> (pow - 6)) &
+                                   (kSubBuckets - 1));
+  return kExactLimit + (pow - 6) * kSubBuckets + sub;
+}
+
+int64_t Histogram::BucketMidpoint(int index) {
+  if (index < kExactLimit) return index;
+  const int rel = index - kExactLimit;
+  const int pow = rel / kSubBuckets + 6;
+  const int sub = rel % kSubBuckets;
+  const int64_t lo =
+      (int64_t{1} << pow) + (static_cast<int64_t>(sub) << (pow - 6));
+  const int64_t width = int64_t{1} << (pow - 6);
+  return lo + width / 2;
+}
+
+void Histogram::Add(int64_t value) {
+  if (value < 0) value = 0;
+  const int b = BucketFor(value);
+  KLINK_DCHECK(b >= 0 && b < static_cast<int>(buckets_.size()));
+  ++buckets_[static_cast<size_t>(b)];
+  ++count_;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+  sum_ += static_cast<double>(value);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  KLINK_CHECK_EQ(buckets_.size(), other.buckets_.size());
+  for (size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  if (other.count_ > 0) {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  sum_ += other.sum_;
+}
+
+void Histogram::Reset() { *this = Histogram(); }
+
+int64_t Histogram::min() const { return count_ == 0 ? 0 : min_; }
+
+double Histogram::mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+int64_t Histogram::Quantile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const int64_t target =
+      std::max<int64_t>(1, static_cast<int64_t>(q * static_cast<double>(count_) + 0.5));
+  int64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= target) {
+      const int64_t mid = BucketMidpoint(static_cast<int>(i));
+      return std::clamp(mid, min(), max_);
+    }
+  }
+  return max_;
+}
+
+}  // namespace klink

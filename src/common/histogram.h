@@ -1,0 +1,51 @@
+#ifndef KLINK_COMMON_HISTOGRAM_H_
+#define KLINK_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace klink {
+
+/// Log-bucketed histogram of non-negative values (HdrHistogram-style),
+/// used for latency distributions and CDF reporting. Relative quantile
+/// error is bounded by the per-decade sub-bucket resolution (~1.6%).
+class Histogram {
+ public:
+  Histogram();
+
+  /// Records one value; negatives are clamped to 0.
+  void Add(int64_t value);
+
+  /// Merges another histogram into this one.
+  void Merge(const Histogram& other);
+
+  /// Removes all recorded values.
+  void Reset();
+
+  int64_t count() const { return count_; }
+  int64_t min() const;
+  int64_t max() const { return max_; }
+  double mean() const;
+
+  /// Value at quantile q in [0, 1]; 0 when empty. q=0.5 is the median.
+  int64_t Quantile(double q) const;
+
+  /// Convenience: Quantile(p / 100).
+  int64_t Percentile(double p) const { return Quantile(p / 100.0); }
+
+ private:
+  static constexpr int kSubBuckets = 64;  // per power-of-two bucket
+
+  static int BucketFor(int64_t value);
+  static int64_t BucketMidpoint(int index);
+
+  std::vector<int64_t> buckets_;
+  int64_t count_ = 0;
+  int64_t min_ = 0;
+  int64_t max_ = 0;
+  double sum_ = 0.0;
+};
+
+}  // namespace klink
+
+#endif  // KLINK_COMMON_HISTOGRAM_H_

@@ -1,0 +1,83 @@
+#ifndef KLINK_COMMON_RUNNING_STATS_H_
+#define KLINK_COMMON_RUNNING_STATS_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace klink {
+
+/// Streaming mean / variance accumulator (Welford). Used for per-operator
+/// cost and selectivity estimates and for per-epoch delay statistics.
+class RunningStats {
+ public:
+  /// Adds one observation.
+  void Add(double x) {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    sum_ += x;
+    sum_sq_ += x * x;
+  }
+
+  /// Removes all observations.
+  void Reset() { *this = RunningStats(); }
+
+  int64_t count() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+  /// Mean of the observations; 0 when empty.
+  double mean() const { return mean_; }
+
+  /// Mean of the squared observations (the paper's chi, Eq. 4); 0 when empty.
+  double mean_sq() const {
+    return count_ == 0 ? 0.0 : sum_sq_ / static_cast<double>(count_);
+  }
+
+  double sum() const { return sum_; }
+
+  /// Population variance; 0 when fewer than 2 observations.
+  double variance() const {
+    return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_);
+  }
+
+  double stddev() const { return std::sqrt(variance()); }
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+};
+
+/// Exponentially weighted moving average, for smoothed runtime estimates
+/// (e.g., operator cost) that must adapt to workload changes.
+class EwmaStats {
+ public:
+  /// alpha in (0, 1]: weight of the newest observation.
+  explicit EwmaStats(double alpha = 0.2) : alpha_(alpha) {}
+
+  void Add(double x) {
+    if (!seeded_) {
+      value_ = x;
+      seeded_ = true;
+    } else {
+      value_ = alpha_ * x + (1.0 - alpha_) * value_;
+    }
+  }
+
+  bool seeded() const { return seeded_; }
+
+  /// Current estimate, or fallback when no observation was added yet.
+  double ValueOr(double fallback) const { return seeded_ ? value_ : fallback; }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool seeded_ = false;
+};
+
+}  // namespace klink
+
+#endif  // KLINK_COMMON_RUNNING_STATS_H_

@@ -1,0 +1,46 @@
+#ifndef KLINK_COMMON_TYPES_H_
+#define KLINK_COMMON_TYPES_H_
+
+#include <cstdint>
+
+namespace klink {
+
+/// Virtual time in microseconds. All engine time (event time, ingestion
+/// time, processing time) is expressed in TimeMicros on a single simulated
+/// clock; see runtime/sim_clock.h.
+using TimeMicros = int64_t;
+
+/// Duration in microseconds of virtual time.
+using DurationMicros = int64_t;
+
+/// Identifier of a deployed query within an engine.
+using QueryId = int32_t;
+
+/// Identifier of an operator within a query (topological position).
+using OperatorId = int32_t;
+
+/// Identifier of a compute node in a distributed deployment.
+using NodeId = int32_t;
+
+/// Sentinel for "no time" / "unknown time".
+inline constexpr TimeMicros kNoTime = -1;
+
+/// Converts whole milliseconds to TimeMicros.
+constexpr TimeMicros MillisToMicros(int64_t ms) { return ms * 1000; }
+
+/// Converts whole seconds to TimeMicros.
+constexpr TimeMicros SecondsToMicros(int64_t s) { return s * 1000 * 1000; }
+
+/// Converts TimeMicros to fractional seconds (for reporting only).
+constexpr double MicrosToSeconds(TimeMicros us) {
+  return static_cast<double>(us) / 1e6;
+}
+
+/// Converts TimeMicros to fractional milliseconds (for reporting only).
+constexpr double MicrosToMillis(TimeMicros us) {
+  return static_cast<double>(us) / 1e3;
+}
+
+}  // namespace klink
+
+#endif  // KLINK_COMMON_TYPES_H_

@@ -1,0 +1,37 @@
+#include "src/common/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace klink {
+
+ZipfSampler::ZipfSampler(int64_t n, double s) : n_(n), s_(s) {
+  KLINK_CHECK_GE(n, 1);
+  KLINK_CHECK_GE(s, 0.0);
+  cdf_.resize(static_cast<size_t>(n));
+  double total = 0.0;
+  for (int64_t k = 1; k <= n; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k), s);
+    cdf_[static_cast<size_t>(k - 1)] = total;
+  }
+  for (double& c : cdf_) c /= total;
+}
+
+int64_t ZipfSampler::Sample(Rng& rng) const {
+  const double u = rng.NextDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  const auto idx = it == cdf_.end() ? cdf_.size() - 1
+                                    : static_cast<size_t>(it - cdf_.begin());
+  return static_cast<int64_t>(idx) + 1;
+}
+
+double ZipfSampler::Pmf(int64_t k) const {
+  KLINK_CHECK_GE(k, 1);
+  KLINK_CHECK_LE(k, n_);
+  const size_t i = static_cast<size_t>(k - 1);
+  return k == 1 ? cdf_[0] : cdf_[i] - cdf_[i - 1];
+}
+
+}  // namespace klink

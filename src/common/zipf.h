@@ -1,0 +1,37 @@
+#ifndef KLINK_COMMON_ZIPF_H_
+#define KLINK_COMMON_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace klink {
+
+/// Zipf-distributed sampler over ranks {1, ..., n} with exponent s:
+/// P(k) proportional to 1 / k^s. The paper's experiments use Zipf network
+/// delays with distribution constant 0.99 (Sec. 6.2), which this class
+/// reproduces; sampling is O(log n) via binary search over the CDF.
+class ZipfSampler {
+ public:
+  /// Builds the CDF table. Requires n >= 1 and s >= 0.
+  ZipfSampler(int64_t n, double s);
+
+  /// Draws a rank in [1, n].
+  int64_t Sample(Rng& rng) const;
+
+  /// Probability mass of rank k (1-based). Requires 1 <= k <= n.
+  double Pmf(int64_t k) const;
+
+  int64_t n() const { return n_; }
+  double s() const { return s_; }
+
+ private:
+  int64_t n_;
+  double s_;
+  std::vector<double> cdf_;  // cdf_[k-1] = P(rank <= k)
+};
+
+}  // namespace klink
+
+#endif  // KLINK_COMMON_ZIPF_H_

@@ -1,0 +1,32 @@
+#include "src/dist/forwarding.h"
+
+#include <utility>
+
+namespace klink {
+
+void ForwardingChannel::Publish(ForwardedQueryInfo info) {
+  records_.push_back(std::move(info));
+}
+
+const ForwardedQueryInfo* ForwardingChannel::Latest(
+    TimeMicros now, DurationMicros latency) const {
+  const ForwardedQueryInfo* best = nullptr;
+  for (const ForwardedQueryInfo& rec : records_) {
+    if (rec.published_at + latency <= now) {
+      best = &rec;
+    } else {
+      break;  // records are in publish order
+    }
+  }
+  return best;
+}
+
+void ForwardingChannel::Compact(TimeMicros now, DurationMicros latency) {
+  // Keep the newest visible record and everything not yet visible.
+  while (records_.size() >= 2 &&
+         records_[1].published_at + latency <= now) {
+    records_.pop_front();
+  }
+}
+
+}  // namespace klink

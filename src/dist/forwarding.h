@@ -1,0 +1,52 @@
+#ifndef KLINK_DIST_FORWARDING_H_
+#define KLINK_DIST_FORWARDING_H_
+
+#include <deque>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/runtime/snapshot.h"
+
+namespace klink {
+
+/// The per-query information one Klink instance forwards to the others
+/// (Sec. 4): watermark/network-delay progress from the node observing the
+/// watermarks (downstream-forwarded) and execution cost of the queued
+/// events per node (upstream-forwarded). In the real system this rides an
+/// RPC service instantiated by the JobMaster (Sec. 5); the simulator models
+/// it as a published record that becomes visible to other nodes after the
+/// forwarding latency.
+struct ForwardedQueryInfo {
+  TimeMicros published_at = 0;
+  /// Stream progress entries of the query's windowed operators.
+  std::vector<StreamProgress> streams;
+  /// Earliest upcoming deadline across the query.
+  TimeMicros upcoming_deadline = kNoTime;
+  /// Drain cost of the query's queued events, decomposed per node.
+  std::vector<double> drain_cost_by_node;
+};
+
+/// Time-delayed mailbox of ForwardedQueryInfo records for one query.
+/// Publish() appends the newest record; Latest(now, latency) returns the
+/// newest record that has been visible for at least `latency` — remote
+/// nodes always read slightly stale information, which is exactly the
+/// robustness challenge Klink's decentralized design absorbs.
+class ForwardingChannel {
+ public:
+  void Publish(ForwardedQueryInfo info);
+
+  /// Newest record with published_at + latency <= now, or nullptr.
+  const ForwardedQueryInfo* Latest(TimeMicros now,
+                                   DurationMicros latency) const;
+
+  /// Drops records that can never be read again (older than the newest
+  /// visible one).
+  void Compact(TimeMicros now, DurationMicros latency);
+
+ private:
+  std::deque<ForwardedQueryInfo> records_;
+};
+
+}  // namespace klink
+
+#endif  // KLINK_DIST_FORWARDING_H_

@@ -1,0 +1,42 @@
+#include "src/dist/placement.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace klink {
+
+std::vector<NodeId> PlaceOperators(const Query& query, int num_nodes,
+                                   NodeId start_node, PlacementMode mode) {
+  KLINK_CHECK_GE(num_nodes, 1);
+  const int n = query.num_operators();
+  std::vector<NodeId> placement(static_cast<size_t>(n),
+                                static_cast<NodeId>(start_node % num_nodes));
+  if (mode == PlacementMode::kLocal) return placement;
+  // Contiguous segments of near-equal size; at most one segment per node
+  // and never more segments than operators.
+  const int segments = std::min(num_nodes, n);
+  for (int i = 0; i < n; ++i) {
+    const int segment = std::min(segments - 1, i * segments / n);
+    placement[static_cast<size_t>(i)] =
+        static_cast<NodeId>((start_node + segment) % num_nodes);
+  }
+  return placement;
+}
+
+int CountCrossNodeEdges(const Query& query,
+                        const std::vector<NodeId>& placement) {
+  KLINK_CHECK_EQ(static_cast<int>(placement.size()), query.num_operators());
+  int crossing = 0;
+  for (int i = 0; i < query.num_operators(); ++i) {
+    const int down = query.edge(i).downstream;
+    if (down == -1) continue;
+    if (placement[static_cast<size_t>(i)] !=
+        placement[static_cast<size_t>(down)]) {
+      ++crossing;
+    }
+  }
+  return crossing;
+}
+
+}  // namespace klink

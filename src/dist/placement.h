@@ -1,0 +1,38 @@
+#ifndef KLINK_DIST_PLACEMENT_H_
+#define KLINK_DIST_PLACEMENT_H_
+
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/query/query.h"
+
+namespace klink {
+
+/// Physical-plan strategies (Sec. 4 / Sec. 6.2.4).
+enum class PlacementMode {
+  /// Whole pipelines stay on one node; queries round-robin across nodes.
+  /// This is what Flink's locality mechanism, which "minimizes data
+  /// mobility", converges to for chainable pipelines (Sec. 6.2.4).
+  kLocal,
+  /// Pipelines are split into contiguous topological segments spread over
+  /// the nodes (Fig. 5's shape), exercising cross-node event transfer and
+  /// information forwarding.
+  kSplit,
+};
+
+/// Assigns each operator of `query` to a node: the physical plan of Sec. 4.
+/// With kSplit, operators form `num_nodes` contiguous topological segments
+/// and the segment sequence starts at `start_node`; with kLocal the whole
+/// query lands on `start_node`. Returns node_of_op: one node id per
+/// operator index.
+std::vector<NodeId> PlaceOperators(const Query& query, int num_nodes,
+                                   NodeId start_node = 0,
+                                   PlacementMode mode = PlacementMode::kSplit);
+
+/// Number of edges of `query` crossing node boundaries under `placement`.
+int CountCrossNodeEdges(const Query& query,
+                        const std::vector<NodeId>& placement);
+
+}  // namespace klink
+
+#endif  // KLINK_DIST_PLACEMENT_H_

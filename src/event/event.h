@@ -1,0 +1,93 @@
+#ifndef KLINK_EVENT_EVENT_H_
+#define KLINK_EVENT_EVENT_H_
+
+#include <cstdint>
+
+#include "src/common/types.h"
+
+namespace klink {
+
+/// Kind of a stream element. Watermarks and latency markers travel through
+/// the same queues as data events (paper Sec. 2.2 and 6.1.2).
+enum class EventKind : uint8_t {
+  kData = 0,
+  /// Punctuation asserting no later event has event_time <= this timestamp.
+  kWatermark = 1,
+  /// Probe injected at the source to measure end-to-end propagation delay.
+  kLatencyMarker = 2,
+};
+
+/// A stream element. Events are ordered sets of values with a source-assigned
+/// event-time (paper Sec. 2.1); this reproduction carries a single key/value
+/// pair plus a simulated payload size, which is all the benchmark pipelines
+/// (YSB / LRB / NYT) require.
+struct Event {
+  EventKind kind = EventKind::kData;
+  /// Which input stream of the consuming operator this element belongs to
+  /// (0 for unary operators; 0..n-1 for joins and LRB sub-streams).
+  int32_t stream = 0;
+  /// Event-time: generation timestamp at the source.
+  TimeMicros event_time = 0;
+  /// Ingestion timestamp at the SPE: event_time + sampled network delay.
+  TimeMicros ingest_time = 0;
+  /// Grouping key (campaign id, segment id, taxi cell, ...).
+  uint64_t key = 0;
+  /// Payload value (ad count contribution, vehicle speed, fare, ...).
+  double value = 0.0;
+  /// Simulated wire/payload size used for memory accounting.
+  uint32_t payload_bytes = 64;
+  /// For watermarks only: set when this watermark swept at least one window
+  /// deadline upstream — i.e. it is a sweeping watermark (SWM, Sec. 2.2).
+  /// The output operator measures SWM propagation delay as output latency.
+  bool swm = false;
+
+  /// Network delay experienced by this element.
+  DurationMicros network_delay() const { return ingest_time - event_time; }
+
+  bool is_data() const { return kind == EventKind::kData; }
+  bool is_watermark() const { return kind == EventKind::kWatermark; }
+  bool is_latency_marker() const { return kind == EventKind::kLatencyMarker; }
+};
+
+/// Makes a data event.
+inline Event MakeDataEvent(TimeMicros event_time, TimeMicros ingest_time,
+                           uint64_t key, double value,
+                           uint32_t payload_bytes = 64, int32_t stream = 0) {
+  Event e;
+  e.kind = EventKind::kData;
+  e.stream = stream;
+  e.event_time = event_time;
+  e.ingest_time = ingest_time;
+  e.key = key;
+  e.value = value;
+  e.payload_bytes = payload_bytes;
+  return e;
+}
+
+/// Makes a watermark with the given timestamp.
+inline Event MakeWatermark(TimeMicros timestamp, TimeMicros ingest_time,
+                           int32_t stream = 0) {
+  Event e;
+  e.kind = EventKind::kWatermark;
+  e.stream = stream;
+  e.event_time = timestamp;
+  e.ingest_time = ingest_time;
+  e.payload_bytes = 16;
+  return e;
+}
+
+/// Makes a latency marker stamped with its emission time.
+inline Event MakeLatencyMarker(TimeMicros emit_time, TimeMicros ingest_time,
+                               int32_t stream = 0) {
+  Event e;
+  e.kind = EventKind::kLatencyMarker;
+  e.stream = stream;
+  e.event_time = emit_time;
+  e.ingest_time = ingest_time;
+  e.payload_bytes = 16;
+  return e;
+}
+
+}  // namespace klink
+
+#endif  // KLINK_EVENT_EVENT_H_

@@ -1,0 +1,38 @@
+#include "src/event/stream_queue.h"
+
+#include "src/common/check.h"
+
+namespace klink {
+
+void StreamQueue::Push(const Event& e) {
+  events_.push_back(e);
+  bytes_ += e.payload_bytes + kPerEventOverhead;
+  if (e.is_data()) ++data_count_;
+}
+
+Event StreamQueue::Pop() {
+  KLINK_CHECK(!events_.empty());
+  Event e = events_.front();
+  events_.pop_front();
+  bytes_ -= e.payload_bytes + kPerEventOverhead;
+  if (e.is_data()) --data_count_;
+  KLINK_DCHECK(bytes_ >= 0);
+  return e;
+}
+
+const Event& StreamQueue::Front() const {
+  KLINK_CHECK(!events_.empty());
+  return events_.front();
+}
+
+TimeMicros StreamQueue::OldestIngestTime() const {
+  return events_.empty() ? kNoTime : events_.front().ingest_time;
+}
+
+void StreamQueue::Clear() {
+  events_.clear();
+  bytes_ = 0;
+  data_count_ = 0;
+}
+
+}  // namespace klink

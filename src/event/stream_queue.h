@@ -1,0 +1,53 @@
+#ifndef KLINK_EVENT_STREAM_QUEUE_H_
+#define KLINK_EVENT_STREAM_QUEUE_H_
+
+#include <cstdint>
+#include <deque>
+
+#include "src/event/event.h"
+
+namespace klink {
+
+/// FIFO input queue of an operator, with byte accounting for the memory
+/// tracker. Events queue in arrival order; watermark/data ordering within
+/// the queue is preserved, which enforces the SWM invariant that a window's
+/// events are processed before the watermark that sweeps them (Sec. 2.2).
+class StreamQueue {
+ public:
+  /// Appends an element.
+  void Push(const Event& e);
+
+  /// Removes and returns the front element. Requires !empty().
+  Event Pop();
+
+  /// Returns the front element without removing it. Requires !empty().
+  const Event& Front() const;
+
+  bool empty() const { return events_.empty(); }
+  int64_t size() const { return static_cast<int64_t>(events_.size()); }
+
+  /// Total simulated bytes held (payloads + fixed per-element overhead).
+  int64_t bytes() const { return bytes_; }
+
+  /// Ingestion time of the oldest queued element, or kNoTime when empty.
+  /// Used by the FCFS policy.
+  TimeMicros OldestIngestTime() const;
+
+  /// Number of queued data (non-punctuation) elements.
+  int64_t data_count() const { return data_count_; }
+
+  /// Drops everything.
+  void Clear();
+
+  /// Fixed simulated per-element bookkeeping overhead in bytes.
+  static constexpr int64_t kPerEventOverhead = 32;
+
+ private:
+  std::deque<Event> events_;
+  int64_t bytes_ = 0;
+  int64_t data_count_ = 0;
+};
+
+}  // namespace klink
+
+#endif  // KLINK_EVENT_STREAM_QUEUE_H_

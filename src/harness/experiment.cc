@@ -1,0 +1,289 @@
+#include "src/harness/experiment.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/common/rng.h"
+#include "src/sched/default_policy.h"
+#include "src/sched/fcfs_policy.h"
+#include "src/sched/hr_policy.h"
+#include "src/sched/rr_policy.h"
+#include "src/sched/sbox_policy.h"
+#include "src/workloads/lrb.h"
+#include "src/workloads/nyt.h"
+#include "src/workloads/ysb.h"
+
+namespace klink {
+namespace {
+
+/// Decorator invoking a probe with every snapshot before delegating.
+class ProbePolicy final : public SchedulingPolicy {
+ public:
+  ProbePolicy(std::unique_ptr<SchedulingPolicy> inner, SnapshotProbe probe)
+      : inner_(std::move(inner)), probe_(std::move(probe)) {}
+
+  std::string name() const override { return inner_->name(); }
+
+  void SelectQueries(const RuntimeSnapshot& snapshot, int slots,
+                     std::vector<QueryId>* out) override {
+    probe_(snapshot);
+    inner_->SelectQueries(snapshot, slots, out);
+  }
+
+  double EvaluationCostMicros(const RuntimeSnapshot& snapshot) override {
+    return inner_->EvaluationCostMicros(snapshot);
+  }
+
+  SchedulingPolicy* inner() { return inner_.get(); }
+
+ private:
+  std::unique_ptr<SchedulingPolicy> inner_;
+  SnapshotProbe probe_;
+};
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] + frac * (values[hi] - values[lo]);
+}
+
+}  // namespace
+
+const char* PolicyKindName(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kDefault:
+      return "Default";
+    case PolicyKind::kFcfs:
+      return "FCFS";
+    case PolicyKind::kRoundRobin:
+      return "RR";
+    case PolicyKind::kHighestRate:
+      return "HR";
+    case PolicyKind::kStreamBox:
+      return "SBox";
+    case PolicyKind::kKlink:
+      return "Klink";
+    case PolicyKind::kKlinkNoMm:
+      return "Klink (w/o MM)";
+  }
+  return "?";
+}
+
+const char* WorkloadKindName(WorkloadKind kind) {
+  switch (kind) {
+    case WorkloadKind::kYsb:
+      return "YSB";
+    case WorkloadKind::kLrb:
+      return "LRB";
+    case WorkloadKind::kNyt:
+      return "NYT";
+  }
+  return "?";
+}
+
+const char* DelayKindName(DelayKind kind) {
+  switch (kind) {
+    case DelayKind::kUniform:
+      return "Uniform";
+    case DelayKind::kZipf:
+      return "Zipf";
+  }
+  return "?";
+}
+
+std::unique_ptr<SchedulingPolicy> MakePolicy(
+    PolicyKind kind, const KlinkPolicyConfig& klink_config, uint64_t seed) {
+  switch (kind) {
+    case PolicyKind::kDefault:
+      return std::make_unique<DefaultPolicy>(seed);
+    case PolicyKind::kFcfs:
+      return std::make_unique<FcfsPolicy>();
+    case PolicyKind::kRoundRobin:
+      return std::make_unique<RoundRobinPolicy>();
+    case PolicyKind::kHighestRate:
+      return std::make_unique<HighestRatePolicy>();
+    case PolicyKind::kStreamBox:
+      return std::make_unique<StreamBoxPolicy>();
+    case PolicyKind::kKlink: {
+      KlinkPolicyConfig c = klink_config;
+      c.enable_memory_management = true;
+      return std::make_unique<KlinkPolicy>(c);
+    }
+    case PolicyKind::kKlinkNoMm: {
+      KlinkPolicyConfig c = klink_config;
+      c.enable_memory_management = false;
+      return std::make_unique<KlinkPolicy>(c);
+    }
+  }
+  return nullptr;
+}
+
+std::unique_ptr<DelayModel> MakeDelayModel(DelayKind kind) {
+  switch (kind) {
+    case DelayKind::kUniform:
+      return MakePaperUniformDelay();
+    case DelayKind::kZipf:
+      return MakePaperZipfDelay();
+  }
+  return nullptr;
+}
+
+DurationMicros WatermarkLagFor(DelayKind kind) {
+  switch (kind) {
+    case DelayKind::kUniform:
+      return MillisToMicros(120);  // max delay 100 ms + margin
+    case DelayKind::kZipf:
+      return MillisToMicros(450);  // max delay ~403 ms + margin
+  }
+  return MillisToMicros(150);
+}
+
+ExperimentResult RunExperiment(const ExperimentConfig& config,
+                               SnapshotProbe probe) {
+  KLINK_CHECK_GE(config.num_queries, 1);
+  KLINK_CHECK_GT(config.duration, config.warmup);
+
+  KlinkPolicyConfig klink_config = config.klink;
+  klink_config.cycle_length = config.engine.cycle_length;
+  std::unique_ptr<SchedulingPolicy> policy =
+      MakePolicy(config.policy, klink_config, config.seed ^ 0x5eedULL);
+  KlinkPolicy* klink_policy = dynamic_cast<KlinkPolicy*>(policy.get());
+  if (probe != nullptr) {
+    policy =
+        std::make_unique<ProbePolicy>(std::move(policy), std::move(probe));
+  }
+
+  Engine engine(config.engine, std::move(policy));
+  Rng rng(config.seed);
+
+  for (int q = 0; q < config.num_queries; ++q) {
+    const TimeMicros deploy =
+        config.deploy_spread > 0 ? rng.NextInt(0, config.deploy_spread) : 0;
+    const uint64_t feed_seed = rng.NextUint64();
+    std::unique_ptr<Query> query;
+    std::unique_ptr<EventFeed> feed;
+    switch (config.workload) {
+      case WorkloadKind::kYsb: {
+        YsbConfig wc;
+        wc.events_per_second = config.events_per_second;
+        wc.watermark_lag = WatermarkLagFor(config.delay);
+        wc.window_offset = rng.NextInt(0, wc.window_size - 1);
+        query = MakeYsbQuery(q, wc);
+        feed = MakeYsbFeed(wc, MakeDelayModel(config.delay), feed_seed, deploy);
+        break;
+      }
+      case WorkloadKind::kLrb: {
+        LrbConfig wc;
+        wc.events_per_substream_per_second = config.events_per_second;
+        wc.watermark_lag = WatermarkLagFor(config.delay);
+        wc.window_offset = rng.NextInt(0, wc.join_window - 1);
+        query = MakeLrbQuery(q, wc);
+        feed = MakeLrbFeed(wc, MakeDelayModel(config.delay), feed_seed, deploy);
+        break;
+      }
+      case WorkloadKind::kNyt: {
+        NytConfig wc;
+        wc.events_per_second = config.events_per_second;
+        wc.watermark_lag = WatermarkLagFor(config.delay);
+        wc.window_offset = rng.NextInt(0, wc.slide - 1);
+        query = MakeNytQuery(q, wc);
+        feed = MakeNytFeed(wc, MakeDelayModel(config.delay), feed_seed, deploy);
+        break;
+      }
+    }
+    engine.AddQuery(std::move(query), std::move(feed), deploy);
+  }
+
+  // Warm up, then reset the latency statistics so the report covers
+  // steady state only.
+  engine.RunUntil(config.warmup);
+  for (int q = 0; q < engine.num_queries(); ++q) {
+    engine.query(q).sink().ResetStats();
+  }
+  const int64_t processed_at_warmup = engine.metrics().processed_events();
+  const double busy_at_warmup = engine.metrics().core_busy_micros();
+  const double sched_at_warmup = engine.metrics().scheduler_micros();
+
+  engine.RunUntil(config.duration);
+
+  ExperimentResult result;
+  result.policy_name = PolicyKindName(config.policy);
+  result.latency = engine.AggregateSwmLatency();
+  result.mean_latency_s = result.latency.mean() / 1e6;
+  result.p50_latency_s = static_cast<double>(result.latency.Percentile(50)) / 1e6;
+  result.p90_latency_s = static_cast<double>(result.latency.Percentile(90)) / 1e6;
+  result.p95_latency_s = static_cast<double>(result.latency.Percentile(95)) / 1e6;
+  result.p99_latency_s = static_cast<double>(result.latency.Percentile(99)) / 1e6;
+
+  const double measured_seconds =
+      MicrosToSeconds(config.duration - config.warmup);
+  result.throughput_eps =
+      static_cast<double>(engine.metrics().processed_events() -
+                          processed_at_warmup) /
+      measured_seconds;
+  result.slowdown = engine.MeanSlowdown();
+
+  const double busy = engine.metrics().core_busy_micros() - busy_at_warmup;
+  const double sched = engine.metrics().scheduler_micros() - sched_at_warmup;
+  result.scheduler_overhead =
+      (busy + sched) <= 0.0 ? 0.0 : sched / (busy + sched);
+
+  std::vector<double> cpu, mem;
+  for (const ResourceSample& s : engine.metrics().samples()) {
+    if (s.time < config.warmup) continue;
+    cpu.push_back(s.cpu_utilization);
+    mem.push_back(static_cast<double>(s.memory_bytes));
+    result.samples.push_back(s);
+  }
+  if (!cpu.empty()) {
+    double cpu_sum = 0.0, mem_sum = 0.0;
+    for (double c : cpu) cpu_sum += c;
+    for (double m : mem) mem_sum += m;
+    result.mean_cpu_utilization = cpu_sum / static_cast<double>(cpu.size());
+    result.mean_memory_bytes = mem_sum / static_cast<double>(mem.size());
+    result.p90_cpu_utilization = Percentile(cpu, 90.0);
+    result.p90_memory_bytes = Percentile(mem, 90.0);
+  }
+  result.peak_memory_bytes = engine.memory().peak_bytes();
+
+  if (klink_policy != nullptr) {
+    result.estimator_accuracy = klink_policy->EstimatorAccuracy();
+    result.estimator_predictions = klink_policy->total_predictions();
+  }
+  return result;
+}
+
+RepeatedResult RunRepeated(const ExperimentConfig& config, int runs) {
+  KLINK_CHECK_GE(runs, 1);
+  RepeatedResult agg;
+  agg.runs = runs;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < runs; ++i) {
+    ExperimentConfig c = config;
+    c.seed = config.seed + static_cast<uint64_t>(i);
+    ExperimentResult r = RunExperiment(c);
+    sum += r.mean_latency_s;
+    sum_sq += r.mean_latency_s * r.mean_latency_s;
+    agg.p99_latency_s += r.p99_latency_s;
+    agg.throughput_eps += r.throughput_eps;
+    agg.results.push_back(std::move(r));
+  }
+  const double n = static_cast<double>(runs);
+  agg.mean_latency_s = sum / n;
+  agg.p99_latency_s /= n;
+  agg.throughput_eps /= n;
+  if (runs >= 2) {
+    const double var =
+        std::max(0.0, (sum_sq - sum * sum / n) / (n - 1.0));  // sample var
+    agg.latency_ci95_s = 1.96 * std::sqrt(var / n);
+  }
+  return agg;
+}
+
+}  // namespace klink

@@ -1,0 +1,124 @@
+#ifndef KLINK_HARNESS_EXPERIMENT_H_
+#define KLINK_HARNESS_EXPERIMENT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/histogram.h"
+#include "src/klink/klink_policy.h"
+#include "src/net/delay_model.h"
+#include "src/runtime/engine.h"
+#include "src/sched/policy.h"
+
+namespace klink {
+
+/// The scheduling algorithms compared in the evaluation (Sec. 6.1.3).
+enum class PolicyKind {
+  kDefault,
+  kFcfs,
+  kRoundRobin,
+  kHighestRate,
+  kStreamBox,
+  kKlink,
+  kKlinkNoMm,
+};
+
+/// The benchmark workloads (Sec. 6.1.1).
+enum class WorkloadKind { kYsb, kLrb, kNyt };
+
+/// The network delay distributions (Sec. 6.2).
+enum class DelayKind { kUniform, kZipf };
+
+const char* PolicyKindName(PolicyKind kind);
+const char* WorkloadKindName(WorkloadKind kind);
+const char* DelayKindName(DelayKind kind);
+
+/// Builds a policy instance. `klink_config` applies to the Klink variants;
+/// seed feeds the Default policy's randomness.
+std::unique_ptr<SchedulingPolicy> MakePolicy(
+    PolicyKind kind, const KlinkPolicyConfig& klink_config, uint64_t seed);
+
+/// Builds a delay model instance of the requested distribution.
+std::unique_ptr<DelayModel> MakeDelayModel(DelayKind kind);
+
+/// Watermark lag (the application's lateness bound) appropriate for the
+/// delay distribution: generous enough that late drops are rare.
+DurationMicros WatermarkLagFor(DelayKind kind);
+
+/// One experiment = one engine run: N query instances of one workload under
+/// one scheduling policy for `duration` of virtual time.
+struct ExperimentConfig {
+  PolicyKind policy = PolicyKind::kKlink;
+  WorkloadKind workload = WorkloadKind::kYsb;
+  DelayKind delay = DelayKind::kUniform;
+  int num_queries = 20;
+  /// Data events per second per query source (LRB has 3 sources/query).
+  double events_per_second = 1000.0;
+  /// Virtual run length (the paper runs 20 minutes; scaled down here).
+  DurationMicros duration = SecondsToMicros(120);
+  /// Queries deploy at uniformly random times within this span, which also
+  /// randomizes the window deadline phases (Sec. 6.2.1).
+  DurationMicros deploy_spread = SecondsToMicros(20);
+  /// Warm-up: latency/throughput statistics ignore everything before this.
+  DurationMicros warmup = SecondsToMicros(30);
+  EngineConfig engine;
+  KlinkPolicyConfig klink;
+  uint64_t seed = 1;
+};
+
+/// Aggregated outcome of one experiment.
+struct ExperimentResult {
+  std::string policy_name;
+  /// Output latency (SWM propagation delay) distribution, seconds helpers.
+  Histogram latency;
+  double mean_latency_s = 0.0;
+  double p50_latency_s = 0.0;
+  double p90_latency_s = 0.0;
+  double p95_latency_s = 0.0;
+  double p99_latency_s = 0.0;
+  /// Aggregate operator-events processed per second.
+  double throughput_eps = 0.0;
+  /// Mean slowdown (Sec. 6.1.2).
+  double slowdown = 0.0;
+  /// Resource utilization.
+  double mean_cpu_utilization = 0.0;
+  double p90_cpu_utilization = 0.0;
+  double mean_memory_bytes = 0.0;
+  double p90_memory_bytes = 0.0;
+  int64_t peak_memory_bytes = 0;
+  /// Scheduler overhead fraction (Fig. 9d).
+  double scheduler_overhead = 0.0;
+  /// Klink-only: SWM ingestion estimation accuracy (Fig. 9c).
+  double estimator_accuracy = 0.0;
+  int64_t estimator_predictions = 0;
+  /// Raw time series for Fig. 8-style plots.
+  std::vector<ResourceSample> samples;
+};
+
+/// Runs one experiment to completion. `probe`, when non-null, is invoked
+/// with every runtime snapshot before the policy runs (used by the
+/// estimator-accuracy bench to feed shadow estimators).
+using SnapshotProbe = std::function<void(const RuntimeSnapshot&)>;
+ExperimentResult RunExperiment(const ExperimentConfig& config,
+                               SnapshotProbe probe = nullptr);
+
+/// Aggregate of several independent runs (the paper averages >= 10 runs
+/// and reports 95% confidence intervals, Sec. 6.2).
+struct RepeatedResult {
+  int runs = 0;
+  double mean_latency_s = 0.0;
+  /// Half-width of the 95% confidence interval on the mean latency.
+  double latency_ci95_s = 0.0;
+  double p99_latency_s = 0.0;  // averaged across runs
+  double throughput_eps = 0.0;
+  std::vector<ExperimentResult> results;
+};
+
+/// Runs `runs` independent repetitions of `config` with seeds
+/// config.seed, config.seed+1, ... and aggregates them.
+RepeatedResult RunRepeated(const ExperimentConfig& config, int runs);
+
+}  // namespace klink
+
+#endif  // KLINK_HARNESS_EXPERIMENT_H_

@@ -1,0 +1,85 @@
+#include "src/harness/reporter.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+namespace klink {
+
+TableReporter::TableReporter(std::string title) : title_(std::move(title)) {}
+
+void TableReporter::SetHeader(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TableReporter::AddRow(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+void TableReporter::Print() const {
+  std::printf("\n== %s ==\n", title_.c_str());
+  // Column widths over header + rows.
+  std::vector<size_t> width(header_.size(), 0);
+  auto widen = [&width](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i >= width.size()) width.resize(i + 1, 0);
+      width[i] = std::max(width[i], row[i].size());
+    }
+  };
+  widen(header_);
+  for (const auto& row : rows_) widen(row);
+
+  auto print_row = [&width](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      std::printf("%-*s  ", static_cast<int>(width[i]), row[i].c_str());
+    }
+    std::printf("\n");
+  };
+  if (!header_.empty()) {
+    print_row(header_);
+    size_t total = 0;
+    for (size_t w : width) total += w + 2;
+    std::string rule(total, '-');
+    std::printf("%s\n", rule.c_str());
+  }
+  for (const auto& row : rows_) print_row(row);
+  std::fflush(stdout);
+
+  if (const char* dir = std::getenv("KLINK_BENCH_CSV_DIR")) {
+    std::string slug;
+    for (char ch : title_) {
+      if (std::isalnum(static_cast<unsigned char>(ch))) {
+        slug += static_cast<char>(std::tolower(static_cast<unsigned char>(ch)));
+      } else if (!slug.empty() && slug.back() != '_') {
+        slug += '_';
+      }
+    }
+    while (!slug.empty() && slug.back() == '_') slug.pop_back();
+    WriteCsv(std::string(dir) + "/" + slug + ".csv");
+  }
+}
+
+bool TableReporter::WriteCsv(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  auto write_row = [f](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      std::fprintf(f, "%s%s", i == 0 ? "" : ",", row[i].c_str());
+    }
+    std::fprintf(f, "\n");
+  };
+  if (!header_.empty()) write_row(header_);
+  for (const auto& row : rows_) write_row(row);
+  std::fclose(f);
+  return true;
+}
+
+std::string TableReporter::Num(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+}  // namespace klink

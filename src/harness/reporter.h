@@ -1,0 +1,41 @@
+#ifndef KLINK_HARNESS_REPORTER_H_
+#define KLINK_HARNESS_REPORTER_H_
+
+#include <string>
+#include <vector>
+
+namespace klink {
+
+/// Minimal fixed-width table printer for the bench harnesses: every bench
+/// binary prints the same rows/series the corresponding paper figure
+/// reports, so runs are easy to diff against EXPERIMENTS.md.
+class TableReporter {
+ public:
+  /// `title` is printed above the table (e.g. "Fig. 6a: YSB mean latency").
+  explicit TableReporter(std::string title);
+
+  /// Sets the column headers; call before AddRow.
+  void SetHeader(std::vector<std::string> header);
+
+  /// Adds one row; cells are preformatted strings.
+  void AddRow(std::vector<std::string> row);
+
+  /// Prints the table to stdout. When the KLINK_BENCH_CSV_DIR environment
+  /// variable is set, also writes <dir>/<slug(title)>.csv for plotting.
+  void Print() const;
+
+  /// Writes the table as CSV to `path`. Returns false on I/O failure.
+  bool WriteCsv(const std::string& path) const;
+
+  /// Formats a double with `precision` decimals.
+  static std::string Num(double value, int precision = 2);
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace klink
+
+#endif  // KLINK_HARNESS_REPORTER_H_

@@ -1,0 +1,169 @@
+#include "src/klink/klink_policy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/klink/memory_manager.h"
+#include "src/klink/slack.h"
+
+namespace klink {
+
+KlinkPolicy::KlinkPolicy(const KlinkPolicyConfig& config) : config_(config) {}
+
+double KlinkPolicy::EvaluateSlack(const QueryInfo& info, TimeMicros now) {
+  const double now_d = static_cast<double>(now);
+  const double cost = info.drain_cost_micros;
+  if (info.streams.empty()) {
+    // Windowless query: no deadline to miss; order by drain cost so heavy
+    // backlogs still make progress once windowed queries have slack.
+    return std::numeric_limits<double>::max() / 4.0 - cost;
+  }
+  double min_slack = std::numeric_limits<double>::max();
+  for (const StreamProgress& progress : info.streams) {
+    KlinkEstimator* est;
+    const uint64_t key = StreamKey(info.id, progress.op_index,
+                                   progress.stream);
+    const auto it = estimators_.find(key);
+    if (it == estimators_.end()) {
+      est = estimators_
+                .emplace(key, std::make_unique<KlinkEstimator>(
+                                  config_.history_epochs, config_.confidence))
+                .first->second.get();
+    } else {
+      est = it->second.get();
+    }
+    est->Observe(progress);
+    const IngestionPrediction pred =
+        config_.use_estimator ? est->Predict(progress) : IngestionPrediction{};
+    double slack;
+    if (pred.valid) {
+      const SlackResult r = ComputeExpectedSlack(
+          now_d, cost, pred, static_cast<double>(config_.cycle_length));
+      slack = r.slack;
+      eval_steps_ += r.steps;
+    } else {
+      slack = FallbackSlack(
+          now_d, cost,
+          static_cast<double>(progress.upcoming_deadline == kNoTime
+                                  ? now
+                                  : progress.upcoming_deadline));
+    }
+    min_slack = std::min(min_slack, slack);  // Sec. 3.3: min over streams
+  }
+  return min_slack;
+}
+
+void KlinkPolicy::UpdateMemoryMode(const RuntimeSnapshot& snapshot) {
+  if (!config_.enable_memory_management) {
+    mm_active_ = false;
+    return;
+  }
+  if (!mm_active_) {
+    if (snapshot.memory_utilization >= config_.memory_bound_fraction) {
+      mm_active_ = true;
+      mm_entry_utilization_ = snapshot.memory_utilization;
+      mm_entry_time_ = snapshot.now;
+    }
+    return;
+  }
+  // Exit when the release target is met or the time budget elapsed
+  // (Sec. 3.4: "until half of the consumed memory has been freed or after
+  // three seconds have elapsed").
+  const double release_target =
+      mm_entry_utilization_ * (1.0 - config_.mm_release_fraction);
+  if (snapshot.memory_utilization <= release_target ||
+      snapshot.now - mm_entry_time_ >= config_.mm_max_duration) {
+    mm_active_ = false;
+  }
+}
+
+void KlinkPolicy::SelectQueries(const RuntimeSnapshot& snapshot, int slots,
+                                std::vector<QueryId>* out) {
+  eval_steps_ = 0;
+  eval_queries_ = 0;
+  UpdateMemoryMode(snapshot);
+
+  // Evaluate slack for every query each cycle: estimators must observe
+  // stream progress continuously, and LastSlack() stays fresh.
+  last_eval_.clear();
+  for (const QueryInfo& info : snapshot.queries) {
+    QueryEval eval;
+    eval.slack = EvaluateSlack(info, snapshot.now);
+    if (mm_active_) {
+      eval.mm_reduction =
+          ComputeMemoryPlan(info, static_cast<double>(config_.cycle_length))
+              .potential_events;
+    }
+    last_eval_[info.id] = eval;
+    ++eval_queries_;
+  }
+  pending_eval_cost_ +=
+      static_cast<double>(eval_queries_) * config_.eval_cost_per_query_micros +
+      static_cast<double>(eval_steps_) * config_.eval_cost_per_step_micros;
+  if (mm_active_) ++mm_cycles_;
+
+  const auto slack_of = [this](const QueryInfo& q) {
+    return last_eval_.at(q.id).slack;
+  };
+  if (mm_active_) {
+    // Sec. 3.4: schedule the pipelines with the largest potential memory
+    // reduction so memory mode drains decisively and exits quickly; ties
+    // break toward the least slack to keep optimizing latency.
+    SelectTopReadyQueries(
+        snapshot, slots,
+        [this, &slack_of](const QueryInfo& a, const QueryInfo& b) {
+          const double ra = last_eval_.at(a.id).mm_reduction;
+          const double rb = last_eval_.at(b.id).mm_reduction;
+          if (ra != rb) return ra > rb;
+          return slack_of(a) < slack_of(b);
+        },
+        out);
+  } else {
+    SelectTopReadyQueries(snapshot, slots,
+                          [&slack_of](const QueryInfo& a, const QueryInfo& b) {
+                            const double sa = slack_of(a);
+                            const double sb = slack_of(b);
+                            if (sa != sb) return sa < sb;
+                            return a.id < b.id;
+                          },
+                          out);
+  }
+}
+
+double KlinkPolicy::EvaluationCostMicros(const RuntimeSnapshot& /*snapshot*/) {
+  // Charged with one cycle of lag: the engine bills the cost accumulated
+  // by the evaluation rounds of the previous cycle.
+  const double cost = pending_eval_cost_;
+  pending_eval_cost_ = 0.0;
+  return cost;
+}
+
+double KlinkPolicy::EstimatorAccuracy() const {
+  int64_t hits = 0, preds = 0;
+  for (const auto& [key, est] : estimators_) {
+    hits += est->hits();
+    preds += est->predictions();
+  }
+  return preds == 0 ? 0.0
+                    : static_cast<double>(hits) / static_cast<double>(preds);
+}
+
+int64_t KlinkPolicy::total_predictions() const {
+  int64_t preds = 0;
+  for (const auto& [key, est] : estimators_) preds += est->predictions();
+  return preds;
+}
+
+const KlinkEstimator* KlinkPolicy::EstimatorFor(QueryId id, int op_index,
+                                                int stream) const {
+  const auto it = estimators_.find(StreamKey(id, op_index, stream));
+  return it == estimators_.end() ? nullptr : it->second.get();
+}
+
+double KlinkPolicy::LastSlack(QueryId id) const {
+  const auto it = last_eval_.find(id);
+  return it == last_eval_.end() ? 0.0 : it->second.slack;
+}
+
+}  // namespace klink

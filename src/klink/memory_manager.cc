@@ -1,0 +1,39 @@
+#include "src/klink/memory_manager.h"
+
+#include <algorithm>
+
+namespace klink {
+
+MemoryPlan ComputeMemoryPlan(const QueryInfo& info, double cycle_micros) {
+  MemoryPlan plan;
+  const size_t n = info.op_queued.size();
+  int64_t sz = 0;             // queued events in the prefix
+  double sel_product = 1.0;   // prod_{i<=k} S_i
+  double unit_cost = 0.0;     // expected cost to push one event through the
+                              // prefix (selectivity-discounted)
+  double carry = 1.0;         // prod of selectivities before op i
+  for (size_t k = 0; k < n; ++k) {
+    sz += info.op_queued[k];
+    sel_product *= std::clamp(info.op_selectivity[k], 0.0, 1.0);
+    unit_cost += carry * info.op_cost[k];
+    carry *= std::clamp(info.op_selectivity[k], 0.0, 1.0);
+
+    // Cap by the events one scheduling quantum can push through this
+    // prefix; partial-computation operators absorb events into state, so
+    // the cap uses the same per-event cost either way.
+    double effective = static_cast<double>(sz);
+    if (unit_cost > 0.0) {
+      effective = std::min(effective, cycle_micros / unit_cost);
+    }
+    const double reduction = effective * (1.0 - sel_product);
+    const double potential = static_cast<double>(sz) * (1.0 - sel_product);
+    if (potential > plan.potential_events) {
+      plan.potential_events = potential;
+      plan.reduction_events = reduction;
+      plan.best_k = static_cast<int>(k);
+    }
+  }
+  return plan;
+}
+
+}  // namespace klink

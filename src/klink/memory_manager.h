@@ -1,0 +1,34 @@
+#ifndef KLINK_KLINK_MEMORY_MANAGER_H_
+#define KLINK_KLINK_MEMORY_MANAGER_H_
+
+#include "src/runtime/snapshot.h"
+
+namespace klink {
+
+/// Outcome of evaluating one query under the memory-management policy
+/// (Sec. 3.4): the operator-prefix whose scheduling releases the most
+/// in-flight volume within one cycle.
+struct MemoryPlan {
+  /// Expected reduction in queued events within one cycle:
+  /// p_k = sz_k * (1 - prod S_i), capped by what one cycle of CPU can
+  /// actually process.
+  double reduction_events = 0.0;
+  /// Uncapped reduction potential: the total queued volume the best prefix
+  /// could eliminate. This ranks queries in memory mode — with identical
+  /// pipelines it reduces to "largest queues first", the paper's stated
+  /// intuition — while the capped value estimates one cycle's effect.
+  double potential_events = 0.0;
+  /// Topological index k of the best prefix end (inclusive), -1 if the
+  /// query offers no reduction.
+  int best_k = -1;
+};
+
+/// Computes the best prefix plan for `info`. `cycle_micros` is the
+/// scheduling quantum r: the number of queued events processable within r
+/// caps sz_k (Sec. 3.4: "Klink computes the number of events that can be
+/// processed within r by factoring in the cost of each operator").
+MemoryPlan ComputeMemoryPlan(const QueryInfo& info, double cycle_micros);
+
+}  // namespace klink
+
+#endif  // KLINK_KLINK_MEMORY_MANAGER_H_

@@ -1,0 +1,48 @@
+#ifndef KLINK_KLINK_SLACK_H_
+#define KLINK_KLINK_SLACK_H_
+
+#include <cstdint>
+
+#include "src/klink/swm_estimator.h"
+
+namespace klink {
+
+/// Result of one expected-slack computation (Alg. 1).
+struct SlackResult {
+  /// Expected slack in virtual micros; lower = more urgent. Negative when
+  /// the SWM is overdue.
+  double slack = 0.0;
+  /// Number of probability-window steps evaluated (drives the modeled
+  /// scheduler overhead, Sec. 6.2.5 / Fig. 9d).
+  int steps = 0;
+};
+
+/// Computes the expected slack of one stream per Alg. 1 / Eq. 8:
+/// slides a window of size `step_r` over the confidence interval of the
+/// predicted SWM ingestion time, accumulating
+///   P(x <= w <= x+r | w > now) * ((x + r - now) - cost),
+/// with the conditional probabilities from the Gaussian Q-function
+/// (Eqs. 9-10).
+///
+/// `now` is the current virtual time, `drain_cost` is cost^q(t) (the
+/// end-to-end cost of the queued events, Sec. 3), `pred` the estimator's
+/// prediction and `step_r` the scheduling cycle length r. When the entire
+/// interval lies in the past (the SWM is overdue), the slack degenerates to
+/// (pred.mean - now) - cost, a negative value that grows more negative the
+/// longer the query is overdue.
+SlackResult ComputeExpectedSlack(double now, double drain_cost,
+                                 const IngestionPrediction& pred,
+                                 double step_r);
+
+/// Fallback when no prediction is available (cold start): deterministic
+/// slack per Eq. 1 with the upcoming deadline standing in for the SWM
+/// ingestion time.
+double FallbackSlack(double now, double drain_cost, double upcoming_deadline);
+
+/// Cap on the number of integration steps; wider intervals increase the
+/// step size rather than the step count.
+inline constexpr int kMaxSlackSteps = 512;
+
+}  // namespace klink
+
+#endif  // KLINK_KLINK_SLACK_H_

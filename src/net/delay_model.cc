@@ -1,0 +1,56 @@
+#include "src/net/delay_model.h"
+
+#include "src/common/check.h"
+
+namespace klink {
+
+ConstantDelay::ConstantDelay(DurationMicros delay) : delay_(delay) {
+  KLINK_CHECK_GE(delay, 0);
+}
+
+DurationMicros ConstantDelay::Sample(Rng& /*rng*/) { return delay_; }
+
+UniformDelay::UniformDelay(DurationMicros lo, DurationMicros hi)
+    : lo_(lo), hi_(hi) {
+  KLINK_CHECK_GE(lo, 0);
+  KLINK_CHECK_LE(lo, hi);
+}
+
+DurationMicros UniformDelay::Sample(Rng& rng) { return rng.NextInt(lo_, hi_); }
+
+ZipfDelay::ZipfDelay(DurationMicros lo, DurationMicros step, int64_t n,
+                     double s)
+    : lo_(lo), step_(step), sampler_(n, s) {
+  KLINK_CHECK_GE(lo, 0);
+  KLINK_CHECK_GE(step, 0);
+}
+
+DurationMicros ZipfDelay::Sample(Rng& rng) {
+  return lo_ + (sampler_.Sample(rng) - 1) * step_;
+}
+
+ExponentialDelay::ExponentialDelay(DurationMicros lo, DurationMicros mean)
+    : lo_(lo), mean_(mean) {
+  KLINK_CHECK_GE(lo, 0);
+  KLINK_CHECK_GT(mean, 0);
+}
+
+DurationMicros ExponentialDelay::Sample(Rng& rng) {
+  return lo_ + static_cast<DurationMicros>(
+                   rng.NextExponential(static_cast<double>(mean_)));
+}
+
+std::unique_ptr<DelayModel> MakePaperUniformDelay() {
+  // Uniform 5..100 ms: moderate, bounded variability.
+  return std::make_unique<UniformDelay>(MillisToMicros(5),
+                                        MillisToMicros(100));
+}
+
+std::unique_ptr<DelayModel> MakePaperZipfDelay() {
+  // Zipf(0.99) over 200 ranks of 2 ms steps starting at 5 ms: most events
+  // arrive promptly, a heavy tail is delayed by up to ~400 ms.
+  return std::make_unique<ZipfDelay>(MillisToMicros(5), MillisToMicros(2),
+                                     /*n=*/200, /*s=*/0.99);
+}
+
+}  // namespace klink

@@ -1,0 +1,87 @@
+#ifndef KLINK_NET_DELAY_MODEL_H_
+#define KLINK_NET_DELAY_MODEL_H_
+
+#include <memory>
+#include <string>
+
+#include "src/common/rng.h"
+#include "src/common/types.h"
+#include "src/common/zipf.h"
+
+namespace klink {
+
+/// Samples the network delay an event experiences between generation at the
+/// source and ingestion at the SPE. The paper evaluates Uniform and
+/// Zipf(0.99) delays (Sec. 6); Constant and Exponential are provided for
+/// tests and examples.
+class DelayModel {
+ public:
+  virtual ~DelayModel() = default;
+
+  /// Draws one delay (>= 0).
+  virtual DurationMicros Sample(Rng& rng) = 0;
+
+  /// Human-readable name for reports.
+  virtual std::string name() const = 0;
+};
+
+/// Always `delay`.
+class ConstantDelay final : public DelayModel {
+ public:
+  explicit ConstantDelay(DurationMicros delay);
+  DurationMicros Sample(Rng& rng) override;
+  std::string name() const override { return "constant"; }
+
+ private:
+  DurationMicros delay_;
+};
+
+/// Uniform in [lo, hi].
+class UniformDelay final : public DelayModel {
+ public:
+  UniformDelay(DurationMicros lo, DurationMicros hi);
+  DurationMicros Sample(Rng& rng) override;
+  std::string name() const override { return "uniform"; }
+
+ private:
+  DurationMicros lo_;
+  DurationMicros hi_;
+};
+
+/// Zipf-distributed delay: rank r in [1, n] drawn with exponent s, mapped
+/// to delay = lo + (r - 1) * step. With s = 0.99 most events see small
+/// delays while a heavy tail experiences large ones, the variability regime
+/// the paper stresses (Sec. 6.2.5).
+class ZipfDelay final : public DelayModel {
+ public:
+  /// Delays take values {lo, lo+step, ..., lo+(n-1)*step}.
+  ZipfDelay(DurationMicros lo, DurationMicros step, int64_t n, double s = 0.99);
+  DurationMicros Sample(Rng& rng) override;
+  std::string name() const override { return "zipf"; }
+
+ private:
+  DurationMicros lo_;
+  DurationMicros step_;
+  ZipfSampler sampler_;
+};
+
+/// Exponential with the given mean, shifted by `lo`.
+class ExponentialDelay final : public DelayModel {
+ public:
+  ExponentialDelay(DurationMicros lo, DurationMicros mean);
+  DurationMicros Sample(Rng& rng) override;
+  std::string name() const override { return "exponential"; }
+
+ private:
+  DurationMicros lo_;
+  DurationMicros mean_;
+};
+
+/// The paper's two evaluation distributions with default magnitudes
+/// (tens-of-milliseconds scale, matching commodity-cluster delays).
+std::unique_ptr<DelayModel> MakePaperUniformDelay();
+std::unique_ptr<DelayModel> MakePaperZipfDelay();
+
+}  // namespace klink
+
+#endif  // KLINK_NET_DELAY_MODEL_H_

@@ -1,0 +1,127 @@
+#include "src/operators/chained_operator.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/window/swm_tracker.h"
+
+namespace klink {
+
+/// Routes a sub-operator's outputs into the next link of the chain, or —
+/// at the end of the chain — into the composite's outward emitter with
+/// the composite's accounting applied.
+class ChainedOperator::CascadeEmitter final : public Emitter {
+ public:
+  CascadeEmitter(ChainedOperator* chain, size_t next_index, TimeMicros now,
+                 Emitter* out)
+      : chain_(chain), next_index_(next_index), now_(now), out_(out) {}
+
+  void Emit(const Event& e) override {
+    if (next_index_ < chain_->ops_.size()) {
+      chain_->RunThrough(e, next_index_, now_, *out_);
+      return;
+    }
+    // End of chain.
+    if (e.is_data()) {
+      chain_->EmitData(e, *out_);
+    } else if (e.is_watermark()) {
+      // The composite's base class forwards one watermark per advance;
+      // record whether the chain's own watermark swept a window and drop
+      // the inner copy.
+      chain_->SetForwardSwm(e.swm);
+    } else {
+      out_->Emit(e);
+    }
+  }
+
+ private:
+  ChainedOperator* chain_;
+  size_t next_index_;
+  TimeMicros now_;
+  Emitter* out_;
+};
+
+double ChainedOperator::ChainCost(
+    const std::vector<std::unique_ptr<Operator>>& ops) {
+  double cost = 0.0;
+  double carry = 1.0;
+  for (const auto& op : ops) {
+    cost += carry * op->cost_per_event();
+    carry *= std::clamp(op->selectivity_hint(), 0.0, 1.0);
+  }
+  return cost;
+}
+
+ChainedOperator::ChainedOperator(std::string name,
+                                 std::vector<std::unique_ptr<Operator>> ops)
+    : Operator(std::move(name), ChainCost(ops), /*num_inputs=*/1),
+      ops_(std::move(ops)) {
+  KLINK_CHECK(!ops_.empty());
+  double sel = 1.0;
+  for (const auto& op : ops_) {
+    KLINK_CHECK_EQ(op->num_inputs(), 1);  // chains fuse unary operators
+    if (op->IsWindowed()) {
+      KLINK_CHECK(windowed_ == nullptr);  // at most one window per chain
+      windowed_ = op.get();
+    }
+    sel *= std::clamp(op->selectivity_hint(), 0.0, 1.0);
+  }
+  set_selectivity_hint(sel);
+}
+
+const Operator& ChainedOperator::chained(int i) const {
+  KLINK_CHECK(i >= 0 && i < num_chained());
+  return *ops_[static_cast<size_t>(i)];
+}
+
+int64_t ChainedOperator::StateBytes() const {
+  int64_t total = 0;
+  for (const auto& op : ops_) total += op->MemoryBytes();
+  return total;
+}
+
+bool ChainedOperator::SupportsPartialComputation() const {
+  for (const auto& op : ops_) {
+    if (op->SupportsPartialComputation()) return true;
+  }
+  return false;
+}
+
+TimeMicros ChainedOperator::UpcomingDeadline() const {
+  return windowed_ == nullptr ? kNoTime : windowed_->UpcomingDeadline();
+}
+
+DurationMicros ChainedOperator::DeadlinePeriod() const {
+  return windowed_ == nullptr ? 0 : windowed_->DeadlinePeriod();
+}
+
+const SwmTracker* ChainedOperator::swm_tracker() const {
+  return windowed_ == nullptr ? nullptr : windowed_->swm_tracker();
+}
+
+void ChainedOperator::RunThrough(const Event& e, size_t index, TimeMicros now,
+                                 Emitter& out) {
+  CascadeEmitter next(this, index + 1, now, &out);
+  ops_[index]->Process(e, now, next);
+}
+
+void ChainedOperator::OnData(const Event& e, TimeMicros now, Emitter& out) {
+  RunThrough(e, 0, now, out);
+}
+
+void ChainedOperator::OnWatermark(const Event& incoming,
+                                  TimeMicros /*min_watermark*/, TimeMicros now,
+                                  Emitter& out) {
+  // Default to non-SWM; the cascade records the chain's verdict when its
+  // inner watermark reaches the end of the chain.
+  SetForwardSwm(incoming.swm);
+  RunThrough(incoming, 0, now, out);
+}
+
+void ChainedOperator::OnLatencyMarker(const Event& e, TimeMicros now,
+                                      Emitter& out) {
+  RunThrough(e, 0, now, out);
+}
+
+}  // namespace klink

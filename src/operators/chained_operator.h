@@ -1,0 +1,65 @@
+#ifndef KLINK_OPERATORS_CHAINED_OPERATOR_H_
+#define KLINK_OPERATORS_CHAINED_OPERATOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/operators/operator.h"
+
+namespace klink {
+
+/// Operator chaining, as Flink's Core layer does when it transforms Tasks
+/// into "a chain of operators" (paper Sec. 5): consecutive unary operators
+/// are fused into one schedulable unit that processes each element through
+/// the whole chain synchronously. Chaining removes the intermediate
+/// queues — their memory and their per-hop scheduling latency — at the
+/// cost of coarser scheduling granularity.
+///
+/// The composite exposes aggregated runtime characteristics: its
+/// per-event cost is the selectivity-weighted cost of pushing one element
+/// through the chain, its state is the sum of sub-operator state, and its
+/// windowed/SWM surface is that of the chain's (single permitted) windowed
+/// sub-operator.
+class ChainedOperator final : public Operator {
+ public:
+  /// Requires at least one sub-operator; every sub-operator must be unary.
+  /// At most one sub-operator may be windowed (Flink breaks chains at
+  /// shuffles; we break them at multi-input operators and allow a single
+  /// window inside).
+  ChainedOperator(std::string name, std::vector<std::unique_ptr<Operator>> ops);
+
+  int num_chained() const { return static_cast<int>(ops_.size()); }
+  const Operator& chained(int i) const;
+
+  /// ---- Operator overrides --------------------------------------------
+  int64_t StateBytes() const override;
+  bool SupportsPartialComputation() const override;
+  bool IsWindowed() const override { return windowed_ != nullptr; }
+  TimeMicros UpcomingDeadline() const override;
+  DurationMicros DeadlinePeriod() const override;
+  const SwmTracker* swm_tracker() const override;
+
+  /// Selectivity-weighted per-event cost of the whole chain, from the
+  /// sub-operators' declared hints (used to construct the composite).
+  static double ChainCost(const std::vector<std::unique_ptr<Operator>>& ops);
+
+ protected:
+  void OnData(const Event& e, TimeMicros now, Emitter& out) override;
+  void OnWatermark(const Event& incoming, TimeMicros min_watermark,
+                   TimeMicros now, Emitter& out) override;
+  void OnLatencyMarker(const Event& e, TimeMicros now, Emitter& out) override;
+
+ private:
+  /// Pushes one element through sub-operators [index..end), emitting final
+  /// outputs through `out`.
+  class CascadeEmitter;
+  void RunThrough(const Event& e, size_t index, TimeMicros now, Emitter& out);
+
+  std::vector<std::unique_ptr<Operator>> ops_;
+  Operator* windowed_ = nullptr;
+};
+
+}  // namespace klink
+
+#endif  // KLINK_OPERATORS_CHAINED_OPERATOR_H_

@@ -1,0 +1,55 @@
+#include "src/operators/count_window_operator.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace klink {
+
+CountWindowOperator::CountWindowOperator(std::string name, double cost_micros,
+                                         int64_t size, AggregationKind kind,
+                                         uint32_t output_payload_bytes)
+    : Operator(std::move(name), cost_micros, /*num_inputs=*/1),
+      size_(size),
+      kind_(kind),
+      output_payload_bytes_(output_payload_bytes) {
+  KLINK_CHECK_GE(size, 1);
+  set_selectivity_hint(1.0 / static_cast<double>(size));
+}
+
+int64_t CountWindowOperator::StateBytes() const {
+  return static_cast<int64_t>(state_.size()) * kBytesPerKeyState;
+}
+
+double CountWindowOperator::OutputValue(const Aggregate& agg) const {
+  switch (kind_) {
+    case AggregationKind::kCount:
+      return static_cast<double>(agg.count);
+    case AggregationKind::kSum:
+      return agg.sum;
+    case AggregationKind::kAverage:
+      return agg.count == 0 ? 0.0 : agg.sum / static_cast<double>(agg.count);
+    case AggregationKind::kMax:
+      return agg.max;
+  }
+  return 0.0;
+}
+
+void CountWindowOperator::OnData(const Event& e, TimeMicros /*now*/,
+                                 Emitter& out) {
+  auto [it, inserted] = state_.try_emplace(e.key);
+  Aggregate& agg = it->second;
+  ++agg.count;
+  agg.sum += e.value;
+  agg.max = agg.count == 1 ? e.value : std::max(agg.max, e.value);
+  if (agg.count < size_) return;
+  // The deadline event e_m arrived: emit and reset this key's window.
+  Event result = MakeDataEvent(e.event_time, e.ingest_time, e.key,
+                               OutputValue(agg), output_payload_bytes_);
+  state_.erase(it);
+  ++fired_windows_;
+  EmitData(result, out);
+}
+
+}  // namespace klink

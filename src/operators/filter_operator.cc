@@ -1,0 +1,48 @@
+#include "src/operators/filter_operator.h"
+
+#include <cstdint>
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace klink {
+namespace {
+
+// Stateless 64-bit mix (SplitMix64 finalizer).
+uint64_t Mix64(uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+FilterOperator::FilterOperator(std::string name, double cost_micros,
+                               PredicateFn keep, double expected_pass_rate)
+    : Operator(std::move(name), cost_micros, /*num_inputs=*/1),
+      keep_(std::move(keep)) {
+  KLINK_CHECK(keep_ != nullptr);
+  KLINK_CHECK_GE(expected_pass_rate, 0.0);
+  KLINK_CHECK_LE(expected_pass_rate, 1.0);
+  set_selectivity_hint(expected_pass_rate);
+}
+
+FilterOperator::PredicateFn FilterOperator::HashPassRate(double pass_rate) {
+  KLINK_CHECK_GE(pass_rate, 0.0);
+  KLINK_CHECK_LE(pass_rate, 1.0);
+  // Compare on 53 bits: converting pass_rate * 2^64 to uint64_t would
+  // overflow (UB) at pass_rate = 1.0.
+  const uint64_t threshold =
+      static_cast<uint64_t>(pass_rate * static_cast<double>(1ULL << 53));
+  return [threshold](const Event& e) {
+    const uint64_t h =
+        Mix64(e.key ^ Mix64(static_cast<uint64_t>(e.event_time)));
+    return (h >> 11) < threshold;
+  };
+}
+
+void FilterOperator::OnData(const Event& e, TimeMicros /*now*/, Emitter& out) {
+  if (keep_(e)) EmitData(e, out);
+}
+
+}  // namespace klink

@@ -1,0 +1,18 @@
+#include "src/operators/map_operator.h"
+
+#include <utility>
+
+namespace klink {
+
+MapOperator::MapOperator(std::string name, double cost_micros,
+                         TransformFn transform)
+    : Operator(std::move(name), cost_micros, /*num_inputs=*/1),
+      transform_(std::move(transform)) {}
+
+void MapOperator::OnData(const Event& e, TimeMicros /*now*/, Emitter& out) {
+  Event mapped = e;
+  if (transform_) transform_(mapped);
+  EmitData(mapped, out);
+}
+
+}  // namespace klink

@@ -1,0 +1,30 @@
+#ifndef KLINK_OPERATORS_MAP_OPERATOR_H_
+#define KLINK_OPERATORS_MAP_OPERATOR_H_
+
+#include <functional>
+#include <string>
+
+#include "src/operators/operator.h"
+
+namespace klink {
+
+/// Stateless one-in/one-out transform (projection, enrichment, key
+/// extraction). Selectivity is exactly 1.
+class MapOperator final : public Operator {
+ public:
+  /// Transforms the element in place. Null means identity.
+  using TransformFn = std::function<void(Event&)>;
+
+  MapOperator(std::string name, double cost_micros,
+              TransformFn transform = nullptr);
+
+ protected:
+  void OnData(const Event& e, TimeMicros now, Emitter& out) override;
+
+ private:
+  TransformFn transform_;
+};
+
+}  // namespace klink
+
+#endif  // KLINK_OPERATORS_MAP_OPERATOR_H_

@@ -1,0 +1,118 @@
+#include "src/operators/operator.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace klink {
+
+Operator::Operator(std::string name, double cost_micros, int num_inputs)
+    : name_(std::move(name)), cost_micros_(cost_micros) {
+  KLINK_CHECK_GE(num_inputs, 1);
+  KLINK_CHECK_GE(cost_micros, 0.0);
+  inputs_.resize(static_cast<size_t>(num_inputs));
+  last_watermark_.assign(static_cast<size_t>(num_inputs), kNoTime);
+}
+
+Operator::~Operator() = default;
+
+StreamQueue& Operator::input(int stream) {
+  KLINK_CHECK(stream >= 0 && stream < num_inputs());
+  return inputs_[static_cast<size_t>(stream)];
+}
+
+const StreamQueue& Operator::input(int stream) const {
+  KLINK_CHECK(stream >= 0 && stream < num_inputs());
+  return inputs_[static_cast<size_t>(stream)];
+}
+
+double Operator::selectivity() const {
+  // Wait for a minimally meaningful sample before trusting measurements.
+  constexpr int64_t kMinSample = 32;
+  if (processed_data_ < kMinSample) return selectivity_hint_;
+  return static_cast<double>(emitted_data_) /
+         static_cast<double>(processed_data_);
+}
+
+int64_t Operator::QueuedEvents() const {
+  int64_t total = 0;
+  for (const StreamQueue& q : inputs_) total += q.size();
+  return total;
+}
+
+int64_t Operator::QueuedBytes() const {
+  int64_t total = 0;
+  for (const StreamQueue& q : inputs_) total += q.bytes();
+  return total;
+}
+
+TimeMicros Operator::last_watermark(int stream) const {
+  KLINK_CHECK(stream >= 0 && stream < num_inputs());
+  return last_watermark_[static_cast<size_t>(stream)];
+}
+
+TimeMicros Operator::MinWatermark() const {
+  TimeMicros min_wm = last_watermark_[0];
+  for (TimeMicros wm : last_watermark_) {
+    if (wm == kNoTime) return kNoTime;
+    min_wm = std::min(min_wm, wm);
+  }
+  return min_wm;
+}
+
+void Operator::Process(const Event& e, TimeMicros now, Emitter& out) {
+  switch (e.kind) {
+    case EventKind::kData:
+      ++processed_data_;
+      OnData(e, now, out);
+      return;
+    case EventKind::kLatencyMarker:
+      OnLatencyMarker(e, now, out);
+      return;
+    case EventKind::kWatermark: {
+      const int stream = e.stream;
+      KLINK_CHECK(stream >= 0 && stream < num_inputs());
+      auto& slot = last_watermark_[static_cast<size_t>(stream)];
+      // SPEs drop out-of-order (late) watermarks (Sec. 2.2).
+      if (slot != kNoTime && e.event_time <= slot) return;
+      slot = e.event_time;
+      OnStreamWatermark(e, stream);
+      const TimeMicros min_wm = MinWatermark();
+      // Forward only when the minimum across inputs advances (Sec. 3.3).
+      if (min_wm == kNoTime || min_wm <= forwarded_min_watermark_) return;
+      forward_swm_override_ = false;
+      suppress_forward_ = false;
+      OnWatermark(e, min_wm, now, out);
+      forwarded_min_watermark_ = min_wm;
+      if (suppress_forward_) return;
+      ++forwarded_watermarks_;
+      Event fwd = MakeWatermark(min_wm, e.ingest_time);
+      fwd.swm = forward_swm_override_ ? forward_swm_value_ : e.swm;
+      out.Emit(fwd);
+      return;
+    }
+  }
+}
+
+void Operator::OnData(const Event& e, TimeMicros /*now*/, Emitter& out) {
+  EmitData(e, out);
+}
+
+void Operator::OnWatermark(const Event& /*incoming*/,
+                           TimeMicros /*min_watermark*/, TimeMicros /*now*/,
+                           Emitter& /*out*/) {}
+
+void Operator::OnLatencyMarker(const Event& e, TimeMicros /*now*/,
+                               Emitter& out) {
+  out.Emit(e);
+}
+
+void Operator::OnStreamWatermark(const Event& /*incoming*/, int /*stream*/) {}
+
+void Operator::EmitData(const Event& e, Emitter& out) {
+  ++emitted_data_;
+  out.Emit(e);
+}
+
+}  // namespace klink

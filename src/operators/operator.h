@@ -1,0 +1,177 @@
+#ifndef KLINK_OPERATORS_OPERATOR_H_
+#define KLINK_OPERATORS_OPERATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/event/event.h"
+#include "src/event/stream_queue.h"
+
+namespace klink {
+
+/// Receives the output elements of an operator invocation. The engine wires
+/// an Emitter that appends to the downstream operator's input queue.
+class Emitter {
+ public:
+  virtual ~Emitter() = default;
+  virtual void Emit(const Event& e) = 0;
+};
+
+/// Discards everything (used by sinks and tests).
+class NullEmitter final : public Emitter {
+ public:
+  void Emit(const Event&) override {}
+};
+
+/// Collects outputs into a vector (used by tests).
+class VectorEmitter final : public Emitter {
+ public:
+  void Emit(const Event& e) override { events.push_back(e); }
+  std::vector<Event> events;
+};
+
+/// Base class of all stream operators.
+///
+/// An operator owns one input queue per input stream, processes one element
+/// at a time, and emits zero or more elements. The engine charges
+/// cost_per_event() of virtual CPU time per processed element and maintains
+/// the per-operator runtime statistics (selectivity, queue size, memory)
+/// that the schedulers' runtime-data-acquisition module collects (Sec. 3).
+///
+/// Watermark protocol: the base class tracks the last watermark per input
+/// stream and calls OnWatermark only when the *minimum* watermark across all
+/// inputs advances — the standard SPE rule that also governs windowed joins
+/// (Sec. 3.3). Subclasses emit their outputs first and the base then forwards
+/// the watermark, enforcing SWM invariant (ii) of Sec. 2.2.
+class Operator {
+ public:
+  /// `cost_micros` is the virtual CPU time to process one element;
+  /// `num_inputs` >= 1.
+  Operator(std::string name, double cost_micros, int num_inputs = 1);
+  virtual ~Operator();
+
+  Operator(const Operator&) = delete;
+  Operator& operator=(const Operator&) = delete;
+
+  /// Processes one element at virtual time `now`, emitting to `out`.
+  /// The element's `stream` field selects the input it arrived on.
+  void Process(const Event& e, TimeMicros now, Emitter& out);
+
+  /// ---- topology -----------------------------------------------------
+  const std::string& name() const { return name_; }
+  int num_inputs() const { return static_cast<int>(inputs_.size()); }
+  StreamQueue& input(int stream = 0);
+  const StreamQueue& input(int stream = 0) const;
+
+  /// ---- runtime characteristics (tuple I, Sec. 3) --------------------
+  /// Configured virtual CPU time per processed element.
+  double cost_per_event() const { return cost_micros_; }
+
+  /// Output/input data-event ratio. Falls back to the configured hint until
+  /// enough elements were observed.
+  double selectivity() const;
+
+  /// Configured selectivity used before measurements exist (default 1.0).
+  void set_selectivity_hint(double s) { selectivity_hint_ = s; }
+  double selectivity_hint() const { return selectivity_hint_; }
+
+  int64_t processed_data_count() const { return processed_data_; }
+  int64_t emitted_data_count() const { return emitted_data_; }
+
+  /// Total queued elements across inputs.
+  int64_t QueuedEvents() const;
+  /// Total queued bytes across inputs.
+  int64_t QueuedBytes() const;
+  /// Simulated bytes of operator-held state (window panes, join buffers).
+  virtual int64_t StateBytes() const { return 0; }
+  /// Queue bytes + state bytes.
+  int64_t MemoryBytes() const { return QueuedBytes() + StateBytes(); }
+
+  /// Whether the operator can shrink in-flight volume by partial/online
+  /// computation when scheduled (Klink memory management, Sec. 3.4).
+  virtual bool SupportsPartialComputation() const { return false; }
+
+  /// Whether this operator blocks the stream on window deadlines.
+  virtual bool IsWindowed() const { return false; }
+
+  /// Per-input-stream SWM progress bookkeeping, or nullptr for
+  /// non-windowed operators (see window/swm_tracker.h).
+  virtual const class SwmTracker* swm_tracker() const { return nullptr; }
+
+  /// Period between window deadlines (the assigner's slide), or 0 for
+  /// non-windowed operators. Together with the watermark cadence this is
+  /// the SWM periodicity p^q of Sec. 3.1.
+  virtual DurationMicros DeadlinePeriod() const { return 0; }
+
+  /// Earliest un-fired window deadline, or kNoTime for non-windowed
+  /// operators. For windowed operators this is the deadline the next SWM
+  /// must elapse.
+  virtual TimeMicros UpcomingDeadline() const { return kNoTime; }
+
+  /// Last watermark timestamp seen on `stream`, or kNoTime.
+  TimeMicros last_watermark(int stream = 0) const;
+
+  /// Minimum last-watermark across inputs, or kNoTime if any input has not
+  /// seen a watermark yet.
+  TimeMicros MinWatermark() const;
+
+  /// Number of watermarks forwarded downstream (epoch progress signal).
+  int64_t forwarded_watermarks() const { return forwarded_watermarks_; }
+
+ protected:
+  /// Subclass hooks. Default OnData forwards; OnLatencyMarker forwards;
+  /// OnWatermark does nothing extra. The base forwards the (minimum)
+  /// watermark downstream after OnWatermark returns, emitting subclass
+  /// outputs *before* the watermark (SWM invariant ii, Sec. 2.2).
+  /// `incoming` is the watermark element that advanced the minimum;
+  /// `min_watermark` is the new minimum across input streams.
+  virtual void OnData(const Event& e, TimeMicros now, Emitter& out);
+  virtual void OnWatermark(const Event& incoming, TimeMicros min_watermark,
+                           TimeMicros now, Emitter& out);
+  virtual void OnLatencyMarker(const Event& e, TimeMicros now, Emitter& out);
+
+  /// Called for every non-late watermark arrival on any input stream,
+  /// *before* the minimum-watermark check (so joins can track per-stream
+  /// progress even when another stream holds the minimum back, Sec. 3.3).
+  virtual void OnStreamWatermark(const Event& incoming, int stream);
+
+  /// Emits a data element via `out` and maintains selectivity accounting.
+  void EmitData(const Event& e, Emitter& out);
+
+  /// Called from OnWatermark to control the SWM flag on the watermark the
+  /// base is about to forward. Window operators set true when the watermark
+  /// fired at least one pane. When not called, the incoming flag propagates.
+  void SetForwardSwm(bool swm) {
+    forward_swm_override_ = true;
+    forward_swm_value_ = swm;
+  }
+
+  /// Called from OnWatermark to swallow the incoming watermark instead of
+  /// forwarding it (used by operators that take over watermark generation,
+  /// Sec. 2.2 case ii). The minimum-watermark bookkeeping still advances.
+  void SuppressWatermarkForward() { suppress_forward_ = true; }
+
+  /// Minimum watermark most recently forwarded downstream, or kNoTime.
+  TimeMicros forwarded_min_watermark() const {
+    return forwarded_min_watermark_;
+  }
+
+ private:
+  std::string name_;
+  double cost_micros_;
+  std::vector<StreamQueue> inputs_;
+  std::vector<TimeMicros> last_watermark_;
+  TimeMicros forwarded_min_watermark_ = kNoTime;
+  int64_t forwarded_watermarks_ = 0;
+  bool forward_swm_override_ = false;
+  bool forward_swm_value_ = false;
+  bool suppress_forward_ = false;
+  int64_t processed_data_ = 0;
+  int64_t emitted_data_ = 0;
+  double selectivity_hint_ = 1.0;
+};
+
+}  // namespace klink
+
+#endif  // KLINK_OPERATORS_OPERATOR_H_

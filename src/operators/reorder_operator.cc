@@ -1,0 +1,41 @@
+#include "src/operators/reorder_operator.h"
+
+#include <utility>
+
+#include "src/event/stream_queue.h"
+
+namespace klink {
+
+ReorderOperator::ReorderOperator(std::string name, double cost_micros)
+    : Operator(std::move(name), cost_micros, /*num_inputs=*/1) {}
+
+void ReorderOperator::OnData(const Event& e, TimeMicros /*now*/,
+                             Emitter& /*out*/) {
+  buffer_.push(e);
+  buffered_bytes_ += e.payload_bytes + StreamQueue::kPerEventOverhead;
+}
+
+void ReorderOperator::OnLatencyMarker(const Event& e, TimeMicros /*now*/,
+                                      Emitter& /*out*/) {
+  buffer_.push(e);
+  buffered_bytes_ += e.payload_bytes + StreamQueue::kPerEventOverhead;
+}
+
+void ReorderOperator::OnWatermark(const Event& /*incoming*/,
+                                  TimeMicros min_watermark, TimeMicros /*now*/,
+                                  Emitter& out) {
+  // Everything at or below the watermark is complete: release in
+  // event-time order; the base class forwards the watermark afterwards.
+  while (!buffer_.empty() && buffer_.top().event_time <= min_watermark) {
+    const Event e = buffer_.top();
+    buffer_.pop();
+    buffered_bytes_ -= e.payload_bytes + StreamQueue::kPerEventOverhead;
+    if (e.is_data()) {
+      EmitData(e, out);
+    } else {
+      out.Emit(e);  // reordered latency marker
+    }
+  }
+}
+
+}  // namespace klink

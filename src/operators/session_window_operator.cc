@@ -1,0 +1,124 @@
+#include "src/operators/session_window_operator.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace klink {
+
+SessionWindowOperator::SessionWindowOperator(std::string name,
+                                             double cost_micros,
+                                             DurationMicros gap,
+                                             AggregationKind kind,
+                                             uint32_t output_payload_bytes)
+    : Operator(std::move(name), cost_micros, /*num_inputs=*/1),
+      gap_(gap),
+      kind_(kind),
+      output_payload_bytes_(output_payload_bytes) {
+  KLINK_CHECK_GT(gap, 0);
+  set_selectivity_hint(0.05);
+}
+
+TimeMicros SessionWindowOperator::UpcomingDeadline() const {
+  if (!by_close_.empty()) return by_close_.begin()->first;
+  // No open session: the earliest conceivable close is one gap past the
+  // stream's current watermark position.
+  const TimeMicros wm = MinWatermark();
+  return (wm == kNoTime ? 0 : wm) + gap_;
+}
+
+int64_t SessionWindowOperator::StateBytes() const {
+  return static_cast<int64_t>(sessions_.size()) * kBytesPerSession;
+}
+
+double SessionWindowOperator::OutputValue(const Session& s) const {
+  switch (kind_) {
+    case AggregationKind::kCount:
+      return static_cast<double>(s.count);
+    case AggregationKind::kSum:
+      return s.sum;
+    case AggregationKind::kAverage:
+      return s.count == 0 ? 0.0 : s.sum / static_cast<double>(s.count);
+    case AggregationKind::kMax:
+      return s.max;
+  }
+  return 0.0;
+}
+
+void SessionWindowOperator::Reindex(uint64_t key, TimeMicros old_close,
+                                    TimeMicros new_close) {
+  auto [lo, hi] = by_close_.equal_range(old_close);
+  for (auto it = lo; it != hi; ++it) {
+    if (it->second == key) {
+      by_close_.erase(it);
+      break;
+    }
+  }
+  by_close_.emplace(new_close, key);
+}
+
+void SessionWindowOperator::OnData(const Event& e, TimeMicros /*now*/,
+                                   Emitter& /*out*/) {
+  const TimeMicros forwarded = forwarded_min_watermark();
+  if (forwarded != kNoTime && e.event_time < forwarded) {
+    ++dropped_late_;
+    return;
+  }
+  tracker_.RecordEventDelay(0, e.network_delay());
+  auto [it, inserted] = sessions_.try_emplace(e.key);
+  Session& s = it->second;
+  if (inserted) {
+    s.start = e.event_time;
+    s.last_event = e.event_time;
+    s.count = 1;
+    s.sum = e.value;
+    s.max = e.value;
+    by_close_.emplace(e.event_time + gap_, e.key);
+    return;
+  }
+  // Extending an existing session; events within the gap merge into it
+  // (our events arrive with event_time >= forwarded watermark, so a
+  // session that is still open always absorbs them).
+  const TimeMicros old_close = s.last_event + gap_;
+  if (e.event_time > s.last_event) {
+    s.last_event = e.event_time;
+  } else {
+    ++merged_sessions_;  // out-of-order extension inside the session
+  }
+  ++s.count;
+  s.sum += e.value;
+  s.max = std::max(s.max, e.value);
+  const TimeMicros new_close = s.last_event + gap_;
+  if (new_close != old_close) Reindex(e.key, old_close, new_close);
+  s.start = std::min(s.start, e.event_time);
+}
+
+void SessionWindowOperator::OnWatermark(const Event& incoming,
+                                        TimeMicros min_watermark,
+                                        TimeMicros now, Emitter& out) {
+  bool fired = false;
+  TimeMicros last_close = kNoTime;
+  while (!by_close_.empty() && by_close_.begin()->first <= min_watermark) {
+    const auto it = by_close_.begin();
+    const TimeMicros close = it->first;
+    const uint64_t key = it->second;
+    by_close_.erase(it);
+    const auto sit = sessions_.find(key);
+    KLINK_CHECK(sit != sessions_.end());
+    Event result = MakeDataEvent(/*event_time=*/close, /*ingest_time=*/now,
+                                 key, OutputValue(sit->second),
+                                 output_payload_bytes_);
+    sessions_.erase(sit);
+    ++fired_sessions_;
+    fired = true;
+    last_close = close;
+    EmitData(result, out);
+  }
+  if (fired) {
+    tracker_.RecordStreamSweep(0, last_close, incoming.ingest_time);
+  }
+  SetForwardSwm(fired);
+}
+
+}  // namespace klink

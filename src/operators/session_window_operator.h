@@ -1,0 +1,84 @@
+#ifndef KLINK_OPERATORS_SESSION_WINDOW_OPERATOR_H_
+#define KLINK_OPERATORS_SESSION_WINDOW_OPERATOR_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+
+#include "src/operators/aggregate_operator.h"
+#include "src/operators/operator.h"
+#include "src/window/swm_tracker.h"
+
+namespace klink {
+
+/// Session windows: per-key windows that grow with activity and close
+/// after `gap` of event-time inactivity. Unlike tumbling/sliding windows
+/// (paper Sec. 2.1), a session's deadline is *data-dependent* — it is the
+/// last event's timestamp + gap, and every new event pushes it out — which
+/// makes SWM ingestion genuinely unpredictable and exercises Klink's
+/// estimator beyond the periodic-deadline setting of the paper (an
+/// extension experiment; see bench/extension_session_windows).
+///
+/// A watermark with timestamp >= (session end + gap)... more precisely
+/// >= session close time fires the session: one result per (key, session)
+/// with the configured aggregation, stamped with the session close time.
+class SessionWindowOperator final : public Operator {
+ public:
+  /// Requires gap > 0.
+  SessionWindowOperator(std::string name, double cost_micros,
+                        DurationMicros gap, AggregationKind kind,
+                        uint32_t output_payload_bytes = 64);
+
+  DurationMicros gap() const { return gap_; }
+  int64_t fired_sessions() const { return fired_sessions_; }
+  int64_t open_sessions() const { return static_cast<int64_t>(by_close_.size()); }
+  int64_t dropped_late_events() const { return dropped_late_; }
+  int64_t merged_sessions() const { return merged_sessions_; }
+
+  /// ---- Operator overrides --------------------------------------------
+  bool IsWindowed() const override { return true; }
+  bool SupportsPartialComputation() const override { return true; }
+  TimeMicros UpcomingDeadline() const override;
+  /// Sessions have no fixed period; the gap is the best available hint
+  /// for the SWM periodicity term.
+  DurationMicros DeadlinePeriod() const override { return gap_; }
+  const SwmTracker* swm_tracker() const override { return &tracker_; }
+  int64_t StateBytes() const override;
+
+  static constexpr int64_t kBytesPerSession = 96;
+
+ protected:
+  void OnData(const Event& e, TimeMicros now, Emitter& out) override;
+  void OnWatermark(const Event& incoming, TimeMicros min_watermark,
+                   TimeMicros now, Emitter& out) override;
+
+ private:
+  struct Session {
+    TimeMicros start = 0;
+    TimeMicros last_event = 0;  // close time = last_event + gap
+    int64_t count = 0;
+    double sum = 0.0;
+    double max = 0.0;
+  };
+
+  double OutputValue(const Session& s) const;
+  /// Re-indexes key's session under its (possibly new) close time.
+  void Reindex(uint64_t key, TimeMicros old_close, TimeMicros new_close);
+
+  DurationMicros gap_;
+  AggregationKind kind_;
+  uint32_t output_payload_bytes_;
+  /// Open session per key, and an index ordered by close time for firing
+  /// and deadline queries.
+  std::unordered_map<uint64_t, Session> sessions_;
+  std::multimap<TimeMicros, uint64_t> by_close_;
+  SwmTracker tracker_{1};
+  int64_t fired_sessions_ = 0;
+  int64_t dropped_late_ = 0;
+  int64_t merged_sessions_ = 0;
+};
+
+}  // namespace klink
+
+#endif  // KLINK_OPERATORS_SESSION_WINDOW_OPERATOR_H_

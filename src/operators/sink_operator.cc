@@ -1,0 +1,34 @@
+#include "src/operators/sink_operator.h"
+
+#include <utility>
+
+namespace klink {
+
+SinkOperator::SinkOperator(std::string name, double cost_micros)
+    : Operator(std::move(name), cost_micros, /*num_inputs=*/1) {}
+
+void SinkOperator::ResetStats() {
+  swm_latency_.Reset();
+  marker_latency_.Reset();
+  results_received_ = 0;
+  last_result_time_ = kNoTime;
+}
+
+void SinkOperator::OnData(const Event& e, TimeMicros /*now*/,
+                          Emitter& /*out*/) {
+  ++results_received_;
+  last_result_time_ = e.event_time;
+}
+
+void SinkOperator::OnWatermark(const Event& incoming,
+                               TimeMicros /*min_watermark*/, TimeMicros now,
+                               Emitter& /*out*/) {
+  if (incoming.swm) swm_latency_.Add(now - incoming.event_time);
+}
+
+void SinkOperator::OnLatencyMarker(const Event& e, TimeMicros now,
+                                   Emitter& /*out*/) {
+  marker_latency_.Add(now - e.event_time);
+}
+
+}  // namespace klink

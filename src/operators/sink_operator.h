@@ -1,0 +1,51 @@
+#ifndef KLINK_OPERATORS_SINK_OPERATOR_H_
+#define KLINK_OPERATORS_SINK_OPERATOR_H_
+
+#include <string>
+
+#include "src/common/histogram.h"
+#include "src/operators/operator.h"
+
+namespace klink {
+
+/// Output operator: terminal consumer that materializes results and
+/// measures output latency (Sec. 6.1.2). Latency of an SWM (or latency
+/// marker) is its processing time at this operator minus its event-time —
+/// the end-to-end propagation delay including window blocking time.
+class SinkOperator final : public Operator {
+ public:
+  SinkOperator(std::string name, double cost_micros);
+
+  /// Distribution of SWM propagation delays (the paper's output latency).
+  const Histogram& swm_latency() const { return swm_latency_; }
+
+  /// Distribution of latency-marker propagation delays.
+  const Histogram& marker_latency() const { return marker_latency_; }
+
+  /// Number of result (data) events received.
+  int64_t results_received() const { return results_received_; }
+
+  /// Event-time of the latest result received, or kNoTime.
+  TimeMicros last_result_time() const { return last_result_time_; }
+
+  /// Clears the recorded latency distributions and counters. Experiments
+  /// call this at the end of the warm-up phase so reported statistics
+  /// cover only steady state.
+  void ResetStats();
+
+ protected:
+  void OnData(const Event& e, TimeMicros now, Emitter& out) override;
+  void OnWatermark(const Event& incoming, TimeMicros min_watermark,
+                   TimeMicros now, Emitter& out) override;
+  void OnLatencyMarker(const Event& e, TimeMicros now, Emitter& out) override;
+
+ private:
+  Histogram swm_latency_;
+  Histogram marker_latency_;
+  int64_t results_received_ = 0;
+  TimeMicros last_result_time_ = kNoTime;
+};
+
+}  // namespace klink
+
+#endif  // KLINK_OPERATORS_SINK_OPERATOR_H_

@@ -1,0 +1,15 @@
+#include "src/operators/source_operator.h"
+
+#include <utility>
+
+namespace klink {
+
+SourceOperator::SourceOperator(std::string name, double cost_micros)
+    : Operator(std::move(name), cost_micros, /*num_inputs=*/1) {}
+
+void SourceOperator::OnData(const Event& e, TimeMicros /*now*/, Emitter& out) {
+  last_network_delay_ = e.network_delay();
+  EmitData(e, out);
+}
+
+}  // namespace klink

@@ -1,0 +1,32 @@
+#ifndef KLINK_OPERATORS_SOURCE_OPERATOR_H_
+#define KLINK_OPERATORS_SOURCE_OPERATOR_H_
+
+#include <string>
+
+#include "src/operators/operator.h"
+
+namespace klink {
+
+/// Ingress of a query. The engine deposits generated events (data,
+/// watermarks, latency markers) into this operator's input queue at their
+/// ingestion time; processing forwards them into the pipeline, charging
+/// the per-event ingestion cost. Also exposes ingestion-side statistics
+/// (network delays of recently ingested events) used by the runtime data
+/// acquisition module.
+class SourceOperator final : public Operator {
+ public:
+  SourceOperator(std::string name, double cost_micros);
+
+  /// Network delay of the most recently processed data element, or -1.
+  DurationMicros last_network_delay() const { return last_network_delay_; }
+
+ protected:
+  void OnData(const Event& e, TimeMicros now, Emitter& out) override;
+
+ private:
+  DurationMicros last_network_delay_ = -1;
+};
+
+}  // namespace klink
+
+#endif  // KLINK_OPERATORS_SOURCE_OPERATOR_H_

@@ -1,0 +1,54 @@
+#include "src/operators/watermark_generator_operator.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace klink {
+
+WatermarkGeneratorOperator::WatermarkGeneratorOperator(std::string name,
+                                                       double cost_micros,
+                                                       DurationMicros period,
+                                                       DurationMicros lag)
+    : Operator(std::move(name), cost_micros, /*num_inputs=*/1),
+      period_(period),
+      lag_(lag) {
+  KLINK_CHECK_GT(period, 0);
+  KLINK_CHECK_GE(lag, 0);
+}
+
+void WatermarkGeneratorOperator::MaybeEmit(TimeMicros now, Emitter& out) {
+  if (max_event_time_ == kNoTime || now < next_emit_time_) return;
+  const TimeMicros timestamp = max_event_time_ - lag_;
+  next_emit_time_ = now + period_;
+  // Watermarks must be monotone; skip if progress has not advanced.
+  if (last_emitted_timestamp_ != kNoTime &&
+      timestamp <= last_emitted_timestamp_) {
+    return;
+  }
+  last_emitted_timestamp_ = timestamp;
+  ++emitted_watermarks_;
+  out.Emit(MakeWatermark(timestamp, /*ingest_time=*/now));
+}
+
+void WatermarkGeneratorOperator::OnData(const Event& e, TimeMicros now,
+                                        Emitter& out) {
+  max_event_time_ = max_event_time_ == kNoTime
+                        ? e.event_time
+                        : std::max(max_event_time_, e.event_time);
+  EmitData(e, out);
+  MaybeEmit(now, out);
+}
+
+void WatermarkGeneratorOperator::OnWatermark(const Event& /*incoming*/,
+                                             TimeMicros /*min_watermark*/,
+                                             TimeMicros now, Emitter& out) {
+  // This operator owns watermark generation downstream: upstream
+  // watermarks are swallowed, though they still count as an emission
+  // opportunity (progress may have accrued without data).
+  SuppressWatermarkForward();
+  MaybeEmit(now, out);
+}
+
+}  // namespace klink

@@ -1,0 +1,150 @@
+#include "src/query/pipeline_builder.h"
+
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/operators/sink_operator.h"
+#include "src/operators/source_operator.h"
+
+namespace klink {
+
+BuilderStream BuilderStream::Map(std::string name, double cost_micros,
+                                 MapOperator::TransformFn transform) {
+  return Then(std::make_unique<MapOperator>(std::move(name), cost_micros,
+                                            std::move(transform)));
+}
+
+BuilderStream BuilderStream::Filter(std::string name, double cost_micros,
+                                    FilterOperator::PredicateFn keep,
+                                    double expected_pass_rate) {
+  return Then(std::make_unique<FilterOperator>(
+      std::move(name), cost_micros, std::move(keep), expected_pass_rate));
+}
+
+BuilderStream BuilderStream::TumblingAggregate(std::string name,
+                                               double cost_micros,
+                                               DurationMicros window_size,
+                                               AggregationKind kind,
+                                               DurationMicros offset) {
+  return Then(std::make_unique<WindowAggregateOperator>(
+      std::move(name), cost_micros, MakeTumblingWindow(window_size, offset),
+      kind));
+}
+
+BuilderStream BuilderStream::SlidingAggregate(std::string name,
+                                              double cost_micros,
+                                              DurationMicros window_size,
+                                              DurationMicros slide,
+                                              AggregationKind kind,
+                                              DurationMicros offset) {
+  return Then(std::make_unique<WindowAggregateOperator>(
+      std::move(name), cost_micros,
+      MakeSlidingWindow(window_size, slide, offset), kind));
+}
+
+BuilderStream BuilderStream::SessionWindow(std::string name,
+                                           double cost_micros,
+                                           DurationMicros gap,
+                                           AggregationKind kind) {
+  return Then(std::make_unique<SessionWindowOperator>(std::move(name),
+                                                      cost_micros, gap, kind));
+}
+
+BuilderStream BuilderStream::CountWindow(std::string name, double cost_micros,
+                                         int64_t count, AggregationKind kind) {
+  return Then(std::make_unique<CountWindowOperator>(std::move(name),
+                                                    cost_micros, count, kind));
+}
+
+BuilderStream BuilderStream::Reorder(std::string name, double cost_micros) {
+  return Then(std::make_unique<ReorderOperator>(std::move(name), cost_micros));
+}
+
+BuilderStream BuilderStream::GenerateWatermarks(std::string name,
+                                                double cost_micros,
+                                                DurationMicros period,
+                                                DurationMicros lag) {
+  return Then(std::make_unique<WatermarkGeneratorOperator>(
+      std::move(name), cost_micros, period, lag));
+}
+
+BuilderStream BuilderStream::Then(std::unique_ptr<Operator> op) {
+  const int idx = builder_->Append(std::move(op));
+  builder_->Connect(tail_, idx, /*stream=*/0);
+  return BuilderStream(builder_, idx);
+}
+
+void BuilderStream::Sink(std::string name, double cost_micros) {
+  KLINK_CHECK(!builder_->has_sink_);
+  const int idx = builder_->Append(
+      std::make_unique<SinkOperator>(std::move(name), cost_micros));
+  builder_->Connect(tail_, idx, /*stream=*/0);
+  builder_->has_sink_ = true;
+}
+
+PipelineBuilder::PipelineBuilder(std::string query_name)
+    : query_name_(std::move(query_name)) {}
+
+PipelineBuilder::~PipelineBuilder() = default;
+
+BuilderStream PipelineBuilder::Source(std::string name, double cost_micros) {
+  const int idx =
+      Append(std::make_unique<SourceOperator>(std::move(name), cost_micros));
+  return BuilderStream(this, idx);
+}
+
+BuilderStream PipelineBuilder::TumblingJoin(std::string name,
+                                            double cost_micros,
+                                            DurationMicros window_size,
+                                            std::vector<BuilderStream> inputs,
+                                            DurationMicros offset) {
+  return JoinImpl(std::move(name), cost_micros,
+                  MakeTumblingWindow(window_size, offset), std::move(inputs));
+}
+
+BuilderStream PipelineBuilder::SlidingJoin(std::string name, double cost_micros,
+                                           DurationMicros window_size,
+                                           DurationMicros slide,
+                                           std::vector<BuilderStream> inputs,
+                                           DurationMicros offset) {
+  return JoinImpl(std::move(name), cost_micros,
+                  MakeSlidingWindow(window_size, slide, offset),
+                  std::move(inputs));
+}
+
+BuilderStream PipelineBuilder::JoinImpl(std::string name, double cost_micros,
+                                        std::unique_ptr<WindowAssigner> assigner,
+                                        std::vector<BuilderStream> inputs) {
+  KLINK_CHECK_GE(inputs.size(), 2u);
+  const int idx = Append(std::make_unique<WindowJoinOperator>(
+      std::move(name), cost_micros, std::move(assigner),
+      static_cast<int>(inputs.size())));
+  for (size_t s = 0; s < inputs.size(); ++s) {
+    KLINK_CHECK(inputs[s].builder_ == this);
+    Connect(inputs[s].tail_, idx, static_cast<int>(s));
+  }
+  return BuilderStream(this, idx);
+}
+
+int PipelineBuilder::Append(std::unique_ptr<Operator> op) {
+  operators_.push_back(std::move(op));
+  edges_.push_back(Query::Edge{});
+  return static_cast<int>(operators_.size()) - 1;
+}
+
+void PipelineBuilder::Connect(int from, int to, int stream) {
+  KLINK_CHECK(from >= 0 && from < static_cast<int>(operators_.size()));
+  KLINK_CHECK_GT(to, from);  // maintain topological (insertion) order
+  Query::Edge& e = edges_[static_cast<size_t>(from)];
+  KLINK_CHECK_EQ(e.downstream, -1);  // single consumer per operator
+  e.downstream = to;
+  e.downstream_stream = stream;
+}
+
+std::unique_ptr<Query> PipelineBuilder::Build(QueryId id) {
+  KLINK_CHECK(has_sink_);
+  return std::make_unique<Query>(id, std::move(query_name_),
+                                 std::move(operators_), std::move(edges_));
+}
+
+}  // namespace klink

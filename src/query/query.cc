@@ -1,0 +1,84 @@
+#include "src/query/query.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace klink {
+
+Query::Query(QueryId id, std::string name,
+             std::vector<std::unique_ptr<Operator>> operators,
+             std::vector<Edge> edges)
+    : id_(id),
+      name_(std::move(name)),
+      operators_(std::move(operators)),
+      edges_(std::move(edges)) {
+  KLINK_CHECK(!operators_.empty());
+  KLINK_CHECK_EQ(operators_.size(), edges_.size());
+  std::vector<int> in_degree(operators_.size(), 0);
+  for (size_t i = 0; i < operators_.size(); ++i) {
+    Operator* op = operators_[i].get();
+    const Edge& e = edges_[i];
+    if (e.downstream == -1) {
+      auto* sink = dynamic_cast<SinkOperator*>(op);
+      KLINK_CHECK(sink != nullptr);
+      KLINK_CHECK(sink_ == nullptr);  // exactly one sink
+      sink_ = sink;
+    } else {
+      // Topological order: edges only point forward.
+      KLINK_CHECK_GT(e.downstream, static_cast<int>(i));
+      KLINK_CHECK_LT(e.downstream, static_cast<int>(operators_.size()));
+      ++in_degree[static_cast<size_t>(e.downstream)];
+    }
+    if (op->IsWindowed()) windowed_.push_back(op);
+  }
+  KLINK_CHECK(sink_ != nullptr);
+  for (size_t i = 0; i < operators_.size(); ++i) {
+    if (in_degree[i] == 0) {
+      auto* src = dynamic_cast<SourceOperator*>(operators_[i].get());
+      KLINK_CHECK(src != nullptr);  // roots must be sources
+      sources_.push_back(src);
+    }
+  }
+  KLINK_CHECK(!sources_.empty());
+}
+
+Operator& Query::op(int i) {
+  KLINK_CHECK(i >= 0 && i < num_operators());
+  return *operators_[static_cast<size_t>(i)];
+}
+
+const Operator& Query::op(int i) const {
+  KLINK_CHECK(i >= 0 && i < num_operators());
+  return *operators_[static_cast<size_t>(i)];
+}
+
+const Query::Edge& Query::edge(int i) const {
+  KLINK_CHECK(i >= 0 && i < num_operators());
+  return edges_[static_cast<size_t>(i)];
+}
+
+TimeMicros Query::UpcomingDeadline() const {
+  TimeMicros earliest = kNoTime;
+  for (const Operator* op : windowed_) {
+    const TimeMicros d = op->UpcomingDeadline();
+    if (d == kNoTime) continue;
+    earliest = earliest == kNoTime ? d : std::min(earliest, d);
+  }
+  return earliest;
+}
+
+int64_t Query::QueuedEvents() const {
+  int64_t total = 0;
+  for (const auto& op : operators_) total += op->QueuedEvents();
+  return total;
+}
+
+int64_t Query::MemoryBytes() const {
+  int64_t total = 0;
+  for (const auto& op : operators_) total += op->MemoryBytes();
+  return total;
+}
+
+}  // namespace klink

@@ -1,0 +1,80 @@
+#ifndef KLINK_QUERY_QUERY_H_
+#define KLINK_QUERY_QUERY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/operators/operator.h"
+#include "src/operators/sink_operator.h"
+#include "src/operators/source_operator.h"
+
+namespace klink {
+
+/// A deployed streaming query: a DAG of operators stored in topological
+/// order, with every non-sink operator feeding exactly one downstream
+/// operator (joins have multiple upstream operators feeding distinct input
+/// streams). Klink performs query-level scheduling (Sec. 3): the engine
+/// executes a query by draining its operators in topological order.
+class Query {
+ public:
+  struct Edge {
+    /// Index of the downstream operator in `operators()`, -1 for the sink.
+    int downstream = -1;
+    /// Input stream index on the downstream operator.
+    int downstream_stream = 0;
+  };
+
+  Query(QueryId id, std::string name,
+        std::vector<std::unique_ptr<Operator>> operators,
+        std::vector<Edge> edges);
+
+  QueryId id() const { return id_; }
+  const std::string& name() const { return name_; }
+
+  int num_operators() const { return static_cast<int>(operators_.size()); }
+  Operator& op(int i);
+  const Operator& op(int i) const;
+  const Edge& edge(int i) const;
+
+  /// Source operators (no upstream), in topological order.
+  const std::vector<SourceOperator*>& sources() const { return sources_; }
+
+  /// The unique terminal operator.
+  SinkOperator& sink() { return *sink_; }
+  const SinkOperator& sink() const { return *sink_; }
+
+  /// Windowed (blocking) operators, in topological order.
+  const std::vector<Operator*>& windowed_operators() const {
+    return windowed_;
+  }
+
+  /// Earliest upcoming window deadline across windowed operators, or
+  /// kNoTime for a windowless query.
+  TimeMicros UpcomingDeadline() const;
+
+  /// Total queued elements across all operator inputs.
+  int64_t QueuedEvents() const;
+
+  /// Total simulated memory (queues + operator state).
+  int64_t MemoryBytes() const;
+
+  /// Virtual time when the query was deployed (set by the engine).
+  TimeMicros deploy_time() const { return deploy_time_; }
+  void set_deploy_time(TimeMicros t) { deploy_time_ = t; }
+
+ private:
+  QueryId id_;
+  std::string name_;
+  std::vector<std::unique_ptr<Operator>> operators_;
+  std::vector<Edge> edges_;
+  std::vector<SourceOperator*> sources_;
+  std::vector<Operator*> windowed_;
+  SinkOperator* sink_ = nullptr;
+  TimeMicros deploy_time_ = 0;
+};
+
+}  // namespace klink
+
+#endif  // KLINK_QUERY_QUERY_H_

@@ -1,0 +1,290 @@
+#include "src/runtime/engine.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace klink {
+namespace {
+
+/// Routes an operator's outputs into the downstream operator's input queue,
+/// tagging each element with the downstream input-stream index.
+class QueueEmitter final : public Emitter {
+ public:
+  QueueEmitter(StreamQueue* queue, int stream)
+      : queue_(queue), stream_(stream) {}
+
+  void Emit(const Event& e) override {
+    if (queue_ == nullptr) return;  // sink: outputs leave the system
+    Event routed = e;
+    routed.stream = stream_;
+    queue_->Push(routed);
+  }
+
+ private:
+  StreamQueue* queue_;
+  int stream_;
+};
+
+}  // namespace
+
+Engine::Engine(const EngineConfig& config,
+               std::unique_ptr<SchedulingPolicy> policy)
+    : config_(config),
+      policy_(std::move(policy)),
+      memory_(config.memory_capacity_bytes,
+              config.backpressure_resume_fraction) {
+  KLINK_CHECK(policy_ != nullptr);
+  KLINK_CHECK_GE(config.num_cores, 1);
+  KLINK_CHECK_GT(config.cycle_length, 0);
+  next_sample_time_ = config.metrics_sample_period;
+}
+
+QueryId Engine::AddQuery(std::unique_ptr<Query> query,
+                         std::unique_ptr<EventFeed> feed,
+                         TimeMicros deploy_time) {
+  KLINK_CHECK(query != nullptr);
+  query->set_deploy_time(deploy_time);
+  const QueryId id = static_cast<QueryId>(queries_.size());
+  KLINK_CHECK_EQ(query->id(), id);  // ids must be assigned densely in order
+  queries_.push_back(DeployedQuery{std::move(query), std::move(feed)});
+  return id;
+}
+
+void Engine::RemoveQuery(QueryId id) {
+  KLINK_CHECK(id >= 0 && id < num_queries());
+  DeployedQuery& dq = queries_[static_cast<size_t>(id)];
+  dq.active = false;
+  dq.feed.reset();
+  // Release queued elements immediately; operator state follows when the
+  // Query object itself is released by the caller.
+  for (int i = 0; i < dq.query->num_operators(); ++i) {
+    Operator& op = dq.query->op(i);
+    for (int s = 0; s < op.num_inputs(); ++s) op.input(s).Clear();
+  }
+}
+
+bool Engine::IsActive(QueryId id) const {
+  KLINK_CHECK(id >= 0 && id < num_queries());
+  return queries_[static_cast<size_t>(id)].active;
+}
+
+Query& Engine::query(QueryId id) {
+  KLINK_CHECK(id >= 0 && id < num_queries());
+  return *queries_[static_cast<size_t>(id)].query;
+}
+
+const Query& Engine::query(QueryId id) const {
+  KLINK_CHECK(id >= 0 && id < num_queries());
+  return *queries_[static_cast<size_t>(id)].query;
+}
+
+void Engine::RunUntil(TimeMicros end_time) {
+  while (now_ < end_time) RunCycle();
+}
+
+void Engine::RunCycle() {
+  // (1) Ingest everything due by the cycle boundary, unless backpressured.
+  Ingest();
+
+  // (2) Account memory and collect the runtime snapshot I.
+  memory_.Update(ComputeMemoryUsage());
+  BuildSnapshot(&snapshot_scratch_);
+
+  // (3) Policy evaluation; its modeled cost is spread across the cores'
+  // cycle budgets (the scheduler borrows CPU from event processing).
+  const double r = static_cast<double>(config_.cycle_length);
+  const double sched_cost = policy_->EvaluationCostMicros(snapshot_scratch_);
+  metrics_.AddSchedulerCost(sched_cost);
+
+  // (4) Execute each selected query on its own core for the full quantum.
+  // Scheduling is strictly cycle-grained, as in the state-based scheduler
+  // of Sec. 5: the scheduler is inactive while operators execute, so a
+  // task occupies its core for the whole cycle even if it drains early —
+  // which is precisely why spending quanta on the *right* queries matters.
+  selection_scratch_.clear();
+  policy_->SelectQueries(snapshot_scratch_, config_.num_cores,
+                         &selection_scratch_);
+  KLINK_CHECK_LE(selection_scratch_.size(),
+                 static_cast<size_t>(config_.num_cores));
+  const double budget =
+      std::max(0.0, r - sched_cost / static_cast<double>(config_.num_cores));
+  const double multiplier = CostMultiplier();
+  for (const QueryId id : selection_scratch_) {
+    const double consumed = ExecuteQuery(query(id), budget, multiplier);
+    metrics_.AddCoreBusy(consumed);
+    busy_since_sample_ += consumed;
+  }
+  metrics_.AddCoreAvailable(static_cast<double>(config_.num_cores) * r);
+
+  // (5) Sample the resource time series and advance the virtual clock.
+  now_ += config_.cycle_length;
+  MaybeSampleMetrics();
+}
+
+void Engine::Ingest() {
+  if (memory_.backpressured()) return;
+  // Remaining buffer space bounds how much the cycle may ingest: the SPE
+  // never fetches beyond its memory capacity (backpressure semantics).
+  int64_t budget = config_.memory_capacity_bytes - ComputeMemoryUsage();
+  for (DeployedQuery& dq : queries_) {
+    if (budget <= 0) break;
+    if (!dq.active || dq.feed == nullptr || now_ < dq.query->deploy_time()) {
+      continue;
+    }
+    feed_scratch_.clear();
+    dq.feed->PollUpTo(now_, budget, &feed_scratch_);
+    const auto& sources = dq.query->sources();
+    int64_t data = 0;
+    for (const EventFeed::FeedElement& fe : feed_scratch_) {
+      KLINK_CHECK(fe.source_index >= 0 &&
+                  fe.source_index < static_cast<int>(sources.size()));
+      Event e = fe.event;
+      e.stream = 0;  // source operators are unary
+      sources[static_cast<size_t>(fe.source_index)]->input(0).Push(e);
+      budget -= e.payload_bytes + StreamQueue::kPerEventOverhead;
+      if (e.is_data()) ++data;
+    }
+    metrics_.AddIngested(data);
+  }
+}
+
+void Engine::BuildSnapshot(RuntimeSnapshot* snap) {
+  snap->now = now_;
+  snap->memory_utilization = memory_.utilization();
+  snap->backpressured = memory_.backpressured();
+  snap->queries.clear();
+  snap->queries.reserve(queries_.size());
+  for (DeployedQuery& dq : queries_) {
+    if (!dq.active) continue;
+    snap->queries.emplace_back();
+    CollectQueryInfo(*dq.query, now_, &snap->queries.back());
+  }
+}
+
+double Engine::ExecuteQuery(Query& query, double budget_micros,
+                            double cost_multiplier) {
+  double consumed = 0.0;
+  bool progressed = true;
+  int64_t processed = 0;
+  // Repeated topological sweeps: a sweep cascades events downstream; any
+  // leftover upstream work (budget permitting) is picked up by the next
+  // sweep. Stops when the budget is exhausted or all queues drained.
+  while (progressed) {
+    progressed = false;
+    for (int i = 0; i < query.num_operators(); ++i) {
+      Operator& op = query.op(i);
+      const Query::Edge& edge = query.edge(i);
+      StreamQueue* downstream_queue =
+          edge.downstream == -1
+              ? nullptr
+              : &query.op(edge.downstream).input(edge.downstream_stream);
+      QueueEmitter emitter(downstream_queue, edge.downstream_stream);
+      const double cost =
+          std::max(0.01, op.cost_per_event() * cost_multiplier);
+      while (consumed + cost <= budget_micros) {
+        // Pop the earliest-ingested element across this operator's inputs.
+        int best = -1;
+        TimeMicros best_time = 0;
+        for (int s = 0; s < op.num_inputs(); ++s) {
+          if (op.input(s).empty()) continue;
+          const TimeMicros t = op.input(s).Front().ingest_time;
+          if (best == -1 || t < best_time) {
+            best = s;
+            best_time = t;
+          }
+        }
+        if (best == -1) break;
+        Event e = op.input(best).Pop();
+        e.stream = best;
+        consumed += cost;
+        const TimeMicros now =
+            now_ + static_cast<TimeMicros>(consumed);
+        op.Process(e, now, emitter);
+        ++processed;
+        progressed = true;
+      }
+      if (consumed + 0.01 > budget_micros) {
+        progressed = false;
+        break;
+      }
+    }
+  }
+  metrics_.AddProcessed(processed);
+  return consumed;
+}
+
+int64_t Engine::ComputeMemoryUsage() const {
+  int64_t total = 0;
+  for (const DeployedQuery& dq : queries_) {
+    if (dq.active) total += dq.query->MemoryBytes();
+  }
+  return total;
+}
+
+double Engine::CostMultiplier() const {
+  const double onset = config_.pressure_onset_fraction;
+  if (onset >= 1.0) return 1.0;
+  const double util = memory_.utilization();
+  const double stress = std::clamp((util - onset) / (1.0 - onset), 0.0, 1.0);
+  return 1.0 + config_.memory_pressure_penalty * stress;
+}
+
+void Engine::MaybeSampleMetrics() {
+  if (now_ < next_sample_time_) return;
+  // Samples land on cycle boundaries, so the actual window can exceed the
+  // configured period; normalize by the true elapsed time.
+  const double elapsed = static_cast<double>(now_ - last_sample_time_);
+  const double window = elapsed * static_cast<double>(config_.num_cores);
+  ResourceSample s;
+  s.time = now_;
+  s.memory_bytes = memory_.used_bytes();
+  s.cpu_utilization = window <= 0.0 ? 0.0 : busy_since_sample_ / window;
+  const int64_t processed_now = metrics_.processed_events();
+  s.throughput_eps =
+      elapsed <= 0.0
+          ? 0.0
+          : static_cast<double>(processed_now - processed_at_last_sample_) /
+                MicrosToSeconds(static_cast<TimeMicros>(elapsed));
+  metrics_.AddSample(s);
+  busy_since_sample_ = 0.0;
+  processed_at_last_sample_ = processed_now;
+  last_sample_time_ = now_;
+  while (next_sample_time_ <= now_) {
+    next_sample_time_ += config_.metrics_sample_period;
+  }
+}
+
+Histogram Engine::AggregateSwmLatency() const {
+  Histogram h;
+  for (const DeployedQuery& dq : queries_) {
+    h.Merge(dq.query->sink().swm_latency());
+  }
+  return h;
+}
+
+Histogram Engine::AggregateMarkerLatency() const {
+  Histogram h;
+  for (const DeployedQuery& dq : queries_) {
+    h.Merge(dq.query->sink().marker_latency());
+  }
+  return h;
+}
+
+double Engine::MeanSlowdown() const {
+  double total = 0.0;
+  int counted = 0;
+  for (const DeployedQuery& dq : queries_) {
+    const Histogram& lat = dq.query->sink().swm_latency();
+    if (lat.count() == 0) continue;
+    QueryInfo info;
+    CollectQueryInfo(*dq.query, now_, &info);
+    if (info.unit_cost_micros <= 0.0) continue;
+    total += lat.mean() / info.unit_cost_micros;
+    ++counted;
+  }
+  return counted == 0 ? 0.0 : total / counted;
+}
+
+}  // namespace klink

@@ -1,0 +1,127 @@
+#ifndef KLINK_RUNTIME_ENGINE_H_
+#define KLINK_RUNTIME_ENGINE_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/common/histogram.h"
+#include "src/common/types.h"
+#include "src/query/query.h"
+#include "src/runtime/event_feed.h"
+#include "src/runtime/memory_tracker.h"
+#include "src/runtime/metrics.h"
+#include "src/runtime/snapshot.h"
+#include "src/sched/policy.h"
+
+namespace klink {
+
+/// Engine tuning knobs. Defaults model the paper's single-node setup,
+/// scaled down so experiments run in seconds of wall time (see DESIGN.md).
+struct EngineConfig {
+  /// Simulated processing cores (task slots).
+  int num_cores = 8;
+  /// Scheduling cycle r: the policy re-evaluates every cycle_length of
+  /// virtual time (paper default 120 ms, Sec. 6.2).
+  DurationMicros cycle_length = MillisToMicros(120);
+  /// Simulated memory capacity for queues + operator state.
+  int64_t memory_capacity_bytes = 256ll << 20;
+  /// Backpressure hysteresis: ingestion stalls at capacity and resumes
+  /// below this fraction of capacity.
+  double backpressure_resume_fraction = 0.8;
+  /// Managed-runtime memory-pressure model: per-event processing costs are
+  /// inflated by up to (1 + memory_pressure_penalty) as utilization rises
+  /// from pressure_onset_fraction to 1.0, reproducing the JVM GC/allocator
+  /// slowdown that throttles Flink near its memory ceiling (Fig. 8/9).
+  double memory_pressure_penalty = 0.35;
+  double pressure_onset_fraction = 0.7;
+  /// Resource time-series sampling period (paper samples every 200 ms).
+  DurationMicros metrics_sample_period = MillisToMicros(200);
+};
+
+/// The stream processing engine: a virtual-time, state-based-scheduled SPE
+/// (Sec. 5). Each scheduling cycle the engine (1) ingests feed elements due
+/// by now into source queues unless backpressured, (2) collects the runtime
+/// snapshot I, (3) asks the policy for one query per core, charging the
+/// policy's modeled evaluation cost against the cycle budget, (4) executes
+/// each selected query for up to r of virtual CPU time, and (5) samples
+/// resource metrics and advances the clock.
+class Engine {
+ public:
+  Engine(const EngineConfig& config, std::unique_ptr<SchedulingPolicy> policy);
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Deploys a query; ingestion starts once now() >= deploy_time. `feed`
+  /// may be null for manually driven tests. Returns the query id.
+  QueryId AddQuery(std::unique_ptr<Query> query, std::unique_ptr<EventFeed> feed,
+                   TimeMicros deploy_time = 0);
+
+  /// Undeploys a query: ingestion stops, queued elements are discarded,
+  /// and the policy no longer sees it. The Query object (and its sink's
+  /// recorded statistics) remains accessible via query(id). Workloads can
+  /// thus change at runtime, which Klink's design is robust to (Sec. 1).
+  void RemoveQuery(QueryId id);
+
+  /// False after RemoveQuery(id).
+  bool IsActive(QueryId id) const;
+
+  /// Runs whole scheduling cycles until now() >= end_time.
+  void RunUntil(TimeMicros end_time);
+  void RunFor(DurationMicros duration) { RunUntil(now_ + duration); }
+
+  TimeMicros now() const { return now_; }
+  int num_queries() const { return static_cast<int>(queries_.size()); }
+  Query& query(QueryId id);
+  const Query& query(QueryId id) const;
+
+  const EngineMetrics& metrics() const { return metrics_; }
+  const MemoryTracker& memory() const { return memory_; }
+  SchedulingPolicy& policy() { return *policy_; }
+  const EngineConfig& config() const { return config_; }
+
+  /// Output latency (SWM propagation delay) merged across all query sinks.
+  Histogram AggregateSwmLatency() const;
+  /// Latency-marker propagation delay merged across all query sinks.
+  Histogram AggregateMarkerLatency() const;
+  /// Mean slowdown: per-query mean SWM latency over the ideal end-to-end
+  /// processing cost of one event, averaged across queries (Sec. 6.1.2).
+  double MeanSlowdown() const;
+
+ private:
+  struct DeployedQuery {
+    std::unique_ptr<Query> query;
+    std::unique_ptr<EventFeed> feed;
+    bool active = true;
+  };
+
+  void RunCycle();
+  void Ingest();
+  void BuildSnapshot(RuntimeSnapshot* snap);
+  /// Executes `query` for up to `budget_micros` of virtual CPU time with
+  /// per-event costs scaled by `cost_multiplier`. Returns consumed micros.
+  double ExecuteQuery(Query& query, double budget_micros,
+                      double cost_multiplier);
+  int64_t ComputeMemoryUsage() const;
+  double CostMultiplier() const;
+  void MaybeSampleMetrics();
+
+  EngineConfig config_;
+  std::unique_ptr<SchedulingPolicy> policy_;
+  std::vector<DeployedQuery> queries_;
+  MemoryTracker memory_;
+  EngineMetrics metrics_;
+  TimeMicros now_ = 0;
+  TimeMicros next_sample_time_ = 0;
+  TimeMicros last_sample_time_ = 0;
+  // Rolling counters for windowed metric samples.
+  double busy_since_sample_ = 0.0;
+  int64_t processed_at_last_sample_ = 0;
+  std::vector<EventFeed::FeedElement> feed_scratch_;
+  std::vector<QueryId> selection_scratch_;
+  RuntimeSnapshot snapshot_scratch_;
+};
+
+}  // namespace klink
+
+#endif  // KLINK_RUNTIME_ENGINE_H_

@@ -1,0 +1,42 @@
+#ifndef KLINK_RUNTIME_EVENT_FEED_H_
+#define KLINK_RUNTIME_EVENT_FEED_H_
+
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/event/event.h"
+
+namespace klink {
+
+/// Produces the input stream(s) of one query: data events, periodic
+/// watermarks and latency markers, already stamped with generation
+/// (event-time) and ingestion timestamps. Plays the role of the workload
+/// generator + Kafka in the paper's setup (Sec. 6.1): when the engine
+/// exercises backpressure it simply stops polling and the backlog
+/// accumulates inside the feed, exactly like an unconsumed Kafka topic.
+class EventFeed {
+ public:
+  struct FeedElement {
+    /// Index into Query::sources() of the target source operator.
+    int source_index = 0;
+    Event event;
+  };
+
+  virtual ~EventFeed() = default;
+
+  /// Appends elements with ingest_time <= now that were not yet delivered,
+  /// in ingestion order, to `out`, stopping once the delivered payload
+  /// would exceed `max_bytes` (the consumer's remaining buffer space —
+  /// Kafka fetches are bounded by what the SPE can buffer). Never loses
+  /// elements when polls are skipped or truncated (backpressure): delivery
+  /// resumes where it stopped.
+  virtual void PollUpTo(TimeMicros now, int64_t max_bytes,
+                        std::vector<FeedElement>* out) = 0;
+
+  /// Total data events generated so far (diagnostics).
+  virtual int64_t generated_events() const = 0;
+};
+
+}  // namespace klink
+
+#endif  // KLINK_RUNTIME_EVENT_FEED_H_

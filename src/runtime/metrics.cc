@@ -1,0 +1,4 @@
+#include "src/runtime/metrics.h"
+
+// EngineMetrics is header-only today; this translation unit anchors the
+// component in the build and hosts future non-inline additions.

@@ -1,0 +1,80 @@
+#ifndef KLINK_RUNTIME_METRICS_H_
+#define KLINK_RUNTIME_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/histogram.h"
+#include "src/common/types.h"
+
+namespace klink {
+
+/// One point of the resource-utilization time series (paper Fig. 8),
+/// sampled every EngineConfig::metrics_sample_period of virtual time.
+struct ResourceSample {
+  TimeMicros time = 0;
+  int64_t memory_bytes = 0;
+  /// Fraction of core time spent processing events in the sample window.
+  double cpu_utilization = 0.0;
+  /// Operator-events processed per second in the sample window.
+  double throughput_eps = 0.0;
+};
+
+/// Engine-wide counters and series accumulated during a run.
+class EngineMetrics {
+ public:
+  /// ---- updated by the engine ----------------------------------------
+  void AddProcessed(int64_t n) { processed_events_ += n; }
+  void AddIngested(int64_t n) { ingested_events_ += n; }
+  void AddCoreBusy(double micros) { core_busy_micros_ += micros; }
+  void AddCoreAvailable(double micros) { core_available_micros_ += micros; }
+  void AddSchedulerCost(double micros) { scheduler_micros_ += micros; }
+  void AddSample(const ResourceSample& s) { samples_.push_back(s); }
+
+  /// ---- reporting ------------------------------------------------------
+  /// Total operator-events processed (every operator invocation counts,
+  /// matching the paper's aggregate throughput metric, Sec. 6.1.2).
+  int64_t processed_events() const { return processed_events_; }
+  /// Data events delivered into source queues.
+  int64_t ingested_events() const { return ingested_events_; }
+
+  double core_busy_micros() const { return core_busy_micros_; }
+  double core_available_micros() const { return core_available_micros_; }
+  double scheduler_micros() const { return scheduler_micros_; }
+
+  /// Mean CPU utilization over the whole run.
+  double MeanCpuUtilization() const {
+    return core_available_micros_ <= 0.0
+               ? 0.0
+               : core_busy_micros_ / core_available_micros_;
+  }
+
+  /// Scheduler overhead as a fraction of total useful+scheduling time —
+  /// the throughput the SPE forgoes to run the scheduling algorithm
+  /// (paper Fig. 9d).
+  double SchedulerOverheadFraction() const {
+    const double total = core_busy_micros_ + scheduler_micros_;
+    return total <= 0.0 ? 0.0 : scheduler_micros_ / total;
+  }
+
+  /// Aggregate operator-events per second over `duration`.
+  double ThroughputEps(DurationMicros duration) const {
+    return duration <= 0 ? 0.0
+                         : static_cast<double>(processed_events_) /
+                               MicrosToSeconds(duration);
+  }
+
+  const std::vector<ResourceSample>& samples() const { return samples_; }
+
+ private:
+  int64_t processed_events_ = 0;
+  int64_t ingested_events_ = 0;
+  double core_busy_micros_ = 0.0;
+  double core_available_micros_ = 0.0;
+  double scheduler_micros_ = 0.0;
+  std::vector<ResourceSample> samples_;
+};
+
+}  // namespace klink
+
+#endif  // KLINK_RUNTIME_METRICS_H_

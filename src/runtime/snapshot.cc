@@ -1,0 +1,121 @@
+#include "src/runtime/snapshot.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+#include "src/window/swm_tracker.h"
+
+namespace klink {
+
+void CollectQueryInfo(Query& query, TimeMicros now, QueryInfo* info) {
+  KLINK_CHECK(info != nullptr);
+  info->id = query.id();
+  info->query = &query;
+  info->deploy_time = query.deploy_time();
+  info->upcoming_deadline = query.UpcomingDeadline();
+
+  const int n = query.num_operators();
+  info->op_queued.assign(static_cast<size_t>(n), 0);
+  info->op_selectivity.assign(static_cast<size_t>(n), 1.0);
+  info->op_cost.assign(static_cast<size_t>(n), 0.0);
+  info->op_windowed.assign(static_cast<size_t>(n), 0);
+  info->op_partial.assign(static_cast<size_t>(n), 0);
+  info->streams.clear();
+
+  info->queued_events = 0;
+  info->memory_bytes = 0;
+  info->oldest_ingest = kNoTime;
+
+  for (int i = 0; i < n; ++i) {
+    const Operator& op = query.op(i);
+    const size_t idx = static_cast<size_t>(i);
+    info->op_queued[idx] = op.QueuedEvents();
+    info->op_selectivity[idx] = op.selectivity();
+    info->op_cost[idx] = op.cost_per_event();
+    info->op_windowed[idx] = op.IsWindowed() ? 1 : 0;
+    info->op_partial[idx] = op.SupportsPartialComputation() ? 1 : 0;
+    info->queued_events += info->op_queued[idx];
+    info->memory_bytes += op.MemoryBytes();
+    for (int s = 0; s < op.num_inputs(); ++s) {
+      const TimeMicros oldest = op.input(s).OldestIngestTime();
+      if (oldest == kNoTime) continue;
+      info->oldest_ingest = info->oldest_ingest == kNoTime
+                                ? oldest
+                                : std::min(info->oldest_ingest, oldest);
+    }
+    if (const SwmTracker* tracker = op.swm_tracker()) {
+      for (int s = 0; s < tracker->num_streams(); ++s) {
+        const SwmTracker::StreamStats& st = tracker->stream(s);
+        StreamProgress progress;
+        progress.op_index = i;
+        progress.stream = s;
+        progress.upcoming_deadline = op.UpcomingDeadline();
+        progress.deadline_period = op.DeadlinePeriod();
+        progress.epoch = st.epoch;
+        progress.current_mu = st.current_delays.mean();
+        progress.current_chi = st.current_delays.mean_sq();
+        progress.current_count = st.current_delays.count();
+        progress.last_mu = st.last_mu;
+        progress.last_chi = st.last_chi;
+        progress.has_finalized_epoch = st.has_finalized_epoch;
+        progress.last_sweep_ingest = st.last_sweep_ingest;
+        progress.last_swept_deadline = st.last_swept_deadline;
+        info->streams.push_back(progress);
+      }
+    }
+  }
+
+  // Expected remaining end-to-end cost per element queued at each operator:
+  // path_cost[i] = cost_i + selectivity_i * path_cost[downstream(i)].
+  // Topological order means a reverse scan sees downstream before upstream.
+  std::vector<double> path_cost(static_cast<size_t>(n), 0.0);
+  for (int i = n - 1; i >= 0; --i) {
+    const size_t idx = static_cast<size_t>(i);
+    const int down = query.edge(i).downstream;
+    const double tail =
+        down == -1 ? 0.0 : path_cost[static_cast<size_t>(down)];
+    path_cost[idx] = info->op_cost[idx] + info->op_selectivity[idx] * tail;
+  }
+
+  // cost^q(t): drain cost of everything currently queued (Sec. 3), and the
+  // ideal unit cost of one source event (slowdown denominator, Sec. 6.1.2).
+  info->drain_cost_micros = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const size_t idx = static_cast<size_t>(i);
+    info->drain_cost_micros +=
+        static_cast<double>(info->op_queued[idx]) * path_cost[idx];
+  }
+  double unit_cost = 0.0;
+  for (const SourceOperator* src : query.sources()) {
+    // Locate the source's operator index to read its path cost.
+    for (int i = 0; i < n; ++i) {
+      if (&query.op(i) == src) {
+        unit_cost = std::max(unit_cost, path_cost[static_cast<size_t>(i)]);
+        break;
+      }
+    }
+  }
+  info->unit_cost_micros = unit_cost;
+
+  // HR priority [48]: global output rate of the pipeline — the product of
+  // selectivities (output events per source event) over the total per-event
+  // processing cost.
+  double sel_product = 1.0;
+  double cost_sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const size_t idx = static_cast<size_t>(i);
+    // Terminal (sink) operators emit nothing by definition; their measured
+    // selectivity of zero must not nullify the path productivity. The
+    // *declared* selectivities are used so the rate reflects the query
+    // plan, as in [48], rather than transient runtime noise.
+    if (query.edge(i).downstream != -1) {
+      sel_product *= std::clamp(query.op(i).selectivity_hint(), 0.0, 1.0);
+    }
+    cost_sum += info->op_cost[idx];
+  }
+  info->output_rate = cost_sum <= 0.0 ? 0.0 : sel_product / cost_sum;
+
+  (void)now;
+}
+
+}  // namespace klink

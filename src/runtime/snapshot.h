@@ -1,0 +1,87 @@
+#ifndef KLINK_RUNTIME_SNAPSHOT_H_
+#define KLINK_RUNTIME_SNAPSHOT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/query/query.h"
+
+namespace klink {
+
+/// Progress of one input stream of one windowed operator, extracted from
+/// its SwmTracker. One slack value is computed per StreamProgress and a
+/// query's slack is the minimum over its streams (Sec. 3.3).
+struct StreamProgress {
+  /// Operator index within the query and input stream on that operator.
+  int op_index = 0;
+  int stream = 0;
+  /// The operator's earliest un-fired window deadline.
+  TimeMicros upcoming_deadline = kNoTime;
+  /// Period between deadlines (assigner slide) — the SWM periodicity hint.
+  DurationMicros deadline_period = 0;
+  /// Completed epochs on this stream.
+  int64_t epoch = 0;
+  /// Open-epoch delay statistics (population D_n, Eqs. 3-4 first case).
+  double current_mu = 0.0;
+  double current_chi = 0.0;
+  int64_t current_count = 0;
+  /// Most recently finalized epoch statistics.
+  double last_mu = 0.0;
+  double last_chi = 0.0;
+  bool has_finalized_epoch = false;
+  /// Ingestion time of the watermark that closed the last epoch, and the
+  /// deadline it swept.
+  TimeMicros last_sweep_ingest = kNoTime;
+  TimeMicros last_swept_deadline = kNoTime;
+};
+
+/// Everything the runtime data acquisition module reports about one query —
+/// the per-query slice of the tuple I consumed by KlinkEvaluator (Sec. 3)
+/// and by the baseline policies.
+struct QueryInfo {
+  QueryId id = -1;
+  Query* query = nullptr;
+  TimeMicros deploy_time = 0;
+  /// Earliest upcoming window deadline across the query's windowed
+  /// operators, kNoTime for windowless queries.
+  TimeMicros upcoming_deadline = kNoTime;
+  int64_t queued_events = 0;
+  int64_t memory_bytes = 0;
+  /// Ingestion time of the oldest queued element (FCFS), kNoTime if idle.
+  TimeMicros oldest_ingest = kNoTime;
+  /// cost^q(t): expected virtual CPU time to drain all queued events
+  /// end-to-end, combining per-operator cost and selectivity (Sec. 3).
+  double drain_cost_micros = 0.0;
+  /// Expected end-to-end cost of a single source event (the ideal
+  /// processing time used by the slowdown metric, Sec. 6.1.2).
+  double unit_cost_micros = 0.0;
+  /// HR priority: output productivity per unit processing time [48],
+  /// scaled by how much of a scheduling quantum the queued work can fill
+  /// (an empty path produces no output no matter its rate).
+  double output_rate = 0.0;
+  /// Per-stream window progress entries (empty for windowless queries).
+  std::vector<StreamProgress> streams;
+  /// Per-operator arrays in topological order (for the memory manager).
+  std::vector<int64_t> op_queued;
+  std::vector<double> op_selectivity;
+  std::vector<double> op_cost;
+  std::vector<uint8_t> op_windowed;
+  std::vector<uint8_t> op_partial;
+};
+
+/// The tuple I for all deployed queries at a scheduling cycle boundary.
+struct RuntimeSnapshot {
+  TimeMicros now = 0;
+  /// Engine memory usage / capacity.
+  double memory_utilization = 0.0;
+  bool backpressured = false;
+  std::vector<QueryInfo> queries;
+};
+
+/// Fills `info` from the live query state at virtual time `now`.
+void CollectQueryInfo(Query& query, TimeMicros now, QueryInfo* info);
+
+}  // namespace klink
+
+#endif  // KLINK_RUNTIME_SNAPSHOT_H_

@@ -1,0 +1,32 @@
+#ifndef KLINK_SCHED_DEFAULT_POLICY_H_
+#define KLINK_SCHED_DEFAULT_POLICY_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/sched/policy.h"
+
+namespace klink {
+
+/// Models Flink's default runtime behaviour (Sec. 5/6.1.3): no policy at
+/// all — ready tasks are time-sliced by the JVM/OS with no awareness of
+/// window deadlines or stream progress. Each cycle the engine's cores are
+/// handed a uniformly random subset of the ready queries, reproducing the
+/// obliviousness (and fairness-in-expectation) of OS scheduling.
+class DefaultPolicy final : public SchedulingPolicy {
+ public:
+  explicit DefaultPolicy(uint64_t seed = 42);
+
+  std::string name() const override { return "Default"; }
+  void SelectQueries(const RuntimeSnapshot& snapshot, int slots,
+                     std::vector<QueryId>* out) override;
+
+ private:
+  Rng rng_;
+  std::vector<const QueryInfo*> ready_scratch_;
+};
+
+}  // namespace klink
+
+#endif  // KLINK_SCHED_DEFAULT_POLICY_H_

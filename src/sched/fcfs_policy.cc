@@ -1,0 +1,19 @@
+#include "src/sched/fcfs_policy.h"
+
+namespace klink {
+
+void FcfsPolicy::SelectQueries(const RuntimeSnapshot& snapshot, int slots,
+                               std::vector<QueryId>* out) {
+  SelectTopReadyQueries(
+      snapshot, slots,
+      [](const QueryInfo& a, const QueryInfo& b) {
+        // Oldest queued element first; idle queries are filtered upstream.
+        if (a.oldest_ingest != b.oldest_ingest) {
+          return a.oldest_ingest < b.oldest_ingest;
+        }
+        return a.id < b.id;
+      },
+      out);
+}
+
+}  // namespace klink

@@ -1,0 +1,23 @@
+#ifndef KLINK_SCHED_FCFS_POLICY_H_
+#define KLINK_SCHED_FCFS_POLICY_H_
+
+#include <string>
+#include <vector>
+
+#include "src/sched/policy.h"
+
+namespace klink {
+
+/// First-Come-First-Served (Sec. 6.1.3): processes input in event arrival
+/// order — the query holding the oldest queued element runs first,
+/// optimizing for the maximum (not mean) latency of individual requests.
+class FcfsPolicy final : public SchedulingPolicy {
+ public:
+  std::string name() const override { return "FCFS"; }
+  void SelectQueries(const RuntimeSnapshot& snapshot, int slots,
+                     std::vector<QueryId>* out) override;
+};
+
+}  // namespace klink
+
+#endif  // KLINK_SCHED_FCFS_POLICY_H_

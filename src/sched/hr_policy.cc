@@ -1,0 +1,27 @@
+#include "src/sched/hr_policy.h"
+
+namespace klink {
+
+HighestRatePolicy::HighestRatePolicy(uint64_t seed) : rng_(seed) {}
+
+void HighestRatePolicy::SelectQueries(const RuntimeSnapshot& snapshot,
+                                      int slots, std::vector<QueryId>* out) {
+  // HR orders by path output rate [48]. Homogeneous query sets tie on
+  // rate, and HR defines no further criterion; ties are broken uniformly
+  // at random per evaluation, mirroring nondeterministic task dispatch.
+  shuffle_keys_.assign(snapshot.queries.size(), 0);
+  for (auto& k : shuffle_keys_) k = rng_.NextUint64();
+  SelectTopReadyQueries(
+      snapshot, slots,
+      [this, &snapshot](const QueryInfo& a, const QueryInfo& b) {
+        if (a.output_rate != b.output_rate) {
+          return a.output_rate > b.output_rate;
+        }
+        const size_t ia = static_cast<size_t>(&a - snapshot.queries.data());
+        const size_t ib = static_cast<size_t>(&b - snapshot.queries.data());
+        return shuffle_keys_[ia] < shuffle_keys_[ib];
+      },
+      out);
+}
+
+}  // namespace klink

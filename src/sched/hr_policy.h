@@ -1,0 +1,32 @@
+#ifndef KLINK_SCHED_HR_POLICY_H_
+#define KLINK_SCHED_HR_POLICY_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/sched/policy.h"
+
+namespace klink {
+
+/// Highest Rate [48] (Sec. 6.1.3): minimizes mean event propagation delay
+/// by prioritizing the paths with the highest global output rate — the
+/// productivity of a path (selectivity product, output events per input
+/// event) over its execution cost. Progress- and deadline-agnostic: a
+/// window that is due contributes nothing to a path's rate.
+class HighestRatePolicy final : public SchedulingPolicy {
+ public:
+  explicit HighestRatePolicy(uint64_t seed = 7);
+
+  std::string name() const override { return "HR"; }
+  void SelectQueries(const RuntimeSnapshot& snapshot, int slots,
+                     std::vector<QueryId>* out) override;
+
+ private:
+  Rng rng_;
+  std::vector<uint64_t> shuffle_keys_;
+};
+
+}  // namespace klink
+
+#endif  // KLINK_SCHED_HR_POLICY_H_

@@ -1,0 +1,22 @@
+#include "src/sched/rr_policy.h"
+
+#include <algorithm>
+
+namespace klink {
+
+void RoundRobinPolicy::SelectQueries(const RuntimeSnapshot& snapshot,
+                                     int slots, std::vector<QueryId>* out) {
+  const size_t n = snapshot.queries.size();
+  if (n == 0 || slots <= 0) return;
+  size_t inspected = 0;
+  size_t pos = cursor_ % n;
+  while (inspected < n && out->size() < static_cast<size_t>(slots)) {
+    const QueryInfo& info = snapshot.queries[pos];
+    if (QueryIsReady(info)) out->push_back(info.id);
+    pos = (pos + 1) % n;
+    ++inspected;
+  }
+  cursor_ = pos;
+}
+
+}  // namespace klink

@@ -1,0 +1,26 @@
+#ifndef KLINK_SCHED_RR_POLICY_H_
+#define KLINK_SCHED_RR_POLICY_H_
+
+#include <string>
+#include <vector>
+
+#include "src/sched/policy.h"
+
+namespace klink {
+
+/// Round-Robin (Sec. 6.1.3): cycles over deployed queries in id order and
+/// schedules the next ready ones for a fixed quantum (the cycle length).
+/// Starvation-free by construction.
+class RoundRobinPolicy final : public SchedulingPolicy {
+ public:
+  std::string name() const override { return "RR"; }
+  void SelectQueries(const RuntimeSnapshot& snapshot, int slots,
+                     std::vector<QueryId>* out) override;
+
+ private:
+  size_t cursor_ = 0;
+};
+
+}  // namespace klink
+
+#endif  // KLINK_SCHED_RR_POLICY_H_

@@ -1,0 +1,72 @@
+#include "src/sched/sbox_policy.h"
+
+#include <algorithm>
+
+namespace klink {
+namespace {
+
+int64_t SinkWatermarks(const QueryInfo& info) {
+  return info.query->sink().forwarded_watermarks();
+}
+
+}  // namespace
+
+void StreamBoxPolicy::SelectQueries(const RuntimeSnapshot& snapshot, int slots,
+                                    std::vector<QueryId>* out) {
+  if (slots <= 0) return;
+  sticky_.resize(static_cast<size_t>(slots));
+
+  auto find_info = [&snapshot](QueryId id) -> const QueryInfo* {
+    for (const QueryInfo& info : snapshot.queries) {
+      if (info.id == id) return &info;
+    }
+    return nullptr;
+  };
+
+  std::vector<bool> taken(snapshot.queries.size(), false);
+
+  // Keep sticky assignments whose query has not yet pushed a watermark
+  // through to the sink since selection.
+  for (Sticky& s : sticky_) {
+    if (s.id < 0) continue;
+    const QueryInfo* info = find_info(s.id);
+    if (info == nullptr || !QueryIsReady(*info) ||
+        SinkWatermarks(*info) > s.watermarks_at_selection) {
+      s.id = -1;
+      continue;
+    }
+    taken[static_cast<size_t>(s.id)] = true;
+  }
+
+  // Fill free slots with the earliest-deadline ready queries.
+  std::vector<const QueryInfo*> candidates;
+  for (const QueryInfo& info : snapshot.queries) {
+    if (!QueryIsReady(info) || taken[static_cast<size_t>(info.id)]) continue;
+    candidates.push_back(&info);
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const QueryInfo* a, const QueryInfo* b) {
+              const TimeMicros da =
+                  a->upcoming_deadline == kNoTime ? INT64_MAX
+                                                  : a->upcoming_deadline;
+              const TimeMicros db =
+                  b->upcoming_deadline == kNoTime ? INT64_MAX
+                                                  : b->upcoming_deadline;
+              if (da != db) return da < db;
+              return a->id < b->id;
+            });
+  size_t next_candidate = 0;
+  for (Sticky& s : sticky_) {
+    if (s.id >= 0) continue;
+    if (next_candidate >= candidates.size()) break;
+    const QueryInfo* info = candidates[next_candidate++];
+    s.id = info->id;
+    s.watermarks_at_selection = SinkWatermarks(*info);
+  }
+
+  for (const Sticky& s : sticky_) {
+    if (s.id >= 0) out->push_back(s.id);
+  }
+}
+
+}  // namespace klink

@@ -1,0 +1,37 @@
+#ifndef KLINK_SCHED_SBOX_POLICY_H_
+#define KLINK_SCHED_SBOX_POLICY_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/sched/policy.h"
+
+namespace klink {
+
+/// StreamBox [36] (Sec. 6.1.3): allocates resources to the substream with
+/// the earliest pending window deadline and keeps executing that query
+/// until a watermark is processed (observed here as the sink's forwarded
+/// watermark count advancing). Deadline-aware but progress-agnostic: it
+/// does not estimate *when* the unblocking watermark will arrive, so a
+/// query whose deadline elapsed but whose SWM is still far away can pin a
+/// core while other queries become due.
+class StreamBoxPolicy final : public SchedulingPolicy {
+ public:
+  std::string name() const override { return "SBox"; }
+  void SelectQueries(const RuntimeSnapshot& snapshot, int slots,
+                     std::vector<QueryId>* out) override;
+
+ private:
+  struct Sticky {
+    QueryId id = -1;
+    int64_t watermarks_at_selection = 0;
+  };
+  /// One sticky assignment per slot index.
+  std::vector<Sticky> sticky_;
+};
+
+}  // namespace klink
+
+#endif  // KLINK_SCHED_SBOX_POLICY_H_

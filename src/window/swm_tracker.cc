@@ -1,0 +1,41 @@
+#include "src/window/swm_tracker.h"
+
+#include "src/common/check.h"
+
+namespace klink {
+
+SwmTracker::SwmTracker(int num_streams) {
+  KLINK_CHECK_GE(num_streams, 1);
+  streams_.resize(static_cast<size_t>(num_streams));
+}
+
+void SwmTracker::RecordEventDelay(int stream, DurationMicros delay) {
+  KLINK_CHECK(stream >= 0 && stream < num_streams());
+  streams_[static_cast<size_t>(stream)].current_delays.Add(
+      static_cast<double>(delay));
+}
+
+void SwmTracker::RecordStreamSweep(int stream, TimeMicros deadline,
+                                   TimeMicros ingest_time) {
+  KLINK_CHECK(stream >= 0 && stream < num_streams());
+  StreamStats& s = streams_[static_cast<size_t>(stream)];
+  if (!s.current_delays.empty()) {
+    s.last_mu = s.current_delays.mean();
+    s.last_chi = s.current_delays.mean_sq();
+    s.has_finalized_epoch = true;
+  }
+  // An epoch with no events keeps the previous finalized statistics: the
+  // watermark still progresses the stream (Sec. 2.2) but contributes no
+  // new delay observations.
+  s.current_delays.Reset();
+  ++s.epoch;
+  s.last_sweep_ingest = ingest_time;
+  s.last_swept_deadline = deadline;
+}
+
+const SwmTracker::StreamStats& SwmTracker::stream(int i) const {
+  KLINK_CHECK(i >= 0 && i < num_streams());
+  return streams_[static_cast<size_t>(i)];
+}
+
+}  // namespace klink

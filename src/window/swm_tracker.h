@@ -1,0 +1,59 @@
+#ifndef KLINK_WINDOW_SWM_TRACKER_H_
+#define KLINK_WINDOW_SWM_TRACKER_H_
+
+#include <vector>
+
+#include "src/common/running_stats.h"
+#include "src/common/types.h"
+
+namespace klink {
+
+/// Per-input-stream bookkeeping of epoch progress at a windowed operator.
+///
+/// Klink divides each stream into epochs demarcated by SWMs (Sec. 3): the
+/// (n+1)-th epoch starts after the n-th SWM is ingested. This tracker
+/// records, per input stream, (a) the network delays of the data events of
+/// the current epoch — the population D_n of Eq. 3/4 — and (b) each sweep:
+/// the watermark that elapsed a window deadline on that stream, together
+/// with the swept deadline and the watermark's SPE ingestion time. The
+/// Klink evaluator polls these to maintain the mu/chi history used by the
+/// SWM ingestion estimator (Sec. 3.1); for joins every input stream is
+/// tracked separately so per-stream slack can be computed (Sec. 3.3).
+class SwmTracker {
+ public:
+  struct StreamStats {
+    /// Number of completed epochs (sweeps observed) on this stream.
+    int64_t epoch = 0;
+    /// Delays of data events ingested during the current (open) epoch.
+    RunningStats current_delays;
+    /// Finalized statistics of the most recently closed epoch:
+    /// mu = mean delay (Eq. 3), chi = mean squared delay (Eq. 4).
+    double last_mu = 0.0;
+    double last_chi = 0.0;
+    bool has_finalized_epoch = false;
+    /// SPE ingestion time of the watermark that closed the last epoch.
+    TimeMicros last_sweep_ingest = kNoTime;
+    /// The window deadline that sweep elapsed.
+    TimeMicros last_swept_deadline = kNoTime;
+  };
+
+  explicit SwmTracker(int num_streams);
+
+  /// Records the network delay of a data event on `stream`.
+  void RecordEventDelay(int stream, DurationMicros delay);
+
+  /// Records that a watermark ingested at `ingest_time` elapsed window
+  /// deadline `deadline` on `stream`, closing the current epoch.
+  void RecordStreamSweep(int stream, TimeMicros deadline,
+                         TimeMicros ingest_time);
+
+  int num_streams() const { return static_cast<int>(streams_.size()); }
+  const StreamStats& stream(int i) const;
+
+ private:
+  std::vector<StreamStats> streams_;
+};
+
+}  // namespace klink
+
+#endif  // KLINK_WINDOW_SWM_TRACKER_H_

@@ -1,0 +1,76 @@
+#include "src/window/window_assigner.h"
+
+#include "src/common/check.h"
+
+namespace klink {
+namespace {
+
+// Floor division that is correct for negative numerators (offset shifts can
+// make the relative time negative near the stream start).
+int64_t FloorDiv(int64_t a, int64_t b) {
+  int64_t q = a / b;
+  if ((a % b != 0) && ((a < 0) != (b < 0))) --q;
+  return q;
+}
+
+}  // namespace
+
+TumblingWindowAssigner::TumblingWindowAssigner(DurationMicros size,
+                                               DurationMicros offset)
+    : size_(size), offset_(offset) {
+  KLINK_CHECK_GT(size, 0);
+  KLINK_CHECK_GE(offset, 0);
+}
+
+void TumblingWindowAssigner::AssignWindows(TimeMicros event_time,
+                                           std::vector<WindowSpan>* out) const {
+  const int64_t k = FloorDiv(event_time - offset_, size_);
+  out->push_back(
+      WindowSpan{k * size_ + offset_, (k + 1) * size_ + offset_});
+}
+
+TimeMicros TumblingWindowAssigner::NextDeadlineAfter(TimeMicros t) const {
+  // Smallest window end (k+1)*size + offset strictly greater than t.
+  return (FloorDiv(t - offset_, size_) + 1) * size_ + offset_;
+}
+
+SlidingWindowAssigner::SlidingWindowAssigner(DurationMicros size,
+                                             DurationMicros slide,
+                                             DurationMicros offset)
+    : size_(size), slide_(slide), offset_(offset) {
+  KLINK_CHECK_GT(size, 0);
+  KLINK_CHECK_GT(slide, 0);
+  KLINK_CHECK_LE(slide, size);
+  KLINK_CHECK_GE(offset, 0);
+}
+
+void SlidingWindowAssigner::AssignWindows(TimeMicros event_time,
+                                          std::vector<WindowSpan>* out) const {
+  // Windows start at multiples of slide_ plus offset_; the event belongs to
+  // every window whose start is in (event_time - size_, event_time].
+  const int64_t last_start =
+      FloorDiv(event_time - offset_, slide_) * slide_ + offset_;
+  for (int64_t start = last_start; start > event_time - size_;
+       start -= slide_) {
+    out->push_back(WindowSpan{start, start + size_});
+  }
+}
+
+TimeMicros SlidingWindowAssigner::NextDeadlineAfter(TimeMicros t) const {
+  // Deadlines sit at k*slide + offset + size; find the smallest one > t.
+  const int64_t k = FloorDiv(t - offset_ - size_, slide_) + 1;
+  return k * slide_ + offset_ + size_;
+}
+
+std::unique_ptr<WindowAssigner> MakeTumblingWindow(DurationMicros size,
+                                                   DurationMicros offset) {
+  return std::make_unique<TumblingWindowAssigner>(size, offset);
+}
+
+std::unique_ptr<WindowAssigner> MakeSlidingWindow(DurationMicros size,
+                                                  DurationMicros slide,
+                                                  DurationMicros offset) {
+  return std::make_unique<SlidingWindowAssigner>(size, slide, offset);
+}
+
+}  // namespace klink

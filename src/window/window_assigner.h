@@ -1,0 +1,103 @@
+#ifndef KLINK_WINDOW_WINDOW_ASSIGNER_H_
+#define KLINK_WINDOW_WINDOW_ASSIGNER_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace klink {
+
+/// A half-open event-time frame [start, end). Its *deadline* is `end`: the
+/// window contains every needed event once no event with event_time < end
+/// can still arrive, i.e. once a watermark with timestamp >= end is ingested
+/// (that watermark is the window's sweeping watermark, SWM; Sec. 2.2).
+struct WindowSpan {
+  TimeMicros start = 0;
+  TimeMicros end = 0;
+
+  TimeMicros deadline() const { return end; }
+  friend bool operator==(const WindowSpan&, const WindowSpan&) = default;
+};
+
+/// Maps event-times to the time-based windows that claim them (paper
+/// Sec. 2.1 window functions omega_(s,l)). Implementations are stateless
+/// and shared across keys.
+///
+/// All assigners take a phase `offset`: window starts are shifted by
+/// offset modulo the slide (as in Flink's window assigners). Experiments
+/// give each query a random offset so window deadlines are uniformly
+/// spread across queries (Sec. 6.2.1).
+class WindowAssigner {
+ public:
+  virtual ~WindowAssigner() = default;
+
+  /// Appends every window containing `event_time` to `out`.
+  virtual void AssignWindows(TimeMicros event_time,
+                             std::vector<WindowSpan>* out) const = 0;
+
+  /// Earliest window deadline strictly greater than `t`. With watermark
+  /// timestamp t, this is the deadline the *next* SWM must elapse.
+  virtual TimeMicros NextDeadlineAfter(TimeMicros t) const = 0;
+
+  /// Window length in event time.
+  virtual DurationMicros size() const = 0;
+
+  /// Deadline period: deadlines occur every slide() time units (== size()
+  /// for tumbling windows).
+  virtual DurationMicros slide() const = 0;
+
+  /// Phase shift of window starts.
+  virtual DurationMicros offset() const = 0;
+};
+
+/// Tumbling (non-overlapping) windows: [k*size + offset, (k+1)*size + offset).
+class TumblingWindowAssigner final : public WindowAssigner {
+ public:
+  /// Requires size > 0.
+  explicit TumblingWindowAssigner(DurationMicros size,
+                                  DurationMicros offset = 0);
+
+  void AssignWindows(TimeMicros event_time,
+                     std::vector<WindowSpan>* out) const override;
+  TimeMicros NextDeadlineAfter(TimeMicros t) const override;
+  DurationMicros size() const override { return size_; }
+  DurationMicros slide() const override { return size_; }
+  DurationMicros offset() const override { return offset_; }
+
+ private:
+  DurationMicros size_;
+  DurationMicros offset_;
+};
+
+/// Sliding windows: [k*slide + offset, k*slide + offset + size).
+/// Each event belongs to ceil(size/slide) windows.
+class SlidingWindowAssigner final : public WindowAssigner {
+ public:
+  /// Requires size > 0 and 0 < slide <= size.
+  SlidingWindowAssigner(DurationMicros size, DurationMicros slide,
+                        DurationMicros offset = 0);
+
+  void AssignWindows(TimeMicros event_time,
+                     std::vector<WindowSpan>* out) const override;
+  TimeMicros NextDeadlineAfter(TimeMicros t) const override;
+  DurationMicros size() const override { return size_; }
+  DurationMicros slide() const override { return slide_; }
+  DurationMicros offset() const override { return offset_; }
+
+ private:
+  DurationMicros size_;
+  DurationMicros slide_;
+  DurationMicros offset_;
+};
+
+/// Convenience factories.
+std::unique_ptr<WindowAssigner> MakeTumblingWindow(DurationMicros size,
+                                                   DurationMicros offset = 0);
+std::unique_ptr<WindowAssigner> MakeSlidingWindow(DurationMicros size,
+                                                  DurationMicros slide,
+                                                  DurationMicros offset = 0);
+
+}  // namespace klink
+
+#endif  // KLINK_WINDOW_WINDOW_ASSIGNER_H_

@@ -1,0 +1,56 @@
+#include "src/workloads/lrb.h"
+
+#include <utility>
+#include <vector>
+
+#include "src/query/pipeline_builder.h"
+#include "src/workloads/workload.h"
+
+namespace klink {
+
+std::unique_ptr<Query> MakeLrbQuery(QueryId id, const LrbConfig& config) {
+  PipelineBuilder b("lrb");
+  // Three position-report sub-streams, each mapped onto its highway
+  // segment before the group-by join.
+  std::vector<BuilderStream> inputs;
+  const int64_t segments = std::max<int64_t>(1, config.num_segments);
+  for (int i = 0; i < 3; ++i) {
+    const std::string suffix = std::to_string(i);
+    inputs.push_back(
+        b.Source("position-reports-" + suffix, config.source_cost)
+            .Map("segment-map-" + suffix, config.map_cost,
+                 [segments](Event& e) { e.key %= segments; }));
+  }
+  b.TumblingJoin("segment-join", config.join_cost, config.join_window,
+                 std::move(inputs), config.window_offset)
+      .SlidingAggregate("accident-detection", config.accident_cost,
+                        config.accident_window, config.accident_slide,
+                        AggregationKind::kMax, config.window_offset)
+      .TumblingAggregate("toll-calculation", config.toll_cost,
+                         config.toll_window, AggregationKind::kSum,
+                         config.window_offset)
+      .Sink("toll-output", config.sink_cost);
+  return b.Build(id);
+}
+
+std::unique_ptr<EventFeed> MakeLrbFeed(const LrbConfig& config,
+                                       std::unique_ptr<DelayModel> delay,
+                                       uint64_t seed, TimeMicros start_time) {
+  std::vector<SourceSpec> specs;
+  for (int i = 0; i < 3; ++i) {
+    SourceSpec spec;
+    spec.events_per_second = config.events_per_substream_per_second;
+    spec.key_cardinality = config.num_segments;
+    spec.value_min = 0.0;
+    spec.value_max = 180.0;  // vehicle speed
+    spec.payload_bytes = 112;  // vehicle id, speed, lane, position, ...
+    spec.burstiness = config.burstiness;
+    spec.watermark_period = config.watermark_period;
+    spec.watermark_lag = config.watermark_lag;
+    specs.push_back(spec);
+  }
+  return std::make_unique<SyntheticFeed>(std::move(specs), std::move(delay),
+                                         seed, start_time);
+}
+
+}  // namespace klink

@@ -1,0 +1,61 @@
+#ifndef KLINK_WORKLOADS_LRB_H_
+#define KLINK_WORKLOADS_LRB_H_
+
+#include <memory>
+
+#include "src/net/delay_model.h"
+#include "src/query/query.h"
+#include "src/runtime/event_feed.h"
+
+namespace klink {
+
+/// Linear Road Benchmark [7], streaming variant [26] (Sec. 6.1.1): a
+/// complex pipeline mixing tumbling windows, sliding windows and a
+/// group-by join over three position-report sub-streams, implementing the
+/// accident-detection and toll-calculation queries.
+///
+///   3 x (source -> map(segment)) -> tumbling-join(join_window) ->
+///   sliding-agg(accident: accident_window/accident_slide) ->
+///   tumbling-agg(toll: toll_window) -> sink
+///
+/// Per the paper's stress setup, the deadline period of the last window
+/// operator (toll) defaults to 1/3 of the earlier deadline period so
+/// pipeline pressure intensifies at SWM ingestion.
+struct LrbConfig {
+  /// Data events per second per sub-stream (paper: 6.5K per 2 s = 3250/s).
+  double events_per_substream_per_second = 1000.0;
+  /// Highway segments (grouping keys).
+  int64_t num_segments = 100;
+
+  DurationMicros join_window = SecondsToMicros(2);
+  DurationMicros accident_window = SecondsToMicros(5);
+  DurationMicros accident_slide = SecondsToMicros(3);
+  /// Toll window = accident_slide / 3 by default (1 s).
+  DurationMicros toll_window = SecondsToMicros(1);
+  DurationMicros window_offset = 0;
+
+  /// Load burstiness (see SourceSpec::burstiness).
+  double burstiness = 0.5;
+
+  DurationMicros watermark_period = MillisToMicros(500);
+  DurationMicros watermark_lag = MillisToMicros(150);
+
+  double source_cost = 25.0;
+  double map_cost = 22.0;
+  double join_cost = 42.0;
+  double accident_cost = 40.0;
+  double toll_cost = 30.0;
+  double sink_cost = 5.0;
+};
+
+/// Builds the LRB accident-detection + toll query.
+std::unique_ptr<Query> MakeLrbQuery(QueryId id, const LrbConfig& config);
+
+/// Builds the 3-sub-stream feed.
+std::unique_ptr<EventFeed> MakeLrbFeed(const LrbConfig& config,
+                                       std::unique_ptr<DelayModel> delay,
+                                       uint64_t seed, TimeMicros start_time);
+
+}  // namespace klink
+
+#endif  // KLINK_WORKLOADS_LRB_H_

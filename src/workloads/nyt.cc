@@ -1,0 +1,46 @@
+#include "src/workloads/nyt.h"
+
+#include <utility>
+#include <vector>
+
+#include "src/query/pipeline_builder.h"
+#include "src/workloads/workload.h"
+
+namespace klink {
+
+std::unique_ptr<Query> MakeNytQuery(QueryId id, const NytConfig& config) {
+  PipelineBuilder b("nyt");
+  const int64_t cells = std::max<int64_t>(1, config.num_cells);
+  b.Source("taxi-trips", config.source_cost)
+      .Map("parse", config.parse_cost)
+      .Filter("valid-trip", config.filter_cost,
+              FilterOperator::HashPassRate(config.valid_fraction),
+              config.valid_fraction)
+      .Map("pickup-cell", config.cell_map_cost,
+           [cells](Event& e) { e.key %= cells; })
+      .Map("fare-enrich", config.enrich_cost,
+           [](Event& e) { e.value *= 1.15; })  // add taxes & surcharge
+      .SlidingAggregate("fare-average", config.aggregate_cost,
+                        config.window_size, config.slide,
+                        AggregationKind::kAverage, config.window_offset)
+      .Sink("dashboard", config.sink_cost);
+  return b.Build(id);
+}
+
+std::unique_ptr<EventFeed> MakeNytFeed(const NytConfig& config,
+                                       std::unique_ptr<DelayModel> delay,
+                                       uint64_t seed, TimeMicros start_time) {
+  SourceSpec spec;
+  spec.events_per_second = config.events_per_second;
+  spec.key_cardinality = config.num_cells * 16;  // raw location ids
+  spec.value_min = 2.5;                          // minimum fare
+  spec.value_max = 80.0;
+  spec.payload_bytes = 128;  // trip record: times, coordinates, fare, tip
+  spec.burstiness = config.burstiness;
+  spec.watermark_period = config.watermark_period;
+  spec.watermark_lag = config.watermark_lag;
+  return std::make_unique<SyntheticFeed>(std::vector<SourceSpec>{spec},
+                                         std::move(delay), seed, start_time);
+}
+
+}  // namespace klink

@@ -1,0 +1,56 @@
+#ifndef KLINK_WORKLOADS_NYT_H_
+#define KLINK_WORKLOADS_NYT_H_
+
+#include <memory>
+
+#include "src/net/delay_model.h"
+#include "src/query/query.h"
+#include "src/runtime/event_feed.h"
+
+namespace klink {
+
+/// New York City Taxi benchmark (DEBS 2015 Grand Challenge [27],
+/// Sec. 6.1.1): an aggregation query over taxi trip records, "a complex
+/// pipeline that includes a sequence of many stateless operators and a
+/// sliding aggregation window of size two seconds and a slide of one
+/// second".
+///
+///   source -> parse -> valid-trip-filter -> map(cell) -> enrich(fare) ->
+///   sliding-avg(window/slide) -> sink
+struct NytConfig {
+  /// Data events per second per query (paper: 7K/s).
+  double events_per_second = 1000.0;
+  /// Grid cells (grouping keys).
+  int64_t num_cells = 200;
+  double valid_fraction = 0.9;  // trips surviving validity filtering
+
+  DurationMicros window_size = SecondsToMicros(2);
+  DurationMicros slide = SecondsToMicros(1);
+  DurationMicros window_offset = 0;
+
+  /// Load burstiness (see SourceSpec::burstiness).
+  double burstiness = 0.5;
+
+  DurationMicros watermark_period = MillisToMicros(500);
+  DurationMicros watermark_lag = MillisToMicros(150);
+
+  double source_cost = 12.0;
+  double parse_cost = 17.0;
+  double filter_cost = 12.0;
+  double cell_map_cost = 12.0;
+  double enrich_cost = 12.0;
+  double aggregate_cost = 35.0;
+  double sink_cost = 5.0;
+};
+
+/// Builds the NYT aggregation query.
+std::unique_ptr<Query> MakeNytQuery(QueryId id, const NytConfig& config);
+
+/// Builds the matching feed.
+std::unique_ptr<EventFeed> MakeNytFeed(const NytConfig& config,
+                                       std::unique_ptr<DelayModel> delay,
+                                       uint64_t seed, TimeMicros start_time);
+
+}  // namespace klink
+
+#endif  // KLINK_WORKLOADS_NYT_H_

@@ -1,0 +1,92 @@
+#include "src/workloads/workload.h"
+
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/event/stream_queue.h"
+
+namespace klink {
+
+SyntheticFeed::SyntheticFeed(std::vector<SourceSpec> sources,
+                             std::unique_ptr<DelayModel> delay, uint64_t seed,
+                             TimeMicros start_time)
+    : delay_(std::move(delay)), rng_(seed) {
+  KLINK_CHECK(!sources.empty());
+  KLINK_CHECK(delay_ != nullptr);
+  sources_.reserve(sources.size());
+  for (SourceSpec& spec : sources) {
+    KLINK_CHECK_GT(spec.events_per_second, 0.0);
+    KLINK_CHECK_GT(spec.watermark_period, 0);
+    SourceState state;
+    state.spec = spec;
+    state.next_event_time = static_cast<double>(start_time);
+    state.next_watermark_time = start_time + spec.watermark_period;
+    state.next_marker_time = start_time + spec.marker_period;
+    sources_.push_back(state);
+  }
+}
+
+void SyntheticFeed::GenerateUpTo(TimeMicros horizon) {
+  for (size_t i = 0; i < sources_.size(); ++i) {
+    SourceState& src = sources_[i];
+    // Data events, with bursty rate modulation when configured.
+    while (src.next_event_time <= static_cast<double>(horizon)) {
+      if (src.spec.burstiness > 0.0 &&
+          static_cast<TimeMicros>(src.next_event_time) >=
+              src.next_burst_switch) {
+        src.rate_multiplier =
+            1.0 + src.spec.burstiness * (2.0 * rng_.NextDouble() - 1.0);
+        src.next_burst_switch =
+            static_cast<TimeMicros>(src.next_event_time) +
+            rng_.NextInt(SecondsToMicros(1), SecondsToMicros(4));
+      }
+      const double interval =
+          1e6 / (src.spec.events_per_second * src.rate_multiplier);
+      const TimeMicros gen = static_cast<TimeMicros>(src.next_event_time);
+      const uint64_t key = static_cast<uint64_t>(
+          rng_.NextInt(0, src.spec.key_cardinality - 1));
+      const double value =
+          src.spec.value_min +
+          rng_.NextDouble() * (src.spec.value_max - src.spec.value_min);
+      Event e = MakeDataEvent(gen, gen + delay_->Sample(rng_), key, value,
+                              src.spec.payload_bytes);
+      pending_.push(Pending{e.ingest_time, seq_++,
+                            FeedElement{static_cast<int>(i), e}});
+      ++generated_;
+      src.next_event_time += interval;
+    }
+    // Watermarks: timestamp trails emission by the lateness bound.
+    while (src.next_watermark_time <= horizon) {
+      const TimeMicros gen = src.next_watermark_time;
+      Event wm = MakeWatermark(gen - src.spec.watermark_lag,
+                               gen + delay_->Sample(rng_));
+      pending_.push(Pending{wm.ingest_time, seq_++,
+                            FeedElement{static_cast<int>(i), wm}});
+      src.next_watermark_time += src.spec.watermark_period;
+    }
+    // Latency markers.
+    while (src.next_marker_time <= horizon) {
+      const TimeMicros gen = src.next_marker_time;
+      Event m = MakeLatencyMarker(gen, gen + delay_->Sample(rng_));
+      pending_.push(Pending{m.ingest_time, seq_++,
+                            FeedElement{static_cast<int>(i), m}});
+      src.next_marker_time += src.spec.marker_period;
+    }
+  }
+}
+
+void SyntheticFeed::PollUpTo(TimeMicros now, int64_t max_bytes,
+                             std::vector<FeedElement>* out) {
+  GenerateUpTo(now);
+  int64_t delivered = 0;
+  while (!pending_.empty() && pending_.top().ingest_time <= now) {
+    const int64_t sz = pending_.top().element.event.payload_bytes +
+                       StreamQueue::kPerEventOverhead;
+    if (delivered > 0 && delivered + sz > max_bytes) break;
+    delivered += sz;
+    out->push_back(pending_.top().element);
+    pending_.pop();
+  }
+}
+
+}  // namespace klink

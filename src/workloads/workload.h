@@ -1,0 +1,94 @@
+#ifndef KLINK_WORKLOADS_WORKLOAD_H_
+#define KLINK_WORKLOADS_WORKLOAD_H_
+
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/types.h"
+#include "src/net/delay_model.h"
+#include "src/runtime/event_feed.h"
+
+namespace klink {
+
+/// Generation parameters of one input source of a query.
+struct SourceSpec {
+  /// Data events per second of virtual time.
+  double events_per_second = 1000.0;
+  /// Keys are drawn uniformly from [0, key_cardinality).
+  int64_t key_cardinality = 100;
+  /// Values are drawn uniformly from [value_min, value_max).
+  double value_min = 0.0;
+  double value_max = 100.0;
+  uint32_t payload_bytes = 64;
+  /// Watermarks are emitted every watermark_period with timestamp
+  /// (emission time - watermark_lag): the application's bound on event
+  /// lateness (Sec. 2.2: "a periodic watermark can be generated every five
+  /// seconds holding a timestamp of the current time minus five seconds").
+  DurationMicros watermark_period = MillisToMicros(500);
+  DurationMicros watermark_lag = MillisToMicros(150);
+  /// Latency markers every marker_period (paper: 200 ms, Sec. 6.1.2).
+  DurationMicros marker_period = MillisToMicros(200);
+  /// Load burstiness: the instantaneous event rate is modulated by a
+  /// multiplier drawn uniformly from [1 - burstiness, 1 + burstiness],
+  /// re-drawn every 1-4 s. Real application streams exhibit exactly these
+  /// fluctuating load spikes (Sec. 1); 0 disables modulation.
+  double burstiness = 0.0;
+};
+
+/// Deterministic synthetic feed: per-source periodic data events, periodic
+/// watermarks, and latency markers, each delayed by the configured network
+/// delay model; elements are delivered in ingestion order.
+class SyntheticFeed final : public EventFeed {
+ public:
+  /// `start_time`: generation begins at this virtual time (the query's
+  /// deploy time). One delay model instance is shared by all sources of
+  /// this feed (they model the same network path).
+  SyntheticFeed(std::vector<SourceSpec> sources,
+                std::unique_ptr<DelayModel> delay, uint64_t seed,
+                TimeMicros start_time);
+
+  void PollUpTo(TimeMicros now, int64_t max_bytes,
+                std::vector<FeedElement>* out) override;
+  int64_t generated_events() const override { return generated_; }
+
+ private:
+  struct SourceState {
+    SourceSpec spec;
+    double next_event_time = 0.0;  // double: sub-micro rate accumulation
+    TimeMicros next_watermark_time = 0;
+    TimeMicros next_marker_time = 0;
+    /// Burst modulation: current rate multiplier and when to re-draw it.
+    double rate_multiplier = 1.0;
+    TimeMicros next_burst_switch = 0;
+  };
+  struct Pending {
+    TimeMicros ingest_time;
+    int64_t seq;  // tie-break to keep delivery deterministic
+    FeedElement element;
+    bool operator>(const Pending& other) const {
+      if (ingest_time != other.ingest_time) {
+        return ingest_time > other.ingest_time;
+      }
+      return seq > other.seq;
+    }
+  };
+
+  /// Generates all elements with generation time <= horizon into the
+  /// pending heap (delays are non-negative, so nothing ingestible by
+  /// `horizon` can be generated after it).
+  void GenerateUpTo(TimeMicros horizon);
+
+  std::vector<SourceState> sources_;
+  std::unique_ptr<DelayModel> delay_;
+  Rng rng_;
+  std::priority_queue<Pending, std::vector<Pending>, std::greater<Pending>>
+      pending_;
+  int64_t seq_ = 0;
+  int64_t generated_ = 0;
+};
+
+}  // namespace klink
+
+#endif  // KLINK_WORKLOADS_WORKLOAD_H_

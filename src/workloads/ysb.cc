@@ -1,0 +1,41 @@
+#include "src/workloads/ysb.h"
+
+#include <utility>
+#include <vector>
+
+#include "src/query/pipeline_builder.h"
+#include "src/workloads/workload.h"
+
+namespace klink {
+
+std::unique_ptr<Query> MakeYsbQuery(QueryId id, const YsbConfig& config) {
+  PipelineBuilder b("ysb");
+  const int64_t ads_per_campaign = std::max<int64_t>(1, config.ads_per_campaign);
+  b.Source("ad-events", config.source_cost)
+      .Filter("view-filter", config.filter_cost,
+              FilterOperator::HashPassRate(config.view_fraction),
+              config.view_fraction)
+      .Map("project-join-campaign", config.map_cost,
+           [ads_per_campaign](Event& e) { e.key /= ads_per_campaign; })
+      .TumblingAggregate("campaign-count", config.aggregate_cost,
+                         config.window_size, AggregationKind::kCount,
+                         config.window_offset)
+      .Sink("output", config.sink_cost);
+  return b.Build(id);
+}
+
+std::unique_ptr<EventFeed> MakeYsbFeed(const YsbConfig& config,
+                                       std::unique_ptr<DelayModel> delay,
+                                       uint64_t seed, TimeMicros start_time) {
+  SourceSpec spec;
+  spec.events_per_second = config.events_per_second;
+  spec.key_cardinality = config.num_campaigns * config.ads_per_campaign;
+  spec.payload_bytes = 96;  // ad id, page id, event type, timestamp, ip
+  spec.burstiness = config.burstiness;
+  spec.watermark_period = config.watermark_period;
+  spec.watermark_lag = config.watermark_lag;
+  return std::make_unique<SyntheticFeed>(std::vector<SourceSpec>{spec},
+                                         std::move(delay), seed, start_time);
+}
+
+}  // namespace klink

@@ -1,0 +1,55 @@
+#ifndef KLINK_WORKLOADS_YSB_H_
+#define KLINK_WORKLOADS_YSB_H_
+
+#include <memory>
+
+#include "src/net/delay_model.h"
+#include "src/query/query.h"
+#include "src/runtime/event_feed.h"
+
+namespace klink {
+
+/// Yahoo! Streaming Benchmark [18]: advertising events filtered to views,
+/// projected, joined to their campaign and counted per campaign in a
+/// tumbling window — "a simple pipeline with aggregation" (Sec. 6.1.1).
+///
+///   source -> filter(view, ~1/3) -> map(ad->campaign) ->
+///   tumbling-count(window_size) -> sink
+struct YsbConfig {
+  /// Data events per second per query.
+  double events_per_second = 1000.0;
+  /// Tumbling window size (paper: 3 s windows).
+  DurationMicros window_size = SecondsToMicros(3);
+  /// Phase shift of the window deadlines (randomized per query, Sec. 6.2.1).
+  DurationMicros window_offset = 0;
+  int64_t num_campaigns = 100;
+  /// Ads per campaign (ad id = key; campaign = ad / ads_per_campaign).
+  int64_t ads_per_campaign = 10;
+  /// Fraction of events that are "view" events passing the filter.
+  double view_fraction = 1.0 / 3.0;
+
+  /// Load burstiness (see SourceSpec::burstiness).
+  double burstiness = 0.5;
+
+  DurationMicros watermark_period = MillisToMicros(500);
+  DurationMicros watermark_lag = MillisToMicros(150);
+
+  /// Per-event virtual CPU costs (micros).
+  double source_cost = 30.0;
+  double filter_cost = 35.0;
+  double map_cost = 25.0;
+  double aggregate_cost = 60.0;
+  double sink_cost = 5.0;
+};
+
+/// Builds the YSB query pipeline.
+std::unique_ptr<Query> MakeYsbQuery(QueryId id, const YsbConfig& config);
+
+/// Builds the matching input feed. Generation starts at `start_time`.
+std::unique_ptr<EventFeed> MakeYsbFeed(const YsbConfig& config,
+                                       std::unique_ptr<DelayModel> delay,
+                                       uint64_t seed, TimeMicros start_time);
+
+}  // namespace klink
+
+#endif  // KLINK_WORKLOADS_YSB_H_

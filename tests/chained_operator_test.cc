@@ -1,0 +1,121 @@
+#include "src/operators/chained_operator.h"
+
+#include <gtest/gtest.h>
+
+#include "src/operators/aggregate_operator.h"
+#include "src/operators/filter_operator.h"
+#include "src/operators/map_operator.h"
+#include "src/window/window_assigner.h"
+
+namespace klink {
+namespace {
+
+std::unique_ptr<ChainedOperator> FilterMapChain() {
+  std::vector<std::unique_ptr<Operator>> ops;
+  ops.push_back(std::make_unique<FilterOperator>(
+      "evens", 10.0, [](const Event& e) { return e.key % 2 == 0; }, 0.5));
+  ops.push_back(std::make_unique<MapOperator>(
+      "double", 20.0, [](Event& e) { e.value *= 2.0; }));
+  return std::make_unique<ChainedOperator>("chain", std::move(ops));
+}
+
+TEST(ChainedOperatorTest, DataFlowsThroughAllLinks) {
+  auto chain = FilterMapChain();
+  VectorEmitter out;
+  chain->Process(MakeDataEvent(0, 0, /*key=*/2, 10.0), 0, out);
+  chain->Process(MakeDataEvent(0, 0, /*key=*/3, 10.0), 0, out);
+  ASSERT_EQ(out.events.size(), 1u);  // odd key filtered inside the chain
+  EXPECT_DOUBLE_EQ(out.events[0].value, 20.0);  // map applied
+}
+
+TEST(ChainedOperatorTest, CompositeCostIsSelectivityWeighted) {
+  auto chain = FilterMapChain();
+  // 10 (filter) + 0.5 * 20 (map reached by half the events).
+  EXPECT_DOUBLE_EQ(chain->cost_per_event(), 20.0);
+  EXPECT_DOUBLE_EQ(chain->selectivity_hint(), 0.5);
+}
+
+TEST(ChainedOperatorTest, SelectivityMeasuredAtChainBoundary) {
+  auto chain = FilterMapChain();
+  VectorEmitter out;
+  for (uint64_t k = 0; k < 64; ++k) {
+    chain->Process(MakeDataEvent(0, 0, k, 1.0), 0, out);
+  }
+  EXPECT_DOUBLE_EQ(chain->selectivity(), 0.5);
+}
+
+TEST(ChainedOperatorTest, WindowInsideChainFiresAndFlagsSwm) {
+  std::vector<std::unique_ptr<Operator>> ops;
+  ops.push_back(std::make_unique<MapOperator>("id", 5.0));
+  ops.push_back(std::make_unique<WindowAggregateOperator>(
+      "w", 10.0, MakeTumblingWindow(1000), AggregationKind::kCount));
+  ChainedOperator chain("c", std::move(ops));
+  VectorEmitter out;
+  chain.Process(MakeDataEvent(100, 100, 1, 1.0), 0, out);
+  EXPECT_TRUE(out.events.empty());  // absorbed into the pane
+  chain.Process(MakeWatermark(1500, 1550), 0, out);
+  // One result + exactly one (composite) watermark, flagged SWM.
+  ASSERT_EQ(out.events.size(), 2u);
+  EXPECT_TRUE(out.events[0].is_data());
+  EXPECT_DOUBLE_EQ(out.events[0].value, 1.0);
+  EXPECT_TRUE(out.events[1].is_watermark());
+  EXPECT_TRUE(out.events[1].swm);
+  EXPECT_EQ(chain.forwarded_watermarks(), 1);
+}
+
+TEST(ChainedOperatorTest, ExposesWindowSurface) {
+  std::vector<std::unique_ptr<Operator>> ops;
+  ops.push_back(std::make_unique<WindowAggregateOperator>(
+      "w", 10.0, MakeTumblingWindow(2000), AggregationKind::kSum));
+  ChainedOperator chain("c", std::move(ops));
+  EXPECT_TRUE(chain.IsWindowed());
+  EXPECT_EQ(chain.DeadlinePeriod(), 2000);
+  EXPECT_EQ(chain.UpcomingDeadline(), 2000);
+  EXPECT_NE(chain.swm_tracker(), nullptr);
+  EXPECT_TRUE(chain.SupportsPartialComputation());
+}
+
+TEST(ChainedOperatorTest, StatelessChainHasNoWindowSurface) {
+  auto chain = FilterMapChain();
+  EXPECT_FALSE(chain->IsWindowed());
+  EXPECT_EQ(chain->swm_tracker(), nullptr);
+  EXPECT_EQ(chain->UpcomingDeadline(), kNoTime);
+  EXPECT_FALSE(chain->SupportsPartialComputation());
+}
+
+TEST(ChainedOperatorTest, StateAggregatesAcrossLinks) {
+  std::vector<std::unique_ptr<Operator>> ops;
+  ops.push_back(std::make_unique<WindowAggregateOperator>(
+      "w", 10.0, MakeTumblingWindow(1000), AggregationKind::kCount));
+  ChainedOperator chain("c", std::move(ops));
+  VectorEmitter out;
+  chain.Process(MakeDataEvent(100, 100, 1, 1.0), 0, out);
+  EXPECT_EQ(chain.StateBytes(),
+            WindowAggregateOperator::kBytesPerPane +
+                WindowAggregateOperator::kBytesPerKeyState);
+}
+
+TEST(ChainedOperatorTest, LatencyMarkersTraverse) {
+  auto chain = FilterMapChain();
+  VectorEmitter out;
+  chain->Process(MakeLatencyMarker(500, 510), 1000, out);
+  ASSERT_EQ(out.events.size(), 1u);
+  EXPECT_TRUE(out.events[0].is_latency_marker());
+  EXPECT_EQ(out.events[0].event_time, 500);
+}
+
+TEST(ChainedOperatorTest, NonSweepingWatermarkNotFlagged) {
+  std::vector<std::unique_ptr<Operator>> ops;
+  ops.push_back(std::make_unique<WindowAggregateOperator>(
+      "w", 10.0, MakeTumblingWindow(10000), AggregationKind::kCount));
+  ChainedOperator chain("c", std::move(ops));
+  VectorEmitter out;
+  chain.Process(MakeDataEvent(100, 100, 1, 1.0), 0, out);
+  chain.Process(MakeWatermark(500, 500), 0, out);  // before the deadline
+  ASSERT_EQ(out.events.size(), 1u);
+  EXPECT_TRUE(out.events[0].is_watermark());
+  EXPECT_FALSE(out.events[0].swm);
+}
+
+}  // namespace
+}  // namespace klink

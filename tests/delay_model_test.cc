@@ -1,0 +1,79 @@
+#include "src/net/delay_model.h"
+
+#include <gtest/gtest.h>
+
+namespace klink {
+namespace {
+
+TEST(DelayModelTest, ConstantDelay) {
+  ConstantDelay d(500);
+  Rng rng(1);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(d.Sample(rng), 500);
+  EXPECT_EQ(d.name(), "constant");
+}
+
+TEST(DelayModelTest, UniformBoundsAndMean) {
+  UniformDelay d(100, 300);
+  Rng rng(2);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const DurationMicros v = d.Sample(rng);
+    EXPECT_GE(v, 100);
+    EXPECT_LE(v, 300);
+    sum += static_cast<double>(v);
+  }
+  EXPECT_NEAR(sum / n, 200.0, 2.0);
+}
+
+TEST(DelayModelTest, ZipfValuesOnGrid) {
+  ZipfDelay d(/*lo=*/1000, /*step=*/500, /*n=*/10, /*s=*/0.99);
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const DurationMicros v = d.Sample(rng);
+    EXPECT_GE(v, 1000);
+    EXPECT_LE(v, 1000 + 9 * 500);
+    EXPECT_EQ((v - 1000) % 500, 0);
+  }
+}
+
+TEST(DelayModelTest, ZipfSkewsTowardLow) {
+  ZipfDelay d(0, 1000, 100, 0.99);
+  Rng rng(4);
+  int low = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    if (d.Sample(rng) < 10000) ++low;  // first 10 ranks
+  }
+  EXPECT_GT(low, n / 2);  // heavy head
+}
+
+TEST(DelayModelTest, ExponentialShiftAndMean) {
+  ExponentialDelay d(/*lo=*/1000, /*mean=*/2000);
+  Rng rng(5);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const DurationMicros v = d.Sample(rng);
+    EXPECT_GE(v, 1000);
+    sum += static_cast<double>(v);
+  }
+  EXPECT_NEAR(sum / n, 3000.0, 50.0);
+}
+
+TEST(DelayModelTest, PaperModels) {
+  auto uniform = MakePaperUniformDelay();
+  auto zipf = MakePaperZipfDelay();
+  Rng rng(6);
+  for (int i = 0; i < 1000; ++i) {
+    const DurationMicros u = uniform->Sample(rng);
+    EXPECT_GE(u, MillisToMicros(5));
+    EXPECT_LE(u, MillisToMicros(100));
+    const DurationMicros z = zipf->Sample(rng);
+    EXPECT_GE(z, MillisToMicros(5));
+    EXPECT_LE(z, MillisToMicros(5) + 199 * MillisToMicros(2));
+  }
+}
+
+}  // namespace
+}  // namespace klink

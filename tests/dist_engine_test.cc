@@ -1,0 +1,130 @@
+#include "src/dist/dist_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "src/klink/klink_policy.h"
+#include "src/net/delay_model.h"
+#include "src/query/pipeline_builder.h"
+#include "src/sched/rr_policy.h"
+#include "src/workloads/workload.h"
+#include "src/workloads/ysb.h"
+
+namespace klink {
+namespace {
+
+std::unique_ptr<EventFeed> SteadyFeed(double rate, uint64_t seed) {
+  SourceSpec spec;
+  spec.events_per_second = rate;
+  spec.key_cardinality = 10;
+  spec.watermark_period = MillisToMicros(250);
+  spec.watermark_lag = MillisToMicros(50);
+  return std::make_unique<SyntheticFeed>(
+      std::vector<SourceSpec>{spec},
+      std::make_unique<ConstantDelay>(MillisToMicros(10)), seed, 0);
+}
+
+DistEngine::PolicyFactory RrFactory() {
+  return [](NodeId) { return std::make_unique<RoundRobinPolicy>(); };
+}
+
+TEST(DistEngineTest, SingleNodeEndToEnd) {
+  DistEngineConfig config;
+  config.num_nodes = 1;
+  DistEngine engine(config, RrFactory());
+  YsbConfig ysb;
+  ysb.events_per_second = 500;
+  engine.AddQuery(MakeYsbQuery(0, ysb), SteadyFeed(500, 1));
+  engine.RunUntil(SecondsToMicros(12));
+  EXPECT_GT(engine.query(0).sink().results_received(), 0);
+  EXPECT_GT(engine.AggregateSwmLatency().count(), 0);
+}
+
+TEST(DistEngineTest, SplitPlacementDeliversAcrossNodes) {
+  DistEngineConfig config;
+  config.num_nodes = 3;
+  config.placement = PlacementMode::kSplit;
+  config.link_latency = MillisToMicros(5);
+  DistEngine engine(config, RrFactory());
+  YsbConfig ysb;
+  ysb.events_per_second = 500;
+  engine.AddQuery(MakeYsbQuery(0, ysb), SteadyFeed(500, 2));
+  // The pipeline really is split.
+  EXPECT_GT(CountCrossNodeEdges(engine.query(0), engine.placement(0)), 0);
+  engine.RunUntil(SecondsToMicros(12));
+  // Results still flow end-to-end through the transit links.
+  EXPECT_GT(engine.query(0).sink().results_received(), 0);
+  EXPECT_GT(engine.AggregateSwmLatency().count(), 0);
+}
+
+TEST(DistEngineTest, LocalPlacementRoundRobinsQueries) {
+  DistEngineConfig config;
+  config.num_nodes = 2;
+  config.placement = PlacementMode::kLocal;
+  DistEngine engine(config, RrFactory());
+  YsbConfig ysb;
+  ysb.events_per_second = 200;
+  for (int q = 0; q < 4; ++q) {
+    engine.AddQuery(MakeYsbQuery(q, ysb), SteadyFeed(200, 10 + q));
+  }
+  for (int q = 0; q < 4; ++q) {
+    const auto& placement = engine.placement(q);
+    for (NodeId n : placement) EXPECT_EQ(n, q % 2);
+  }
+}
+
+TEST(DistEngineTest, LinkLatencyDelaysCrossNodeEvents) {
+  // With a huge link latency and split placement, output stalls far
+  // behind the single-node equivalent.
+  auto run = [](DurationMicros link_latency) {
+    DistEngineConfig config;
+    config.num_nodes = 2;
+    config.placement = PlacementMode::kSplit;
+    config.link_latency = link_latency;
+    DistEngine engine(config, RrFactory());
+    YsbConfig ysb;
+    ysb.events_per_second = 500;
+    engine.AddQuery(MakeYsbQuery(0, ysb), SteadyFeed(500, 3));
+    engine.RunUntil(SecondsToMicros(12));
+    return engine.AggregateSwmLatency().mean();
+  };
+  const double fast = run(MillisToMicros(1));
+  const double slow = run(SecondsToMicros(2));
+  EXPECT_GT(slow, fast + 1e6);
+}
+
+TEST(DistEngineTest, KlinkRunsDecentralized) {
+  DistEngineConfig config;
+  config.num_nodes = 4;
+  config.placement = PlacementMode::kLocal;
+  DistEngine engine(config, [](NodeId) {
+    return std::make_unique<KlinkPolicy>();
+  });
+  YsbConfig ysb;
+  ysb.events_per_second = 400;
+  for (int q = 0; q < 8; ++q) {
+    engine.AddQuery(MakeYsbQuery(q, ysb), SteadyFeed(400, 20 + q));
+  }
+  engine.RunUntil(SecondsToMicros(15));
+  for (int q = 0; q < 8; ++q) {
+    EXPECT_GT(engine.query(q).sink().results_received(), 0) << q;
+  }
+}
+
+TEST(DistEngineTest, DeterministicAcrossRuns) {
+  auto run = [] {
+    DistEngineConfig config;
+    config.num_nodes = 2;
+    config.placement = PlacementMode::kSplit;
+    DistEngine engine(config, RrFactory());
+    YsbConfig ysb;
+    ysb.events_per_second = 300;
+    engine.AddQuery(MakeYsbQuery(0, ysb), SteadyFeed(300, 5));
+    engine.RunUntil(SecondsToMicros(10));
+    return std::make_pair(engine.metrics().processed_events(),
+                          engine.AggregateSwmLatency().mean());
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace klink

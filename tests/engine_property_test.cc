@@ -1,0 +1,182 @@
+// Property-style, engine-level invariant tests: the SWM ordering contract
+// of Sec. 2.2 observed at the sink, event conservation through the
+// pipeline, and invariants that must hold under *every* scheduling policy
+// (parameterized sweep).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/harness/experiment.h"
+#include "src/net/delay_model.h"
+#include "src/operators/operator.h"
+#include "src/query/pipeline_builder.h"
+#include "src/runtime/engine.h"
+#include "src/workloads/workload.h"
+
+namespace klink {
+namespace {
+
+/// Transparent checker inserted before the sink: asserts the two SWM
+/// invariants of Sec. 2.2 — (i) watermarks arrive with monotonically
+/// increasing timestamps, and (ii) every window result precedes any
+/// watermark that covers its deadline (results flushed before their SWM).
+class SwmInvariantChecker final : public Operator {
+ public:
+  SwmInvariantChecker() : Operator("swm-checker", 0.1, 1) {}
+
+  int64_t results_seen = 0;
+  int64_t swms_seen = 0;
+  bool violated = false;
+
+ protected:
+  void OnData(const Event& e, TimeMicros /*now*/, Emitter& out) override {
+    ++results_seen;
+    // Invariant (ii): a result for deadline D must not arrive after a
+    // watermark with timestamp >= D was already observed.
+    if (max_watermark_ != kNoTime && e.event_time <= max_watermark_) {
+      violated = true;
+      ADD_FAILURE() << "window result for deadline " << e.event_time
+                    << " arrived after watermark " << max_watermark_;
+    }
+    EmitData(e, out);
+  }
+
+  void OnWatermark(const Event& incoming, TimeMicros min_watermark,
+                   TimeMicros /*now*/, Emitter& /*out*/) override {
+    if (incoming.swm) ++swms_seen;
+    // Invariant (i): the base class already drops non-monotone watermarks;
+    // what we observe here must strictly increase.
+    EXPECT_GT(min_watermark, max_watermark_ == kNoTime ? -1 : max_watermark_);
+    max_watermark_ = min_watermark;
+  }
+
+ private:
+  TimeMicros max_watermark_ = kNoTime;
+};
+
+TEST(EnginePropertyTest, SwmInvariantsHoldEndToEnd) {
+  EngineConfig config;
+  config.num_cores = 2;
+  Engine engine(config, std::make_unique<KlinkPolicy>());
+
+  PipelineBuilder b("checked");
+  auto* checker_owner = new SwmInvariantChecker();  // owned by the query
+  b.Source("src", 10.0)
+      .Filter("f", 10.0, FilterOperator::HashPassRate(0.5), 0.5)
+      .TumblingAggregate("w", 20.0, SecondsToMicros(1),
+                         AggregationKind::kCount)
+      .Then(std::unique_ptr<Operator>(checker_owner))
+      .Sink("out", 2.0);
+  SourceSpec spec;
+  spec.events_per_second = 2000;
+  spec.watermark_period = MillisToMicros(200);
+  spec.watermark_lag = MillisToMicros(120);
+  engine.AddQuery(b.Build(0),
+                  std::make_unique<SyntheticFeed>(
+                      std::vector<SourceSpec>{spec}, MakePaperUniformDelay(),
+                      /*seed=*/11, 0));
+  engine.RunFor(SecondsToMicros(30));
+
+  EXPECT_FALSE(checker_owner->violated);
+  EXPECT_GT(checker_owner->results_seen, 20);
+  EXPECT_GT(checker_owner->swms_seen, 20);
+}
+
+TEST(EnginePropertyTest, EventConservationThroughStatelessChain) {
+  // Every ingested data event is either still queued or was processed; a
+  // stateless chain neither invents nor loses events.
+  EngineConfig config;
+  config.num_cores = 1;
+  Engine engine(config, std::make_unique<KlinkPolicy>());
+  PipelineBuilder b("conserve");
+  b.Source("src", 5.0).Map("m", 5.0).Sink("out", 1.0);
+  SourceSpec spec;
+  spec.events_per_second = 1000;
+  engine.AddQuery(b.Build(0),
+                  std::make_unique<SyntheticFeed>(
+                      std::vector<SourceSpec>{spec},
+                      std::make_unique<ConstantDelay>(0), 3, 0));
+  engine.RunFor(SecondsToMicros(10));
+  Query& q = engine.query(0);
+  const int64_t ingested = engine.metrics().ingested_events();
+  const int64_t at_sink = q.sink().processed_data_count();
+  const int64_t queued = q.op(0).input(0).data_count() +
+                         q.op(1).input(0).data_count() +
+                         q.op(2).input(0).data_count();
+  EXPECT_EQ(ingested, at_sink + queued);
+  EXPECT_GT(ingested, 9000);
+}
+
+class PolicyInvariantTest : public ::testing::TestWithParam<PolicyKind> {};
+
+TEST_P(PolicyInvariantTest, NoLossNoDuplicationUnderAnyPolicy) {
+  ExperimentConfig config;
+  config.policy = GetParam();
+  config.workload = WorkloadKind::kYsb;
+  config.num_queries = 6;
+  config.events_per_second = 500;
+  config.duration = SecondsToMicros(30);
+  config.warmup = SecondsToMicros(10);
+  config.engine.num_cores = 2;
+  const ExperimentResult r = RunExperiment(config);
+  // Latency histogram percentiles are monotone.
+  EXPECT_LE(r.latency.min(), r.latency.Percentile(50));
+  EXPECT_LE(r.latency.Percentile(50), r.latency.Percentile(90));
+  EXPECT_LE(r.latency.Percentile(90), r.latency.Percentile(99));
+  EXPECT_LE(r.latency.Percentile(99), r.latency.max());
+  // SWMs flowed to every sink.
+  EXPECT_GT(r.latency.count(), 0);
+  // CPU utilization is a valid fraction and memory stayed within capacity.
+  EXPECT_LE(r.mean_cpu_utilization, 1.0);
+  EXPECT_LE(r.peak_memory_bytes,
+            config.engine.memory_capacity_bytes + (1 << 20));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, PolicyInvariantTest,
+    ::testing::Values(PolicyKind::kDefault, PolicyKind::kFcfs,
+                      PolicyKind::kRoundRobin, PolicyKind::kHighestRate,
+                      PolicyKind::kStreamBox, PolicyKind::kKlink,
+                      PolicyKind::kKlinkNoMm),
+    [](const ::testing::TestParamInfo<PolicyKind>& info) {
+      std::string name = PolicyKindName(info.param);
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+TEST(EnginePropertyTest, WindowResultsIndependentOfPolicy) {
+  // Scheduling changes *when* windows fire, never *what* they contain:
+  // with identical seeds, total per-query window results converge to the
+  // same counts under different policies once everything drains.
+  auto run = [](PolicyKind policy) {
+    EngineConfig config;
+    config.num_cores = 4;
+    KlinkPolicyConfig kc;
+    Engine engine(config, MakePolicy(policy, kc, 1));
+    PipelineBuilder b("q");
+    b.Source("src", 5.0)
+        .TumblingAggregate("w", 10.0, SecondsToMicros(1),
+                           AggregationKind::kCount)
+        .Sink("out", 1.0);
+    SourceSpec spec;
+    spec.events_per_second = 800;
+    spec.key_cardinality = 5;
+    spec.watermark_lag = MillisToMicros(120);
+    engine.AddQuery(b.Build(0),
+                    std::make_unique<SyntheticFeed>(
+                        std::vector<SourceSpec>{spec},
+                        MakePaperUniformDelay(), /*seed=*/21, 0));
+    engine.RunFor(SecondsToMicros(20));
+    return engine.query(0).sink().results_received();
+  };
+  const int64_t klink = run(PolicyKind::kKlink);
+  const int64_t rr = run(PolicyKind::kRoundRobin);
+  // Up to one window's worth of results may straddle the cutoff.
+  EXPECT_NEAR(static_cast<double>(klink), static_cast<double>(rr), 6.0);
+}
+
+}  // namespace
+}  // namespace klink

@@ -1,0 +1,213 @@
+#include "src/runtime/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "src/klink/klink_policy.h"
+#include "src/net/delay_model.h"
+#include "src/query/pipeline_builder.h"
+#include "src/sched/rr_policy.h"
+#include "src/workloads/workload.h"
+
+namespace klink {
+namespace {
+
+std::unique_ptr<Query> CountQuery(QueryId id,
+                                  DurationMicros window = SecondsToMicros(1)) {
+  PipelineBuilder b("count");
+  b.Source("src", 5.0)
+      .TumblingAggregate("w", 10.0, window, AggregationKind::kCount)
+      .Sink("out", 2.0);
+  return b.Build(id);
+}
+
+std::unique_ptr<EventFeed> SteadyFeed(double rate, uint64_t seed,
+                                      DurationMicros delay = MillisToMicros(10)) {
+  SourceSpec spec;
+  spec.events_per_second = rate;
+  spec.key_cardinality = 10;
+  spec.watermark_period = MillisToMicros(250);
+  spec.watermark_lag = MillisToMicros(50);
+  return std::make_unique<SyntheticFeed>(
+      std::vector<SourceSpec>{spec},
+      std::make_unique<ConstantDelay>(delay), seed, 0);
+}
+
+TEST(EngineTest, EndToEndWindowResults) {
+  EngineConfig config;
+  config.num_cores = 1;
+  Engine engine(config, std::make_unique<RoundRobinPolicy>());
+  engine.AddQuery(CountQuery(0), SteadyFeed(500, 1));
+  engine.RunFor(SecondsToMicros(10));
+  // ~10 one-second windows over 10 keys fired.
+  EXPECT_GT(engine.query(0).sink().results_received(), 50);
+  EXPECT_GT(engine.AggregateSwmLatency().count(), 5);
+  EXPECT_GT(engine.metrics().processed_events(), 4000);
+}
+
+TEST(EngineTest, DeterministicAcrossRuns) {
+  auto run = [] {
+    EngineConfig config;
+    Engine engine(config, std::make_unique<RoundRobinPolicy>());
+    engine.AddQuery(CountQuery(0), SteadyFeed(500, 7));
+    engine.AddQuery(CountQuery(1), SteadyFeed(700, 8));
+    engine.RunFor(SecondsToMicros(8));
+    return std::make_tuple(engine.metrics().processed_events(),
+                           engine.AggregateSwmLatency().mean(),
+                           engine.query(0).sink().results_received());
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(EngineTest, LatencyReflectsWatermarkLag) {
+  EngineConfig config;
+  Engine engine(config, std::make_unique<RoundRobinPolicy>());
+  engine.AddQuery(CountQuery(0), SteadyFeed(500, 3));
+  engine.RunFor(SecondsToMicros(10));
+  const Histogram lat = engine.AggregateSwmLatency();
+  // The SWM trails its deadline by the watermark lag (50 ms) + phase
+  // (<=250 ms) + delay (10 ms) + scheduling quantization.
+  EXPECT_GT(lat.min(), MillisToMicros(50));
+  EXPECT_LT(lat.mean(), static_cast<double>(MillisToMicros(800)));
+}
+
+TEST(EngineTest, DeployTimeDefersIngestion) {
+  EngineConfig config;
+  Engine engine(config, std::make_unique<RoundRobinPolicy>());
+  SourceSpec spec;
+  spec.events_per_second = 1000;
+  auto feed = std::make_unique<SyntheticFeed>(
+      std::vector<SourceSpec>{spec}, std::make_unique<ConstantDelay>(0),
+      /*seed=*/1, /*start_time=*/SecondsToMicros(5));
+  engine.AddQuery(CountQuery(0), std::move(feed), SecondsToMicros(5));
+  engine.RunFor(SecondsToMicros(3));
+  EXPECT_EQ(engine.metrics().ingested_events(), 0);
+  engine.RunFor(SecondsToMicros(4));
+  EXPECT_GT(engine.metrics().ingested_events(), 1000);
+}
+
+TEST(EngineTest, BackpressureBoundsMemory) {
+  EngineConfig config;
+  config.num_cores = 1;
+  config.memory_capacity_bytes = 64 << 10;  // tiny: 64 KB
+  Engine engine(config, std::make_unique<RoundRobinPolicy>());
+  // Offered load far above one core's capacity.
+  PipelineBuilder b("heavy");
+  b.Source("src", 200.0)
+      .TumblingAggregate("w", 400.0, SecondsToMicros(1),
+                         AggregationKind::kCount)
+      .Sink("out", 10.0);
+  engine.AddQuery(b.Build(0), SteadyFeed(20000, 5));
+  engine.RunFor(SecondsToMicros(10));
+  // In-SPE memory never exceeds the capacity (bounded ingestion).
+  EXPECT_LE(engine.memory().peak_bytes(),
+            config.memory_capacity_bytes + (64 << 10));
+}
+
+TEST(EngineTest, MemoryPressureInflatesCosts) {
+  // Identical offered load and work; the run whose memory sits above the
+  // pressure onset pays more CPU time per event (the managed-runtime
+  // slowdown model).
+  auto busy_per_event = [](double penalty) {
+    EngineConfig config;
+    config.num_cores = 1;
+    // Tiny capacity: the overloaded query pins utilization near 1.0.
+    config.memory_capacity_bytes = 256 << 10;
+    config.pressure_onset_fraction = 0.3;
+    config.memory_pressure_penalty = penalty;
+    Engine engine(config, std::make_unique<RoundRobinPolicy>());
+    engine.AddQuery(CountQuery(0), SteadyFeed(20000, 5));
+    engine.RunFor(SecondsToMicros(5));
+    return engine.metrics().core_busy_micros() /
+           static_cast<double>(engine.metrics().processed_events());
+  };
+  EXPECT_GT(busy_per_event(/*penalty=*/1.0),
+            busy_per_event(/*penalty=*/0.0) * 1.2);
+}
+
+TEST(EngineTest, MetricsSamplesCollected) {
+  EngineConfig config;
+  config.metrics_sample_period = MillisToMicros(240);
+  Engine engine(config, std::make_unique<RoundRobinPolicy>());
+  engine.AddQuery(CountQuery(0), SteadyFeed(500, 2));
+  engine.RunFor(SecondsToMicros(6));
+  const auto& samples = engine.metrics().samples();
+  ASSERT_GT(samples.size(), 10u);
+  for (const ResourceSample& s : samples) {
+    EXPECT_GE(s.cpu_utilization, 0.0);
+    EXPECT_LE(s.cpu_utilization, 1.0 + 1e-9);
+    EXPECT_GE(s.memory_bytes, 0);
+  }
+}
+
+TEST(EngineTest, MultipleCoresRunDistinctQueries) {
+  EngineConfig config;
+  config.num_cores = 4;
+  Engine engine(config, std::make_unique<RoundRobinPolicy>());
+  for (int i = 0; i < 4; ++i) {
+    engine.AddQuery(CountQuery(i), SteadyFeed(500, 10 + i));
+  }
+  engine.RunFor(SecondsToMicros(10));
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_GT(engine.query(i).sink().results_received(), 0) << i;
+  }
+}
+
+TEST(EngineTest, SlowdownPositiveUnderLoad) {
+  EngineConfig config;
+  Engine engine(config, std::make_unique<KlinkPolicy>());
+  engine.AddQuery(CountQuery(0), SteadyFeed(500, 4));
+  engine.RunFor(SecondsToMicros(10));
+  EXPECT_GT(engine.MeanSlowdown(), 1.0);
+}
+
+TEST(EngineTest, AggregateMarkerLatencyRecorded) {
+  EngineConfig config;
+  Engine engine(config, std::make_unique<RoundRobinPolicy>());
+  engine.AddQuery(CountQuery(0), SteadyFeed(500, 6));
+  engine.RunFor(SecondsToMicros(10));
+  // Markers every 200 ms: ~50 markers minus warm-up effects.
+  EXPECT_GT(engine.AggregateMarkerLatency().count(), 20);
+}
+
+TEST(EngineTest, RemoveQueryStopsServiceButKeepsStats) {
+  EngineConfig config;
+  config.num_cores = 2;
+  Engine engine(config, std::make_unique<RoundRobinPolicy>());
+  engine.AddQuery(CountQuery(0), SteadyFeed(500, 1));
+  engine.AddQuery(CountQuery(1), SteadyFeed(500, 2));
+  engine.RunFor(SecondsToMicros(6));
+  const int64_t results_before = engine.query(0).sink().results_received();
+  ASSERT_GT(results_before, 0);
+
+  engine.RemoveQuery(0);
+  EXPECT_FALSE(engine.IsActive(0));
+  EXPECT_TRUE(engine.IsActive(1));
+  EXPECT_EQ(engine.query(0).QueuedEvents(), 0);  // queues released
+
+  engine.RunFor(SecondsToMicros(6));
+  // The removed query made no further progress; its stats remain readable.
+  EXPECT_EQ(engine.query(0).sink().results_received(), results_before);
+  // The survivor kept running.
+  EXPECT_GT(engine.query(1).sink().results_received(), results_before);
+}
+
+TEST(EngineTest, RemoveQueryFreesMemoryAccounting) {
+  EngineConfig config;
+  config.num_cores = 1;
+  Engine engine(config, std::make_unique<RoundRobinPolicy>());
+  // Overloaded query builds a backlog.
+  PipelineBuilder b("heavy");
+  b.Source("src", 500.0)
+      .TumblingAggregate("w", 500.0, SecondsToMicros(1),
+                         AggregationKind::kCount)
+      .Sink("out", 10.0);
+  engine.AddQuery(b.Build(0), SteadyFeed(20000, 3));
+  engine.RunFor(SecondsToMicros(5));
+  ASSERT_GT(engine.memory().used_bytes(), 1 << 20);
+  engine.RemoveQuery(0);
+  engine.RunFor(SecondsToMicros(1));
+  EXPECT_EQ(engine.memory().used_bytes(), 0);
+}
+
+}  // namespace
+}  // namespace klink

@@ -1,0 +1,80 @@
+#include "src/klink/epoch_tracker.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace klink {
+namespace {
+
+TEST(EpochTrackerTest, StartsEmpty) {
+  EpochTracker t(10);
+  EXPECT_EQ(t.epochs(), 0);
+  EXPECT_EQ(t.history_size(), 0);
+  EXPECT_FALSE(t.HasDelayHistory());
+  EXPECT_FALSE(t.HasOffsetHistory());
+  EXPECT_DOUBLE_EQ(t.MeanOffset(), 0.0);
+}
+
+TEST(EpochTrackerTest, MeansOverHistory) {
+  EpochTracker t(10);
+  t.PushEpoch(100.0, 12000.0, 500.0, true);
+  t.PushEpoch(200.0, 48000.0, 700.0, true);
+  EXPECT_EQ(t.epochs(), 2);
+  EXPECT_DOUBLE_EQ(t.MeanMu(), 150.0);
+  EXPECT_DOUBLE_EQ(t.MeanChi(), 30000.0);
+  EXPECT_DOUBLE_EQ(t.MeanOffset(), 600.0);
+  EXPECT_DOUBLE_EQ(t.VarOffset(), 10000.0);  // population var of {500,700}
+}
+
+TEST(EpochTrackerTest, HistoryBounded) {
+  EpochTracker t(3);
+  for (int i = 0; i < 10; ++i) {
+    t.PushEpoch(static_cast<double>(i), 0.0, static_cast<double>(i), true);
+  }
+  EXPECT_EQ(t.epochs(), 10);
+  EXPECT_EQ(t.history_size(), 3);
+  EXPECT_DOUBLE_EQ(t.MeanOffset(), 8.0);  // last three: 7, 8, 9
+  EXPECT_DOUBLE_EQ(t.MeanMu(), 8.0);
+}
+
+TEST(EpochTrackerTest, EpochsWithoutDelayStatsSkipMuChi) {
+  EpochTracker t(10);
+  t.PushEpoch(0.0, 0.0, 500.0, /*has_delay_stats=*/false);
+  EXPECT_EQ(t.epochs(), 1);
+  EXPECT_FALSE(t.HasDelayHistory());
+  EXPECT_EQ(t.history_size(), 1);  // offset still recorded
+  t.PushEpoch(100.0, 10000.0, 600.0, true);
+  EXPECT_TRUE(t.HasDelayHistory());
+  EXPECT_DOUBLE_EQ(t.MeanMu(), 100.0);
+}
+
+TEST(EpochTrackerTest, Eq6VarianceIsMeanWithinVarianceOverH) {
+  // Identical epochs with within-epoch variance sigma^2: Eq. 6 reduces to
+  // sigma^2 / h (variance of the estimated mean; see header docs).
+  EpochTracker t(100);
+  const double mu = 50.0;
+  const double sigma_sq = 400.0;
+  const double chi = sigma_sq + mu * mu;
+  const int h = 8;
+  for (int i = 0; i < h; ++i) t.PushEpoch(mu, chi, 0.0, true);
+  EXPECT_NEAR(t.Eq6Variance(), sigma_sq / h, 1e-9);
+}
+
+TEST(EpochTrackerTest, Eq6VarianceNeedsTwoEpochs) {
+  EpochTracker t(10);
+  EXPECT_DOUBLE_EQ(t.Eq6Variance(), 0.0);
+  t.PushEpoch(10.0, 200.0, 0.0, true);
+  EXPECT_DOUBLE_EQ(t.Eq6Variance(), 0.0);
+}
+
+TEST(EpochTrackerTest, OffsetHistoryRequiresTwo) {
+  EpochTracker t(10);
+  t.PushEpoch(1.0, 1.0, 5.0, true);
+  EXPECT_FALSE(t.HasOffsetHistory());
+  t.PushEpoch(1.0, 1.0, 6.0, true);
+  EXPECT_TRUE(t.HasOffsetHistory());
+}
+
+}  // namespace
+}  // namespace klink

@@ -1,0 +1,156 @@
+#include "src/harness/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+
+namespace klink {
+namespace {
+
+ExperimentConfig TinyConfig() {
+  ExperimentConfig config;
+  config.num_queries = 4;
+  config.events_per_second = 300;
+  config.duration = SecondsToMicros(25);
+  config.warmup = SecondsToMicros(8);
+  config.deploy_spread = SecondsToMicros(3);
+  config.engine.num_cores = 2;
+  return config;
+}
+
+TEST(ExperimentTest, NamesRoundTrip) {
+  EXPECT_STREQ(PolicyKindName(PolicyKind::kKlink), "Klink");
+  EXPECT_STREQ(PolicyKindName(PolicyKind::kKlinkNoMm), "Klink (w/o MM)");
+  EXPECT_STREQ(WorkloadKindName(WorkloadKind::kLrb), "LRB");
+  EXPECT_STREQ(DelayKindName(DelayKind::kZipf), "Zipf");
+}
+
+TEST(ExperimentTest, MakePolicyProducesAllKinds) {
+  KlinkPolicyConfig kc;
+  for (PolicyKind kind :
+       {PolicyKind::kDefault, PolicyKind::kFcfs, PolicyKind::kRoundRobin,
+        PolicyKind::kHighestRate, PolicyKind::kStreamBox, PolicyKind::kKlink,
+        PolicyKind::kKlinkNoMm}) {
+    auto policy = MakePolicy(kind, kc, 1);
+    ASSERT_NE(policy, nullptr);
+    EXPECT_EQ(policy->name(), PolicyKindName(kind));
+  }
+}
+
+TEST(ExperimentTest, WatermarkLagCoversDelayModel) {
+  Rng rng(1);
+  for (DelayKind kind : {DelayKind::kUniform, DelayKind::kZipf}) {
+    auto model = MakeDelayModel(kind);
+    const DurationMicros lag = WatermarkLagFor(kind);
+    for (int i = 0; i < 5000; ++i) {
+      EXPECT_LE(model->Sample(rng), lag) << DelayKindName(kind);
+    }
+  }
+}
+
+TEST(ExperimentTest, ProbeSeesEveryCycle) {
+  ExperimentConfig config = TinyConfig();
+  int cycles = 0;
+  RunExperiment(config, [&cycles](const RuntimeSnapshot& snap) {
+    ++cycles;
+    EXPECT_EQ(snap.queries.size(), 4u);
+  });
+  // 25 s of 120 ms cycles.
+  EXPECT_NEAR(cycles, 209, 3);
+}
+
+TEST(ExperimentTest, DeterministicForSeed) {
+  auto run = [] {
+    ExperimentConfig config = TinyConfig();
+    config.policy = PolicyKind::kKlink;
+    const ExperimentResult r = RunExperiment(config);
+    return std::make_tuple(r.mean_latency_s, r.throughput_eps,
+                           r.latency.count());
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(ExperimentTest, SeedChangesOutcome) {
+  ExperimentConfig config = TinyConfig();
+  const ExperimentResult a = RunExperiment(config);
+  config.seed = 99;
+  const ExperimentResult b = RunExperiment(config);
+  EXPECT_NE(a.latency.count(), b.latency.count());
+}
+
+struct MatrixParam {
+  PolicyKind policy;
+  WorkloadKind workload;
+};
+
+class ExperimentMatrixTest : public ::testing::TestWithParam<MatrixParam> {};
+
+TEST_P(ExperimentMatrixTest, ProducesOutputAndSaneMetrics) {
+  ExperimentConfig config = TinyConfig();
+  config.policy = GetParam().policy;
+  config.workload = GetParam().workload;
+  if (config.workload == WorkloadKind::kLrb) config.events_per_second = 100;
+  const ExperimentResult r = RunExperiment(config);
+  EXPECT_GT(r.latency.count(), 0) << "no SWMs reached the sinks";
+  EXPECT_GT(r.mean_latency_s, 0.0);
+  EXPECT_LE(r.p50_latency_s, r.p99_latency_s);
+  EXPECT_GT(r.throughput_eps, 0.0);
+  EXPECT_GE(r.mean_cpu_utilization, 0.0);
+  EXPECT_LE(r.mean_cpu_utilization, 1.0);
+  EXPECT_GT(r.slowdown, 0.0);
+  EXPECT_FALSE(r.samples.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPoliciesAllWorkloads, ExperimentMatrixTest,
+    ::testing::Values(
+        MatrixParam{PolicyKind::kDefault, WorkloadKind::kYsb},
+        MatrixParam{PolicyKind::kFcfs, WorkloadKind::kYsb},
+        MatrixParam{PolicyKind::kRoundRobin, WorkloadKind::kYsb},
+        MatrixParam{PolicyKind::kHighestRate, WorkloadKind::kYsb},
+        MatrixParam{PolicyKind::kStreamBox, WorkloadKind::kYsb},
+        MatrixParam{PolicyKind::kKlink, WorkloadKind::kYsb},
+        MatrixParam{PolicyKind::kKlinkNoMm, WorkloadKind::kYsb},
+        MatrixParam{PolicyKind::kDefault, WorkloadKind::kLrb},
+        MatrixParam{PolicyKind::kKlink, WorkloadKind::kLrb},
+        MatrixParam{PolicyKind::kDefault, WorkloadKind::kNyt},
+        MatrixParam{PolicyKind::kKlink, WorkloadKind::kNyt}));
+
+TEST(ExperimentTest, RunRepeatedAggregatesAndBoundsCi) {
+  ExperimentConfig config = TinyConfig();
+  config.policy = PolicyKind::kKlink;
+  const RepeatedResult agg = RunRepeated(config, 3);
+  EXPECT_EQ(agg.runs, 3);
+  ASSERT_EQ(agg.results.size(), 3u);
+  // The aggregate mean lies within the per-run extremes.
+  double lo = agg.results[0].mean_latency_s, hi = lo;
+  for (const ExperimentResult& r : agg.results) {
+    lo = std::min(lo, r.mean_latency_s);
+    hi = std::max(hi, r.mean_latency_s);
+  }
+  EXPECT_GE(agg.mean_latency_s, lo);
+  EXPECT_LE(agg.mean_latency_s, hi);
+  EXPECT_GE(agg.latency_ci95_s, 0.0);
+  EXPECT_LE(agg.latency_ci95_s, (hi - lo) * 1.96 + 1e-12);
+  EXPECT_GT(agg.throughput_eps, 0.0);
+}
+
+TEST(ExperimentTest, RunRepeatedSingleRunHasNoCi) {
+  ExperimentConfig config = TinyConfig();
+  const RepeatedResult agg = RunRepeated(config, 1);
+  EXPECT_EQ(agg.runs, 1);
+  EXPECT_DOUBLE_EQ(agg.latency_ci95_s, 0.0);
+}
+
+TEST(ExperimentTest, KlinkReportsEstimatorAccuracy) {
+  ExperimentConfig config = TinyConfig();
+  config.policy = PolicyKind::kKlink;
+  config.duration = SecondsToMicros(60);
+  const ExperimentResult r = RunExperiment(config);
+  EXPECT_GT(r.estimator_predictions, 0);
+  EXPECT_GT(r.estimator_accuracy, 0.5);
+}
+
+}  // namespace
+}  // namespace klink

@@ -1,0 +1,82 @@
+#include "src/operators/filter_operator.h"
+
+#include <gtest/gtest.h>
+
+#include "src/operators/source_operator.h"
+
+namespace klink {
+namespace {
+
+TEST(FilterOperatorTest, PredicateDropsNonMatching) {
+  FilterOperator op("even-keys", 1.0,
+                    [](const Event& e) { return e.key % 2 == 0; }, 0.5);
+  VectorEmitter out;
+  for (uint64_t k = 0; k < 10; ++k) {
+    op.Process(MakeDataEvent(0, 0, k, 0.0), 0, out);
+  }
+  EXPECT_EQ(out.events.size(), 5u);
+  for (const Event& e : out.events) EXPECT_EQ(e.key % 2, 0u);
+}
+
+TEST(FilterOperatorTest, SelectivityHintFromPassRate) {
+  FilterOperator op("f", 1.0, [](const Event&) { return true; }, 0.3);
+  EXPECT_DOUBLE_EQ(op.selectivity_hint(), 0.3);
+  EXPECT_DOUBLE_EQ(op.selectivity(), 0.3);  // before measurements
+}
+
+TEST(FilterOperatorTest, HashPassRateApproximatesTarget) {
+  for (double rate : {0.1, 1.0 / 3.0, 0.8}) {
+    FilterOperator op("f", 1.0, FilterOperator::HashPassRate(rate), rate);
+    VectorEmitter out;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+      op.Process(MakeDataEvent(/*event_time=*/i * 37, 0,
+                               static_cast<uint64_t>(i * 1001), 0.0),
+                 0, out);
+    }
+    const double measured = static_cast<double>(out.events.size()) / n;
+    EXPECT_NEAR(measured, rate, 0.02) << "target " << rate;
+  }
+}
+
+TEST(FilterOperatorTest, HashPassRateDeterministic) {
+  const auto pred = FilterOperator::HashPassRate(0.5);
+  const Event e = MakeDataEvent(123, 0, 456, 0.0);
+  const bool first = pred(e);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(pred(e), first);
+}
+
+TEST(FilterOperatorTest, HashPassRateExtremes) {
+  const auto none = FilterOperator::HashPassRate(0.0);
+  const auto all = FilterOperator::HashPassRate(1.0);
+  int pass_none = 0, pass_all = 0;
+  for (int i = 1; i <= 1000; ++i) {
+    const Event e = MakeDataEvent(i, 0, static_cast<uint64_t>(i), 0.0);
+    if (none(e)) ++pass_none;
+    if (all(e)) ++pass_all;
+  }
+  EXPECT_EQ(pass_none, 0);
+  EXPECT_EQ(pass_all, 1000);
+}
+
+TEST(FilterOperatorTest, WatermarksPassThroughFilters) {
+  FilterOperator op("drop-all", 1.0, [](const Event&) { return false; }, 0.0);
+  VectorEmitter out;
+  op.Process(MakeDataEvent(0, 0, 1, 1.0), 0, out);
+  op.Process(MakeWatermark(100, 110), 0, out);
+  ASSERT_EQ(out.events.size(), 1u);  // only the watermark
+  EXPECT_TRUE(out.events[0].is_watermark());
+}
+
+TEST(SourceOperatorTest, TracksLastNetworkDelay) {
+  SourceOperator op("src", 1.0);
+  VectorEmitter out;
+  EXPECT_EQ(op.last_network_delay(), -1);
+  op.Process(MakeDataEvent(/*event_time=*/100, /*ingest_time=*/180, 0, 0.0), 0,
+             out);
+  EXPECT_EQ(op.last_network_delay(), 80);
+  EXPECT_EQ(out.events.size(), 1u);
+}
+
+}  // namespace
+}  // namespace klink

@@ -1,0 +1,74 @@
+#include "src/common/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace klink {
+namespace {
+
+FlagParser Parse(std::vector<const char*> args) {
+  FlagParser p;
+  EXPECT_TRUE(p.Parse(static_cast<int>(args.size()), args.data()).ok());
+  return p;
+}
+
+TEST(FlagParserTest, KeyEqualsValue) {
+  FlagParser p = Parse({"--policy=klink", "--queries=60"});
+  EXPECT_EQ(p.GetString("policy", ""), "klink");
+  EXPECT_EQ(p.GetInt("queries", 0), 60);
+}
+
+TEST(FlagParserTest, KeySpaceValue) {
+  FlagParser p = Parse({"--rate", "1500.5", "--workload", "lrb"});
+  EXPECT_DOUBLE_EQ(p.GetDouble("rate", 0.0), 1500.5);
+  EXPECT_EQ(p.GetString("workload", ""), "lrb");
+}
+
+TEST(FlagParserTest, BareFlagIsBooleanTrue) {
+  FlagParser p = Parse({"--verbose", "--dry-run"});
+  EXPECT_TRUE(p.GetBool("verbose", false));
+  EXPECT_TRUE(p.GetBool("dry-run", false));
+}
+
+TEST(FlagParserTest, BoolSpellings) {
+  FlagParser p = Parse({"--a=true", "--b=0", "--c=yes", "--d=off", "--e=what"});
+  EXPECT_TRUE(p.GetBool("a", false));
+  EXPECT_FALSE(p.GetBool("b", true));
+  EXPECT_TRUE(p.GetBool("c", false));
+  EXPECT_FALSE(p.GetBool("d", true));
+  EXPECT_TRUE(p.GetBool("e", true));  // unparsable -> fallback
+}
+
+TEST(FlagParserTest, PositionalArguments) {
+  FlagParser p = Parse({"run", "--n=3", "extra"});
+  ASSERT_EQ(p.positional().size(), 2u);
+  EXPECT_EQ(p.positional()[0], "run");
+  EXPECT_EQ(p.positional()[1], "extra");
+}
+
+TEST(FlagParserTest, RepeatedFlagKeepsLast) {
+  FlagParser p = Parse({"--n=1", "--n=2"});
+  EXPECT_EQ(p.GetInt("n", 0), 2);
+}
+
+TEST(FlagParserTest, FallbacksWhenAbsentOrMalformed) {
+  FlagParser p = Parse({"--n=notanumber"});
+  EXPECT_EQ(p.GetInt("n", 7), 7);
+  EXPECT_DOUBLE_EQ(p.GetDouble("n", 1.5), 1.5);
+  EXPECT_EQ(p.GetInt("missing", 9), 9);
+  EXPECT_FALSE(p.Has("missing"));
+  EXPECT_TRUE(p.Has("n"));
+}
+
+TEST(FlagParserTest, BareDoubleDashRejected) {
+  FlagParser p;
+  const char* args[] = {"--"};
+  EXPECT_FALSE(p.Parse(1, args).ok());
+}
+
+TEST(FlagParserTest, NegativeNumbersAsValues) {
+  FlagParser p = Parse({"--offset=-250"});
+  EXPECT_EQ(p.GetInt("offset", 0), -250);
+}
+
+}  // namespace
+}  // namespace klink

@@ -1,0 +1,64 @@
+#include "src/dist/forwarding.h"
+
+#include <gtest/gtest.h>
+
+namespace klink {
+namespace {
+
+ForwardedQueryInfo Record(TimeMicros published, double drain) {
+  ForwardedQueryInfo info;
+  info.published_at = published;
+  info.drain_cost_by_node = {drain};
+  return info;
+}
+
+TEST(ForwardingChannelTest, EmptyHasNothing) {
+  ForwardingChannel channel;
+  EXPECT_EQ(channel.Latest(1000, 10), nullptr);
+}
+
+TEST(ForwardingChannelTest, RecordInvisibleUntilLatencyElapses) {
+  ForwardingChannel channel;
+  channel.Publish(Record(1000, 1.0));
+  EXPECT_EQ(channel.Latest(1005, /*latency=*/10), nullptr);
+  const ForwardedQueryInfo* rec = channel.Latest(1010, 10);
+  ASSERT_NE(rec, nullptr);
+  EXPECT_DOUBLE_EQ(rec->drain_cost_by_node[0], 1.0);
+}
+
+TEST(ForwardingChannelTest, ReturnsNewestVisible) {
+  ForwardingChannel channel;
+  channel.Publish(Record(1000, 1.0));
+  channel.Publish(Record(2000, 2.0));
+  channel.Publish(Record(3000, 3.0));
+  const ForwardedQueryInfo* rec = channel.Latest(2500, /*latency=*/100);
+  ASSERT_NE(rec, nullptr);
+  EXPECT_DOUBLE_EQ(rec->drain_cost_by_node[0], 2.0);  // 3000 not yet visible
+}
+
+TEST(ForwardingChannelTest, CompactKeepsNewestVisibleAndFuture) {
+  ForwardingChannel channel;
+  for (int i = 1; i <= 5; ++i) {
+    channel.Publish(Record(i * 1000, static_cast<double>(i)));
+  }
+  channel.Compact(/*now=*/3500, /*latency=*/100);
+  // Records 1 and 2 can never be read again; 3 is the newest visible.
+  const ForwardedQueryInfo* rec = channel.Latest(3500, 100);
+  ASSERT_NE(rec, nullptr);
+  EXPECT_DOUBLE_EQ(rec->drain_cost_by_node[0], 3.0);
+  // Future records survive compaction.
+  rec = channel.Latest(10000, 100);
+  ASSERT_NE(rec, nullptr);
+  EXPECT_DOUBLE_EQ(rec->drain_cost_by_node[0], 5.0);
+}
+
+TEST(ForwardingChannelTest, ZeroLatencyIsImmediatelyVisible) {
+  ForwardingChannel channel;
+  channel.Publish(Record(500, 4.0));
+  const ForwardedQueryInfo* rec = channel.Latest(500, 0);
+  ASSERT_NE(rec, nullptr);
+  EXPECT_DOUBLE_EQ(rec->drain_cost_by_node[0], 4.0);
+}
+
+}  // namespace
+}  // namespace klink

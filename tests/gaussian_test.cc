@@ -1,0 +1,53 @@
+#include "src/common/gaussian.h"
+
+#include <gtest/gtest.h>
+
+namespace klink {
+namespace {
+
+TEST(GaussianTest, QAtZeroIsHalf) { EXPECT_NEAR(GaussianQ(0.0), 0.5, 1e-12); }
+
+TEST(GaussianTest, QSymmetry) {
+  for (double x : {0.5, 1.0, 2.0, 3.0}) {
+    EXPECT_NEAR(GaussianQ(x) + GaussianQ(-x), 1.0, 1e-12) << x;
+  }
+}
+
+TEST(GaussianTest, KnownQuantiles) {
+  // Q(1.96) ~ 0.025, Q(1.645) ~ 0.05.
+  EXPECT_NEAR(GaussianQ(1.96), 0.025, 5e-4);
+  EXPECT_NEAR(GaussianQ(1.645), 0.05, 5e-4);
+}
+
+TEST(GaussianTest, CdfComplementsQ) {
+  for (double x : {-2.0, -0.3, 0.0, 1.7}) {
+    EXPECT_NEAR(GaussianCdf(x) + GaussianQ(x), 1.0, 1e-12) << x;
+  }
+}
+
+TEST(GaussianTest, IntervalProbTwoSigma) {
+  // P(mean - 2s <= X <= mean + 2s) ~ 0.954.
+  EXPECT_NEAR(GaussianIntervalProb(6.0, 14.0, 10.0, 2.0), 0.9545, 1e-3);
+}
+
+TEST(GaussianTest, IntervalProbEmptyInterval) {
+  EXPECT_EQ(GaussianIntervalProb(5.0, 4.0, 0.0, 1.0), 0.0);
+}
+
+TEST(GaussianTest, DegenerateSigmaPointMass) {
+  EXPECT_EQ(GaussianIntervalProb(1.0, 3.0, 2.0, 0.0), 1.0);
+  EXPECT_EQ(GaussianIntervalProb(3.0, 5.0, 2.0, 0.0), 0.0);
+  EXPECT_EQ(GaussianTailProb(1.0, 2.0, 0.0), 1.0);
+  EXPECT_EQ(GaussianTailProb(3.0, 2.0, 0.0), 0.0);
+}
+
+TEST(GaussianTest, TailProbMatchesQ) {
+  EXPECT_NEAR(GaussianTailProb(12.0, 10.0, 2.0), GaussianQ(1.0), 1e-12);
+}
+
+TEST(GaussianTest, FullLineProbabilityIsOne) {
+  EXPECT_NEAR(GaussianIntervalProb(-1e9, 1e9, 0.0, 1.0), 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace klink

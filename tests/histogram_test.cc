@@ -1,0 +1,94 @@
+#include "src/common/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace klink {
+namespace {
+
+TEST(HistogramTest, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.Quantile(0.5), 0);
+}
+
+TEST(HistogramTest, SingleValue) {
+  Histogram h;
+  h.Add(42);
+  EXPECT_EQ(h.count(), 1);
+  EXPECT_EQ(h.min(), 42);
+  EXPECT_EQ(h.max(), 42);
+  EXPECT_EQ(h.Quantile(0.5), 42);
+  EXPECT_EQ(h.Quantile(0.99), 42);
+}
+
+TEST(HistogramTest, SmallValuesAreExact) {
+  Histogram h;
+  for (int i = 0; i < 64; ++i) h.Add(i);
+  EXPECT_EQ(h.Quantile(0.0), 0);
+  // Median of 0..63 is around 31/32.
+  EXPECT_NEAR(static_cast<double>(h.Quantile(0.5)), 31.5, 1.0);
+  EXPECT_EQ(h.max(), 63);
+}
+
+TEST(HistogramTest, QuantilesBoundedRelativeError) {
+  Histogram h;
+  for (int64_t v = 1; v <= 1000000; v += 7) h.Add(v);
+  // Uniform distribution: p-quantile should be close to p * 1e6.
+  for (double p : {0.1, 0.5, 0.9, 0.99}) {
+    const double expected = p * 1e6;
+    const double actual = static_cast<double>(h.Quantile(p));
+    EXPECT_NEAR(actual, expected, expected * 0.03 + 8.0)
+        << "quantile " << p;
+  }
+}
+
+TEST(HistogramTest, NegativeClampsToZero) {
+  Histogram h;
+  h.Add(-5);
+  EXPECT_EQ(h.count(), 1);
+  EXPECT_EQ(h.min(), 0);
+}
+
+TEST(HistogramTest, MergeCombinesCounts) {
+  Histogram a, b;
+  a.Add(10);
+  a.Add(20);
+  b.Add(30);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 3);
+  EXPECT_EQ(a.min(), 10);
+  EXPECT_EQ(a.max(), 30);
+  EXPECT_DOUBLE_EQ(a.mean(), 20.0);
+}
+
+TEST(HistogramTest, MeanIsExact) {
+  Histogram h;
+  h.Add(1);
+  h.Add(2);
+  h.Add(3);
+  EXPECT_DOUBLE_EQ(h.mean(), 2.0);
+}
+
+TEST(HistogramTest, ResetClears) {
+  Histogram h;
+  h.Add(1000);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.Quantile(0.5), 0);
+}
+
+TEST(HistogramTest, LargeValues) {
+  Histogram h;
+  const int64_t big = int64_t{1} << 40;
+  h.Add(big);
+  EXPECT_EQ(h.count(), 1);
+  // Log-bucketed: relative error bounded by sub-bucket resolution.
+  EXPECT_NEAR(static_cast<double>(h.Quantile(0.5)),
+              static_cast<double>(big), static_cast<double>(big) * 0.02);
+}
+
+}  // namespace
+}  // namespace klink

@@ -1,0 +1,86 @@
+// End-to-end behavioural tests of the headline claims: under contention,
+// Klink's progress-aware scheduling beats deadline-oblivious policies on
+// output latency, and its memory management keeps the footprint bounded.
+
+#include <gtest/gtest.h>
+
+#include "src/harness/experiment.h"
+
+namespace klink {
+namespace {
+
+ExperimentConfig ContendedConfig(PolicyKind policy) {
+  ExperimentConfig config;
+  config.policy = policy;
+  config.workload = WorkloadKind::kYsb;
+  config.num_queries = 24;
+  config.events_per_second = 1000;
+  config.duration = SecondsToMicros(70);
+  config.warmup = SecondsToMicros(20);
+  config.deploy_spread = SecondsToMicros(10);
+  config.engine.num_cores = 4;
+  config.engine.memory_capacity_bytes = 8ll << 20;
+  return config;
+}
+
+TEST(IntegrationTest, KlinkBeatsDefaultOnMeanLatency) {
+  const ExperimentResult def =
+      RunExperiment(ContendedConfig(PolicyKind::kDefault));
+  const ExperimentResult klink =
+      RunExperiment(ContendedConfig(PolicyKind::kKlink));
+  ASSERT_GT(def.latency.count(), 0);
+  ASSERT_GT(klink.latency.count(), 0);
+  // The paper reports ~50% reductions; require a solid margin.
+  EXPECT_LT(klink.mean_latency_s, def.mean_latency_s * 0.7)
+      << "Klink " << klink.mean_latency_s << "s vs Default "
+      << def.mean_latency_s << "s";
+}
+
+TEST(IntegrationTest, KlinkBeatsDefaultOnTailLatency) {
+  const ExperimentResult def =
+      RunExperiment(ContendedConfig(PolicyKind::kDefault));
+  const ExperimentResult klink =
+      RunExperiment(ContendedConfig(PolicyKind::kKlink));
+  EXPECT_LT(klink.p99_latency_s, def.p99_latency_s * 0.8);
+}
+
+TEST(IntegrationTest, KlinkMatchesThroughputOfBaselines) {
+  const ExperimentResult rr =
+      RunExperiment(ContendedConfig(PolicyKind::kRoundRobin));
+  const ExperimentResult klink =
+      RunExperiment(ContendedConfig(PolicyKind::kKlink));
+  // Latency gains must not come from processing fewer events.
+  EXPECT_GT(klink.throughput_eps, rr.throughput_eps * 0.9);
+}
+
+TEST(IntegrationTest, MemoryManagementBoundsFootprintUnderStress) {
+  ExperimentConfig with_mm = ContendedConfig(PolicyKind::kKlink);
+  ExperimentConfig without = ContendedConfig(PolicyKind::kKlinkNoMm);
+  with_mm.num_queries = without.num_queries = 32;
+  const ExperimentResult a = RunExperiment(with_mm);
+  const ExperimentResult b = RunExperiment(without);
+  EXPECT_LT(a.mean_memory_bytes, b.mean_memory_bytes)
+      << "MM should lower the average footprint";
+}
+
+TEST(IntegrationTest, UnderLightLoadAllPoliciesAreClose) {
+  ExperimentConfig config = ContendedConfig(PolicyKind::kDefault);
+  config.num_queries = 2;
+  const ExperimentResult def = RunExperiment(config);
+  config.policy = PolicyKind::kKlink;
+  const ExperimentResult klink = RunExperiment(config);
+  // No contention: nothing to schedule around (paper Fig. 6a at q=1).
+  EXPECT_NEAR(klink.mean_latency_s, def.mean_latency_s,
+              def.mean_latency_s * 0.35);
+}
+
+TEST(IntegrationTest, ZipfDelaysHandledRobustly) {
+  ExperimentConfig config = ContendedConfig(PolicyKind::kKlink);
+  config.delay = DelayKind::kZipf;
+  const ExperimentResult r = RunExperiment(config);
+  ASSERT_GT(r.latency.count(), 0);
+  EXPECT_GT(r.estimator_accuracy, 0.6);
+}
+
+}  // namespace
+}  // namespace klink

@@ -1,0 +1,75 @@
+#include "src/klink/memory_manager.h"
+
+#include <gtest/gtest.h>
+
+namespace klink {
+namespace {
+
+QueryInfo MakeInfo(std::vector<int64_t> queued, std::vector<double> sel,
+                   std::vector<double> cost) {
+  QueryInfo info;
+  info.op_queued = std::move(queued);
+  info.op_selectivity = std::move(sel);
+  info.op_cost = std::move(cost);
+  return info;
+}
+
+TEST(MemoryManagerTest, NoQueuedEventsNoPlan) {
+  const QueryInfo info = MakeInfo({0, 0, 0}, {1.0, 0.5, 0.1}, {1, 1, 1});
+  const MemoryPlan plan = ComputeMemoryPlan(info, 120000.0);
+  EXPECT_EQ(plan.best_k, -1);
+  EXPECT_DOUBLE_EQ(plan.potential_events, 0.0);
+}
+
+TEST(MemoryManagerTest, SelectivityOnePrefixesOfferNoReduction) {
+  const QueryInfo info = MakeInfo({100, 100}, {1.0, 1.0}, {1, 1});
+  const MemoryPlan plan = ComputeMemoryPlan(info, 120000.0);
+  EXPECT_EQ(plan.best_k, -1);  // p_k = sz * (1 - 1) = 0 everywhere
+}
+
+TEST(MemoryManagerTest, PotentialIsSzTimesOneMinusProduct) {
+  // Prefix through the 0.25-selectivity filter: p = 200 * (1 - 0.25).
+  const QueryInfo info = MakeInfo({120, 80}, {1.0, 0.25}, {1, 1});
+  const MemoryPlan plan = ComputeMemoryPlan(info, 1e9);
+  EXPECT_EQ(plan.best_k, 1);
+  EXPECT_DOUBLE_EQ(plan.potential_events, 200.0 * 0.75);
+  // With an effectively unlimited cycle the capped estimate matches.
+  EXPECT_DOUBLE_EQ(plan.reduction_events, 200.0 * 0.75);
+}
+
+TEST(MemoryManagerTest, CycleCapLimitsReductionNotPotential) {
+  // Unit cost 10us/event: one 120ms cycle pushes 12000 events; the queue
+  // holds 50000.
+  const QueryInfo info = MakeInfo({50000}, {0.5}, {10.0});
+  const MemoryPlan plan = ComputeMemoryPlan(info, 120000.0);
+  EXPECT_DOUBLE_EQ(plan.potential_events, 50000.0 * 0.5);
+  EXPECT_DOUBLE_EQ(plan.reduction_events, 12000.0 * 0.5);
+}
+
+TEST(MemoryManagerTest, DeeperPrefixWinsWhenSelectivityCompounds) {
+  // Filter (0.5) then window (0.1): the prefix through both eliminates
+  // 1 - 0.05 of the volume.
+  const QueryInfo info =
+      MakeInfo({1000, 0, 0}, {1.0, 0.5, 0.1}, {1.0, 1.0, 1.0});
+  const MemoryPlan plan = ComputeMemoryPlan(info, 1e9);
+  EXPECT_EQ(plan.best_k, 2);
+  EXPECT_DOUBLE_EQ(plan.potential_events, 1000.0 * (1.0 - 0.05));
+}
+
+TEST(MemoryManagerTest, MidPipelineQueuesCount) {
+  // Backlog sitting at the window still reduces when the window runs.
+  const QueryInfo info = MakeInfo({0, 500}, {1.0, 0.2}, {1.0, 2.0});
+  const MemoryPlan plan = ComputeMemoryPlan(info, 1e9);
+  EXPECT_EQ(plan.best_k, 1);
+  EXPECT_DOUBLE_EQ(plan.potential_events, 500.0 * 0.8);
+}
+
+TEST(MemoryManagerTest, LargerBacklogRanksHigher) {
+  const QueryInfo small = MakeInfo({100, 0}, {1.0, 0.5}, {1.0, 1.0});
+  const QueryInfo big = MakeInfo({10000, 0}, {1.0, 0.5}, {1.0, 1.0});
+  EXPECT_GT(ComputeMemoryPlan(big, 120000.0).potential_events,
+            ComputeMemoryPlan(small, 120000.0).potential_events);
+}
+
+}  // namespace
+}  // namespace klink

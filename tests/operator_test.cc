@@ -1,0 +1,138 @@
+#include "src/operators/operator.h"
+
+#include <gtest/gtest.h>
+
+#include "src/operators/map_operator.h"
+
+namespace klink {
+namespace {
+
+// A minimal concrete operator exposing the base-class machinery.
+class PassThroughOperator final : public Operator {
+ public:
+  PassThroughOperator(int num_inputs)
+      : Operator("pass", /*cost_micros=*/1.0, num_inputs) {}
+};
+
+TEST(OperatorBaseTest, ForwardsDataAndCountsSelectivity) {
+  PassThroughOperator op(1);
+  VectorEmitter out;
+  for (int i = 0; i < 64; ++i) {
+    op.Process(MakeDataEvent(i, i, 1, 1.0), /*now=*/i, out);
+  }
+  EXPECT_EQ(out.events.size(), 64u);
+  EXPECT_EQ(op.processed_data_count(), 64);
+  EXPECT_EQ(op.emitted_data_count(), 64);
+  EXPECT_DOUBLE_EQ(op.selectivity(), 1.0);
+}
+
+TEST(OperatorBaseTest, SelectivityHintUsedBeforeSample) {
+  PassThroughOperator op(1);
+  op.set_selectivity_hint(0.25);
+  EXPECT_DOUBLE_EQ(op.selectivity(), 0.25);  // no data yet
+  VectorEmitter out;
+  for (int i = 0; i < 31; ++i) op.Process(MakeDataEvent(i, i, 1, 1.0), i, out);
+  EXPECT_DOUBLE_EQ(op.selectivity(), 0.25);  // below the minimum sample
+  op.Process(MakeDataEvent(31, 31, 1, 1.0), 31, out);
+  EXPECT_DOUBLE_EQ(op.selectivity(), 1.0);  // measured takes over
+}
+
+TEST(OperatorBaseTest, WatermarkForwardedWithMonotonicTimestamps) {
+  PassThroughOperator op(1);
+  VectorEmitter out;
+  op.Process(MakeWatermark(100, 110), 0, out);
+  op.Process(MakeWatermark(200, 210), 0, out);
+  ASSERT_EQ(out.events.size(), 2u);
+  EXPECT_EQ(out.events[0].event_time, 100);
+  EXPECT_EQ(out.events[1].event_time, 200);
+  EXPECT_EQ(op.last_watermark(0), 200);
+  EXPECT_EQ(op.forwarded_watermarks(), 2);
+}
+
+TEST(OperatorBaseTest, LateWatermarkDropped) {
+  PassThroughOperator op(1);
+  VectorEmitter out;
+  op.Process(MakeWatermark(200, 210), 0, out);
+  op.Process(MakeWatermark(150, 220), 0, out);  // out-of-order: dropped
+  op.Process(MakeWatermark(200, 230), 0, out);  // duplicate: dropped
+  EXPECT_EQ(out.events.size(), 1u);
+  EXPECT_EQ(op.last_watermark(0), 200);
+}
+
+TEST(OperatorBaseTest, MultiInputForwardsMinimumWatermark) {
+  PassThroughOperator op(2);
+  VectorEmitter out;
+  Event wm0 = MakeWatermark(300, 310, /*stream=*/0);
+  op.Process(wm0, 0, out);
+  EXPECT_TRUE(out.events.empty());  // stream 1 has no watermark yet
+  EXPECT_EQ(op.MinWatermark(), kNoTime);
+
+  Event wm1 = MakeWatermark(200, 320, /*stream=*/1);
+  op.Process(wm1, 0, out);
+  ASSERT_EQ(out.events.size(), 1u);
+  EXPECT_EQ(out.events[0].event_time, 200);  // min(300, 200)
+  EXPECT_EQ(op.MinWatermark(), 200);
+}
+
+TEST(OperatorBaseTest, MinWatermarkAdvancesOnlyWhenLaggardMoves) {
+  PassThroughOperator op(2);
+  VectorEmitter out;
+  op.Process(MakeWatermark(300, 0, 0), 0, out);
+  op.Process(MakeWatermark(200, 0, 1), 0, out);
+  out.events.clear();
+  // Stream 0 advancing further does not move the minimum.
+  op.Process(MakeWatermark(400, 0, 0), 0, out);
+  EXPECT_TRUE(out.events.empty());
+  // Stream 1 advancing does.
+  op.Process(MakeWatermark(350, 0, 1), 0, out);
+  ASSERT_EQ(out.events.size(), 1u);
+  EXPECT_EQ(out.events[0].event_time, 350);
+}
+
+TEST(OperatorBaseTest, SwmFlagPropagatesByDefault) {
+  PassThroughOperator op(1);
+  VectorEmitter out;
+  Event wm = MakeWatermark(100, 110);
+  wm.swm = true;
+  op.Process(wm, 0, out);
+  ASSERT_EQ(out.events.size(), 1u);
+  EXPECT_TRUE(out.events[0].swm);
+}
+
+TEST(OperatorBaseTest, LatencyMarkerForwardedUntouched) {
+  PassThroughOperator op(1);
+  VectorEmitter out;
+  op.Process(MakeLatencyMarker(500, 510), /*now=*/1000, out);
+  ASSERT_EQ(out.events.size(), 1u);
+  EXPECT_TRUE(out.events[0].is_latency_marker());
+  EXPECT_EQ(out.events[0].event_time, 500);
+}
+
+TEST(OperatorBaseTest, QueueAccounting) {
+  PassThroughOperator op(2);
+  op.input(0).Push(MakeDataEvent(0, 0, 0, 0.0, 100));
+  op.input(1).Push(MakeDataEvent(0, 0, 0, 0.0, 50));
+  EXPECT_EQ(op.QueuedEvents(), 2);
+  EXPECT_EQ(op.QueuedBytes(), 150 + 2 * StreamQueue::kPerEventOverhead);
+  EXPECT_EQ(op.MemoryBytes(), op.QueuedBytes());  // no state
+}
+
+TEST(MapOperatorTest, TransformApplies) {
+  MapOperator op("double", 1.0, [](Event& e) { e.value *= 2.0; });
+  VectorEmitter out;
+  op.Process(MakeDataEvent(0, 0, 1, 21.0), 0, out);
+  ASSERT_EQ(out.events.size(), 1u);
+  EXPECT_DOUBLE_EQ(out.events[0].value, 42.0);
+}
+
+TEST(MapOperatorTest, NullTransformIsIdentity) {
+  MapOperator op("id", 1.0);
+  VectorEmitter out;
+  op.Process(MakeDataEvent(7, 8, 9, 10.0), 0, out);
+  ASSERT_EQ(out.events.size(), 1u);
+  EXPECT_EQ(out.events[0].key, 9u);
+  EXPECT_DOUBLE_EQ(out.events[0].value, 10.0);
+}
+
+}  // namespace
+}  // namespace klink

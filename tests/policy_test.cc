@@ -1,0 +1,192 @@
+#include "src/sched/policy.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/query/pipeline_builder.h"
+#include "src/sched/default_policy.h"
+#include "src/sched/fcfs_policy.h"
+#include "src/sched/hr_policy.h"
+#include "src/sched/rr_policy.h"
+#include "src/sched/sbox_policy.h"
+
+namespace klink {
+namespace {
+
+// Builds a snapshot of n synthetic queries. The Query objects only exist
+// to satisfy the policies that dereference info.query (SBox).
+class SnapshotFixture : public ::testing::Test {
+ protected:
+  void Build(int n) {
+    queries_.clear();
+    snapshot_.queries.clear();
+    snapshot_.now = 0;
+    for (int i = 0; i < n; ++i) {
+      PipelineBuilder b("q" + std::to_string(i));
+      b.Source("s", 1.0)
+          .TumblingAggregate("w", 1.0, 1000, AggregationKind::kCount)
+          .Sink("out", 1.0);
+      queries_.push_back(b.Build(i));
+      QueryInfo info;
+      CollectQueryInfo(*queries_.back(), 0, &info);
+      info.queued_events = 10;  // ready by default
+      snapshot_.queries.push_back(std::move(info));
+    }
+  }
+
+  QueryInfo& info(int i) { return snapshot_.queries[static_cast<size_t>(i)]; }
+
+  std::vector<std::unique_ptr<Query>> queries_;
+  RuntimeSnapshot snapshot_;
+};
+
+using PolicyTest = SnapshotFixture;
+
+TEST_F(PolicyTest, ReadinessFiltersIdleQueries) {
+  Build(3);
+  info(1).queued_events = 0;
+  std::vector<QueryId> out;
+  RoundRobinPolicy rr;
+  rr.SelectQueries(snapshot_, 3, &out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(std::count(out.begin(), out.end(), 1), 0);
+}
+
+TEST_F(PolicyTest, SelectTopRespectsSlots) {
+  Build(10);
+  std::vector<QueryId> out;
+  FcfsPolicy fcfs;
+  for (int i = 0; i < 10; ++i) info(i).oldest_ingest = 1000 - i;
+  fcfs.SelectQueries(snapshot_, 4, &out);
+  EXPECT_EQ(out.size(), 4u);
+}
+
+TEST_F(PolicyTest, FcfsPicksOldestFirst) {
+  Build(4);
+  info(0).oldest_ingest = 400;
+  info(1).oldest_ingest = 100;
+  info(2).oldest_ingest = 300;
+  info(3).oldest_ingest = 200;
+  std::vector<QueryId> out;
+  FcfsPolicy fcfs;
+  fcfs.SelectQueries(snapshot_, 2, &out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], 1);
+  EXPECT_EQ(out[1], 3);
+}
+
+TEST_F(PolicyTest, RoundRobinRotatesAcrossCycles) {
+  Build(6);
+  RoundRobinPolicy rr;
+  std::vector<QueryId> first, second, third;
+  rr.SelectQueries(snapshot_, 2, &first);
+  rr.SelectQueries(snapshot_, 2, &second);
+  rr.SelectQueries(snapshot_, 2, &third);
+  EXPECT_EQ(first, (std::vector<QueryId>{0, 1}));
+  EXPECT_EQ(second, (std::vector<QueryId>{2, 3}));
+  EXPECT_EQ(third, (std::vector<QueryId>{4, 5}));
+}
+
+TEST_F(PolicyTest, RoundRobinWrapsAround) {
+  Build(3);
+  RoundRobinPolicy rr;
+  std::vector<QueryId> out;
+  rr.SelectQueries(snapshot_, 2, &out);
+  out.clear();
+  rr.SelectQueries(snapshot_, 2, &out);
+  EXPECT_EQ(out, (std::vector<QueryId>{2, 0}));
+}
+
+TEST_F(PolicyTest, HighestRateOrdersByRate) {
+  Build(3);
+  info(0).output_rate = 0.5;
+  info(1).output_rate = 2.0;
+  info(2).output_rate = 1.0;
+  HighestRatePolicy hr;
+  std::vector<QueryId> out;
+  hr.SelectQueries(snapshot_, 3, &out);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0], 1);
+  EXPECT_EQ(out[1], 2);
+  EXPECT_EQ(out[2], 0);
+}
+
+TEST_F(PolicyTest, HighestRateTiesAreShuffled) {
+  Build(12);
+  for (int i = 0; i < 12; ++i) info(i).output_rate = 1.0;
+  HighestRatePolicy hr(/*seed=*/1);
+  std::vector<QueryId> a, b;
+  hr.SelectQueries(snapshot_, 12, &a);
+  hr.SelectQueries(snapshot_, 12, &b);
+  EXPECT_NE(a, b);  // ties re-shuffled each evaluation
+}
+
+TEST_F(PolicyTest, DefaultIsUniformRandomSubset) {
+  Build(12);
+  DefaultPolicy d(/*seed=*/9);
+  std::vector<int> picks(12, 0);
+  for (int round = 0; round < 600; ++round) {
+    std::vector<QueryId> out;
+    d.SelectQueries(snapshot_, 2, &out);
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_NE(out[0], out[1]);  // distinct
+    for (QueryId id : out) ++picks[static_cast<size_t>(id)];
+  }
+  // Each query expected 100 picks; tolerate sampling noise.
+  for (int i = 0; i < 12; ++i) {
+    EXPECT_GT(picks[static_cast<size_t>(i)], 55) << i;
+    EXPECT_LT(picks[static_cast<size_t>(i)], 160) << i;
+  }
+}
+
+TEST_F(PolicyTest, StreamBoxPicksEarliestDeadline) {
+  Build(3);
+  info(0).upcoming_deadline = 3000;
+  info(1).upcoming_deadline = 1000;
+  info(2).upcoming_deadline = 2000;
+  StreamBoxPolicy sbox;
+  std::vector<QueryId> out;
+  sbox.SelectQueries(snapshot_, 1, &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 1);
+}
+
+TEST_F(PolicyTest, StreamBoxSticksUntilWatermarkProcessed) {
+  Build(3);
+  info(0).upcoming_deadline = 3000;
+  info(1).upcoming_deadline = 1000;
+  info(2).upcoming_deadline = 2000;
+  StreamBoxPolicy sbox;
+  std::vector<QueryId> out;
+  sbox.SelectQueries(snapshot_, 1, &out);
+  ASSERT_EQ(out[0], 1);
+  // Even if another deadline becomes earlier, the slot stays pinned while
+  // no watermark reached query 1's sink.
+  info(2).upcoming_deadline = 1;
+  out.clear();
+  sbox.SelectQueries(snapshot_, 1, &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 1);
+}
+
+TEST_F(PolicyTest, StreamBoxReleasesAfterWatermark) {
+  Build(2);
+  info(0).upcoming_deadline = 1000;
+  info(1).upcoming_deadline = 2000;
+  StreamBoxPolicy sbox;
+  std::vector<QueryId> out;
+  sbox.SelectQueries(snapshot_, 1, &out);
+  ASSERT_EQ(out[0], 0);
+  // Push a watermark through query 0's sink: the sticky slot releases.
+  VectorEmitter sinkhole;
+  queries_[0]->sink().Process(MakeWatermark(1500, 1500), 0, sinkhole);
+  info(0).upcoming_deadline = 3000;
+  out.clear();
+  sbox.SelectQueries(snapshot_, 1, &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 1);
+}
+
+}  // namespace
+}  // namespace klink

@@ -1,0 +1,92 @@
+#include "src/operators/reorder_operator.h"
+
+#include <gtest/gtest.h>
+
+#include "src/operators/watermark_generator_operator.h"
+
+namespace klink {
+namespace {
+
+TEST(ReorderOperatorTest, ReleasesInEventTimeOrder) {
+  ReorderOperator op("iop", 1.0);
+  VectorEmitter out;
+  for (TimeMicros t : {500, 100, 300, 200, 400}) {
+    op.Process(MakeDataEvent(t, t + 10, 0, 0.0), 0, out);
+  }
+  EXPECT_TRUE(out.events.empty());  // everything buffered
+  EXPECT_EQ(op.buffered_events(), 5);
+  op.Process(MakeWatermark(350, 400), 0, out);
+  // Events <= 350 released sorted, then the watermark.
+  ASSERT_EQ(out.events.size(), 4u);
+  EXPECT_EQ(out.events[0].event_time, 100);
+  EXPECT_EQ(out.events[1].event_time, 200);
+  EXPECT_EQ(out.events[2].event_time, 300);
+  EXPECT_TRUE(out.events[3].is_watermark());
+  EXPECT_EQ(op.buffered_events(), 2);
+}
+
+TEST(ReorderOperatorTest, LaterWatermarkDrainsTheRest) {
+  ReorderOperator op("iop", 1.0);
+  VectorEmitter out;
+  op.Process(MakeDataEvent(900, 910, 0, 0.0), 0, out);
+  op.Process(MakeDataEvent(700, 710, 0, 0.0), 0, out);
+  op.Process(MakeWatermark(1000, 1010), 0, out);
+  ASSERT_EQ(out.events.size(), 3u);
+  EXPECT_EQ(out.events[0].event_time, 700);
+  EXPECT_EQ(out.events[1].event_time, 900);
+  EXPECT_EQ(op.buffered_events(), 0);
+  EXPECT_EQ(op.StateBytes(), 0);
+}
+
+TEST(ReorderOperatorTest, StateBytesTrackBuffer) {
+  ReorderOperator op("iop", 1.0);
+  VectorEmitter out;
+  op.Process(MakeDataEvent(100, 110, 0, 0.0, /*payload=*/100), 0, out);
+  EXPECT_EQ(op.StateBytes(), 100 + StreamQueue::kPerEventOverhead);
+}
+
+TEST(WatermarkGeneratorTest, EmitsPeriodicHeartbeats) {
+  WatermarkGeneratorOperator op("wmgen", 1.0, /*period=*/1000, /*lag=*/100);
+  VectorEmitter out;
+  // First event arms the generator; emission happens once `now` passes the
+  // period boundary.
+  op.Process(MakeDataEvent(500, 500, 0, 0.0), /*now=*/0, out);
+  ASSERT_EQ(out.events.size(), 2u);  // data + immediate first watermark
+  EXPECT_TRUE(out.events[1].is_watermark());
+  EXPECT_EQ(out.events[1].event_time, 400);  // max(500) - lag
+  out.events.clear();
+  op.Process(MakeDataEvent(800, 800, 0, 0.0), /*now=*/500, out);
+  ASSERT_EQ(out.events.size(), 1u);  // next emission not due yet
+  op.Process(MakeDataEvent(1500, 1500, 0, 0.0), /*now=*/1200, out);
+  ASSERT_EQ(out.events.size(), 3u);
+  EXPECT_TRUE(out.events[2].is_watermark());
+  EXPECT_EQ(out.events[2].event_time, 1400);
+  EXPECT_EQ(op.emitted_watermarks(), 2);
+}
+
+TEST(WatermarkGeneratorTest, SwallowsUpstreamWatermarks) {
+  WatermarkGeneratorOperator op("wmgen", 1.0, 1000, 100);
+  VectorEmitter out;
+  op.Process(MakeWatermark(5000, 5000), /*now=*/0, out);
+  EXPECT_TRUE(out.events.empty());  // swallowed, no data seen yet
+}
+
+TEST(WatermarkGeneratorTest, MonotoneTimestamps) {
+  WatermarkGeneratorOperator op("wmgen", 1.0, 100, 0);
+  VectorEmitter out;
+  op.Process(MakeDataEvent(1000, 1000, 0, 0.0), /*now=*/0, out);
+  // Event time regresses: no new watermark below the last one.
+  op.Process(MakeDataEvent(900, 900, 0, 0.0), /*now=*/200, out);
+  int watermarks = 0;
+  TimeMicros last = -1;
+  for (const Event& e : out.events) {
+    if (!e.is_watermark()) continue;
+    ++watermarks;
+    EXPECT_GT(e.event_time, last);
+    last = e.event_time;
+  }
+  EXPECT_EQ(watermarks, 1);
+}
+
+}  // namespace
+}  // namespace klink

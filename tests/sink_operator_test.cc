@@ -1,0 +1,67 @@
+#include "src/operators/sink_operator.h"
+
+#include <gtest/gtest.h>
+
+namespace klink {
+namespace {
+
+TEST(SinkOperatorTest, RecordsSwmLatencyOnlyForSwms) {
+  SinkOperator sink("out", 1.0);
+  NullEmitter null;
+  Event plain = MakeWatermark(1000, 1100);
+  sink.Process(plain, /*now=*/2000, null);
+  EXPECT_EQ(sink.swm_latency().count(), 0);  // not an SWM
+
+  Event swm = MakeWatermark(3000, 3100);
+  swm.swm = true;
+  sink.Process(swm, /*now=*/5000, null);
+  ASSERT_EQ(sink.swm_latency().count(), 1);
+  // Latency = processing time at the output operator - SWM event-time.
+  EXPECT_EQ(sink.swm_latency().max(), 2000);
+}
+
+TEST(SinkOperatorTest, RecordsMarkerLatency) {
+  SinkOperator sink("out", 1.0);
+  NullEmitter null;
+  sink.Process(MakeLatencyMarker(100, 150), /*now=*/400, null);
+  ASSERT_EQ(sink.marker_latency().count(), 1);
+  EXPECT_EQ(sink.marker_latency().max(), 300);
+}
+
+TEST(SinkOperatorTest, CountsResults) {
+  SinkOperator sink("out", 1.0);
+  NullEmitter null;
+  sink.Process(MakeDataEvent(10, 10, 1, 1.0), 20, null);
+  sink.Process(MakeDataEvent(30, 30, 2, 2.0), 40, null);
+  EXPECT_EQ(sink.results_received(), 2);
+  EXPECT_EQ(sink.last_result_time(), 30);
+}
+
+TEST(SinkOperatorTest, ResetStatsClearsEverything) {
+  SinkOperator sink("out", 1.0);
+  NullEmitter null;
+  Event swm = MakeWatermark(1, 1);
+  swm.swm = true;
+  sink.Process(swm, 10, null);
+  sink.Process(MakeLatencyMarker(1, 1), 10, null);
+  sink.Process(MakeDataEvent(1, 1, 1, 1.0), 10, null);
+  sink.ResetStats();
+  EXPECT_EQ(sink.swm_latency().count(), 0);
+  EXPECT_EQ(sink.marker_latency().count(), 0);
+  EXPECT_EQ(sink.results_received(), 0);
+  EXPECT_EQ(sink.last_result_time(), kNoTime);
+}
+
+TEST(SinkOperatorTest, LateWatermarkNotDoubleCounted) {
+  SinkOperator sink("out", 1.0);
+  NullEmitter null;
+  Event swm = MakeWatermark(1000, 1000);
+  swm.swm = true;
+  sink.Process(swm, 1100, null);
+  // An identical (non-advancing) watermark is dropped by the base class.
+  sink.Process(swm, 1200, null);
+  EXPECT_EQ(sink.swm_latency().count(), 1);
+}
+
+}  // namespace
+}  // namespace klink

@@ -1,0 +1,84 @@
+#include "src/event/stream_queue.h"
+
+#include <gtest/gtest.h>
+
+namespace klink {
+namespace {
+
+TEST(StreamQueueTest, FifoOrder) {
+  StreamQueue q;
+  q.Push(MakeDataEvent(1, 10, 1, 1.0));
+  q.Push(MakeDataEvent(2, 20, 2, 2.0));
+  q.Push(MakeDataEvent(3, 30, 3, 3.0));
+  EXPECT_EQ(q.Pop().key, 1u);
+  EXPECT_EQ(q.Pop().key, 2u);
+  EXPECT_EQ(q.Pop().key, 3u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(StreamQueueTest, ByteAccounting) {
+  StreamQueue q;
+  Event e = MakeDataEvent(0, 0, 0, 0.0, /*payload_bytes=*/100);
+  q.Push(e);
+  EXPECT_EQ(q.bytes(), 100 + StreamQueue::kPerEventOverhead);
+  q.Push(e);
+  EXPECT_EQ(q.bytes(), 2 * (100 + StreamQueue::kPerEventOverhead));
+  q.Pop();
+  EXPECT_EQ(q.bytes(), 100 + StreamQueue::kPerEventOverhead);
+  q.Pop();
+  EXPECT_EQ(q.bytes(), 0);
+}
+
+TEST(StreamQueueTest, DataCountExcludesPunctuation) {
+  StreamQueue q;
+  q.Push(MakeDataEvent(0, 0, 0, 0.0));
+  q.Push(MakeWatermark(5, 6));
+  q.Push(MakeLatencyMarker(7, 8));
+  EXPECT_EQ(q.size(), 3);
+  EXPECT_EQ(q.data_count(), 1);
+  q.Pop();
+  EXPECT_EQ(q.data_count(), 0);
+}
+
+TEST(StreamQueueTest, OldestIngestTime) {
+  StreamQueue q;
+  EXPECT_EQ(q.OldestIngestTime(), kNoTime);
+  q.Push(MakeDataEvent(1, 17, 0, 0.0));
+  q.Push(MakeDataEvent(2, 99, 0, 0.0));
+  EXPECT_EQ(q.OldestIngestTime(), 17);
+  q.Pop();
+  EXPECT_EQ(q.OldestIngestTime(), 99);
+}
+
+TEST(StreamQueueTest, FrontPeeksWithoutRemoving) {
+  StreamQueue q;
+  q.Push(MakeDataEvent(1, 10, 42, 0.0));
+  EXPECT_EQ(q.Front().key, 42u);
+  EXPECT_EQ(q.size(), 1);
+}
+
+TEST(StreamQueueTest, ClearResetsEverything) {
+  StreamQueue q;
+  q.Push(MakeDataEvent(0, 0, 0, 0.0));
+  q.Push(MakeWatermark(1, 2));
+  q.Clear();
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.bytes(), 0);
+  EXPECT_EQ(q.data_count(), 0);
+  EXPECT_EQ(q.OldestIngestTime(), kNoTime);
+}
+
+TEST(EventTest, NetworkDelay) {
+  const Event e = MakeDataEvent(/*event_time=*/100, /*ingest_time=*/175, 0, 0.0);
+  EXPECT_EQ(e.network_delay(), 75);
+}
+
+TEST(EventTest, KindPredicates) {
+  EXPECT_TRUE(MakeDataEvent(0, 0, 0, 0.0).is_data());
+  EXPECT_TRUE(MakeWatermark(0, 0).is_watermark());
+  EXPECT_TRUE(MakeLatencyMarker(0, 0).is_latency_marker());
+  EXPECT_FALSE(MakeWatermark(0, 0).is_data());
+}
+
+}  // namespace
+}  // namespace klink

@@ -1,0 +1,62 @@
+#include "src/window/swm_tracker.h"
+
+#include <gtest/gtest.h>
+
+namespace klink {
+namespace {
+
+TEST(SwmTrackerTest, StartsEmpty) {
+  SwmTracker tracker(2);
+  EXPECT_EQ(tracker.num_streams(), 2);
+  for (int s = 0; s < 2; ++s) {
+    EXPECT_EQ(tracker.stream(s).epoch, 0);
+    EXPECT_FALSE(tracker.stream(s).has_finalized_epoch);
+    EXPECT_EQ(tracker.stream(s).last_sweep_ingest, kNoTime);
+  }
+}
+
+TEST(SwmTrackerTest, DelaysAccumulateInOpenEpoch) {
+  SwmTracker tracker(1);
+  tracker.RecordEventDelay(0, 100);
+  tracker.RecordEventDelay(0, 300);
+  EXPECT_EQ(tracker.stream(0).current_delays.count(), 2);
+  EXPECT_DOUBLE_EQ(tracker.stream(0).current_delays.mean(), 200.0);
+}
+
+TEST(SwmTrackerTest, SweepFinalizesEpochStats) {
+  SwmTracker tracker(1);
+  tracker.RecordEventDelay(0, 100);
+  tracker.RecordEventDelay(0, 200);
+  tracker.RecordStreamSweep(0, /*deadline=*/3000, /*ingest_time=*/3400);
+  const auto& s = tracker.stream(0);
+  EXPECT_EQ(s.epoch, 1);
+  EXPECT_TRUE(s.has_finalized_epoch);
+  EXPECT_DOUBLE_EQ(s.last_mu, 150.0);                       // Eq. 3
+  EXPECT_DOUBLE_EQ(s.last_chi, (100.0 * 100 + 200.0 * 200) / 2);  // Eq. 4
+  EXPECT_EQ(s.last_sweep_ingest, 3400);
+  EXPECT_EQ(s.last_swept_deadline, 3000);
+  EXPECT_EQ(s.current_delays.count(), 0);  // new epoch opens empty
+}
+
+TEST(SwmTrackerTest, EmptyEpochKeepsPreviousStats) {
+  SwmTracker tracker(1);
+  tracker.RecordEventDelay(0, 500);
+  tracker.RecordStreamSweep(0, 1000, 1200);
+  tracker.RecordStreamSweep(0, 2000, 2100);  // no events in this epoch
+  const auto& s = tracker.stream(0);
+  EXPECT_EQ(s.epoch, 2);
+  EXPECT_DOUBLE_EQ(s.last_mu, 500.0);  // unchanged
+  EXPECT_EQ(s.last_swept_deadline, 2000);
+}
+
+TEST(SwmTrackerTest, StreamsAreIndependent) {
+  SwmTracker tracker(3);
+  tracker.RecordEventDelay(1, 50);
+  tracker.RecordStreamSweep(1, 100, 160);
+  EXPECT_EQ(tracker.stream(0).epoch, 0);
+  EXPECT_EQ(tracker.stream(1).epoch, 1);
+  EXPECT_EQ(tracker.stream(2).epoch, 0);
+}
+
+}  // namespace
+}  // namespace klink

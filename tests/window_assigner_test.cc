@@ -1,0 +1,157 @@
+#include "src/window/window_assigner.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+namespace klink {
+namespace {
+
+std::vector<WindowSpan> Assign(const WindowAssigner& a, TimeMicros t) {
+  std::vector<WindowSpan> out;
+  a.AssignWindows(t, &out);
+  return out;
+}
+
+TEST(TumblingAssignerTest, BasicAssignment) {
+  TumblingWindowAssigner a(1000);
+  const auto w = Assign(a, 2500);
+  ASSERT_EQ(w.size(), 1u);
+  EXPECT_EQ(w[0], (WindowSpan{2000, 3000}));
+}
+
+TEST(TumblingAssignerTest, BoundaryBelongsToNextWindow) {
+  TumblingWindowAssigner a(1000);
+  EXPECT_EQ(Assign(a, 2000)[0], (WindowSpan{2000, 3000}));
+  EXPECT_EQ(Assign(a, 1999)[0], (WindowSpan{1000, 2000}));
+}
+
+TEST(TumblingAssignerTest, OffsetShiftsWindows) {
+  TumblingWindowAssigner a(1000, /*offset=*/300);
+  EXPECT_EQ(Assign(a, 250)[0], (WindowSpan{-700, 300}));
+  EXPECT_EQ(Assign(a, 300)[0], (WindowSpan{300, 1300}));
+  EXPECT_EQ(a.NextDeadlineAfter(300), 1300);
+}
+
+TEST(TumblingAssignerTest, NextDeadlineAfter) {
+  TumblingWindowAssigner a(1000);
+  EXPECT_EQ(a.NextDeadlineAfter(0), 1000);
+  EXPECT_EQ(a.NextDeadlineAfter(999), 1000);
+  EXPECT_EQ(a.NextDeadlineAfter(1000), 2000);  // strictly greater
+}
+
+TEST(SlidingAssignerTest, EventBelongsToAllOverlappingWindows) {
+  SlidingWindowAssigner a(3000, 1000);
+  const auto w = Assign(a, 5500);
+  ASSERT_EQ(w.size(), 3u);
+  // Deadline order is not guaranteed by AssignWindows; check contents.
+  EXPECT_EQ(w[0], (WindowSpan{5000, 8000}));
+  EXPECT_EQ(w[1], (WindowSpan{4000, 7000}));
+  EXPECT_EQ(w[2], (WindowSpan{3000, 6000}));
+}
+
+TEST(SlidingAssignerTest, SlideEqualSizeIsTumbling) {
+  SlidingWindowAssigner a(1000, 1000);
+  const auto w = Assign(a, 2500);
+  ASSERT_EQ(w.size(), 1u);
+  EXPECT_EQ(w[0], (WindowSpan{2000, 3000}));
+}
+
+TEST(SlidingAssignerTest, NextDeadlineAfter) {
+  // Deadlines at k*3000 + 5000 for any integer k, including windows that
+  // started before time 0 (the stream's first, partial windows):
+  // ..., 2000, 5000, 8000, ...
+  SlidingWindowAssigner a(5000, 3000);
+  EXPECT_EQ(a.NextDeadlineAfter(0), 2000);
+  EXPECT_EQ(a.NextDeadlineAfter(2000), 5000);
+  EXPECT_EQ(a.NextDeadlineAfter(5000), 8000);
+  EXPECT_EQ(a.NextDeadlineAfter(7999), 8000);
+}
+
+TEST(SlidingAssignerTest, PaperLrbGeometry) {
+  // LRB: size 5 s, slide 3 s (Sec. 6.1.1).
+  SlidingWindowAssigner a(SecondsToMicros(5), SecondsToMicros(3));
+  const auto w = Assign(a, SecondsToMicros(4));
+  ASSERT_EQ(w.size(), 2u);
+  EXPECT_EQ(w[0].start, SecondsToMicros(3));
+  EXPECT_EQ(w[1].start, 0);
+}
+
+// ---- property sweeps over assigner geometries ----------------------------
+
+using AssignerParam = std::tuple<int64_t /*size_ms*/, int64_t /*slide_ms*/,
+                                 int64_t /*offset_ms*/>;
+
+class AssignerPropertyTest : public ::testing::TestWithParam<AssignerParam> {
+ protected:
+  SlidingWindowAssigner MakeAssigner() const {
+    const auto [size, slide, offset] = GetParam();
+    return SlidingWindowAssigner(MillisToMicros(size), MillisToMicros(slide),
+                                 MillisToMicros(offset));
+  }
+};
+
+TEST_P(AssignerPropertyTest, EveryAssignedWindowContainsTheEvent) {
+  const SlidingWindowAssigner a = MakeAssigner();
+  std::vector<WindowSpan> out;
+  for (TimeMicros t = 0; t < MillisToMicros(50); t += 1537) {
+    out.clear();
+    a.AssignWindows(t, &out);
+    EXPECT_FALSE(out.empty());
+    for (const WindowSpan& w : out) {
+      EXPECT_GE(t, w.start);
+      EXPECT_LT(t, w.end);
+      EXPECT_EQ(w.end - w.start, a.size());
+    }
+  }
+}
+
+TEST_P(AssignerPropertyTest, WindowCountMatchesOverlap) {
+  const SlidingWindowAssigner a = MakeAssigner();
+  const size_t expected =
+      static_cast<size_t>((a.size() + a.slide() - 1) / a.slide());
+  std::vector<WindowSpan> out;
+  for (TimeMicros t = MillisToMicros(100); t < MillisToMicros(130); t += 997) {
+    out.clear();
+    a.AssignWindows(t, &out);
+    // Events can fall in ceil(size/slide) or one fewer window depending on
+    // phase when size is not a multiple of slide.
+    EXPECT_GE(out.size(), expected - 1);
+    EXPECT_LE(out.size(), expected);
+  }
+}
+
+TEST_P(AssignerPropertyTest, NextDeadlineIsStrictlyAfterAndAligned) {
+  const SlidingWindowAssigner a = MakeAssigner();
+  const auto [size, slide, offset] = GetParam();
+  for (TimeMicros t = 0; t < MillisToMicros(40); t += 777) {
+    const TimeMicros d = a.NextDeadlineAfter(t);
+    EXPECT_GT(d, t);
+    // Deadline is aligned to slide grid + offset + size.
+    const int64_t rel = d - MillisToMicros(offset) - MillisToMicros(size);
+    EXPECT_EQ(rel % MillisToMicros(slide), 0) << "t=" << t;
+    // No deadline exists strictly between t and d.
+    EXPECT_EQ(a.NextDeadlineAfter(d - 1), d);
+  }
+}
+
+TEST_P(AssignerPropertyTest, DeadlinesAdvanceBySlide) {
+  const SlidingWindowAssigner a = MakeAssigner();
+  TimeMicros d = a.NextDeadlineAfter(0);
+  for (int i = 0; i < 10; ++i) {
+    const TimeMicros next = a.NextDeadlineAfter(d);
+    EXPECT_EQ(next - d, a.slide());
+    d = next;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, AssignerPropertyTest,
+    ::testing::Values(AssignerParam{3, 3, 0}, AssignerParam{5, 3, 0},
+                      AssignerParam{2, 1, 0}, AssignerParam{7, 2, 0},
+                      AssignerParam{5, 3, 1}, AssignerParam{4, 4, 3},
+                      AssignerParam{10, 1, 5}));
+
+}  // namespace
+}  // namespace klink

@@ -1,0 +1,67 @@
+#include "src/common/zipf.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace klink {
+namespace {
+
+TEST(ZipfTest, PmfSumsToOne) {
+  ZipfSampler sampler(100, 0.99);
+  double total = 0.0;
+  for (int64_t k = 1; k <= 100; ++k) total += sampler.Pmf(k);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(ZipfTest, PmfMonotoneDecreasing) {
+  ZipfSampler sampler(50, 0.99);
+  for (int64_t k = 2; k <= 50; ++k) {
+    EXPECT_LE(sampler.Pmf(k), sampler.Pmf(k - 1)) << "k=" << k;
+  }
+}
+
+TEST(ZipfTest, ExponentZeroIsUniform) {
+  ZipfSampler sampler(10, 0.0);
+  for (int64_t k = 1; k <= 10; ++k) {
+    EXPECT_NEAR(sampler.Pmf(k), 0.1, 1e-12);
+  }
+}
+
+TEST(ZipfTest, SamplesWithinRange) {
+  ZipfSampler sampler(20, 0.99);
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const int64_t v = sampler.Sample(rng);
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 20);
+  }
+}
+
+TEST(ZipfTest, EmpiricalFrequenciesMatchPmf) {
+  ZipfSampler sampler(10, 0.99);
+  Rng rng(17);
+  std::vector<int64_t> counts(11, 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) ++counts[static_cast<size_t>(sampler.Sample(rng))];
+  for (int64_t k = 1; k <= 10; ++k) {
+    const double freq = static_cast<double>(counts[static_cast<size_t>(k)]) / n;
+    EXPECT_NEAR(freq, sampler.Pmf(k), 0.005) << "rank " << k;
+  }
+}
+
+TEST(ZipfTest, SingleRankDegenerate) {
+  ZipfSampler sampler(1, 0.99);
+  Rng rng(1);
+  EXPECT_EQ(sampler.Sample(rng), 1);
+  EXPECT_NEAR(sampler.Pmf(1), 1.0, 1e-12);
+}
+
+TEST(ZipfTest, HeavyTailRankOneDominates) {
+  // With s = 0.99 over 200 ranks, rank 1 is far likelier than rank 200.
+  ZipfSampler sampler(200, 0.99);
+  EXPECT_GT(sampler.Pmf(1), 50.0 * sampler.Pmf(200));
+}
+
+}  // namespace
+}  // namespace klink

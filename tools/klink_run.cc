@@ -1,0 +1,138 @@
+// klink_run: run one scheduling experiment from the command line without
+// writing C++. Wraps the harness in src/harness/experiment.h.
+//
+//   klink_run --policy=klink --workload=ysb --queries=60 --rate=1000
+//             --delay=uniform --duration=120 --warmup=30 --cores=8
+//             --memory-mb=16 --seed=1 [--csv=out.csv]
+//
+// Prints the paper's metrics (mean/tail latency, throughput, slowdown,
+// utilization, estimator accuracy, scheduler overhead) for the run.
+
+#include <cstdio>
+#include <string>
+
+#include "src/common/flags.h"
+#include "src/harness/experiment.h"
+#include "src/harness/reporter.h"
+
+namespace {
+
+using namespace klink;
+
+bool ParsePolicy(const std::string& s, PolicyKind* out) {
+  static const std::pair<const char*, PolicyKind> kTable[] = {
+      {"default", PolicyKind::kDefault},
+      {"fcfs", PolicyKind::kFcfs},
+      {"rr", PolicyKind::kRoundRobin},
+      {"hr", PolicyKind::kHighestRate},
+      {"sbox", PolicyKind::kStreamBox},
+      {"klink", PolicyKind::kKlink},
+      {"klink-nomm", PolicyKind::kKlinkNoMm},
+  };
+  for (const auto& [name, kind] : kTable) {
+    if (s == name) {
+      *out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ParseWorkload(const std::string& s, WorkloadKind* out) {
+  if (s == "ysb") *out = WorkloadKind::kYsb;
+  else if (s == "lrb") *out = WorkloadKind::kLrb;
+  else if (s == "nyt") *out = WorkloadKind::kNyt;
+  else return false;
+  return true;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: klink_run [--policy=default|fcfs|rr|hr|sbox|klink|klink-nomm]\n"
+      "                 [--workload=ysb|lrb|nyt] [--queries=N] [--rate=EPS]\n"
+      "                 [--delay=uniform|zipf] [--duration=SECONDS]\n"
+      "                 [--warmup=SECONDS] [--cores=N] [--memory-mb=N]\n"
+      "                 [--confidence=F] [--seed=N] [--csv=PATH]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser flags;
+  if (!flags.Parse(argc - 1, argv + 1).ok()) return Usage();
+  if (flags.Has("help")) return Usage();
+
+  ExperimentConfig config;
+  if (!ParsePolicy(flags.GetString("policy", "klink"), &config.policy)) {
+    std::fprintf(stderr, "unknown --policy\n");
+    return Usage();
+  }
+  if (!ParseWorkload(flags.GetString("workload", "ysb"), &config.workload)) {
+    std::fprintf(stderr, "unknown --workload\n");
+    return Usage();
+  }
+  const std::string delay = flags.GetString("delay", "uniform");
+  if (delay == "uniform") {
+    config.delay = DelayKind::kUniform;
+  } else if (delay == "zipf") {
+    config.delay = DelayKind::kZipf;
+  } else {
+    std::fprintf(stderr, "unknown --delay\n");
+    return Usage();
+  }
+  config.num_queries = static_cast<int>(flags.GetInt("queries", 20));
+  config.events_per_second = flags.GetDouble("rate", 1000.0);
+  config.duration = SecondsToMicros(flags.GetInt("duration", 120));
+  config.warmup = SecondsToMicros(flags.GetInt("warmup", 30));
+  config.engine.num_cores = static_cast<int>(flags.GetInt("cores", 8));
+  config.engine.memory_capacity_bytes = flags.GetInt("memory-mb", 16) << 20;
+  config.klink.confidence = flags.GetDouble("confidence", 0.95);
+  config.seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+
+  std::printf("running %s on %s: %d queries x %.0f events/s, %lld s "
+              "(%lld s warm-up), %d cores, %lld MB, %s delay, seed %llu\n",
+              PolicyKindName(config.policy), WorkloadKindName(config.workload),
+              config.num_queries, config.events_per_second,
+              static_cast<long long>(config.duration / 1000000),
+              static_cast<long long>(config.warmup / 1000000),
+              config.engine.num_cores,
+              static_cast<long long>(config.engine.memory_capacity_bytes >>
+                                     20),
+              DelayKindName(config.delay),
+              static_cast<unsigned long long>(config.seed));
+
+  const ExperimentResult r = RunExperiment(config);
+
+  TableReporter table("Results");
+  table.SetHeader({"metric", "value"});
+  table.AddRow({"mean latency (s)", TableReporter::Num(r.mean_latency_s, 3)});
+  table.AddRow({"p50 latency (s)", TableReporter::Num(r.p50_latency_s, 3)});
+  table.AddRow({"p90 latency (s)", TableReporter::Num(r.p90_latency_s, 3)});
+  table.AddRow({"p99 latency (s)", TableReporter::Num(r.p99_latency_s, 3)});
+  table.AddRow({"throughput (op-events/s)",
+                TableReporter::Num(r.throughput_eps, 0)});
+  table.AddRow({"slowdown", TableReporter::Num(r.slowdown, 0)});
+  table.AddRow({"mean CPU (%)",
+                TableReporter::Num(r.mean_cpu_utilization * 100.0, 1)});
+  table.AddRow({"mean memory (MB)",
+                TableReporter::Num(r.mean_memory_bytes / 1048576.0, 1)});
+  table.AddRow({"peak memory (MB)",
+                TableReporter::Num(
+                    static_cast<double>(r.peak_memory_bytes) / 1048576.0, 1)});
+  table.AddRow({"scheduler overhead (%)",
+                TableReporter::Num(r.scheduler_overhead * 100.0, 3)});
+  if (r.estimator_predictions > 0) {
+    table.AddRow({"SWM estimation accuracy (%)",
+                  TableReporter::Num(r.estimator_accuracy * 100.0, 1)});
+  }
+  table.Print();
+
+  const std::string csv = flags.GetString("csv", "");
+  if (!csv.empty() && !table.WriteCsv(csv)) {
+    std::fprintf(stderr, "failed to write %s\n", csv.c_str());
+    return 1;
+  }
+  return 0;
+}
