@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_chaining.dir/ablation_chaining.cc.o"
+  "CMakeFiles/ablation_chaining.dir/ablation_chaining.cc.o.d"
+  "ablation_chaining"
+  "ablation_chaining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_chaining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

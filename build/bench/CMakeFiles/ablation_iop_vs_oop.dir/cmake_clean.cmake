@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_iop_vs_oop.dir/ablation_iop_vs_oop.cc.o"
+  "CMakeFiles/ablation_iop_vs_oop.dir/ablation_iop_vs_oop.cc.o.d"
+  "ablation_iop_vs_oop"
+  "ablation_iop_vs_oop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_iop_vs_oop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

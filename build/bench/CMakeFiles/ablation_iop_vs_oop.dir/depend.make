@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_iop_vs_oop.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_klink_variants.dir/ablation_klink_variants.cc.o"
+  "CMakeFiles/ablation_klink_variants.dir/ablation_klink_variants.cc.o.d"
+  "ablation_klink_variants"
+  "ablation_klink_variants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_klink_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_session_windows.dir/extension_session_windows.cc.o"
+  "CMakeFiles/extension_session_windows.dir/extension_session_windows.cc.o.d"
+  "extension_session_windows"
+  "extension_session_windows.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_session_windows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

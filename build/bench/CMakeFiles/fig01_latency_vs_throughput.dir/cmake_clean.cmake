@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_latency_vs_throughput.dir/fig01_latency_vs_throughput.cc.o"
+  "CMakeFiles/fig01_latency_vs_throughput.dir/fig01_latency_vs_throughput.cc.o.d"
+  "fig01_latency_vs_throughput"
+  "fig01_latency_vs_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_latency_vs_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06a_ysb_latency.dir/fig06a_ysb_latency.cc.o"
+  "CMakeFiles/fig06a_ysb_latency.dir/fig06a_ysb_latency.cc.o.d"
+  "fig06a_ysb_latency"
+  "fig06a_ysb_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06a_ysb_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06b_ysb_cdf.dir/fig06b_ysb_cdf.cc.o"
+  "CMakeFiles/fig06b_ysb_cdf.dir/fig06b_ysb_cdf.cc.o.d"
+  "fig06b_ysb_cdf"
+  "fig06b_ysb_cdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06b_ysb_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig06b_ysb_cdf.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06c_ysb_slowdown.dir/fig06c_ysb_slowdown.cc.o"
+  "CMakeFiles/fig06c_ysb_slowdown.dir/fig06c_ysb_slowdown.cc.o.d"
+  "fig06c_ysb_slowdown"
+  "fig06c_ysb_slowdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06c_ysb_slowdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

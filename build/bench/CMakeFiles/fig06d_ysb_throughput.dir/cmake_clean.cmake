@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06d_ysb_throughput.dir/fig06d_ysb_throughput.cc.o"
+  "CMakeFiles/fig06d_ysb_throughput.dir/fig06d_ysb_throughput.cc.o.d"
+  "fig06d_ysb_throughput"
+  "fig06d_ysb_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06d_ysb_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

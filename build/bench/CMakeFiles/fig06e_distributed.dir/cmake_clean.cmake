@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06e_distributed.dir/fig06e_distributed.cc.o"
+  "CMakeFiles/fig06e_distributed.dir/fig06e_distributed.cc.o.d"
+  "fig06e_distributed"
+  "fig06e_distributed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06e_distributed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

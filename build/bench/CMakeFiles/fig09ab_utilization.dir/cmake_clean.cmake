@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09ab_utilization.dir/fig09ab_utilization.cc.o"
+  "CMakeFiles/fig09ab_utilization.dir/fig09ab_utilization.cc.o.d"
+  "fig09ab_utilization"
+  "fig09ab_utilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09ab_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09c_estimator_accuracy.dir/fig09c_estimator_accuracy.cc.o"
+  "CMakeFiles/fig09c_estimator_accuracy.dir/fig09c_estimator_accuracy.cc.o.d"
+  "fig09c_estimator_accuracy"
+  "fig09c_estimator_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09c_estimator_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09d_overhead.dir/fig09d_overhead.cc.o"
+  "CMakeFiles/fig09d_overhead.dir/fig09d_overhead.cc.o.d"
+  "fig09d_overhead"
+  "fig09d_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09d_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

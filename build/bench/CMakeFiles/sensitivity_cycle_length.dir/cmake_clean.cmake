@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensitivity_cycle_length.dir/sensitivity_cycle_length.cc.o"
+  "CMakeFiles/sensitivity_cycle_length.dir/sensitivity_cycle_length.cc.o.d"
+  "sensitivity_cycle_length"
+  "sensitivity_cycle_length.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensitivity_cycle_length.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lrb_tolls.dir/lrb_tolls.cpp.o"
+  "CMakeFiles/lrb_tolls.dir/lrb_tolls.cpp.o.d"
+  "lrb_tolls"
+  "lrb_tolls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lrb_tolls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

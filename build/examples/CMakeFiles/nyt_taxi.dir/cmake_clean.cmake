@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nyt_taxi.dir/nyt_taxi.cpp.o"
+  "CMakeFiles/nyt_taxi.dir/nyt_taxi.cpp.o.d"
+  "nyt_taxi"
+  "nyt_taxi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nyt_taxi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for nyt_taxi.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for nyt_taxi.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ysb_pipeline.dir/ysb_pipeline.cpp.o"
+  "CMakeFiles/ysb_pipeline.dir/ysb_pipeline.cpp.o.d"
+  "ysb_pipeline"
+  "ysb_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ysb_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

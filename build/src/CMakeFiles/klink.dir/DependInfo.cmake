@@ -1,0 +1,67 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/flags.cc" "src/CMakeFiles/klink.dir/common/flags.cc.o" "gcc" "src/CMakeFiles/klink.dir/common/flags.cc.o.d"
+  "/root/repo/src/common/gaussian.cc" "src/CMakeFiles/klink.dir/common/gaussian.cc.o" "gcc" "src/CMakeFiles/klink.dir/common/gaussian.cc.o.d"
+  "/root/repo/src/common/histogram.cc" "src/CMakeFiles/klink.dir/common/histogram.cc.o" "gcc" "src/CMakeFiles/klink.dir/common/histogram.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/klink.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/klink.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/klink.dir/common/status.cc.o" "gcc" "src/CMakeFiles/klink.dir/common/status.cc.o.d"
+  "/root/repo/src/common/zipf.cc" "src/CMakeFiles/klink.dir/common/zipf.cc.o" "gcc" "src/CMakeFiles/klink.dir/common/zipf.cc.o.d"
+  "/root/repo/src/dist/dist_engine.cc" "src/CMakeFiles/klink.dir/dist/dist_engine.cc.o" "gcc" "src/CMakeFiles/klink.dir/dist/dist_engine.cc.o.d"
+  "/root/repo/src/dist/forwarding.cc" "src/CMakeFiles/klink.dir/dist/forwarding.cc.o" "gcc" "src/CMakeFiles/klink.dir/dist/forwarding.cc.o.d"
+  "/root/repo/src/dist/placement.cc" "src/CMakeFiles/klink.dir/dist/placement.cc.o" "gcc" "src/CMakeFiles/klink.dir/dist/placement.cc.o.d"
+  "/root/repo/src/event/stream_queue.cc" "src/CMakeFiles/klink.dir/event/stream_queue.cc.o" "gcc" "src/CMakeFiles/klink.dir/event/stream_queue.cc.o.d"
+  "/root/repo/src/harness/experiment.cc" "src/CMakeFiles/klink.dir/harness/experiment.cc.o" "gcc" "src/CMakeFiles/klink.dir/harness/experiment.cc.o.d"
+  "/root/repo/src/harness/reporter.cc" "src/CMakeFiles/klink.dir/harness/reporter.cc.o" "gcc" "src/CMakeFiles/klink.dir/harness/reporter.cc.o.d"
+  "/root/repo/src/klink/epoch_tracker.cc" "src/CMakeFiles/klink.dir/klink/epoch_tracker.cc.o" "gcc" "src/CMakeFiles/klink.dir/klink/epoch_tracker.cc.o.d"
+  "/root/repo/src/klink/klink_policy.cc" "src/CMakeFiles/klink.dir/klink/klink_policy.cc.o" "gcc" "src/CMakeFiles/klink.dir/klink/klink_policy.cc.o.d"
+  "/root/repo/src/klink/linear_regression.cc" "src/CMakeFiles/klink.dir/klink/linear_regression.cc.o" "gcc" "src/CMakeFiles/klink.dir/klink/linear_regression.cc.o.d"
+  "/root/repo/src/klink/memory_manager.cc" "src/CMakeFiles/klink.dir/klink/memory_manager.cc.o" "gcc" "src/CMakeFiles/klink.dir/klink/memory_manager.cc.o.d"
+  "/root/repo/src/klink/slack.cc" "src/CMakeFiles/klink.dir/klink/slack.cc.o" "gcc" "src/CMakeFiles/klink.dir/klink/slack.cc.o.d"
+  "/root/repo/src/klink/swm_estimator.cc" "src/CMakeFiles/klink.dir/klink/swm_estimator.cc.o" "gcc" "src/CMakeFiles/klink.dir/klink/swm_estimator.cc.o.d"
+  "/root/repo/src/net/delay_model.cc" "src/CMakeFiles/klink.dir/net/delay_model.cc.o" "gcc" "src/CMakeFiles/klink.dir/net/delay_model.cc.o.d"
+  "/root/repo/src/operators/aggregate_operator.cc" "src/CMakeFiles/klink.dir/operators/aggregate_operator.cc.o" "gcc" "src/CMakeFiles/klink.dir/operators/aggregate_operator.cc.o.d"
+  "/root/repo/src/operators/chained_operator.cc" "src/CMakeFiles/klink.dir/operators/chained_operator.cc.o" "gcc" "src/CMakeFiles/klink.dir/operators/chained_operator.cc.o.d"
+  "/root/repo/src/operators/count_window_operator.cc" "src/CMakeFiles/klink.dir/operators/count_window_operator.cc.o" "gcc" "src/CMakeFiles/klink.dir/operators/count_window_operator.cc.o.d"
+  "/root/repo/src/operators/filter_operator.cc" "src/CMakeFiles/klink.dir/operators/filter_operator.cc.o" "gcc" "src/CMakeFiles/klink.dir/operators/filter_operator.cc.o.d"
+  "/root/repo/src/operators/join_operator.cc" "src/CMakeFiles/klink.dir/operators/join_operator.cc.o" "gcc" "src/CMakeFiles/klink.dir/operators/join_operator.cc.o.d"
+  "/root/repo/src/operators/map_operator.cc" "src/CMakeFiles/klink.dir/operators/map_operator.cc.o" "gcc" "src/CMakeFiles/klink.dir/operators/map_operator.cc.o.d"
+  "/root/repo/src/operators/operator.cc" "src/CMakeFiles/klink.dir/operators/operator.cc.o" "gcc" "src/CMakeFiles/klink.dir/operators/operator.cc.o.d"
+  "/root/repo/src/operators/reorder_operator.cc" "src/CMakeFiles/klink.dir/operators/reorder_operator.cc.o" "gcc" "src/CMakeFiles/klink.dir/operators/reorder_operator.cc.o.d"
+  "/root/repo/src/operators/session_window_operator.cc" "src/CMakeFiles/klink.dir/operators/session_window_operator.cc.o" "gcc" "src/CMakeFiles/klink.dir/operators/session_window_operator.cc.o.d"
+  "/root/repo/src/operators/sink_operator.cc" "src/CMakeFiles/klink.dir/operators/sink_operator.cc.o" "gcc" "src/CMakeFiles/klink.dir/operators/sink_operator.cc.o.d"
+  "/root/repo/src/operators/source_operator.cc" "src/CMakeFiles/klink.dir/operators/source_operator.cc.o" "gcc" "src/CMakeFiles/klink.dir/operators/source_operator.cc.o.d"
+  "/root/repo/src/operators/watermark_generator_operator.cc" "src/CMakeFiles/klink.dir/operators/watermark_generator_operator.cc.o" "gcc" "src/CMakeFiles/klink.dir/operators/watermark_generator_operator.cc.o.d"
+  "/root/repo/src/query/pipeline_builder.cc" "src/CMakeFiles/klink.dir/query/pipeline_builder.cc.o" "gcc" "src/CMakeFiles/klink.dir/query/pipeline_builder.cc.o.d"
+  "/root/repo/src/query/query.cc" "src/CMakeFiles/klink.dir/query/query.cc.o" "gcc" "src/CMakeFiles/klink.dir/query/query.cc.o.d"
+  "/root/repo/src/runtime/engine.cc" "src/CMakeFiles/klink.dir/runtime/engine.cc.o" "gcc" "src/CMakeFiles/klink.dir/runtime/engine.cc.o.d"
+  "/root/repo/src/runtime/memory_tracker.cc" "src/CMakeFiles/klink.dir/runtime/memory_tracker.cc.o" "gcc" "src/CMakeFiles/klink.dir/runtime/memory_tracker.cc.o.d"
+  "/root/repo/src/runtime/metrics.cc" "src/CMakeFiles/klink.dir/runtime/metrics.cc.o" "gcc" "src/CMakeFiles/klink.dir/runtime/metrics.cc.o.d"
+  "/root/repo/src/runtime/snapshot.cc" "src/CMakeFiles/klink.dir/runtime/snapshot.cc.o" "gcc" "src/CMakeFiles/klink.dir/runtime/snapshot.cc.o.d"
+  "/root/repo/src/sched/default_policy.cc" "src/CMakeFiles/klink.dir/sched/default_policy.cc.o" "gcc" "src/CMakeFiles/klink.dir/sched/default_policy.cc.o.d"
+  "/root/repo/src/sched/fcfs_policy.cc" "src/CMakeFiles/klink.dir/sched/fcfs_policy.cc.o" "gcc" "src/CMakeFiles/klink.dir/sched/fcfs_policy.cc.o.d"
+  "/root/repo/src/sched/hr_policy.cc" "src/CMakeFiles/klink.dir/sched/hr_policy.cc.o" "gcc" "src/CMakeFiles/klink.dir/sched/hr_policy.cc.o.d"
+  "/root/repo/src/sched/policy.cc" "src/CMakeFiles/klink.dir/sched/policy.cc.o" "gcc" "src/CMakeFiles/klink.dir/sched/policy.cc.o.d"
+  "/root/repo/src/sched/rr_policy.cc" "src/CMakeFiles/klink.dir/sched/rr_policy.cc.o" "gcc" "src/CMakeFiles/klink.dir/sched/rr_policy.cc.o.d"
+  "/root/repo/src/sched/sbox_policy.cc" "src/CMakeFiles/klink.dir/sched/sbox_policy.cc.o" "gcc" "src/CMakeFiles/klink.dir/sched/sbox_policy.cc.o.d"
+  "/root/repo/src/window/swm_tracker.cc" "src/CMakeFiles/klink.dir/window/swm_tracker.cc.o" "gcc" "src/CMakeFiles/klink.dir/window/swm_tracker.cc.o.d"
+  "/root/repo/src/window/window_assigner.cc" "src/CMakeFiles/klink.dir/window/window_assigner.cc.o" "gcc" "src/CMakeFiles/klink.dir/window/window_assigner.cc.o.d"
+  "/root/repo/src/workloads/lrb.cc" "src/CMakeFiles/klink.dir/workloads/lrb.cc.o" "gcc" "src/CMakeFiles/klink.dir/workloads/lrb.cc.o.d"
+  "/root/repo/src/workloads/nyt.cc" "src/CMakeFiles/klink.dir/workloads/nyt.cc.o" "gcc" "src/CMakeFiles/klink.dir/workloads/nyt.cc.o.d"
+  "/root/repo/src/workloads/workload.cc" "src/CMakeFiles/klink.dir/workloads/workload.cc.o" "gcc" "src/CMakeFiles/klink.dir/workloads/workload.cc.o.d"
+  "/root/repo/src/workloads/ysb.cc" "src/CMakeFiles/klink.dir/workloads/ysb.cc.o" "gcc" "src/CMakeFiles/klink.dir/workloads/ysb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aggregate_operator_test.dir/aggregate_operator_test.cc.o"
+  "CMakeFiles/aggregate_operator_test.dir/aggregate_operator_test.cc.o.d"
+  "aggregate_operator_test"
+  "aggregate_operator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aggregate_operator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

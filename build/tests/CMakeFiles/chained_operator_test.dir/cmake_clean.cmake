@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chained_operator_test.dir/chained_operator_test.cc.o"
+  "CMakeFiles/chained_operator_test.dir/chained_operator_test.cc.o.d"
+  "chained_operator_test"
+  "chained_operator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chained_operator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/count_window_test.dir/count_window_test.cc.o"
+  "CMakeFiles/count_window_test.dir/count_window_test.cc.o.d"
+  "count_window_test"
+  "count_window_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/count_window_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

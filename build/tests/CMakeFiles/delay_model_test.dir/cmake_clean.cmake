@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delay_model_test.dir/delay_model_test.cc.o"
+  "CMakeFiles/delay_model_test.dir/delay_model_test.cc.o.d"
+  "delay_model_test"
+  "delay_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delay_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

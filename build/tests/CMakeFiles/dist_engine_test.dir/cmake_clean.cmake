@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dist_engine_test.dir/dist_engine_test.cc.o"
+  "CMakeFiles/dist_engine_test.dir/dist_engine_test.cc.o.d"
+  "dist_engine_test"
+  "dist_engine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dist_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

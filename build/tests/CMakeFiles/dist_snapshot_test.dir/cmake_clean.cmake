@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dist_snapshot_test.dir/dist_snapshot_test.cc.o"
+  "CMakeFiles/dist_snapshot_test.dir/dist_snapshot_test.cc.o.d"
+  "dist_snapshot_test"
+  "dist_snapshot_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dist_snapshot_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

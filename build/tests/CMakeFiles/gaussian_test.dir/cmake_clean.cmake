@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gaussian_test.dir/gaussian_test.cc.o"
+  "CMakeFiles/gaussian_test.dir/gaussian_test.cc.o.d"
+  "gaussian_test"
+  "gaussian_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gaussian_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

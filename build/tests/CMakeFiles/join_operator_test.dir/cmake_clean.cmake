@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/join_operator_test.dir/join_operator_test.cc.o"
+  "CMakeFiles/join_operator_test.dir/join_operator_test.cc.o.d"
+  "join_operator_test"
+  "join_operator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/join_operator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/klink_policy_test.dir/klink_policy_test.cc.o"
+  "CMakeFiles/klink_policy_test.dir/klink_policy_test.cc.o.d"
+  "klink_policy_test"
+  "klink_policy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/klink_policy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

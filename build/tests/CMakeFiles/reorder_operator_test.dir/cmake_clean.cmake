@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reorder_operator_test.dir/reorder_operator_test.cc.o"
+  "CMakeFiles/reorder_operator_test.dir/reorder_operator_test.cc.o.d"
+  "reorder_operator_test"
+  "reorder_operator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reorder_operator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

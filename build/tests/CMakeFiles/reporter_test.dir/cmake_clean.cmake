@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reporter_test.dir/reporter_test.cc.o"
+  "CMakeFiles/reporter_test.dir/reporter_test.cc.o.d"
+  "reporter_test"
+  "reporter_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reporter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/session_window_test.dir/session_window_test.cc.o"
+  "CMakeFiles/session_window_test.dir/session_window_test.cc.o.d"
+  "session_window_test"
+  "session_window_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/session_window_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

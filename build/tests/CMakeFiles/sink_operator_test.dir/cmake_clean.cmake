@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sink_operator_test.dir/sink_operator_test.cc.o"
+  "CMakeFiles/sink_operator_test.dir/sink_operator_test.cc.o.d"
+  "sink_operator_test"
+  "sink_operator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sink_operator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slack_test.dir/slack_test.cc.o"
+  "CMakeFiles/slack_test.dir/slack_test.cc.o.d"
+  "slack_test"
+  "slack_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

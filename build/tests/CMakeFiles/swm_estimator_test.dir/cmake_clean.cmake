@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swm_estimator_test.dir/swm_estimator_test.cc.o"
+  "CMakeFiles/swm_estimator_test.dir/swm_estimator_test.cc.o.d"
+  "swm_estimator_test"
+  "swm_estimator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swm_estimator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

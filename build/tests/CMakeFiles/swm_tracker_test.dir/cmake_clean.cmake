@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swm_tracker_test.dir/swm_tracker_test.cc.o"
+  "CMakeFiles/swm_tracker_test.dir/swm_tracker_test.cc.o.d"
+  "swm_tracker_test"
+  "swm_tracker_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swm_tracker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

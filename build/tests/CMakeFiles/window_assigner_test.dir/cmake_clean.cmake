@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/window_assigner_test.dir/window_assigner_test.cc.o"
+  "CMakeFiles/window_assigner_test.dir/window_assigner_test.cc.o.d"
+  "window_assigner_test"
+  "window_assigner_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/window_assigner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

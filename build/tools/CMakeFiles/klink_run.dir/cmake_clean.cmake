@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/klink_run.dir/klink_run.cc.o"
+  "CMakeFiles/klink_run.dir/klink_run.cc.o.d"
+  "klink_run"
+  "klink_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/klink_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for klink_run.
+# This may be replaced when dependencies are built.
