@@ -1,9 +1,11 @@
 #ifndef KLINK_BENCH_BENCH_COMMON_H_
 #define KLINK_BENCH_BENCH_COMMON_H_
 
+#include <cstdio>
 #include <cstdlib>
 #include <vector>
 
+#include "src/common/flags.h"
 #include "src/harness/experiment.h"
 
 namespace klink::bench {
@@ -22,6 +24,21 @@ inline std::vector<PolicyKind> AllPolicies() {
 /// bench finishes in seconds of wall time; the contention regime (offered
 /// load vs. core capacity, memory headroom vs. backlog) is preserved. See
 /// DESIGN.md "Substitutions".
+/// Executor backend for the bench run: KLINK_EXECUTOR=threads (or
+/// sequential) in the environment; both backends produce identical figures,
+/// so this only changes wall-clock time. Unknown names abort rather than
+/// silently falling back.
+inline ExecutorKind EnvExecutor() {
+  const char* env = std::getenv("KLINK_EXECUTOR");
+  if (env == nullptr || env[0] == '\0') return ExecutorKind::kSequential;
+  ExecutorKind kind;
+  if (!ParseExecutorKind(env, &kind)) {
+    std::fprintf(stderr, "KLINK_EXECUTOR must be 'sequential' or 'threads'\n");
+    std::abort();
+  }
+  return kind;
+}
+
 inline ExperimentConfig BaseConfig() {
   ExperimentConfig config;
   config.events_per_second = 1000.0;
@@ -31,8 +48,27 @@ inline ExperimentConfig BaseConfig() {
   config.engine.num_cores = 8;
   config.engine.cycle_length = MillisToMicros(120);
   config.engine.memory_capacity_bytes = 16ll << 20;
+  config.engine.executor = EnvExecutor();
   config.seed = 1;
   return config;
+}
+
+/// Command-line override for benches that accept argv: --executor=threads
+/// takes precedence over KLINK_EXECUTOR. Returns false (after printing a
+/// message) on an unknown value so the bench can exit non-zero.
+inline bool ApplyExecutorFlag(int argc, char** argv,
+                              ExperimentConfig* config) {
+  FlagParser flags;
+  if (!flags.Parse(argc - 1, argv + 1).ok()) return false;
+  std::string name;
+  const Status st = flags.GetChoice(
+      "executor", {"sequential", "threads"},
+      ExecutorKindName(config->engine.executor), &name);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.message().c_str());
+    return false;
+  }
+  return ParseExecutorKind(name, &config->engine.executor);
 }
 
 /// Smoke mode: KLINK_BENCH_SMOKE=1 shrinks runs so the whole bench suite

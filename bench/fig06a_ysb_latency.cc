@@ -10,9 +10,12 @@
 #include "bench/bench_common.h"
 #include "src/harness/reporter.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace klink;
   using namespace klink::bench;
+
+  ExperimentConfig base = BaseConfig();
+  if (!ApplyExecutorFlag(argc, argv, &base)) return 2;
 
   const std::vector<int> query_counts = SmokeMode()
                                             ? std::vector<int>{1, 20, 40}
@@ -26,7 +29,7 @@ int main() {
   for (PolicyKind policy : AllPolicies()) {
     std::vector<std::string> row = {PolicyKindName(policy)};
     for (int n : query_counts) {
-      ExperimentConfig config = BaseConfig();
+      ExperimentConfig config = base;
       ApplySmoke(&config);
       config.policy = policy;
       config.workload = WorkloadKind::kYsb;

@@ -58,6 +58,30 @@ double FlagParser::GetDouble(const std::string& name, double fallback) const {
   return (end == nullptr || *end != '\0') ? fallback : v;
 }
 
+Status FlagParser::GetChoice(const std::string& name,
+                             const std::vector<std::string>& allowed,
+                             const std::string& fallback,
+                             std::string* out) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) {
+    *out = fallback;
+    return Status::Ok();
+  }
+  for (const std::string& a : allowed) {
+    if (it->second == a) {
+      *out = it->second;
+      return Status::Ok();
+    }
+  }
+  std::string msg = "--" + name + " must be one of {";
+  for (size_t i = 0; i < allowed.size(); ++i) {
+    if (i > 0) msg += ", ";
+    msg += allowed[i];
+  }
+  msg += "}, got '" + it->second + "'";
+  return Status::InvalidArgument(msg);
+}
+
 bool FlagParser::GetBool(const std::string& name, bool fallback) const {
   const auto it = flags_.find(name);
   if (it == flags_.end()) return fallback;

@@ -31,6 +31,14 @@ class FlagParser {
   double GetDouble(const std::string& name, double fallback) const;
   bool GetBool(const std::string& name, bool fallback) const;
 
+  /// Enumerated flag: returns the flag's value when it is one of `allowed`,
+  /// `fallback` when the flag is absent, and InvalidArgument (naming the
+  /// allowed values) when present but unrecognized — so `--executor=foo`
+  /// fails loudly instead of silently running the default backend.
+  Status GetChoice(const std::string& name,
+                   const std::vector<std::string>& allowed,
+                   const std::string& fallback, std::string* out) const;
+
   const std::vector<std::string>& positional() const { return positional_; }
   const std::map<std::string, std::string>& flags() const { return flags_; }
 

@@ -88,7 +88,7 @@ void DistEngine::RunCycle() {
 
   const double r = static_cast<double>(config_.cycle_length);
   RuntimeSnapshot snap;
-  std::vector<QueryId> selected;
+  Selection selected;
   for (auto& node : nodes_) {
     BuildNodeSnapshot(node->id(), &snap);
     const double sched_cost = node->policy().EvaluationCostMicros(snap);
@@ -102,14 +102,15 @@ void DistEngine::RunCycle() {
     const double multiplier = 1.0 + config_.memory_pressure_penalty * stress;
     // Strict cycle-grained quanta, as in Engine::RunCycle: each selected
     // sub-query occupies one local core for the whole cycle.
-    selected.clear();
+    selected.Clear();
     node->policy().SelectQueries(snap, node->config().num_cores, &selected);
     const double budget = std::max(
         0.0, r - sched_cost / static_cast<double>(node->config().num_cores));
-    for (const QueryId id : selected) {
+    for (SlotAssignment& slot : selected) {
+      slot.budget_micros = budget * slot.budget_fraction;
       const double consumed = ExecuteQueryOnNode(
-          queries_[static_cast<size_t>(id)], node->id(), budget, multiplier,
-          now_);
+          queries_[static_cast<size_t>(slot.query)], node->id(),
+          slot.budget_micros, multiplier, now_);
       metrics_.AddCoreBusy(consumed);
     }
     metrics_.AddCoreAvailable(static_cast<double>(node->config().num_cores) *

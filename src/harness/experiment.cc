@@ -27,7 +27,7 @@ class ProbePolicy final : public SchedulingPolicy {
   std::string name() const override { return inner_->name(); }
 
   void SelectQueries(const RuntimeSnapshot& snapshot, int slots,
-                     std::vector<QueryId>* out) override {
+                     Selection* out) override {
     probe_(snapshot);
     inner_->SelectQueries(snapshot, slots, out);
   }

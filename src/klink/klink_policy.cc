@@ -79,7 +79,7 @@ void KlinkPolicy::UpdateMemoryMode(const RuntimeSnapshot& snapshot) {
 }
 
 void KlinkPolicy::SelectQueries(const RuntimeSnapshot& snapshot, int slots,
-                                std::vector<QueryId>* out) {
+                                Selection* out) {
   eval_steps_ = 0;
   eval_queries_ = 0;
   UpdateMemoryMode(snapshot);

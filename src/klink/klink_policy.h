@@ -57,7 +57,7 @@ class KlinkPolicy final : public SchedulingPolicy {
     return config_.enable_memory_management ? "Klink" : "Klink (w/o MM)";
   }
   void SelectQueries(const RuntimeSnapshot& snapshot, int slots,
-                     std::vector<QueryId>* out) override;
+                     Selection* out) override;
   double EvaluationCostMicros(const RuntimeSnapshot& snapshot) override;
 
   /// ---- introspection --------------------------------------------------

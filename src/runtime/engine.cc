@@ -6,28 +6,17 @@
 #include "src/common/check.h"
 
 namespace klink {
-namespace {
 
-/// Routes an operator's outputs into the downstream operator's input queue,
-/// tagging each element with the downstream input-stream index.
-class QueueEmitter final : public Emitter {
- public:
-  QueueEmitter(StreamQueue* queue, int stream)
-      : queue_(queue), stream_(stream) {}
-
-  void Emit(const Event& e) override {
-    if (queue_ == nullptr) return;  // sink: outputs leave the system
-    Event routed = e;
-    routed.stream = stream_;
-    queue_->Push(routed);
-  }
-
- private:
-  StreamQueue* queue_;
-  int stream_;
-};
-
-}  // namespace
+void EngineConfig::Validate() const {
+  KLINK_CHECK_GE(num_cores, 1);
+  KLINK_CHECK_GT(cycle_length, 0);
+  KLINK_CHECK_GT(memory_capacity_bytes, 0);
+  KLINK_CHECK_GT(backpressure_resume_fraction, 0.0);
+  KLINK_CHECK_LE(backpressure_resume_fraction, 1.0);
+  KLINK_CHECK_GE(memory_pressure_penalty, 0.0);
+  KLINK_CHECK_GT(pressure_onset_fraction, 0.0);
+  KLINK_CHECK_GT(metrics_sample_period, 0);
+}
 
 Engine::Engine(const EngineConfig& config,
                std::unique_ptr<SchedulingPolicy> policy)
@@ -35,9 +24,10 @@ Engine::Engine(const EngineConfig& config,
       policy_(std::move(policy)),
       memory_(config.memory_capacity_bytes,
               config.backpressure_resume_fraction) {
+  config_.Validate();
   KLINK_CHECK(policy_ != nullptr);
-  KLINK_CHECK_GE(config.num_cores, 1);
-  KLINK_CHECK_GT(config.cycle_length, 0);
+  executor_ = MakeExecutor(config_.executor, config_.num_cores);
+  KLINK_CHECK(executor_ != nullptr);
   next_sample_time_ = config.metrics_sample_period;
 }
 
@@ -98,27 +88,38 @@ void Engine::RunCycle() {
   const double sched_cost = policy_->EvaluationCostMicros(snapshot_scratch_);
   metrics_.AddSchedulerCost(sched_cost);
 
-  // (4) Execute each selected query on its own core for the full quantum.
+  // (4) Ask the policy which queries occupy the task slots this cycle.
   // Scheduling is strictly cycle-grained, as in the state-based scheduler
   // of Sec. 5: the scheduler is inactive while operators execute, so a
   // task occupies its core for the whole cycle even if it drains early —
   // which is precisely why spending quanta on the *right* queries matters.
-  selection_scratch_.clear();
+  selection_scratch_.Clear();
   policy_->SelectQueries(snapshot_scratch_, config_.num_cores,
                          &selection_scratch_);
   KLINK_CHECK_LE(selection_scratch_.size(),
                  static_cast<size_t>(config_.num_cores));
+  KLINK_DCHECK(selection_scratch_.IsDistinct());
+
+  // (5) Resolve the selection into per-slot tasks and run them on the
+  // executor backend; per-worker counters merge at the cycle barrier.
   const double budget =
       std::max(0.0, r - sched_cost / static_cast<double>(config_.num_cores));
   const double multiplier = CostMultiplier();
-  for (const QueryId id : selection_scratch_) {
-    const double consumed = ExecuteQuery(query(id), budget, multiplier);
-    metrics_.AddCoreBusy(consumed);
-    busy_since_sample_ += consumed;
+  tasks_scratch_.clear();
+  for (SlotAssignment& slot : selection_scratch_) {
+    KLINK_CHECK(IsActive(slot.query));  // policies select live queries only
+    slot.budget_micros = budget * slot.budget_fraction;
+    tasks_scratch_.push_back(
+        ExecutorTask{&query(slot.query), slot.budget_micros});
   }
+  const CycleStats stats =
+      executor_->ExecuteCycle(tasks_scratch_, multiplier, now_);
+  metrics_.AddProcessed(stats.processed_events);
+  metrics_.AddCoreBusy(stats.busy_micros);
+  busy_since_sample_ += stats.busy_micros;
   metrics_.AddCoreAvailable(static_cast<double>(config_.num_cores) * r);
 
-  // (5) Sample the resource time series and advance the virtual clock.
+  // (6) Sample the resource time series and advance the virtual clock.
   now_ += config_.cycle_length;
   MaybeSampleMetrics();
 }
@@ -161,58 +162,6 @@ void Engine::BuildSnapshot(RuntimeSnapshot* snap) {
     snap->queries.emplace_back();
     CollectQueryInfo(*dq.query, now_, &snap->queries.back());
   }
-}
-
-double Engine::ExecuteQuery(Query& query, double budget_micros,
-                            double cost_multiplier) {
-  double consumed = 0.0;
-  bool progressed = true;
-  int64_t processed = 0;
-  // Repeated topological sweeps: a sweep cascades events downstream; any
-  // leftover upstream work (budget permitting) is picked up by the next
-  // sweep. Stops when the budget is exhausted or all queues drained.
-  while (progressed) {
-    progressed = false;
-    for (int i = 0; i < query.num_operators(); ++i) {
-      Operator& op = query.op(i);
-      const Query::Edge& edge = query.edge(i);
-      StreamQueue* downstream_queue =
-          edge.downstream == -1
-              ? nullptr
-              : &query.op(edge.downstream).input(edge.downstream_stream);
-      QueueEmitter emitter(downstream_queue, edge.downstream_stream);
-      const double cost =
-          std::max(0.01, op.cost_per_event() * cost_multiplier);
-      while (consumed + cost <= budget_micros) {
-        // Pop the earliest-ingested element across this operator's inputs.
-        int best = -1;
-        TimeMicros best_time = 0;
-        for (int s = 0; s < op.num_inputs(); ++s) {
-          if (op.input(s).empty()) continue;
-          const TimeMicros t = op.input(s).Front().ingest_time;
-          if (best == -1 || t < best_time) {
-            best = s;
-            best_time = t;
-          }
-        }
-        if (best == -1) break;
-        Event e = op.input(best).Pop();
-        e.stream = best;
-        consumed += cost;
-        const TimeMicros now =
-            now_ + static_cast<TimeMicros>(consumed);
-        op.Process(e, now, emitter);
-        ++processed;
-        progressed = true;
-      }
-      if (consumed + 0.01 > budget_micros) {
-        progressed = false;
-        break;
-      }
-    }
-  }
-  metrics_.AddProcessed(processed);
-  return consumed;
 }
 
 int64_t Engine::ComputeMemoryUsage() const {

@@ -8,6 +8,7 @@
 #include "src/common/types.h"
 #include "src/query/query.h"
 #include "src/runtime/event_feed.h"
+#include "src/runtime/executor.h"
 #include "src/runtime/memory_tracker.h"
 #include "src/runtime/metrics.h"
 #include "src/runtime/snapshot.h"
@@ -26,7 +27,7 @@ struct EngineConfig {
   /// Simulated memory capacity for queues + operator state.
   int64_t memory_capacity_bytes = 256ll << 20;
   /// Backpressure hysteresis: ingestion stalls at capacity and resumes
-  /// below this fraction of capacity.
+  /// below this fraction of capacity. Must lie in (0, 1].
   double backpressure_resume_fraction = 0.8;
   /// Managed-runtime memory-pressure model: per-event processing costs are
   /// inflated by up to (1 + memory_pressure_penalty) as utilization rises
@@ -36,15 +37,26 @@ struct EngineConfig {
   double pressure_onset_fraction = 0.7;
   /// Resource time-series sampling period (paper samples every 200 ms).
   DurationMicros metrics_sample_period = MillisToMicros(200);
+  /// Execution backend for the task slots. Both backends produce
+  /// bit-identical results (see src/runtime/executor.h); kThreads trades
+  /// startup cost for wall-clock speedup on multi-query cycles.
+  ExecutorKind executor = ExecutorKind::kSequential;
+
+  /// Aborts on out-of-range values (a misconfigured engine silently
+  /// misbehaves otherwise). Called by the Engine constructor.
+  void Validate() const;
 };
 
 /// The stream processing engine: a virtual-time, state-based-scheduled SPE
-/// (Sec. 5). Each scheduling cycle the engine (1) ingests feed elements due
-/// by now into source queues unless backpressured, (2) collects the runtime
-/// snapshot I, (3) asks the policy for one query per core, charging the
-/// policy's modeled evaluation cost against the cycle budget, (4) executes
-/// each selected query for up to r of virtual CPU time, and (5) samples
-/// resource metrics and advances the clock.
+/// (Sec. 5), layered as orchestration (this class) over policy
+/// (sched/policy.h) over execution (runtime/executor.h). Each scheduling
+/// cycle the engine (1) ingests feed elements due by now into source
+/// queues unless backpressured, (2) collects the runtime snapshot I,
+/// (3) asks the policy for a Selection of one query per core, charging the
+/// policy's modeled evaluation cost against the cycle budget, (4) hands
+/// the selection to the executor, which runs each slot for up to r of
+/// virtual CPU time and merges per-worker counters at the cycle barrier,
+/// and (5) samples resource metrics and advances the clock.
 class Engine {
  public:
   Engine(const EngineConfig& config, std::unique_ptr<SchedulingPolicy> policy);
@@ -78,6 +90,7 @@ class Engine {
   const EngineMetrics& metrics() const { return metrics_; }
   const MemoryTracker& memory() const { return memory_; }
   SchedulingPolicy& policy() { return *policy_; }
+  const Executor& executor() const { return *executor_; }
   const EngineConfig& config() const { return config_; }
 
   /// Output latency (SWM propagation delay) merged across all query sinks.
@@ -98,16 +111,13 @@ class Engine {
   void RunCycle();
   void Ingest();
   void BuildSnapshot(RuntimeSnapshot* snap);
-  /// Executes `query` for up to `budget_micros` of virtual CPU time with
-  /// per-event costs scaled by `cost_multiplier`. Returns consumed micros.
-  double ExecuteQuery(Query& query, double budget_micros,
-                      double cost_multiplier);
   int64_t ComputeMemoryUsage() const;
   double CostMultiplier() const;
   void MaybeSampleMetrics();
 
   EngineConfig config_;
   std::unique_ptr<SchedulingPolicy> policy_;
+  std::unique_ptr<Executor> executor_;
   std::vector<DeployedQuery> queries_;
   MemoryTracker memory_;
   EngineMetrics metrics_;
@@ -118,7 +128,8 @@ class Engine {
   double busy_since_sample_ = 0.0;
   int64_t processed_at_last_sample_ = 0;
   std::vector<EventFeed::FeedElement> feed_scratch_;
-  std::vector<QueryId> selection_scratch_;
+  Selection selection_scratch_;
+  std::vector<ExecutorTask> tasks_scratch_;
   RuntimeSnapshot snapshot_scratch_;
 };
 

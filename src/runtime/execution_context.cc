@@ -1,0 +1,92 @@
+#include "src/runtime/execution_context.h"
+
+#include <algorithm>
+
+namespace klink {
+namespace {
+
+/// Routes an operator's outputs into the downstream operator's input queue,
+/// tagging each element with the downstream input-stream index.
+class QueueEmitter final : public Emitter {
+ public:
+  QueueEmitter(StreamQueue* queue, int stream)
+      : queue_(queue), stream_(stream) {}
+
+  void Emit(const Event& e) override {
+    if (queue_ == nullptr) return;  // sink: outputs leave the system
+    Event routed = e;
+    routed.stream = stream_;
+    queue_->Push(routed);
+  }
+
+ private:
+  StreamQueue* queue_;
+  int stream_;
+};
+
+}  // namespace
+
+void ExecutionContext::BeginCycle(double budget_micros, double cost_multiplier,
+                                  TimeMicros cycle_start) {
+  budget_micros_ = budget_micros;
+  cost_multiplier_ = cost_multiplier;
+  cycle_start_ = cycle_start;
+  cycle_busy_micros_ = 0.0;
+  cycle_processed_events_ = 0;
+}
+
+double ExecutionContext::RunQuery(Query& query) {
+  double consumed = 0.0;
+  bool progressed = true;
+  int64_t processed = 0;
+  // Repeated topological sweeps: a sweep cascades events downstream; any
+  // leftover upstream work (budget permitting) is picked up by the next
+  // sweep. Stops when the budget is exhausted or all queues drained.
+  while (progressed) {
+    progressed = false;
+    for (int i = 0; i < query.num_operators(); ++i) {
+      Operator& op = query.op(i);
+      const Query::Edge& edge = query.edge(i);
+      StreamQueue* downstream_queue =
+          edge.downstream == -1
+              ? nullptr
+              : &query.op(edge.downstream).input(edge.downstream_stream);
+      QueueEmitter emitter(downstream_queue, edge.downstream_stream);
+      const double cost =
+          std::max(0.01, op.cost_per_event() * cost_multiplier_);
+      while (consumed + cost <= budget_micros_) {
+        // Pop the earliest-ingested element across this operator's inputs.
+        int best = -1;
+        TimeMicros best_time = 0;
+        for (int s = 0; s < op.num_inputs(); ++s) {
+          if (op.input(s).empty()) continue;
+          const TimeMicros t = op.input(s).Front().ingest_time;
+          if (best == -1 || t < best_time) {
+            best = s;
+            best_time = t;
+          }
+        }
+        if (best == -1) break;
+        Event e = op.input(best).Pop();
+        e.stream = best;
+        consumed += cost;
+        const TimeMicros now =
+            cycle_start_ + static_cast<TimeMicros>(consumed);
+        op.Process(e, now, emitter);
+        ++processed;
+        progressed = true;
+      }
+      if (consumed + 0.01 > budget_micros_) {
+        progressed = false;
+        break;
+      }
+    }
+  }
+  busy_micros_ += consumed;
+  processed_events_ += processed;
+  cycle_busy_micros_ += consumed;
+  cycle_processed_events_ += processed;
+  return consumed;
+}
+
+}  // namespace klink

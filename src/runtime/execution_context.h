@@ -1,0 +1,62 @@
+#ifndef KLINK_RUNTIME_EXECUTION_CONTEXT_H_
+#define KLINK_RUNTIME_EXECUTION_CONTEXT_H_
+
+#include <cstdint>
+
+#include "src/common/types.h"
+#include "src/query/query.h"
+
+namespace klink {
+
+/// Per-slot execution state: one ExecutionContext per task slot (worker).
+/// The executor arms the context for each scheduling cycle (BeginCycle)
+/// and then runs the slot's assigned query against the armed budget.
+///
+/// Threading contract: a context is owned by exactly one worker between
+/// BeginCycle and the cycle barrier; the engine reads its counters only
+/// after the barrier. Slot-parallel execution is safe because each Query
+/// owns its operators and queues, so distinct queries share no mutable
+/// state, and virtual time inside a slot depends only on that slot's own
+/// consumption — which is what keeps both executor backends bit-identical.
+class ExecutionContext {
+ public:
+  explicit ExecutionContext(int slot) : slot_(slot) {}
+
+  /// Arms the slot for one scheduling cycle: the virtual-CPU budget, the
+  /// memory-pressure cost multiplier, and the cycle's start of virtual
+  /// time. Resets the per-cycle counters.
+  void BeginCycle(double budget_micros, double cost_multiplier,
+                  TimeMicros cycle_start);
+
+  /// Drains `query` within the armed budget using repeated topological
+  /// sweeps: a sweep cascades events downstream; leftover upstream work
+  /// (budget permitting) is picked up by the next sweep. Returns the
+  /// virtual micros consumed and updates the slot counters.
+  double RunQuery(Query& query);
+
+  int slot() const { return slot_; }
+  double budget_micros() const { return budget_micros_; }
+  double cost_multiplier() const { return cost_multiplier_; }
+
+  /// Counters accumulated over the context's lifetime.
+  double busy_micros() const { return busy_micros_; }
+  int64_t processed_events() const { return processed_events_; }
+
+  /// Counters for the most recent cycle (merged at the cycle barrier).
+  double cycle_busy_micros() const { return cycle_busy_micros_; }
+  int64_t cycle_processed_events() const { return cycle_processed_events_; }
+
+ private:
+  const int slot_;
+  double budget_micros_ = 0.0;
+  double cost_multiplier_ = 1.0;
+  TimeMicros cycle_start_ = 0;
+  double busy_micros_ = 0.0;
+  int64_t processed_events_ = 0;
+  double cycle_busy_micros_ = 0.0;
+  int64_t cycle_processed_events_ = 0;
+};
+
+}  // namespace klink
+
+#endif  // KLINK_RUNTIME_EXECUTION_CONTEXT_H_

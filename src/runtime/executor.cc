@@ -1,0 +1,40 @@
+#include "src/runtime/executor.h"
+
+#include "src/runtime/sequential_executor.h"
+#include "src/runtime/thread_pool_executor.h"
+
+namespace klink {
+
+const char* ExecutorKindName(ExecutorKind kind) {
+  switch (kind) {
+    case ExecutorKind::kSequential:
+      return "sequential";
+    case ExecutorKind::kThreads:
+      return "threads";
+  }
+  return "?";
+}
+
+bool ParseExecutorKind(const std::string& s, ExecutorKind* out) {
+  if (s == "sequential") {
+    *out = ExecutorKind::kSequential;
+    return true;
+  }
+  if (s == "threads") {
+    *out = ExecutorKind::kThreads;
+    return true;
+  }
+  return false;
+}
+
+std::unique_ptr<Executor> MakeExecutor(ExecutorKind kind, int num_slots) {
+  switch (kind) {
+    case ExecutorKind::kSequential:
+      return std::make_unique<SequentialExecutor>(num_slots);
+    case ExecutorKind::kThreads:
+      return std::make_unique<ThreadPoolExecutor>(num_slots);
+  }
+  return nullptr;
+}
+
+}  // namespace klink

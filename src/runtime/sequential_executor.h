@@ -1,0 +1,34 @@
+#ifndef KLINK_RUNTIME_SEQUENTIAL_EXECUTOR_H_
+#define KLINK_RUNTIME_SEQUENTIAL_EXECUTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "src/runtime/executor.h"
+
+namespace klink {
+
+/// The deterministic virtual-time backend: runs each slot's task to
+/// completion on the calling thread, in slot order. This is the engine's
+/// historical execution loop, now behind the Executor seam.
+class SequentialExecutor final : public Executor {
+ public:
+  explicit SequentialExecutor(int num_slots);
+
+  std::string name() const override { return "sequential"; }
+  int num_slots() const override {
+    return static_cast<int>(contexts_.size());
+  }
+  const ExecutionContext& context(int slot) const override;
+
+  CycleStats ExecuteCycle(const std::vector<ExecutorTask>& tasks,
+                          double cost_multiplier,
+                          TimeMicros cycle_start) override;
+
+ private:
+  std::vector<ExecutionContext> contexts_;
+};
+
+}  // namespace klink
+
+#endif  // KLINK_RUNTIME_SEQUENTIAL_EXECUTOR_H_

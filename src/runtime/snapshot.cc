@@ -7,7 +7,7 @@
 
 namespace klink {
 
-void CollectQueryInfo(Query& query, TimeMicros now, QueryInfo* info) {
+void CollectQueryInfo(const Query& query, TimeMicros now, QueryInfo* info) {
   KLINK_CHECK(info != nullptr);
   info->id = query.id();
   info->query = &query;

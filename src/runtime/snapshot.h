@@ -41,7 +41,10 @@ struct StreamProgress {
 /// and by the baseline policies.
 struct QueryInfo {
   QueryId id = -1;
-  Query* query = nullptr;
+  /// Read-only view: the snapshot is consumed by policies (and, with the
+  /// thread-pool executor, potentially inspected while workers are parked
+  /// at the cycle barrier), so nothing downstream may mutate the query.
+  const Query* query = nullptr;
   TimeMicros deploy_time = 0;
   /// Earliest upcoming window deadline across the query's windowed
   /// operators, kNoTime for windowless queries.
@@ -79,8 +82,10 @@ struct RuntimeSnapshot {
   std::vector<QueryInfo> queries;
 };
 
-/// Fills `info` from the live query state at virtual time `now`.
-void CollectQueryInfo(Query& query, TimeMicros now, QueryInfo* info);
+/// Fills `info` from the live query state at virtual time `now`. Reads
+/// exclusively through const accessors — data acquisition must never
+/// perturb the state it observes.
+void CollectQueryInfo(const Query& query, TimeMicros now, QueryInfo* info);
 
 }  // namespace klink
 

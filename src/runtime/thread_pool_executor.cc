@@ -1,0 +1,85 @@
+#include "src/runtime/thread_pool_executor.h"
+
+#include "src/common/check.h"
+
+namespace klink {
+
+ThreadPoolExecutor::ThreadPoolExecutor(int num_slots) {
+  KLINK_CHECK_GE(num_slots, 1);
+  contexts_.reserve(static_cast<size_t>(num_slots));
+  for (int i = 0; i < num_slots; ++i) contexts_.emplace_back(i);
+  threads_.reserve(static_cast<size_t>(num_slots));
+  for (int i = 0; i < num_slots; ++i) {
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPoolExecutor::~ThreadPoolExecutor() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+const ExecutionContext& ThreadPoolExecutor::context(int slot) const {
+  KLINK_CHECK(slot >= 0 && slot < num_slots());
+  return contexts_[static_cast<size_t>(slot)];
+}
+
+CycleStats ThreadPoolExecutor::ExecuteCycle(
+    const std::vector<ExecutorTask>& tasks, double cost_multiplier,
+    TimeMicros cycle_start) {
+  KLINK_CHECK_LE(tasks.size(), contexts_.size());
+  for (const ExecutorTask& task : tasks) KLINK_CHECK(task.query != nullptr);
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    tasks_ = &tasks;
+    cost_multiplier_ = cost_multiplier;
+    cycle_start_ = cycle_start;
+    remaining_ = static_cast<int>(tasks.size());
+    ++cycle_seq_;
+    work_cv_.notify_all();
+    // The cycle barrier: virtual time may only advance once every worker
+    // has drained its slot's quantum.
+    done_cv_.wait(lock, [this] { return remaining_ == 0; });
+    tasks_ = nullptr;
+  }
+  // Merge in slot order on the engine thread. The barrier above ordered
+  // every worker's writes before these reads, and slot order makes the
+  // floating-point sum identical to the sequential backend's.
+  CycleStats stats;
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    stats.busy_micros += contexts_[i].cycle_busy_micros();
+    stats.processed_events += contexts_[i].cycle_processed_events();
+  }
+  return stats;
+}
+
+void ThreadPoolExecutor::WorkerLoop(int slot) {
+  uint64_t seen = 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock,
+                  [this, seen] { return shutdown_ || cycle_seq_ != seen; });
+    if (shutdown_) return;
+    seen = cycle_seq_;
+    // tasks_ is null when this slot had no work and the engine already
+    // passed the barrier and retired the cycle before this worker woke.
+    if (tasks_ == nullptr || static_cast<size_t>(slot) >= tasks_->size()) {
+      continue;  // idle slot this cycle
+    }
+    const ExecutorTask task = (*tasks_)[static_cast<size_t>(slot)];
+    const double multiplier = cost_multiplier_;
+    const TimeMicros start = cycle_start_;
+    lock.unlock();
+    ExecutionContext& ctx = contexts_[static_cast<size_t>(slot)];
+    ctx.BeginCycle(task.budget_micros, multiplier, start);
+    ctx.RunQuery(*task.query);
+    lock.lock();
+    if (--remaining_ == 0) done_cv_.notify_one();
+  }
+}
+
+}  // namespace klink

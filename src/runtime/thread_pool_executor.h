@@ -1,0 +1,62 @@
+#ifndef KLINK_RUNTIME_THREAD_POOL_EXECUTOR_H_
+#define KLINK_RUNTIME_THREAD_POOL_EXECUTOR_H_
+
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/runtime/executor.h"
+
+namespace klink {
+
+/// Real-thread backend: one persistent std::thread per slot. Each cycle
+/// the engine thread publishes the task list, wakes the workers, and
+/// blocks on the cycle barrier until every slot with work has drained its
+/// query; counters are then merged in slot order on the engine thread.
+///
+/// Safety: tasks carry distinct queries and each Query owns its operators
+/// and queues, so workers never share mutable state within a cycle. All
+/// engine-side bookkeeping (ingest, snapshot, policy, metrics, the virtual
+/// clock) stays on the engine thread between barriers, which is what lets
+/// this backend reproduce the sequential backend's results bit for bit.
+class ThreadPoolExecutor final : public Executor {
+ public:
+  explicit ThreadPoolExecutor(int num_slots);
+  ~ThreadPoolExecutor() override;
+
+  ThreadPoolExecutor(const ThreadPoolExecutor&) = delete;
+  ThreadPoolExecutor& operator=(const ThreadPoolExecutor&) = delete;
+
+  std::string name() const override { return "threads"; }
+  int num_slots() const override {
+    return static_cast<int>(contexts_.size());
+  }
+  const ExecutionContext& context(int slot) const override;
+
+  CycleStats ExecuteCycle(const std::vector<ExecutorTask>& tasks,
+                          double cost_multiplier,
+                          TimeMicros cycle_start) override;
+
+ private:
+  void WorkerLoop(int slot);
+
+  std::vector<ExecutionContext> contexts_;
+  std::vector<std::thread> threads_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // engine -> workers: cycle published
+  std::condition_variable done_cv_;   // workers -> engine: barrier reached
+  // All fields below are guarded by mu_.
+  const std::vector<ExecutorTask>* tasks_ = nullptr;
+  double cost_multiplier_ = 1.0;
+  TimeMicros cycle_start_ = 0;
+  uint64_t cycle_seq_ = 0;
+  int remaining_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace klink
+
+#endif  // KLINK_RUNTIME_THREAD_POOL_EXECUTOR_H_

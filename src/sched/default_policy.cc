@@ -7,7 +7,7 @@ namespace klink {
 DefaultPolicy::DefaultPolicy(uint64_t seed) : rng_(seed) {}
 
 void DefaultPolicy::SelectQueries(const RuntimeSnapshot& snapshot, int slots,
-                                  std::vector<QueryId>* out) {
+                                  Selection* out) {
   ready_scratch_.clear();
   for (const QueryInfo& info : snapshot.queries) {
     if (QueryIsReady(info)) ready_scratch_.push_back(&info);
@@ -20,7 +20,7 @@ void DefaultPolicy::SelectQueries(const RuntimeSnapshot& snapshot, int slots,
         static_cast<int64_t>(i),
         static_cast<int64_t>(ready_scratch_.size()) - 1));
     std::swap(ready_scratch_[i], ready_scratch_[j]);
-    out->push_back(ready_scratch_[i]->id);
+    out->Add(ready_scratch_[i]->id);
   }
 }
 

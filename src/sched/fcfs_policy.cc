@@ -3,7 +3,7 @@
 namespace klink {
 
 void FcfsPolicy::SelectQueries(const RuntimeSnapshot& snapshot, int slots,
-                               std::vector<QueryId>* out) {
+                               Selection* out) {
   SelectTopReadyQueries(
       snapshot, slots,
       [](const QueryInfo& a, const QueryInfo& b) {

@@ -15,7 +15,7 @@ class FcfsPolicy final : public SchedulingPolicy {
  public:
   std::string name() const override { return "FCFS"; }
   void SelectQueries(const RuntimeSnapshot& snapshot, int slots,
-                     std::vector<QueryId>* out) override;
+                     Selection* out) override;
 };
 
 }  // namespace klink

@@ -5,7 +5,7 @@ namespace klink {
 HighestRatePolicy::HighestRatePolicy(uint64_t seed) : rng_(seed) {}
 
 void HighestRatePolicy::SelectQueries(const RuntimeSnapshot& snapshot,
-                                      int slots, std::vector<QueryId>* out) {
+                                      int slots, Selection* out) {
   // HR orders by path output rate [48]. Homogeneous query sets tie on
   // rate, and HR defines no further criterion; ties are broken uniformly
   // at random per evaluation, mirroring nondeterministic task dispatch.

@@ -20,7 +20,7 @@ class HighestRatePolicy final : public SchedulingPolicy {
 
   std::string name() const override { return "HR"; }
   void SelectQueries(const RuntimeSnapshot& snapshot, int slots,
-                     std::vector<QueryId>* out) override;
+                     Selection* out) override;
 
  private:
   Rng rng_;

@@ -9,7 +9,7 @@ bool QueryIsReady(const QueryInfo& info) { return info.queued_events > 0; }
 void SelectTopReadyQueries(
     const RuntimeSnapshot& snapshot, int slots,
     const std::function<bool(const QueryInfo&, const QueryInfo&)>& better,
-    std::vector<QueryId>* out) {
+    Selection* out) {
   std::vector<const QueryInfo*> ready;
   ready.reserve(snapshot.queries.size());
   for (const QueryInfo& info : snapshot.queries) {
@@ -22,7 +22,7 @@ void SelectTopReadyQueries(
                     [&better](const QueryInfo* a, const QueryInfo* b) {
                       return better(*a, *b);
                     });
-  for (size_t i = 0; i < take; ++i) out->push_back(ready[i]->id);
+  for (size_t i = 0; i < take; ++i) out->Add(ready[i]->id);
 }
 
 }  // namespace klink

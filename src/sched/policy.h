@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "src/runtime/snapshot.h"
+#include "src/sched/selection.h"
 
 namespace klink {
 
@@ -21,11 +22,12 @@ class SchedulingPolicy {
 
   virtual std::string name() const = 0;
 
-  /// Appends up to `slots` distinct ids of queries to execute this cycle,
-  /// highest priority first. Queries with no queued work should not be
-  /// selected.
+  /// Appends up to `slots` assignments of distinct queries to execute this
+  /// cycle, highest priority first. Queries with no queued work should not
+  /// be selected. Assignments default to the full cycle quantum; policies
+  /// may grant partial quanta via SlotAssignment::budget_fraction.
   virtual void SelectQueries(const RuntimeSnapshot& snapshot, int slots,
-                             std::vector<QueryId>* out) = 0;
+                             Selection* out) = 0;
 
   /// Modeled virtual CPU cost of evaluation, charged against the engine's
   /// core budget (scheduler overhead, Sec. 6.2.5). Called once per
@@ -47,7 +49,7 @@ bool QueryIsReady(const QueryInfo& info);
 void SelectTopReadyQueries(
     const RuntimeSnapshot& snapshot, int slots,
     const std::function<bool(const QueryInfo&, const QueryInfo&)>& better,
-    std::vector<QueryId>* out);
+    Selection* out);
 
 }  // namespace klink
 

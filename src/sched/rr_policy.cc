@@ -5,14 +5,14 @@
 namespace klink {
 
 void RoundRobinPolicy::SelectQueries(const RuntimeSnapshot& snapshot,
-                                     int slots, std::vector<QueryId>* out) {
+                                     int slots, Selection* out) {
   const size_t n = snapshot.queries.size();
   if (n == 0 || slots <= 0) return;
   size_t inspected = 0;
   size_t pos = cursor_ % n;
   while (inspected < n && out->size() < static_cast<size_t>(slots)) {
     const QueryInfo& info = snapshot.queries[pos];
-    if (QueryIsReady(info)) out->push_back(info.id);
+    if (QueryIsReady(info)) out->Add(info.id);
     pos = (pos + 1) % n;
     ++inspected;
   }

@@ -15,7 +15,7 @@ class RoundRobinPolicy final : public SchedulingPolicy {
  public:
   std::string name() const override { return "RR"; }
   void SelectQueries(const RuntimeSnapshot& snapshot, int slots,
-                     std::vector<QueryId>* out) override;
+                     Selection* out) override;
 
  private:
   size_t cursor_ = 0;

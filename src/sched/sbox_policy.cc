@@ -12,7 +12,7 @@ int64_t SinkWatermarks(const QueryInfo& info) {
 }  // namespace
 
 void StreamBoxPolicy::SelectQueries(const RuntimeSnapshot& snapshot, int slots,
-                                    std::vector<QueryId>* out) {
+                                    Selection* out) {
   if (slots <= 0) return;
   sticky_.resize(static_cast<size_t>(slots));
 
@@ -23,10 +23,17 @@ void StreamBoxPolicy::SelectQueries(const RuntimeSnapshot& snapshot, int slots,
     return nullptr;
   };
 
-  std::vector<bool> taken(snapshot.queries.size(), false);
+  // Query ids are sparse when queries were removed mid-run, so the taken
+  // set must span the largest id in the snapshot, not its length.
+  QueryId max_id = -1;
+  for (const QueryInfo& info : snapshot.queries) {
+    max_id = std::max(max_id, info.id);
+  }
+  std::vector<bool> taken(static_cast<size_t>(max_id + 1), false);
 
   // Keep sticky assignments whose query has not yet pushed a watermark
-  // through to the sink since selection.
+  // through to the sink since selection. A removed query vanishes from the
+  // snapshot and releases its slot.
   for (Sticky& s : sticky_) {
     if (s.id < 0) continue;
     const QueryInfo* info = find_info(s.id);
@@ -65,7 +72,7 @@ void StreamBoxPolicy::SelectQueries(const RuntimeSnapshot& snapshot, int slots,
   }
 
   for (const Sticky& s : sticky_) {
-    if (s.id >= 0) out->push_back(s.id);
+    if (s.id >= 0) out->Add(s.id);
   }
 }
 

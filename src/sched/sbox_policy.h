@@ -21,7 +21,7 @@ class StreamBoxPolicy final : public SchedulingPolicy {
  public:
   std::string name() const override { return "SBox"; }
   void SelectQueries(const RuntimeSnapshot& snapshot, int slots,
-                     std::vector<QueryId>* out) override;
+                     Selection* out) override;
 
  private:
   struct Sticky {

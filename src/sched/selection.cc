@@ -1,0 +1,30 @@
+#include "src/sched/selection.h"
+
+#include <algorithm>
+
+namespace klink {
+
+void Selection::Add(QueryId query, double budget_fraction) {
+  SlotAssignment a;
+  a.query = query;
+  a.budget_fraction = std::clamp(budget_fraction, 0.0, 1.0);
+  slots_.push_back(a);
+}
+
+std::vector<QueryId> Selection::ids() const {
+  std::vector<QueryId> out;
+  out.reserve(slots_.size());
+  for (const SlotAssignment& a : slots_) out.push_back(a.query);
+  return out;
+}
+
+bool Selection::IsDistinct() const {
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    for (size_t j = i + 1; j < slots_.size(); ++j) {
+      if (slots_[i].query == slots_[j].query) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace klink

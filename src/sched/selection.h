@@ -1,0 +1,65 @@
+#ifndef KLINK_SCHED_SELECTION_H_
+#define KLINK_SCHED_SELECTION_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace klink {
+
+/// One task slot's share of a scheduling cycle: which query runs and how
+/// much of the cycle quantum it is granted. Policies fill `query` and
+/// (optionally) `budget_fraction`; the engine derives `budget_micros`
+/// after charging the policy's own evaluation cost against the quantum.
+struct SlotAssignment {
+  QueryId query = -1;
+  /// Fraction of the cycle quantum this slot may consume, in (0, 1].
+  /// Policies that reason only about *which* queries run keep the default
+  /// full quantum (strict cycle-grained scheduling, Sec. 5); budget-aware
+  /// policies can grant partial quanta.
+  double budget_fraction = 1.0;
+  /// Absolute virtual-CPU budget for the slot, filled by the engine before
+  /// the selection is handed to the executor.
+  double budget_micros = 0.0;
+};
+
+/// A policy's verdict for one scheduling cycle: at most one assignment per
+/// task slot, highest priority first. Query ids must be distinct — slot i
+/// of the executor runs assignment i, and slot-parallel backends rely on
+/// distinct queries to avoid sharing operator state across workers.
+class Selection {
+ public:
+  void Clear() { slots_.clear(); }
+
+  /// Appends an assignment; `budget_fraction` defaults to the full quantum.
+  void Add(QueryId query, double budget_fraction = 1.0);
+
+  bool empty() const { return slots_.empty(); }
+  size_t size() const { return slots_.size(); }
+  SlotAssignment& operator[](size_t i) { return slots_[i]; }
+  const SlotAssignment& operator[](size_t i) const { return slots_[i]; }
+
+  std::vector<SlotAssignment>::iterator begin() { return slots_.begin(); }
+  std::vector<SlotAssignment>::iterator end() { return slots_.end(); }
+  std::vector<SlotAssignment>::const_iterator begin() const {
+    return slots_.begin();
+  }
+  std::vector<SlotAssignment>::const_iterator end() const {
+    return slots_.end();
+  }
+
+  /// The selected query ids in slot order.
+  std::vector<QueryId> ids() const;
+
+  /// True when every assignment names a distinct query (the executor
+  /// contract above).
+  bool IsDistinct() const;
+
+ private:
+  std::vector<SlotAssignment> slots_;
+};
+
+}  // namespace klink
+
+#endif  // KLINK_SCHED_SELECTION_H_

@@ -24,7 +24,7 @@ class CapturingPolicy final : public SchedulingPolicy {
   std::string name() const override { return "capture"; }
 
   void SelectQueries(const RuntimeSnapshot& snapshot, int slots,
-                     std::vector<QueryId>* out) override {
+                     Selection* out) override {
     log_->push_back(snapshot);  // QueryInfo::query pointers stay valid
     SelectTopReadyQueries(
         snapshot, slots,

@@ -70,5 +70,34 @@ TEST(FlagParserTest, NegativeNumbersAsValues) {
   EXPECT_EQ(p.GetInt("offset", 0), -250);
 }
 
+TEST(FlagParserTest, GetChoiceReturnsAllowedValue) {
+  FlagParser p = Parse({"--executor=threads"});
+  std::string out;
+  EXPECT_TRUE(
+      p.GetChoice("executor", {"sequential", "threads"}, "sequential", &out)
+          .ok());
+  EXPECT_EQ(out, "threads");
+}
+
+TEST(FlagParserTest, GetChoiceFallsBackWhenAbsent) {
+  FlagParser p = Parse({"--queries=4"});
+  std::string out;
+  EXPECT_TRUE(
+      p.GetChoice("executor", {"sequential", "threads"}, "sequential", &out)
+          .ok());
+  EXPECT_EQ(out, "sequential");
+}
+
+TEST(FlagParserTest, GetChoiceRejectsUnknownValueNamingAlternatives) {
+  FlagParser p = Parse({"--executor=fibers"});
+  std::string out;
+  const Status st =
+      p.GetChoice("executor", {"sequential", "threads"}, "sequential", &out);
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("sequential"), std::string::npos);
+  EXPECT_NE(st.message().find("threads"), std::string::npos);
+  EXPECT_NE(st.message().find("fibers"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace klink

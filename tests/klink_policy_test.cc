@@ -37,7 +37,7 @@ class KlinkPolicyTest : public ::testing::Test {
       p.last_swept_deadline = e * SecondsToMicros(1);
       p.last_sweep_ingest = p.last_swept_deadline + offset;
       p.upcoming_deadline = (e + 1) * SecondsToMicros(1);
-      std::vector<QueryId> out;
+      Selection out;
       policy.SelectQueries(snapshot_, 0, &out);
     }
   }
@@ -61,10 +61,10 @@ TEST_F(KlinkPolicyTest, PicksLeastSlackQuery) {
   // Query 0's deadline is sooner than query 1's.
   snapshot_.queries[0].streams[0].upcoming_deadline = SecondsToMicros(1);
   snapshot_.queries[1].streams[0].upcoming_deadline = SecondsToMicros(5);
-  std::vector<QueryId> out;
+  Selection out;
   policy.SelectQueries(snapshot_, 1, &out);
   ASSERT_EQ(out.size(), 1u);
-  EXPECT_EQ(out[0], 0);
+  EXPECT_EQ(out[0].query, 0);
   EXPECT_LT(policy.LastSlack(0), policy.LastSlack(1));
 }
 
@@ -74,10 +74,10 @@ TEST_F(KlinkPolicyTest, DrainCostReducesSlack) {
   snapshot_.queries[0].streams[0].upcoming_deadline = SecondsToMicros(2);
   snapshot_.queries[1].streams[0].upcoming_deadline = SecondsToMicros(2);
   snapshot_.queries[1].drain_cost_micros = 1.5e6;  // heavy backlog
-  std::vector<QueryId> out;
+  Selection out;
   policy.SelectQueries(snapshot_, 1, &out);
   ASSERT_EQ(out.size(), 1u);
-  EXPECT_EQ(out[0], 1);  // same deadline, bigger backlog -> less slack
+  EXPECT_EQ(out[0].query, 1);  // same deadline, bigger backlog -> less slack
 }
 
 TEST_F(KlinkPolicyTest, EstimatorsLearnAndSlackUsesIntervals) {
@@ -91,7 +91,7 @@ TEST_F(KlinkPolicyTest, EstimatorsLearnAndSlackUsesIntervals) {
   // gap to the predicted ingestion.
   snapshot_.now = SecondsToMicros(8);
   snapshot_.queries[0].streams[0].upcoming_deadline = SecondsToMicros(9);
-  std::vector<QueryId> out;
+  Selection out;
   policy.SelectQueries(snapshot_, 1, &out);
   EXPECT_NEAR(policy.LastSlack(0), 1.3e6, 0.4e6);
 }
@@ -101,12 +101,12 @@ TEST_F(KlinkPolicyTest, MemoryModeActivatesAtBound) {
   KlinkPolicyConfig config;
   config.memory_bound_fraction = 0.5;
   KlinkPolicy policy(config);
-  std::vector<QueryId> out;
+  Selection out;
   snapshot_.memory_utilization = 0.4;
   policy.SelectQueries(snapshot_, 1, &out);
   EXPECT_FALSE(policy.in_memory_mode());
   snapshot_.memory_utilization = 0.6;
-  out.clear();
+  out.Clear();
   policy.SelectQueries(snapshot_, 1, &out);
   EXPECT_TRUE(policy.in_memory_mode());
   EXPECT_GE(policy.memory_mode_cycles(), 1);
@@ -118,13 +118,13 @@ TEST_F(KlinkPolicyTest, MemoryModeExitsOnRelease) {
   config.memory_bound_fraction = 0.5;
   config.mm_release_fraction = 0.25;
   KlinkPolicy policy(config);
-  std::vector<QueryId> out;
+  Selection out;
   snapshot_.memory_utilization = 0.6;
   policy.SelectQueries(snapshot_, 1, &out);
   ASSERT_TRUE(policy.in_memory_mode());
   // Released 25% of the entry utilization: 0.6 * 0.75 = 0.45.
   snapshot_.memory_utilization = 0.44;
-  out.clear();
+  out.Clear();
   policy.SelectQueries(snapshot_, 1, &out);
   EXPECT_FALSE(policy.in_memory_mode());
 }
@@ -135,13 +135,13 @@ TEST_F(KlinkPolicyTest, MemoryModeExitsOnTimeout) {
   config.memory_bound_fraction = 0.5;
   config.mm_max_duration = SecondsToMicros(1);
   KlinkPolicy policy(config);
-  std::vector<QueryId> out;
+  Selection out;
   snapshot_.memory_utilization = 0.9;  // stays high throughout
   snapshot_.now = 0;
   policy.SelectQueries(snapshot_, 1, &out);
   ASSERT_TRUE(policy.in_memory_mode());
   snapshot_.now = SecondsToMicros(2);
-  out.clear();
+  out.Clear();
   policy.SelectQueries(snapshot_, 1, &out);
   // The timeout forced an exit (it may instantly re-enter on the *next*
   // cycle, but this evaluation ran in least-slack mode).
@@ -159,10 +159,10 @@ TEST_F(KlinkPolicyTest, MemoryModePrefersLargestReduction) {
   snapshot_.queries[1].op_queued = {0, 5000, 0};
   snapshot_.queries[0].op_selectivity = {1.0, 0.05, 1.0};
   snapshot_.queries[1].op_selectivity = {1.0, 0.05, 1.0};
-  std::vector<QueryId> out;
+  Selection out;
   policy.SelectQueries(snapshot_, 1, &out);
   ASSERT_EQ(out.size(), 1u);
-  EXPECT_EQ(out[0], 1);
+  EXPECT_EQ(out[0].query, 1);
 }
 
 TEST_F(KlinkPolicyTest, DisabledMmNeverActivates) {
@@ -171,7 +171,7 @@ TEST_F(KlinkPolicyTest, DisabledMmNeverActivates) {
   config.enable_memory_management = false;
   KlinkPolicy policy(config);
   snapshot_.memory_utilization = 0.99;
-  std::vector<QueryId> out;
+  Selection out;
   policy.SelectQueries(snapshot_, 1, &out);
   EXPECT_FALSE(policy.in_memory_mode());
   EXPECT_EQ(policy.memory_mode_cycles(), 0);
@@ -180,7 +180,7 @@ TEST_F(KlinkPolicyTest, DisabledMmNeverActivates) {
 TEST_F(KlinkPolicyTest, EvaluationCostAccumulatesAndResets) {
   Build(4);
   KlinkPolicy policy;
-  std::vector<QueryId> out;
+  Selection out;
   policy.SelectQueries(snapshot_, 2, &out);
   const double first = policy.EvaluationCostMicros(snapshot_);
   EXPECT_GT(first, 0.0);  // 4 queries evaluated
@@ -200,11 +200,11 @@ TEST_F(KlinkPolicyTest, WindowlessQueriesScheduledLast) {
   snapshot_.queries.push_back(std::move(info));
 
   KlinkPolicy policy;
-  std::vector<QueryId> out;
+  Selection out;
   policy.SelectQueries(snapshot_, 2, &out);
   ASSERT_EQ(out.size(), 2u);
-  EXPECT_EQ(out[0], 0);  // windowed first
-  EXPECT_EQ(out[1], 1);  // windowless still runs when slots remain
+  EXPECT_EQ(out[0].query, 0);  // windowed first
+  EXPECT_EQ(out[1].query, 1);  // windowless still runs when slots remain
 }
 
 }  // namespace

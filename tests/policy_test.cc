@@ -46,16 +46,17 @@ using PolicyTest = SnapshotFixture;
 TEST_F(PolicyTest, ReadinessFiltersIdleQueries) {
   Build(3);
   info(1).queued_events = 0;
-  std::vector<QueryId> out;
+  Selection out;
   RoundRobinPolicy rr;
   rr.SelectQueries(snapshot_, 3, &out);
   ASSERT_EQ(out.size(), 2u);
-  EXPECT_EQ(std::count(out.begin(), out.end(), 1), 0);
+  const std::vector<QueryId> ids = out.ids();
+  EXPECT_EQ(std::count(ids.begin(), ids.end(), 1), 0);
 }
 
 TEST_F(PolicyTest, SelectTopRespectsSlots) {
   Build(10);
-  std::vector<QueryId> out;
+  Selection out;
   FcfsPolicy fcfs;
   for (int i = 0; i < 10; ++i) info(i).oldest_ingest = 1000 - i;
   fcfs.SelectQueries(snapshot_, 4, &out);
@@ -68,34 +69,34 @@ TEST_F(PolicyTest, FcfsPicksOldestFirst) {
   info(1).oldest_ingest = 100;
   info(2).oldest_ingest = 300;
   info(3).oldest_ingest = 200;
-  std::vector<QueryId> out;
+  Selection out;
   FcfsPolicy fcfs;
   fcfs.SelectQueries(snapshot_, 2, &out);
   ASSERT_EQ(out.size(), 2u);
-  EXPECT_EQ(out[0], 1);
-  EXPECT_EQ(out[1], 3);
+  EXPECT_EQ(out[0].query, 1);
+  EXPECT_EQ(out[1].query, 3);
 }
 
 TEST_F(PolicyTest, RoundRobinRotatesAcrossCycles) {
   Build(6);
   RoundRobinPolicy rr;
-  std::vector<QueryId> first, second, third;
+  Selection first, second, third;
   rr.SelectQueries(snapshot_, 2, &first);
   rr.SelectQueries(snapshot_, 2, &second);
   rr.SelectQueries(snapshot_, 2, &third);
-  EXPECT_EQ(first, (std::vector<QueryId>{0, 1}));
-  EXPECT_EQ(second, (std::vector<QueryId>{2, 3}));
-  EXPECT_EQ(third, (std::vector<QueryId>{4, 5}));
+  EXPECT_EQ(first.ids(), (std::vector<QueryId>{0, 1}));
+  EXPECT_EQ(second.ids(), (std::vector<QueryId>{2, 3}));
+  EXPECT_EQ(third.ids(), (std::vector<QueryId>{4, 5}));
 }
 
 TEST_F(PolicyTest, RoundRobinWrapsAround) {
   Build(3);
   RoundRobinPolicy rr;
-  std::vector<QueryId> out;
+  Selection out;
   rr.SelectQueries(snapshot_, 2, &out);
-  out.clear();
+  out.Clear();
   rr.SelectQueries(snapshot_, 2, &out);
-  EXPECT_EQ(out, (std::vector<QueryId>{2, 0}));
+  EXPECT_EQ(out.ids(), (std::vector<QueryId>{2, 0}));
 }
 
 TEST_F(PolicyTest, HighestRateOrdersByRate) {
@@ -104,22 +105,22 @@ TEST_F(PolicyTest, HighestRateOrdersByRate) {
   info(1).output_rate = 2.0;
   info(2).output_rate = 1.0;
   HighestRatePolicy hr;
-  std::vector<QueryId> out;
+  Selection out;
   hr.SelectQueries(snapshot_, 3, &out);
   ASSERT_EQ(out.size(), 3u);
-  EXPECT_EQ(out[0], 1);
-  EXPECT_EQ(out[1], 2);
-  EXPECT_EQ(out[2], 0);
+  EXPECT_EQ(out[0].query, 1);
+  EXPECT_EQ(out[1].query, 2);
+  EXPECT_EQ(out[2].query, 0);
 }
 
 TEST_F(PolicyTest, HighestRateTiesAreShuffled) {
   Build(12);
   for (int i = 0; i < 12; ++i) info(i).output_rate = 1.0;
   HighestRatePolicy hr(/*seed=*/1);
-  std::vector<QueryId> a, b;
+  Selection a, b;
   hr.SelectQueries(snapshot_, 12, &a);
   hr.SelectQueries(snapshot_, 12, &b);
-  EXPECT_NE(a, b);  // ties re-shuffled each evaluation
+  EXPECT_NE(a.ids(), b.ids());  // ties re-shuffled each evaluation
 }
 
 TEST_F(PolicyTest, DefaultIsUniformRandomSubset) {
@@ -127,11 +128,11 @@ TEST_F(PolicyTest, DefaultIsUniformRandomSubset) {
   DefaultPolicy d(/*seed=*/9);
   std::vector<int> picks(12, 0);
   for (int round = 0; round < 600; ++round) {
-    std::vector<QueryId> out;
+    Selection out;
     d.SelectQueries(snapshot_, 2, &out);
     ASSERT_EQ(out.size(), 2u);
-    EXPECT_NE(out[0], out[1]);  // distinct
-    for (QueryId id : out) ++picks[static_cast<size_t>(id)];
+    EXPECT_NE(out[0].query, out[1].query);  // distinct
+    for (QueryId id : out.ids()) ++picks[static_cast<size_t>(id)];
   }
   // Each query expected 100 picks; tolerate sampling noise.
   for (int i = 0; i < 12; ++i) {
@@ -146,10 +147,10 @@ TEST_F(PolicyTest, StreamBoxPicksEarliestDeadline) {
   info(1).upcoming_deadline = 1000;
   info(2).upcoming_deadline = 2000;
   StreamBoxPolicy sbox;
-  std::vector<QueryId> out;
+  Selection out;
   sbox.SelectQueries(snapshot_, 1, &out);
   ASSERT_EQ(out.size(), 1u);
-  EXPECT_EQ(out[0], 1);
+  EXPECT_EQ(out[0].query, 1);
 }
 
 TEST_F(PolicyTest, StreamBoxSticksUntilWatermarkProcessed) {
@@ -158,16 +159,16 @@ TEST_F(PolicyTest, StreamBoxSticksUntilWatermarkProcessed) {
   info(1).upcoming_deadline = 1000;
   info(2).upcoming_deadline = 2000;
   StreamBoxPolicy sbox;
-  std::vector<QueryId> out;
+  Selection out;
   sbox.SelectQueries(snapshot_, 1, &out);
-  ASSERT_EQ(out[0], 1);
+  ASSERT_EQ(out[0].query, 1);
   // Even if another deadline becomes earlier, the slot stays pinned while
   // no watermark reached query 1's sink.
   info(2).upcoming_deadline = 1;
-  out.clear();
+  out.Clear();
   sbox.SelectQueries(snapshot_, 1, &out);
   ASSERT_EQ(out.size(), 1u);
-  EXPECT_EQ(out[0], 1);
+  EXPECT_EQ(out[0].query, 1);
 }
 
 TEST_F(PolicyTest, StreamBoxReleasesAfterWatermark) {
@@ -175,17 +176,72 @@ TEST_F(PolicyTest, StreamBoxReleasesAfterWatermark) {
   info(0).upcoming_deadline = 1000;
   info(1).upcoming_deadline = 2000;
   StreamBoxPolicy sbox;
-  std::vector<QueryId> out;
+  Selection out;
   sbox.SelectQueries(snapshot_, 1, &out);
-  ASSERT_EQ(out[0], 0);
+  ASSERT_EQ(out[0].query, 0);
   // Push a watermark through query 0's sink: the sticky slot releases.
   VectorEmitter sinkhole;
   queries_[0]->sink().Process(MakeWatermark(1500, 1500), 0, sinkhole);
   info(0).upcoming_deadline = 3000;
-  out.clear();
+  out.Clear();
   sbox.SelectQueries(snapshot_, 1, &out);
   ASSERT_EQ(out.size(), 1u);
-  EXPECT_EQ(out[0], 1);
+  EXPECT_EQ(out[0].query, 1);
+}
+
+TEST_F(PolicyTest, StreamBoxHandlesSparseIdsAfterRemoval) {
+  Build(6);
+  // Simulate RemoveQuery: only ids 3..5 survive, so every surviving id
+  // exceeds the snapshot length. Regression test for the dense-id
+  // assumption in SBox's taken[] bitmap (previously sized by
+  // snapshot.queries.size() and indexed by id).
+  snapshot_.queries.erase(snapshot_.queries.begin(),
+                          snapshot_.queries.begin() + 3);
+  info(0).upcoming_deadline = 2000;  // id 3
+  info(1).upcoming_deadline = 1000;  // id 4
+  info(2).upcoming_deadline = 3000;  // id 5
+  StreamBoxPolicy sbox;
+  Selection out;
+  sbox.SelectQueries(snapshot_, 2, &out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].query, 4);  // earliest deadline
+  EXPECT_EQ(out[1].query, 3);
+  EXPECT_TRUE(out.IsDistinct());
+}
+
+TEST_F(PolicyTest, StreamBoxReleasesSlotWhenStickyQueryRemoved) {
+  Build(2);
+  info(0).upcoming_deadline = 1000;
+  info(1).upcoming_deadline = 2000;
+  StreamBoxPolicy sbox;
+  Selection out;
+  sbox.SelectQueries(snapshot_, 1, &out);
+  ASSERT_EQ(out[0].query, 0);
+  // Query 0 is removed: it vanishes from the snapshot, so the pinned slot
+  // must release and fall to the next deadline instead of emitting a
+  // stale id.
+  snapshot_.queries.erase(snapshot_.queries.begin());
+  out.Clear();
+  sbox.SelectQueries(snapshot_, 1, &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].query, 1);
+}
+
+TEST_F(PolicyTest, RoundRobinToleratesRemovalMidRotation) {
+  Build(4);
+  RoundRobinPolicy rr;
+  Selection out;
+  rr.SelectQueries(snapshot_, 2, &out);
+  EXPECT_EQ(out.ids(), (std::vector<QueryId>{0, 1}));
+  // Queries 0 and 2 are removed between cycles. The cursor rebases onto
+  // the shrunken snapshot and rotation continues over the survivors
+  // without ever emitting a removed id.
+  snapshot_.queries.erase(snapshot_.queries.begin() + 2);
+  snapshot_.queries.erase(snapshot_.queries.begin());
+  out.Clear();
+  rr.SelectQueries(snapshot_, 2, &out);
+  EXPECT_EQ(out.ids(), (std::vector<QueryId>{1, 3}));
+  EXPECT_TRUE(out.IsDistinct());
 }
 
 }  // namespace

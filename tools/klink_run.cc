@@ -53,6 +53,7 @@ int Usage() {
       "                 [--workload=ysb|lrb|nyt] [--queries=N] [--rate=EPS]\n"
       "                 [--delay=uniform|zipf] [--duration=SECONDS]\n"
       "                 [--warmup=SECONDS] [--cores=N] [--memory-mb=N]\n"
+      "                 [--executor=sequential|threads]\n"
       "                 [--confidence=F] [--seed=N] [--csv=PATH]\n");
   return 2;
 }
@@ -82,6 +83,14 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "unknown --delay\n");
     return Usage();
   }
+  std::string executor_name;
+  if (!flags.GetChoice("executor", {"sequential", "threads"}, "sequential",
+                       &executor_name)
+           .ok() ||
+      !ParseExecutorKind(executor_name, &config.engine.executor)) {
+    std::fprintf(stderr, "unknown --executor\n");
+    return Usage();
+  }
   config.num_queries = static_cast<int>(flags.GetInt("queries", 20));
   config.events_per_second = flags.GetDouble("rate", 1000.0);
   config.duration = SecondsToMicros(flags.GetInt("duration", 120));
@@ -92,12 +101,14 @@ int main(int argc, char** argv) {
   config.seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
 
   std::printf("running %s on %s: %d queries x %.0f events/s, %lld s "
-              "(%lld s warm-up), %d cores, %lld MB, %s delay, seed %llu\n",
+              "(%lld s warm-up), %d cores (%s executor), %lld MB, %s delay, "
+              "seed %llu\n",
               PolicyKindName(config.policy), WorkloadKindName(config.workload),
               config.num_queries, config.events_per_second,
               static_cast<long long>(config.duration / 1000000),
               static_cast<long long>(config.warmup / 1000000),
               config.engine.num_cores,
+              ExecutorKindName(config.engine.executor),
               static_cast<long long>(config.engine.memory_capacity_bytes >>
                                      20),
               DelayKindName(config.delay),
