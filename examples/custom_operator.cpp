@@ -29,9 +29,6 @@ class DedupOperator final : public Operator {
   }
 
   int64_t duplicates_dropped() const { return dropped_; }
-  int64_t StateBytes() const override {
-    return static_cast<int64_t>(seen_.size()) * 16;
-  }
 
  protected:
   void OnData(const Event& e, TimeMicros /*now*/, Emitter& out) override {
@@ -41,6 +38,7 @@ class DedupOperator final : public Operator {
       ++dropped_;
       return;
     }
+    AddStateBytes(16);  // state is delta-accounted, not recomputed
     EmitData(e, out);
   }
 
@@ -48,7 +46,10 @@ class DedupOperator final : public Operator {
                    TimeMicros /*now*/, Emitter& /*out*/) override {
     // Fingerprints older than the watermark can never repeat: a real
     // implementation would expire them; we simply cap the set.
-    if (seen_.size() > 100000) seen_.clear();
+    if (seen_.size() > 100000) {
+      AddStateBytes(-16 * static_cast<int64_t>(seen_.size()));
+      seen_.clear();
+    }
     (void)min_watermark;
   }
 

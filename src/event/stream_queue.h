@@ -2,29 +2,70 @@
 #define KLINK_EVENT_STREAM_QUEUE_H_
 
 #include <cstdint>
-#include <deque>
+#include <memory>
+#include <vector>
 
 #include "src/event/event.h"
 
 namespace klink {
 
+/// Receives memory-accounting deltas (in simulated bytes) as queues and
+/// operator state grow and shrink. The Query binds one sink to each of its
+/// operators so query-level memory usage is a running counter instead of a
+/// per-cycle scan over every operator (see DESIGN.md "Hot path").
+class MemoryDeltaSink {
+ public:
+  virtual ~MemoryDeltaSink() = default;
+  virtual void OnMemoryDelta(int64_t delta_bytes) = 0;
+};
+
 /// FIFO input queue of an operator, with byte accounting for the memory
 /// tracker. Events queue in arrival order; watermark/data ordering within
 /// the queue is preserved, which enforces the SWM invariant that a window's
 /// events are processed before the watermark that sweeps them (Sec. 2.2).
+///
+/// Storage is a chunked ring buffer: a circular list of fixed-size chunks
+/// of `kChunkEvents` (a power of two, so in-chunk offsets reduce to a
+/// mask). Chunks drained at the front are recycled to the back, so a
+/// steady-state queue allocates nothing; growth only reallocates the small
+/// chunk-pointer vector. Batch transfers (`PushBatch`/`PopBatch`) move
+/// contiguous runs per chunk and fold the byte/data-count accounting into
+/// one update per call instead of one per element — the queue half of the
+/// batched hot path (DESIGN.md "Hot path").
 class StreamQueue {
  public:
+  /// Fixed simulated per-element bookkeeping overhead in bytes.
+  static constexpr int64_t kPerEventOverhead = 32;
+
+  /// Events per chunk. Power of two: offsets use `& (kChunkEvents - 1)`.
+  static constexpr int64_t kChunkEvents = 256;
+
+  StreamQueue() = default;
+
+  StreamQueue(StreamQueue&&) = default;
+  StreamQueue& operator=(StreamQueue&&) = default;
+  StreamQueue(const StreamQueue&) = delete;
+  StreamQueue& operator=(const StreamQueue&) = delete;
+
   /// Appends an element.
   void Push(const Event& e);
+
+  /// Appends `n` elements in order with one accounting update.
+  void PushBatch(const Event* events, int64_t n);
 
   /// Removes and returns the front element. Requires !empty().
   Event Pop();
 
+  /// Removes up to `max_n` front elements into `out` (in queue order) with
+  /// one accounting update. Returns the number of elements copied, which is
+  /// min(max_n, size()).
+  int64_t PopBatch(Event* out, int64_t max_n);
+
   /// Returns the front element without removing it. Requires !empty().
   const Event& Front() const;
 
-  bool empty() const { return events_.empty(); }
-  int64_t size() const { return static_cast<int64_t>(events_.size()); }
+  bool empty() const { return size_ == 0; }
+  int64_t size() const { return size_; }
 
   /// Total simulated bytes held (payloads + fixed per-element overhead).
   int64_t bytes() const { return bytes_; }
@@ -36,16 +77,46 @@ class StreamQueue {
   /// Number of queued data (non-punctuation) elements.
   int64_t data_count() const { return data_count_; }
 
-  /// Drops everything.
+  /// Drops everything. Chunks stay allocated for reuse.
   void Clear();
 
-  /// Fixed simulated per-element bookkeeping overhead in bytes.
-  static constexpr int64_t kPerEventOverhead = 32;
+  /// Routes byte-accounting deltas (push/pop/clear) to `sink` in addition
+  /// to the queue's own counter. Pass nullptr to unbind. The sink observes
+  /// deltas only; the caller is responsible for seeding it with bytes()
+  /// already held at bind time.
+  void BindAccounting(MemoryDeltaSink* sink) { sink_ = sink; }
 
  private:
-  std::deque<Event> events_;
+  struct Chunk {
+    Event events[kChunkEvents];
+  };
+
+  /// Chunk-pointer index (into chunks_) holding global element offset `g`,
+  /// where g counts from the start of the front chunk.
+  size_t ChunkIndexFor(int64_t g) const {
+    return (chunk_head_ + static_cast<size_t>(g / kChunkEvents)) %
+           chunks_.size();
+  }
+
+  /// Makes room for at least one more element at the back.
+  void Grow();
+
+  /// Retires the (fully drained) front chunk back to the spare pool.
+  void RecycleFrontChunk();
+
+  void ReportDelta(int64_t delta) {
+    if (sink_ != nullptr && delta != 0) sink_->OnMemoryDelta(delta);
+  }
+
+  /// Chunks in circular order starting at chunk_head_. Spare (drained)
+  /// chunks live between the in-use tail and chunk_head_.
+  std::vector<std::unique_ptr<Chunk>> chunks_;
+  size_t chunk_head_ = 0;  // chunks_ index of the chunk holding the front
+  int64_t head_ = 0;       // front offset within the front chunk
+  int64_t size_ = 0;
   int64_t bytes_ = 0;
   int64_t data_count_ = 0;
+  MemoryDeltaSink* sink_ = nullptr;
 };
 
 }  // namespace klink

@@ -27,11 +27,6 @@ TimeMicros WindowAggregateOperator::UpcomingDeadline() const {
   return assigner_->NextDeadlineAfter(wm == kNoTime ? 0 : wm);
 }
 
-int64_t WindowAggregateOperator::StateBytes() const {
-  return static_cast<int64_t>(panes_.size()) * kBytesPerPane +
-         total_key_states_ * kBytesPerKeyState;
-}
-
 double WindowAggregateOperator::OutputValue(const Aggregate& agg) const {
   switch (kind_) {
     case AggregationKind::kCount:
@@ -46,8 +41,7 @@ double WindowAggregateOperator::OutputValue(const Aggregate& agg) const {
   return 0.0;
 }
 
-void WindowAggregateOperator::OnData(const Event& e, TimeMicros /*now*/,
-                                     Emitter& /*out*/) {
+void WindowAggregateOperator::FoldData(const Event& e) {
   // OOP late-event policy: drop events at or below the forwarded watermark;
   // their windows already fired (Sec. 2.1/2.2).
   const TimeMicros forwarded = forwarded_min_watermark();
@@ -62,13 +56,41 @@ void WindowAggregateOperator::OnData(const Event& e, TimeMicros /*now*/,
     // Skip panes whose deadline already elapsed (possible for sliding
     // windows when the event is late for some of its panes but not all).
     if (forwarded != kNoTime && w.end <= forwarded) continue;
-    Pane& pane = panes_[{w.end, w.start}];
-    auto [it, inserted] = pane.try_emplace(e.key);
-    if (inserted) ++total_key_states_;
+    auto [pane_it, pane_inserted] = panes_.try_emplace({w.end, w.start});
+    if (pane_inserted) AddStateBytes(kBytesPerPane);
+    auto [it, inserted] = pane_it->second.try_emplace(e.key);
+    if (inserted) {
+      ++total_key_states_;
+      AddStateBytes(kBytesPerKeyState);
+    }
     Aggregate& agg = it->second;
     ++agg.count;
     agg.sum += e.value;
     agg.max = agg.count == 1 ? e.value : std::max(agg.max, e.value);
+  }
+}
+
+void WindowAggregateOperator::OnData(const Event& e, TimeMicros /*now*/,
+                                     Emitter& /*out*/) {
+  FoldData(e);
+}
+
+void WindowAggregateOperator::ProcessBatch(const Event* events, int64_t n,
+                                           BatchClock& clock, Emitter& out) {
+  int64_t i = 0;
+  while (i < n) {
+    if (!events[i].is_data()) {
+      Process(events[i], clock.Next(), out);
+      ++i;
+      continue;
+    }
+    int64_t j = i + 1;
+    while (j < n && events[j].is_data()) ++j;
+    const int64_t run = j - i;
+    clock.Advance(run);
+    NoteDataProcessed(run);
+    for (int64_t k = i; k < j; ++k) FoldData(events[k]);
+    i = j;
   }
 }
 
@@ -99,7 +121,9 @@ void WindowAggregateOperator::OnWatermark(const Event& incoming,
                                    output_payload_bytes_);
       EmitData(result, out);
     }
-    total_key_states_ -= static_cast<int64_t>(it->second.size());
+    const int64_t keys = static_cast<int64_t>(it->second.size());
+    total_key_states_ -= keys;
+    AddStateBytes(-(kBytesPerPane + keys * kBytesPerKeyState));
     last_deadline = std::max(last_deadline, end);
     panes_.erase(it);
     ++fired_panes_;

@@ -40,7 +40,12 @@ class WindowAggregateOperator final : public Operator {
   TimeMicros UpcomingDeadline() const override;
   const SwmTracker* swm_tracker() const override { return &tracker_; }
   DurationMicros DeadlinePeriod() const override { return assigner_->slide(); }
-  int64_t StateBytes() const override;
+
+  /// Batch fast path: folds runs of data elements into pane state without
+  /// the per-element dispatch (data events neither read the clock nor
+  /// emit, so only the fold itself remains).
+  void ProcessBatch(const Event* events, int64_t n, BatchClock& clock,
+                    Emitter& out) override;
 
   /// ---- introspection -------------------------------------------------
   const WindowAssigner& assigner() const { return *assigner_; }
@@ -70,6 +75,8 @@ class WindowAggregateOperator final : public Operator {
   using Pane = std::unordered_map<uint64_t, Aggregate>;
 
   double OutputValue(const Aggregate& agg) const;
+  /// Folds one data element into pane state (the OnData body).
+  void FoldData(const Event& e);
 
   std::unique_ptr<WindowAssigner> assigner_;
   AggregationKind kind_;

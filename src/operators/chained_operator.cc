@@ -66,6 +66,9 @@ ChainedOperator::ChainedOperator(std::string name,
       windowed_ = op.get();
     }
     sel *= std::clamp(op->selectivity_hint(), 0.0, 1.0);
+    // Sub-operator state surfaces as composite state (see OnMemoryDelta);
+    // this binding is permanent — the Query binds only the composite.
+    op->BindMemoryAccounting(this);
   }
   set_selectivity_hint(sel);
 }
@@ -73,12 +76,6 @@ ChainedOperator::ChainedOperator(std::string name,
 const Operator& ChainedOperator::chained(int i) const {
   KLINK_CHECK(i >= 0 && i < num_chained());
   return *ops_[static_cast<size_t>(i)];
-}
-
-int64_t ChainedOperator::StateBytes() const {
-  int64_t total = 0;
-  for (const auto& op : ops_) total += op->MemoryBytes();
-  return total;
 }
 
 bool ChainedOperator::SupportsPartialComputation() const {
@@ -108,6 +105,22 @@ void ChainedOperator::RunThrough(const Event& e, size_t index, TimeMicros now,
 
 void ChainedOperator::OnData(const Event& e, TimeMicros now, Emitter& out) {
   RunThrough(e, 0, now, out);
+}
+
+void ChainedOperator::ProcessBatch(const Event* events, int64_t n,
+                                   BatchClock& clock, Emitter& out) {
+  for (int64_t i = 0; i < n; ++i) {
+    const Event& e = events[i];
+    // Every element needs its own timestamp: sub-operators (watermark
+    // generators, windows) read it.
+    const TimeMicros now = clock.Next();
+    if (e.is_data()) {
+      NoteDataProcessed(1);
+      RunThrough(e, 0, now, out);
+    } else {
+      Process(e, now, out);
+    }
+  }
 }
 
 void ChainedOperator::OnWatermark(const Event& incoming,

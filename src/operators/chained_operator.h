@@ -21,7 +21,7 @@ namespace klink {
 /// through the chain, its state is the sum of sub-operator state, and its
 /// windowed/SWM surface is that of the chain's (single permitted) windowed
 /// sub-operator.
-class ChainedOperator final : public Operator {
+class ChainedOperator final : public Operator, private MemoryDeltaSink {
  public:
   /// Requires at least one sub-operator; every sub-operator must be unary.
   /// At most one sub-operator may be windowed (Flink breaks chains at
@@ -33,12 +33,17 @@ class ChainedOperator final : public Operator {
   const Operator& chained(int i) const;
 
   /// ---- Operator overrides --------------------------------------------
-  int64_t StateBytes() const override;
   bool SupportsPartialComputation() const override;
   bool IsWindowed() const override { return windowed_ != nullptr; }
   TimeMicros UpcomingDeadline() const override;
   DurationMicros DeadlinePeriod() const override;
   const SwmTracker* swm_tracker() const override;
+
+  /// Batch fast path: pushes each element through the chain without the
+  /// composite's per-element dispatch. Sub-operators still run scalar —
+  /// the chain is the unit of scheduling, not of batching.
+  void ProcessBatch(const Event* events, int64_t n, BatchClock& clock,
+                    Emitter& out) override;
 
   /// Selectivity-weighted per-event cost of the whole chain, from the
   /// sub-operators' declared hints (used to construct the composite).
@@ -51,6 +56,11 @@ class ChainedOperator final : public Operator {
   void OnLatencyMarker(const Event& e, TimeMicros now, Emitter& out) override;
 
  private:
+  /// Sub-operator memory deltas (their state; their queues stay empty)
+  /// surface as the composite's own state, so the chain's StateBytes and
+  /// the query-level counter stay exact.
+  void OnMemoryDelta(int64_t delta_bytes) override { AddStateBytes(delta_bytes); }
+
   /// Pushes one element through sub-operators [index..end), emitting final
   /// outputs through `out`.
   class CascadeEmitter;

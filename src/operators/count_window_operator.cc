@@ -18,10 +18,6 @@ CountWindowOperator::CountWindowOperator(std::string name, double cost_micros,
   set_selectivity_hint(1.0 / static_cast<double>(size));
 }
 
-int64_t CountWindowOperator::StateBytes() const {
-  return static_cast<int64_t>(state_.size()) * kBytesPerKeyState;
-}
-
 double CountWindowOperator::OutputValue(const Aggregate& agg) const {
   switch (kind_) {
     case AggregationKind::kCount:
@@ -39,6 +35,7 @@ double CountWindowOperator::OutputValue(const Aggregate& agg) const {
 void CountWindowOperator::OnData(const Event& e, TimeMicros /*now*/,
                                  Emitter& out) {
   auto [it, inserted] = state_.try_emplace(e.key);
+  if (inserted) AddStateBytes(kBytesPerKeyState);
   Aggregate& agg = it->second;
   ++agg.count;
   agg.sum += e.value;
@@ -48,6 +45,7 @@ void CountWindowOperator::OnData(const Event& e, TimeMicros /*now*/,
   Event result = MakeDataEvent(e.event_time, e.ingest_time, e.key,
                                OutputValue(agg), output_payload_bytes_);
   state_.erase(it);
+  AddStateBytes(-kBytesPerKeyState);
   ++fired_windows_;
   EmitData(result, out);
 }

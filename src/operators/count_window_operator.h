@@ -25,7 +25,6 @@ class CountWindowOperator final : public Operator {
 
   int64_t window_size() const { return size_; }
   int64_t fired_windows() const { return fired_windows_; }
-  int64_t StateBytes() const override;
   /// Count windows hold per-key running state and shrink the stream.
   bool SupportsPartialComputation() const override { return true; }
 

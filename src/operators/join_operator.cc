@@ -26,11 +26,6 @@ TimeMicros WindowJoinOperator::UpcomingDeadline() const {
   return assigner_->NextDeadlineAfter(wm == kNoTime ? 0 : wm);
 }
 
-int64_t WindowJoinOperator::StateBytes() const {
-  return static_cast<int64_t>(panes_.size()) * kBytesPerPane +
-         total_key_states_ * kBytesPerKeyState;
-}
-
 void WindowJoinOperator::OnData(const Event& e, TimeMicros /*now*/,
                                 Emitter& /*out*/) {
   const TimeMicros forwarded = forwarded_min_watermark();
@@ -47,10 +42,14 @@ void WindowJoinOperator::OnData(const Event& e, TimeMicros /*now*/,
     Pane& pane = panes_[{w.end, w.start}];
     if (pane.per_stream.empty()) {
       pane.per_stream.resize(static_cast<size_t>(num_inputs()));
+      AddStateBytes(kBytesPerPane);
     }
     auto [it, inserted] =
         pane.per_stream[static_cast<size_t>(e.stream)].try_emplace(e.key);
-    if (inserted) ++total_key_states_;
+    if (inserted) {
+      ++total_key_states_;
+      AddStateBytes(kBytesPerKeyState);
+    }
     Aggregate& agg = it->second;
     ++agg.count;
     agg.sum += e.value;
@@ -90,9 +89,12 @@ void WindowJoinOperator::FirePane(const PaneKey& pane_key, Pane& pane,
     (void)count;
     EmitData(result, out);
   }
+  int64_t keys = 0;
   for (const auto& m : pane.per_stream) {
-    total_key_states_ -= static_cast<int64_t>(m.size());
+    keys += static_cast<int64_t>(m.size());
   }
+  total_key_states_ -= keys;
+  AddStateBytes(-(kBytesPerPane + keys * kBytesPerKeyState));
   ++fired_panes_;
 }
 

@@ -38,7 +38,6 @@ class WindowJoinOperator final : public Operator {
   TimeMicros UpcomingDeadline() const override;
   const SwmTracker* swm_tracker() const override { return &tracker_; }
   DurationMicros DeadlinePeriod() const override { return assigner_->slide(); }
-  int64_t StateBytes() const override;
 
   /// ---- introspection -------------------------------------------------
   const WindowAssigner& assigner() const { return *assigner_; }

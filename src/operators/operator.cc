@@ -95,6 +95,16 @@ void Operator::Process(const Event& e, TimeMicros now, Emitter& out) {
   }
 }
 
+void Operator::ProcessBatch(const Event* events, int64_t n, BatchClock& clock,
+                            Emitter& out) {
+  for (int64_t i = 0; i < n; ++i) Process(events[i], clock.Next(), out);
+}
+
+void Operator::BindMemoryAccounting(MemoryDeltaSink* sink) {
+  memory_sink_ = sink;
+  for (StreamQueue& q : inputs_) q.BindAccounting(sink);
+}
+
 void Operator::OnData(const Event& e, TimeMicros /*now*/, Emitter& out) {
   EmitData(e, out);
 }

@@ -16,6 +16,12 @@ class Emitter {
  public:
   virtual ~Emitter() = default;
   virtual void Emit(const Event& e) = 0;
+
+  /// Emits `n` elements in order. Batching emitters override this to
+  /// append the whole run in one step; the default loops Emit.
+  virtual void EmitRun(const Event* events, int64_t n) {
+    for (int64_t i = 0; i < n; ++i) Emit(events[i]);
+  }
 };
 
 /// Discards everything (used by sinks and tests).
@@ -29,6 +35,42 @@ class VectorEmitter final : public Emitter {
  public:
   void Emit(const Event& e) override { events.push_back(e); }
   std::vector<Event> events;
+};
+
+/// Supplies the per-element virtual timestamps of a batch drain, exactly
+/// reproducing the scalar loop's accounting: each element advances consumed
+/// virtual time by one fixed cost, and its timestamp is the cycle start
+/// plus the consumption so far. ProcessBatch implementations must advance
+/// the clock exactly once per element, in element order — Next() for an
+/// element whose timestamp they need, Advance(n) for a run that does not
+/// read timestamps. The identical float-addition sequence is what keeps
+/// batched results byte-identical to the scalar path.
+class BatchClock {
+ public:
+  BatchClock(TimeMicros cycle_start, double consumed_micros,
+             double cost_micros)
+      : cycle_start_(cycle_start),
+        consumed_(consumed_micros),
+        cost_(cost_micros) {}
+
+  /// Advances one element and returns its timestamp.
+  TimeMicros Next() {
+    consumed_ += cost_;
+    return cycle_start_ + static_cast<TimeMicros>(consumed_);
+  }
+
+  /// Advances `n` elements (same accumulation as n Next() calls).
+  void Advance(int64_t n) {
+    for (int64_t i = 0; i < n; ++i) consumed_ += cost_;
+  }
+
+  /// Virtual micros consumed so far (cycle-relative).
+  double consumed_micros() const { return consumed_; }
+
+ private:
+  const TimeMicros cycle_start_;
+  double consumed_;
+  const double cost_;
 };
 
 /// Base class of all stream operators.
@@ -58,6 +100,16 @@ class Operator {
   /// The element's `stream` field selects the input it arrived on.
   void Process(const Event& e, TimeMicros now, Emitter& out);
 
+  /// Processes `n` elements in order, advancing `clock` once per element.
+  /// Semantically identical to calling Process(events[i], clock.Next(),
+  /// out) for each element — the base class does exactly that — but hot
+  /// operators override it to pay the dispatch, accounting, and emission
+  /// overhead once per run of data elements instead of once per element.
+  /// Overrides must keep outputs and counters byte-identical to the scalar
+  /// loop (tests/batch_equivalence_test.cc enforces this).
+  virtual void ProcessBatch(const Event* events, int64_t n, BatchClock& clock,
+                            Emitter& out);
+
   /// ---- topology -----------------------------------------------------
   const std::string& name() const { return name_; }
   int num_inputs() const { return static_cast<int>(inputs_.size()); }
@@ -84,9 +136,19 @@ class Operator {
   /// Total queued bytes across inputs.
   int64_t QueuedBytes() const;
   /// Simulated bytes of operator-held state (window panes, join buffers).
-  virtual int64_t StateBytes() const { return 0; }
+  /// Maintained incrementally: subclasses report growth/shrink through
+  /// AddStateBytes, which keeps this O(1) and feeds the bound
+  /// MemoryDeltaSink (see BindMemoryAccounting).
+  int64_t StateBytes() const { return state_bytes_; }
   /// Queue bytes + state bytes.
   int64_t MemoryBytes() const { return QueuedBytes() + StateBytes(); }
+
+  /// Routes this operator's memory deltas — input-queue bytes and state
+  /// bytes — to `sink` (the owning Query). The sink observes deltas only;
+  /// the binder seeds it with MemoryBytes() already held. Composite
+  /// operators (ChainedOperator) intercept their sub-operators' deltas and
+  /// re-publish them as their own state.
+  void BindMemoryAccounting(MemoryDeltaSink* sink);
 
   /// Whether the operator can shrink in-flight volume by partial/online
   /// computation when scheduled (Klink memory management, Sec. 3.4).
@@ -139,6 +201,28 @@ class Operator {
   /// Emits a data element via `out` and maintains selectivity accounting.
   void EmitData(const Event& e, Emitter& out);
 
+  /// Emits a run of data elements with one accounting update (equivalent
+  /// to n EmitData calls). Used by ProcessBatch overrides.
+  void EmitDataRun(const Event* events, int64_t n, Emitter& out) {
+    emitted_data_ += n;
+    out.EmitRun(events, n);
+  }
+
+  /// Bumps the processed-data counter exactly as Process() does for kData
+  /// elements. ProcessBatch overrides that inline the data fast path
+  /// (bypassing Process) must call it once per data element processed.
+  void NoteDataProcessed(int64_t n) { processed_data_ += n; }
+
+  /// Reports a change in operator-held state bytes. The only way state
+  /// enters the memory accounting: StateBytes() and the query-level
+  /// counter both derive from these deltas.
+  void AddStateBytes(int64_t delta) {
+    state_bytes_ += delta;
+    if (memory_sink_ != nullptr && delta != 0) {
+      memory_sink_->OnMemoryDelta(delta);
+    }
+  }
+
   /// Called from OnWatermark to control the SWM flag on the watermark the
   /// base is about to forward. Window operators set true when the watermark
   /// fired at least one pane. When not called, the incoming flag propagates.
@@ -170,6 +254,8 @@ class Operator {
   int64_t processed_data_ = 0;
   int64_t emitted_data_ = 0;
   double selectivity_hint_ = 1.0;
+  int64_t state_bytes_ = 0;
+  MemoryDeltaSink* memory_sink_ = nullptr;
 };
 
 }  // namespace klink

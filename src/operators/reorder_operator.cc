@@ -12,13 +12,13 @@ ReorderOperator::ReorderOperator(std::string name, double cost_micros)
 void ReorderOperator::OnData(const Event& e, TimeMicros /*now*/,
                              Emitter& /*out*/) {
   buffer_.push(e);
-  buffered_bytes_ += e.payload_bytes + StreamQueue::kPerEventOverhead;
+  AddStateBytes(e.payload_bytes + StreamQueue::kPerEventOverhead);
 }
 
 void ReorderOperator::OnLatencyMarker(const Event& e, TimeMicros /*now*/,
                                       Emitter& /*out*/) {
   buffer_.push(e);
-  buffered_bytes_ += e.payload_bytes + StreamQueue::kPerEventOverhead;
+  AddStateBytes(e.payload_bytes + StreamQueue::kPerEventOverhead);
 }
 
 void ReorderOperator::OnWatermark(const Event& /*incoming*/,
@@ -29,7 +29,7 @@ void ReorderOperator::OnWatermark(const Event& /*incoming*/,
   while (!buffer_.empty() && buffer_.top().event_time <= min_watermark) {
     const Event e = buffer_.top();
     buffer_.pop();
-    buffered_bytes_ -= e.payload_bytes + StreamQueue::kPerEventOverhead;
+    AddStateBytes(-(e.payload_bytes + StreamQueue::kPerEventOverhead));
     if (e.is_data()) {
       EmitData(e, out);
     } else {

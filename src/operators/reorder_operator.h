@@ -24,7 +24,6 @@ class ReorderOperator final : public Operator {
   int64_t buffered_events() const {
     return static_cast<int64_t>(buffer_.size());
   }
-  int64_t StateBytes() const override { return buffered_bytes_; }
 
  protected:
   void OnData(const Event& e, TimeMicros now, Emitter& out) override;
@@ -42,7 +41,6 @@ class ReorderOperator final : public Operator {
   };
 
   std::priority_queue<Event, std::vector<Event>, ByEventTime> buffer_;
-  int64_t buffered_bytes_ = 0;
 };
 
 }  // namespace klink

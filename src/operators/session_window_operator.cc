@@ -28,10 +28,6 @@ TimeMicros SessionWindowOperator::UpcomingDeadline() const {
   return (wm == kNoTime ? 0 : wm) + gap_;
 }
 
-int64_t SessionWindowOperator::StateBytes() const {
-  return static_cast<int64_t>(sessions_.size()) * kBytesPerSession;
-}
-
 double SessionWindowOperator::OutputValue(const Session& s) const {
   switch (kind_) {
     case AggregationKind::kCount:
@@ -69,6 +65,7 @@ void SessionWindowOperator::OnData(const Event& e, TimeMicros /*now*/,
   auto [it, inserted] = sessions_.try_emplace(e.key);
   Session& s = it->second;
   if (inserted) {
+    AddStateBytes(kBytesPerSession);
     s.start = e.event_time;
     s.last_event = e.event_time;
     s.count = 1;
@@ -110,6 +107,7 @@ void SessionWindowOperator::OnWatermark(const Event& incoming,
                                  key, OutputValue(sit->second),
                                  output_payload_bytes_);
     sessions_.erase(sit);
+    AddStateBytes(-kBytesPerSession);
     ++fired_sessions_;
     fired = true;
     last_close = close;

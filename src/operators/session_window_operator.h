@@ -44,7 +44,6 @@ class SessionWindowOperator final : public Operator {
   /// for the SWM periodicity term.
   DurationMicros DeadlinePeriod() const override { return gap_; }
   const SwmTracker* swm_tracker() const override { return &tracker_; }
-  int64_t StateBytes() const override;
 
   static constexpr int64_t kBytesPerSession = 96;
 

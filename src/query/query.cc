@@ -42,6 +42,12 @@ Query::Query(QueryId id, std::string name,
     }
   }
   KLINK_CHECK(!sources_.empty());
+  // Seed the incremental memory counter with any state accrued before
+  // deployment, then subscribe to every queue and operator-state delta.
+  for (const auto& op : operators_) {
+    memory_bytes_ += op->MemoryBytes();
+    op->BindMemoryAccounting(this);
+  }
 }
 
 Operator& Query::op(int i) {
@@ -72,12 +78,6 @@ TimeMicros Query::UpcomingDeadline() const {
 int64_t Query::QueuedEvents() const {
   int64_t total = 0;
   for (const auto& op : operators_) total += op->QueuedEvents();
-  return total;
-}
-
-int64_t Query::MemoryBytes() const {
-  int64_t total = 0;
-  for (const auto& op : operators_) total += op->MemoryBytes();
   return total;
 }
 

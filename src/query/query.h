@@ -17,7 +17,7 @@ namespace klink {
 /// operator (joins have multiple upstream operators feeding distinct input
 /// streams). Klink performs query-level scheduling (Sec. 3): the engine
 /// executes a query by draining its operators in topological order.
-class Query {
+class Query : private MemoryDeltaSink {
  public:
   struct Edge {
     /// Index of the downstream operator in `operators()`, -1 for the sink.
@@ -57,14 +57,20 @@ class Query {
   /// Total queued elements across all operator inputs.
   int64_t QueuedEvents() const;
 
-  /// Total simulated memory (queues + operator state).
-  int64_t MemoryBytes() const;
+  /// Total simulated memory (queues + operator state). O(1): maintained
+  /// incrementally from queue and operator-state deltas, so the engine's
+  /// per-cycle memory sweep is O(queries) instead of O(operators).
+  int64_t MemoryBytes() const { return memory_bytes_; }
 
   /// Virtual time when the query was deployed (set by the engine).
   TimeMicros deploy_time() const { return deploy_time_; }
   void set_deploy_time(TimeMicros t) { deploy_time_ = t; }
 
  private:
+  void OnMemoryDelta(int64_t delta_bytes) override {
+    memory_bytes_ += delta_bytes;
+  }
+
   QueryId id_;
   std::string name_;
   std::vector<std::unique_ptr<Operator>> operators_;
@@ -73,6 +79,7 @@ class Query {
   std::vector<Operator*> windowed_;
   SinkOperator* sink_ = nullptr;
   TimeMicros deploy_time_ = 0;
+  int64_t memory_bytes_ = 0;
 };
 
 }  // namespace klink

@@ -75,11 +75,10 @@ void Engine::RunUntil(TimeMicros end_time) {
 }
 
 void Engine::RunCycle() {
-  // (1) Ingest everything due by the cycle boundary, unless backpressured.
-  Ingest();
-
-  // (2) Account memory and collect the runtime snapshot I.
-  memory_.Update(ComputeMemoryUsage());
+  // (1) Ingest everything due by the cycle boundary, unless backpressured;
+  // (2) account memory — Ingest already knows the post-ingest usage, so no
+  // second sweep — and collect the runtime snapshot I.
+  memory_.Update(Ingest());
   BuildSnapshot(&snapshot_scratch_);
 
   // (3) Policy evaluation; its modeled cost is spread across the cores'
@@ -124,11 +123,12 @@ void Engine::RunCycle() {
   MaybeSampleMetrics();
 }
 
-void Engine::Ingest() {
-  if (memory_.backpressured()) return;
+int64_t Engine::Ingest() {
+  int64_t usage = ComputeMemoryUsage();
+  if (memory_.backpressured()) return usage;
   // Remaining buffer space bounds how much the cycle may ingest: the SPE
   // never fetches beyond its memory capacity (backpressure semantics).
-  int64_t budget = config_.memory_capacity_bytes - ComputeMemoryUsage();
+  int64_t budget = config_.memory_capacity_bytes - usage;
   for (DeployedQuery& dq : queries_) {
     if (budget <= 0) break;
     if (!dq.active || dq.feed == nullptr || now_ < dq.query->deploy_time()) {
@@ -144,11 +144,14 @@ void Engine::Ingest() {
       Event e = fe.event;
       e.stream = 0;  // source operators are unary
       sources[static_cast<size_t>(fe.source_index)]->input(0).Push(e);
-      budget -= e.payload_bytes + StreamQueue::kPerEventOverhead;
+      const int64_t added = e.payload_bytes + StreamQueue::kPerEventOverhead;
+      budget -= added;
+      usage += added;
       if (e.is_data()) ++data;
     }
     metrics_.AddIngested(data);
   }
+  return usage;
 }
 
 void Engine::BuildSnapshot(RuntimeSnapshot* snap) {

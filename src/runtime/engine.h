@@ -109,8 +109,12 @@ class Engine {
   };
 
   void RunCycle();
-  void Ingest();
+  /// Ingests feed elements due by now() and returns the post-ingest memory
+  /// usage, so RunCycle updates the tracker without a second sweep (the
+  /// seed recomputed usage once in Ingest and once in RunCycle).
+  int64_t Ingest();
   void BuildSnapshot(RuntimeSnapshot* snap);
+  /// O(queries): each Query maintains its memory total incrementally.
   int64_t ComputeMemoryUsage() const;
   double CostMultiplier() const;
   void MaybeSampleMetrics();

@@ -2,27 +2,15 @@
 
 #include <algorithm>
 
+#include "src/runtime/batch_emitter.h"
+
 namespace klink {
 namespace {
 
-/// Routes an operator's outputs into the downstream operator's input queue,
-/// tagging each element with the downstream input-stream index.
-class QueueEmitter final : public Emitter {
- public:
-  QueueEmitter(StreamQueue* queue, int stream)
-      : queue_(queue), stream_(stream) {}
-
-  void Emit(const Event& e) override {
-    if (queue_ == nullptr) return;  // sink: outputs leave the system
-    Event routed = e;
-    routed.stream = stream_;
-    queue_->Push(routed);
-  }
-
- private:
-  StreamQueue* queue_;
-  int stream_;
-};
+/// Elements popped per ProcessBatch call. Bounds the pop scratch (and the
+/// emit scratch at kMaxBatch x fan-out) while staying large enough that
+/// per-batch overhead is negligible against per-element work.
+constexpr int64_t kMaxBatch = 512;
 
 }  // namespace
 
@@ -39,6 +27,9 @@ double ExecutionContext::RunQuery(Query& query) {
   double consumed = 0.0;
   bool progressed = true;
   int64_t processed = 0;
+  if (batch_.size() < static_cast<size_t>(kMaxBatch)) {
+    batch_.resize(static_cast<size_t>(kMaxBatch));
+  }
   // Repeated topological sweeps: a sweep cascades events downstream; any
   // leftover upstream work (budget permitting) is picked up by the next
   // sweep. Stops when the budget is exhausted or all queues drained.
@@ -51,30 +42,62 @@ double ExecutionContext::RunQuery(Query& query) {
           edge.downstream == -1
               ? nullptr
               : &query.op(edge.downstream).input(edge.downstream_stream);
-      QueueEmitter emitter(downstream_queue, edge.downstream_stream);
+      BatchEmitter emitter(downstream_queue, edge.downstream_stream,
+                           &emit_scratch_);
       const double cost =
           std::max(0.01, op.cost_per_event() * cost_multiplier_);
-      while (consumed + cost <= budget_micros_) {
-        // Pop the earliest-ingested element across this operator's inputs.
-        int best = -1;
-        TimeMicros best_time = 0;
-        for (int s = 0; s < op.num_inputs(); ++s) {
-          if (op.input(s).empty()) continue;
-          const TimeMicros t = op.input(s).Front().ingest_time;
-          if (best == -1 || t < best_time) {
-            best = s;
-            best_time = t;
+      if (op.num_inputs() == 1) {
+        // Batched fast path: a unary operator always pops its single
+        // input FIFO, so the earliest-ingest scan is unnecessary and a
+        // whole run can be popped, processed, and emitted at once.
+        StreamQueue& in = op.input(0);
+        while (true) {
+          const int64_t avail = std::min(in.size(), kMaxBatch);
+          // Size the batch by replaying the scalar loop's budget
+          // additions: the same floats added in the same order, so the
+          // batch ends exactly where the scalar loop would stop.
+          int64_t n = 0;
+          double replay = consumed;
+          while (n < avail && replay + cost <= budget_micros_) {
+            replay += cost;
+            ++n;
           }
+          if (n == 0) break;
+          const int64_t got = in.PopBatch(batch_.data(), n);
+          for (int64_t k = 0; k < got; ++k) batch_[k].stream = 0;
+          BatchClock clock(cycle_start_, consumed, cost);
+          op.ProcessBatch(batch_.data(), got, clock, emitter);
+          consumed = clock.consumed_micros();
+          emitter.Flush();
+          processed += got;
+          progressed = true;
         }
-        if (best == -1) break;
-        Event e = op.input(best).Pop();
-        e.stream = best;
-        consumed += cost;
-        const TimeMicros now =
-            cycle_start_ + static_cast<TimeMicros>(consumed);
-        op.Process(e, now, emitter);
-        ++processed;
-        progressed = true;
+      } else {
+        // Multi-input operators (joins) interleave their inputs by
+        // earliest ingest time; that per-element scan keeps the scalar
+        // loop, with outputs still buffered and flushed as one run.
+        while (consumed + cost <= budget_micros_) {
+          int best = -1;
+          TimeMicros best_time = 0;
+          for (int s = 0; s < op.num_inputs(); ++s) {
+            if (op.input(s).empty()) continue;
+            const TimeMicros t = op.input(s).Front().ingest_time;
+            if (best == -1 || t < best_time) {
+              best = s;
+              best_time = t;
+            }
+          }
+          if (best == -1) break;
+          Event e = op.input(best).Pop();
+          e.stream = best;
+          consumed += cost;
+          const TimeMicros now =
+              cycle_start_ + static_cast<TimeMicros>(consumed);
+          op.Process(e, now, emitter);
+          ++processed;
+          progressed = true;
+        }
+        emitter.Flush();
       }
       if (consumed + 0.01 > budget_micros_) {
         progressed = false;

@@ -2,8 +2,10 @@
 #define KLINK_RUNTIME_EXECUTION_CONTEXT_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "src/common/types.h"
+#include "src/event/event.h"
 #include "src/query/query.h"
 
 namespace klink {
@@ -32,6 +34,12 @@ class ExecutionContext {
   /// sweeps: a sweep cascades events downstream; leftover upstream work
   /// (budget permitting) is picked up by the next sweep. Returns the
   /// virtual micros consumed and updates the slot counters.
+  ///
+  /// Unary operators drain through the batched fast path (PopBatch ->
+  /// ProcessBatch -> buffered flush); multi-input operators keep the
+  /// scalar earliest-ingest interleave. Both paths charge the identical
+  /// per-element virtual-time sequence, so results are byte-identical to
+  /// the scalar drain (DESIGN.md "Hot path").
   double RunQuery(Query& query);
 
   int slot() const { return slot_; }
@@ -55,6 +63,11 @@ class ExecutionContext {
   int64_t processed_events_ = 0;
   double cycle_busy_micros_ = 0.0;
   int64_t cycle_processed_events_ = 0;
+  /// Per-slot scratch buffers for the batched drain (popped inputs and
+  /// buffered outputs). Slot-local, so thread-pool execution needs no
+  /// synchronization around them.
+  std::vector<Event> batch_;
+  std::vector<Event> emit_scratch_;
 };
 
 }  // namespace klink

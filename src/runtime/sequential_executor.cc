@@ -23,6 +23,9 @@ CycleStats SequentialExecutor::ExecuteCycle(
   for (size_t i = 0; i < tasks.size(); ++i) {
     const ExecutorTask& task = tasks[i];
     KLINK_CHECK(task.query != nullptr);
+    // Each context drains its query through the batched hot path; the
+    // batch scratch buffers live in the context, so reusing contexts_[i]
+    // across cycles also reuses their allocations.
     ExecutionContext& ctx = contexts_[i];
     ctx.BeginCycle(task.budget_micros, cost_multiplier, cycle_start);
     ctx.RunQuery(*task.query);

@@ -74,6 +74,9 @@ void ThreadPoolExecutor::WorkerLoop(int slot) {
     const double multiplier = cost_multiplier_;
     const TimeMicros start = cycle_start_;
     lock.unlock();
+    // The batched drain keeps its pop/emit scratch inside the context, so
+    // each worker touches only its own slot's buffers — no shared mutable
+    // state outside the barrier handshake.
     ExecutionContext& ctx = contexts_[static_cast<size_t>(slot)];
     ctx.BeginCycle(task.budget_micros, multiplier, start);
     ctx.RunQuery(*task.query);

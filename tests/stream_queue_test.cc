@@ -2,8 +2,21 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <deque>
+#include <vector>
+
+#include "src/common/rng.h"
+
 namespace klink {
 namespace {
+
+/// Memory sink that records the running sum of reported deltas.
+class RecordingSink final : public MemoryDeltaSink {
+ public:
+  void OnMemoryDelta(int64_t delta_bytes) override { total += delta_bytes; }
+  int64_t total = 0;
+};
 
 TEST(StreamQueueTest, FifoOrder) {
   StreamQueue q;
@@ -66,6 +79,181 @@ TEST(StreamQueueTest, ClearResetsEverything) {
   EXPECT_EQ(q.bytes(), 0);
   EXPECT_EQ(q.data_count(), 0);
   EXPECT_EQ(q.OldestIngestTime(), kNoTime);
+}
+
+TEST(StreamQueueTest, WraparoundAcrossChunkBoundaries) {
+  // Interleave pushes and pops so the head and tail cross chunk boundaries
+  // many times and drained chunks are recycled; FIFO order and accounting
+  // must survive the wraparound.
+  StreamQueue q;
+  const int64_t kSpan = 3 * StreamQueue::kChunkEvents + 17;
+  uint64_t next_push = 0;
+  uint64_t next_pop = 0;
+  for (int round = 0; round < 5; ++round) {
+    for (int64_t i = 0; i < kSpan; ++i) {
+      q.Push(MakeDataEvent(static_cast<TimeMicros>(next_push),
+                           static_cast<TimeMicros>(next_push), next_push, 1.0));
+      ++next_push;
+    }
+    for (int64_t i = 0; i < kSpan; ++i) {
+      ASSERT_EQ(q.Pop().key, next_pop);
+      ++next_pop;
+    }
+  }
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.bytes(), 0);
+}
+
+TEST(StreamQueueTest, GrowWhileWrappedPreservesOrder) {
+  // Force a capacity grow while the ring's head sits mid-buffer: fill past
+  // one chunk, drain past the first chunk boundary, then push far beyond
+  // the current capacity.
+  StreamQueue q;
+  uint64_t key = 0;
+  for (int64_t i = 0; i < StreamQueue::kChunkEvents + 10; ++i) {
+    q.Push(MakeDataEvent(0, 0, key++, 0.0));
+  }
+  uint64_t expect = 0;
+  for (int64_t i = 0; i < StreamQueue::kChunkEvents + 5; ++i) {
+    ASSERT_EQ(q.Pop().key, expect++);
+  }
+  for (int64_t i = 0; i < 4 * StreamQueue::kChunkEvents; ++i) {
+    q.Push(MakeDataEvent(0, 0, key++, 0.0));
+  }
+  while (!q.empty()) {
+    ASSERT_EQ(q.Pop().key, expect++);
+  }
+  EXPECT_EQ(expect, key);
+}
+
+TEST(StreamQueueTest, PushBatchMatchesScalarPushes) {
+  std::vector<Event> events;
+  for (int i = 0; i < 700; ++i) {
+    events.push_back(i % 7 == 0
+                         ? MakeWatermark(i, i + 1)
+                         : MakeDataEvent(i, i + 1, static_cast<uint64_t>(i),
+                                         1.0, /*payload_bytes=*/32 + i % 64));
+  }
+  StreamQueue scalar;
+  StreamQueue batched;
+  for (const Event& e : events) scalar.Push(e);
+  batched.PushBatch(events.data(), static_cast<int64_t>(events.size()));
+  ASSERT_EQ(batched.size(), scalar.size());
+  EXPECT_EQ(batched.bytes(), scalar.bytes());
+  EXPECT_EQ(batched.data_count(), scalar.data_count());
+  while (!scalar.empty()) {
+    const Event a = scalar.Pop();
+    const Event b = batched.Pop();
+    ASSERT_EQ(a.kind, b.kind);
+    ASSERT_EQ(a.key, b.key);
+    ASSERT_EQ(a.event_time, b.event_time);
+  }
+}
+
+TEST(StreamQueueTest, PopBatchPartialFill) {
+  StreamQueue q;
+  for (int i = 0; i < 10; ++i) {
+    q.Push(MakeDataEvent(i, i, static_cast<uint64_t>(i), 0.0));
+  }
+  std::vector<Event> out(64);
+  // Asking for more than available returns exactly what is queued.
+  EXPECT_EQ(q.PopBatch(out.data(), 64), 10);
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.bytes(), 0);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(out[static_cast<size_t>(i)].key,
+                                         static_cast<uint64_t>(i));
+  // Popping from an empty queue is a no-op returning zero.
+  EXPECT_EQ(q.PopBatch(out.data(), 64), 0);
+}
+
+TEST(StreamQueueTest, PopBatchSpansChunkBoundary) {
+  StreamQueue q;
+  const int64_t n = StreamQueue::kChunkEvents + 50;
+  for (int64_t i = 0; i < n; ++i) {
+    q.Push(MakeDataEvent(i, i, static_cast<uint64_t>(i), 0.0));
+  }
+  std::vector<Event> out(static_cast<size_t>(n));
+  EXPECT_EQ(q.PopBatch(out.data(), n), n);
+  for (int64_t i = 0; i < n; ++i) {
+    EXPECT_EQ(out[static_cast<size_t>(i)].key, static_cast<uint64_t>(i));
+  }
+}
+
+TEST(StreamQueueTest, InterleavedOpsKeepInvariants) {
+  // Randomized interleaving of Push/PushBatch/Pop/PopBatch/Clear checked
+  // against a reference deque; byte and data-count invariants must hold
+  // after every operation.
+  Rng rng(2024);
+  StreamQueue q;
+  std::deque<Event> ref;
+  std::vector<Event> scratch(256);
+  auto check = [&] {
+    ASSERT_EQ(q.size(), static_cast<int64_t>(ref.size()));
+    int64_t bytes = 0;
+    int64_t data = 0;
+    for (const Event& e : ref) {
+      bytes += e.payload_bytes + StreamQueue::kPerEventOverhead;
+      data += e.is_data() ? 1 : 0;
+    }
+    ASSERT_EQ(q.bytes(), bytes);
+    ASSERT_EQ(q.data_count(), data);
+    ASSERT_EQ(q.OldestIngestTime(),
+              ref.empty() ? kNoTime : ref.front().ingest_time);
+  };
+  for (int step = 0; step < 4000; ++step) {
+    const int64_t action = rng.NextInt(0, 9);
+    if (action <= 2) {
+      const Event e = MakeDataEvent(step, step + 1,
+                                    rng.NextUint64() % 1000, 1.0,
+                                    static_cast<uint32_t>(rng.NextInt(16, 256)));
+      q.Push(e);
+      ref.push_back(e);
+    } else if (action <= 4) {
+      const int64_t n = rng.NextInt(1, 200);
+      scratch.clear();
+      for (int64_t i = 0; i < n; ++i) {
+        scratch.push_back(i % 5 == 0 ? MakeWatermark(step, step)
+                                     : MakeDataEvent(step, step, 7, 1.0));
+      }
+      q.PushBatch(scratch.data(), n);
+      ref.insert(ref.end(), scratch.begin(), scratch.end());
+    } else if (action <= 6) {
+      if (!ref.empty()) {
+        const Event got = q.Pop();
+        ASSERT_EQ(got.key, ref.front().key);
+        ASSERT_EQ(got.kind, ref.front().kind);
+        ref.pop_front();
+      }
+    } else if (action <= 8) {
+      const int64_t want = rng.NextInt(1, 150);
+      scratch.resize(static_cast<size_t>(want));
+      const int64_t got = q.PopBatch(scratch.data(), want);
+      ASSERT_EQ(got, std::min<int64_t>(want, static_cast<int64_t>(ref.size())));
+      for (int64_t i = 0; i < got; ++i) {
+        ASSERT_EQ(scratch[static_cast<size_t>(i)].key, ref.front().key);
+        ref.pop_front();
+      }
+    } else if (rng.NextInt(0, 19) == 0) {
+      q.Clear();
+      ref.clear();
+    }
+    check();
+  }
+}
+
+TEST(StreamQueueTest, BoundSinkObservesAllDeltas) {
+  RecordingSink sink;
+  StreamQueue q;
+  q.Push(MakeDataEvent(0, 0, 0, 0.0));  // pre-bind bytes are not reported
+  const int64_t pre_bind = q.bytes();
+  q.BindAccounting(&sink);
+  std::vector<Event> batch(50, MakeDataEvent(1, 1, 1, 1.0));
+  q.PushBatch(batch.data(), 50);
+  q.Pop();
+  q.PopBatch(batch.data(), 20);
+  EXPECT_EQ(pre_bind + sink.total, q.bytes());
+  q.Clear();
+  EXPECT_EQ(pre_bind + sink.total, 0);
 }
 
 TEST(EventTest, NetworkDelay) {

@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# Measures the batched hot path and records the result in BENCH_hotpath.json:
+#   1. builds micro_hotpath + fig06a in Release (-O2 -DNDEBUG),
+#   2. runs the hot-path microbenchmarks (queue transfer, emitter routing,
+#      and the scalar-vs-batched drain whose speedup is the acceptance
+#      number, target >= 1.3x),
+#   3. runs the fig06a smoke with both executors and checks the outputs are
+#      byte-identical (the batching determinism contract).
+#
+# Usage: tools/bench_hotpath.sh [build-dir] [output-json]
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-$REPO_ROOT/build-release}"
+OUT_JSON="${2:-$REPO_ROOT/BENCH_hotpath.json}"
+
+cmake -B "$BUILD_DIR" -S "$REPO_ROOT" -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target micro_hotpath fig06a_ysb_latency
+
+RAW_JSON="$(mktemp)"
+"$BUILD_DIR/bench/micro_hotpath" \
+  --benchmark_min_time=0.5 \
+  --benchmark_format=json > "$RAW_JSON"
+
+SEQ_OUT="$(mktemp)"
+THR_OUT="$(mktemp)"
+KLINK_BENCH_SMOKE=1 "$BUILD_DIR/bench/fig06a_ysb_latency" --executor=sequential > "$SEQ_OUT"
+KLINK_BENCH_SMOKE=1 "$BUILD_DIR/bench/fig06a_ysb_latency" --executor=threads > "$THR_OUT"
+if cmp -s "$SEQ_OUT" "$THR_OUT"; then
+  DETERMINISM="identical"
+else
+  DETERMINISM="MISMATCH"
+fi
+
+python3 - "$RAW_JSON" "$OUT_JSON" "$DETERMINISM" <<'PY'
+import json
+import sys
+
+raw_path, out_path, determinism = sys.argv[1], sys.argv[2], sys.argv[3]
+with open(raw_path) as f:
+    raw = json.load(f)
+
+bench = {b["name"]: b for b in raw["benchmarks"]}
+
+def cpu_ns(name):
+    b = bench[name]
+    scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}[b["time_unit"]]
+    return b["cpu_time"] * scale
+
+def speedup(scalar, batched):
+    return round(cpu_ns(scalar) / cpu_ns(batched), 3)
+
+result = {
+    "description": "Batched hot-path benchmarks (see bench/micro_hotpath.cc); "
+                   "drain compares the pre-batching scalar loop against the "
+                   "batched ExecutionContext::RunQuery on the same pipeline.",
+    "context": raw.get("context", {}),
+    "benchmarks": {
+        name: {
+            "cpu_time": bench[name]["cpu_time"],
+            "time_unit": bench[name]["time_unit"],
+            "items_per_second": bench[name].get("items_per_second"),
+        }
+        for name in sorted(bench)
+    },
+    "speedups": {
+        "queue_transfer": speedup("BM_QueueScalarTransfer",
+                                  "BM_QueueBatchTransfer"),
+        "emitter_routing": speedup("BM_EmitterScalarRouting",
+                                   "BM_EmitterBatchRouting"),
+        "drain": speedup("BM_DrainScalar", "BM_DrainBatched"),
+    },
+    "drain_speedup_target": 1.3,
+    "fig06a_smoke_sequential_vs_threads": determinism,
+}
+result["drain_speedup_ok"] = result["speedups"]["drain"] >= 1.3
+
+with open(out_path, "w") as f:
+    json.dump(result, f, indent=2)
+    f.write("\n")
+
+print(json.dumps(result["speedups"], indent=2))
+ok = result["drain_speedup_ok"] and determinism == "identical"
+print("hot path:", "OK" if ok else "FAILED")
+sys.exit(0 if ok else 1)
+PY
