@@ -82,4 +82,41 @@ std::string TableReporter::Num(double value, int precision) {
   return buf;
 }
 
+void PrintIngestMetrics(const IngestMetrics& metrics) {
+  TableReporter totals("Ingest");
+  totals.SetHeader({"metric", "value"});
+  totals.AddRow({"connections accepted",
+                 std::to_string(metrics.connections_accepted())});
+  totals.AddRow({"connections closed",
+                 std::to_string(metrics.connections_closed())});
+  totals.AddRow({"idle timeouts", std::to_string(metrics.idle_timeouts())});
+  totals.AddRow({"frames decoded", std::to_string(metrics.frames_decoded())});
+  totals.AddRow({"malformed frames",
+                 std::to_string(metrics.malformed_frames())});
+  totals.AddRow({"bytes read",
+                 std::to_string(metrics.bytes_read())});
+  totals.AddRow({"backpressure stalls",
+                 std::to_string(metrics.TotalStalls())});
+  totals.AddRow({"backpressure stall time (ms)",
+                 TableReporter::Num(
+                     static_cast<double>(metrics.TotalStallMicros()) / 1e3,
+                     1)});
+  totals.Print();
+
+  if (metrics.streams().empty()) return;
+  TableReporter streams("Ingest streams");
+  streams.SetHeader({"stream", "frames", "data events", "wire bytes",
+                     "stalls", "stall (ms)", "peak staged (KB)"});
+  for (const auto& [id, s] : metrics.streams()) {
+    streams.AddRow(
+        {std::to_string(id), std::to_string(s.frames),
+         std::to_string(s.data_events), std::to_string(s.bytes),
+         std::to_string(s.backpressure_stalls),
+         TableReporter::Num(static_cast<double>(s.stall_micros) / 1e3, 1),
+         TableReporter::Num(
+             static_cast<double>(s.peak_staged_bytes) / 1024.0, 1)});
+  }
+  streams.Print();
+}
+
 }  // namespace klink

@@ -4,6 +4,8 @@
 #include <string>
 #include <vector>
 
+#include "src/runtime/metrics.h"
+
 namespace klink {
 
 /// Minimal fixed-width table printer for the bench harnesses: every bench
@@ -35,6 +37,12 @@ class TableReporter {
   std::vector<std::string> header_;
   std::vector<std::vector<std::string>> rows_;
 };
+
+/// Prints the TCP ingest counters (connections, frames, bytes, malformed
+/// frames) plus one row per ingest stream (frames, data events, wire
+/// bytes, backpressure stalls and stall time, peak staged bytes). Used by
+/// klink_run --listen after a networked run.
+void PrintIngestMetrics(const IngestMetrics& metrics);
 
 }  // namespace klink
 

@@ -1,0 +1,191 @@
+#include "src/net/ingest_gateway.h"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace klink {
+namespace {
+
+int64_t WallMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+int64_t StagedCost(const Event& e) {
+  return e.payload_bytes + StreamQueue::kPerEventOverhead;
+}
+
+}  // namespace
+
+void IngestGateway::RegisterStream(uint32_t stream_id,
+                                   const IngestStreamConfig& config) {
+  KLINK_CHECK_GT(config.byte_budget, 0);
+  KLINK_CHECK_GT(config.resume_fraction, 0.0);
+  KLINK_CHECK_LE(config.resume_fraction, 1.0);
+  KLINK_CHECK(streams_.find(stream_id) == streams_.end());
+  streams_[stream_id].config = config;
+}
+
+bool IngestGateway::HasStream(uint32_t stream_id) const {
+  return streams_.find(stream_id) != streams_.end();
+}
+
+IngestGateway::Stream& IngestGateway::GetStream(uint32_t stream_id) {
+  auto it = streams_.find(stream_id);
+  KLINK_CHECK(it != streams_.end());
+  return it->second;
+}
+
+const IngestGateway::Stream& IngestGateway::GetStream(
+    uint32_t stream_id) const {
+  auto it = streams_.find(stream_id);
+  KLINK_CHECK(it != streams_.end());
+  return it->second;
+}
+
+bool IngestGateway::HasCredit(uint32_t stream_id) const {
+  const Stream& s = GetStream(stream_id);
+  return s.staged.bytes() + s.scratch_bytes < s.config.byte_budget;
+}
+
+void IngestGateway::Deliver(uint32_t stream_id, const Event& e) {
+  Stream& s = GetStream(stream_id);
+  s.scratch.push_back(e);
+  s.scratch_bytes += StagedCost(e);
+}
+
+void IngestGateway::Flush(uint32_t stream_id) {
+  Stream& s = GetStream(stream_id);
+  if (s.scratch.empty()) return;
+  s.staged.PushBatch(s.scratch.data(),
+                     static_cast<int64_t>(s.scratch.size()));
+  // Clients send in ingestion order, so the last committed element's
+  // ingest_time is the stream's arrival watermark.
+  s.staged_through =
+      std::max(s.staged_through, s.scratch.back().ingest_time);
+  s.scratch.clear();
+  s.scratch_bytes = 0;
+  IngestStreamMetrics& m = metrics_.stream(stream_id);
+  m.peak_staged_bytes = std::max(m.peak_staged_bytes, s.staged.bytes());
+}
+
+void IngestGateway::NoteStall(uint32_t stream_id) {
+  Stream& s = GetStream(stream_id);
+  if (s.stalled) return;
+  s.stalled = true;
+  s.stall_start_micros = WallMicros();
+  ++metrics_.stream(stream_id).backpressure_stalls;
+}
+
+bool IngestGateway::TryResume(uint32_t stream_id) {
+  Stream& s = GetStream(stream_id);
+  if (!s.stalled) return true;
+  const int64_t resume_below = static_cast<int64_t>(
+      static_cast<double>(s.config.byte_budget) * s.config.resume_fraction);
+  if (s.staged.bytes() + s.scratch_bytes >= resume_below) return false;
+  s.stalled = false;
+  metrics_.stream(stream_id).stall_micros +=
+      WallMicros() - s.stall_start_micros;
+  return true;
+}
+
+void IngestGateway::MarkEndOfStream(uint32_t stream_id) {
+  GetStream(stream_id).ended = true;
+}
+
+TimeMicros IngestGateway::PeekIngestTime(uint32_t stream_id) const {
+  const Stream& s = GetStream(stream_id);
+  return s.staged.empty() ? kNoTime : s.staged.Front().ingest_time;
+}
+
+const Event& IngestGateway::Front(uint32_t stream_id) const {
+  return GetStream(stream_id).staged.Front();
+}
+
+Event IngestGateway::Pop(uint32_t stream_id) {
+  return GetStream(stream_id).staged.Pop();
+}
+
+int64_t IngestGateway::staged_bytes(uint32_t stream_id) const {
+  return GetStream(stream_id).staged.bytes();
+}
+
+int64_t IngestGateway::staged_events(uint32_t stream_id) const {
+  return GetStream(stream_id).staged.size();
+}
+
+int64_t IngestGateway::peak_staged_bytes(uint32_t stream_id) const {
+  auto it = metrics_.streams().find(stream_id);
+  return it == metrics_.streams().end() ? 0 : it->second.peak_staged_bytes;
+}
+
+bool IngestGateway::end_of_stream(uint32_t stream_id) const {
+  return GetStream(stream_id).ended;
+}
+
+int64_t IngestGateway::data_events(uint32_t stream_id) const {
+  auto it = metrics_.streams().find(stream_id);
+  return it == metrics_.streams().end() ? 0 : it->second.data_events;
+}
+
+TimeMicros IngestGateway::StagedThrough(uint32_t stream_id) const {
+  const Stream& s = GetStream(stream_id);
+  if (s.ended) return std::numeric_limits<TimeMicros>::max();
+  return s.staged_through;
+}
+
+NetworkFeed::NetworkFeed(IngestGateway* gateway,
+                         std::vector<uint32_t> stream_ids)
+    : gateway_(gateway), streams_(std::move(stream_ids)) {
+  KLINK_CHECK(gateway_ != nullptr);
+  KLINK_CHECK(!streams_.empty());
+  for (uint32_t id : streams_) KLINK_CHECK(gateway_->HasStream(id));
+}
+
+void NetworkFeed::PollUpTo(TimeMicros now, int64_t max_bytes,
+                           std::vector<FeedElement>* out) {
+  // Merge the feed's streams in ingestion order, delivering elements due
+  // by `now` under the same byte-budget rule as SyntheticFeed::PollUpTo
+  // (always at least one element, stop before exceeding the budget).
+  int64_t delivered = 0;
+  while (true) {
+    int best = -1;
+    TimeMicros best_time = 0;
+    for (size_t i = 0; i < streams_.size(); ++i) {
+      const TimeMicros t = gateway_->PeekIngestTime(streams_[i]);
+      if (t == kNoTime || t > now) continue;
+      if (best < 0 || t < best_time) {
+        best = static_cast<int>(i);
+        best_time = t;
+      }
+    }
+    if (best < 0) break;
+    const uint32_t stream = streams_[static_cast<size_t>(best)];
+    const int64_t sz = gateway_->Front(stream).payload_bytes +
+                       StreamQueue::kPerEventOverhead;
+    if (delivered > 0 && delivered + sz > max_bytes) break;
+    delivered += sz;
+    out->push_back(FeedElement{best, gateway_->Pop(stream)});
+  }
+}
+
+int64_t NetworkFeed::generated_events() const {
+  int64_t n = 0;
+  for (uint32_t id : streams_) n += gateway_->data_events(id);
+  return n;
+}
+
+TimeMicros NetworkFeed::SafeThrough() const {
+  TimeMicros safe = std::numeric_limits<TimeMicros>::max();
+  for (uint32_t id : streams_) {
+    safe = std::min(safe, gateway_->StagedThrough(id));
+  }
+  return safe;
+}
+
+}  // namespace klink

@@ -1,0 +1,151 @@
+#ifndef KLINK_NET_INGEST_GATEWAY_H_
+#define KLINK_NET_INGEST_GATEWAY_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/event/event.h"
+#include "src/event/stream_queue.h"
+#include "src/runtime/event_feed.h"
+#include "src/runtime/metrics.h"
+
+namespace klink {
+
+/// Streams per query in the default stream-id numbering: connection stream
+/// id = query_index * kStreamsPerQuery + source_index. A convention shared
+/// by klink_run --listen and the loadgen tool, not a protocol constant —
+/// any registration scheme works at the gateway level.
+inline constexpr uint32_t kStreamsPerQuery = 8;
+
+inline constexpr uint32_t MakeStreamId(int query_index, int source_index) {
+  return static_cast<uint32_t>(query_index) * kStreamsPerQuery +
+         static_cast<uint32_t>(source_index);
+}
+
+/// Buffering policy of one registered ingest stream.
+struct IngestStreamConfig {
+  /// Credit budget: once the staging queue holds this many (simulated)
+  /// bytes, the connection feeding the stream stops being read.
+  int64_t byte_budget = 4ll << 20;
+  /// Reading resumes once the staging queue drains below
+  /// byte_budget * resume_fraction (hysteresis, like the engine's
+  /// memory-tracker backpressure).
+  double resume_fraction = 0.5;
+};
+
+/// Bridges decoded wire frames into the engine: one staging StreamQueue
+/// ring buffer per registered stream, filled by the IngestServer's decode
+/// path via PushBatch and drained by a NetworkFeed on the engine side.
+///
+/// Credit-based backpressure (DESIGN.md "Network ingest"): the server asks
+/// HasCredit() before decoding each element frame; when the staging queue
+/// is over budget the connection is paused — its socket is no longer
+/// polled for reads, so TCP flow control pushes back to the client — and
+/// resumes via TryResume() once the engine drains the queue below the
+/// resume threshold. A slow query therefore bounds its ingest memory at
+/// byte_budget instead of OOMing the engine.
+///
+/// Single-threaded by design: the server poll loop and the engine cycle
+/// loop run on the same thread (sockets, not threads, provide asynchrony).
+class IngestGateway {
+ public:
+  IngestGateway() = default;
+
+  IngestGateway(const IngestGateway&) = delete;
+  IngestGateway& operator=(const IngestGateway&) = delete;
+
+  /// Registers a stream before serving. Stream ids are dense small
+  /// integers by convention (MakeStreamId) but any uint32 works.
+  void RegisterStream(uint32_t stream_id, const IngestStreamConfig& config);
+  bool HasStream(uint32_t stream_id) const;
+
+  /// ---- decode path (called by IngestServer) --------------------------
+  /// True while the stream's staged + scratch bytes are under budget.
+  bool HasCredit(uint32_t stream_id) const;
+  /// Stages one decoded element (into the scratch run; Flush commits).
+  void Deliver(uint32_t stream_id, const Event& e);
+  /// Commits the scratch run into the staging ring buffer with one
+  /// PushBatch, and advances the stream's arrival watermark.
+  void Flush(uint32_t stream_id);
+  /// Records that the stream's connection was paused for lack of credit.
+  void NoteStall(uint32_t stream_id);
+  /// True (ending the stall-time interval) once the staging queue has
+  /// drained below the resume threshold, so the server may read again.
+  bool TryResume(uint32_t stream_id);
+  /// Graceful end-of-stream (kBye received or connection closed cleanly).
+  void MarkEndOfStream(uint32_t stream_id);
+
+  /// ---- drain path (called by NetworkFeed on the engine thread) -------
+  /// Ingest time of the oldest staged element, or kNoTime when empty.
+  TimeMicros PeekIngestTime(uint32_t stream_id) const;
+  const Event& Front(uint32_t stream_id) const;
+  Event Pop(uint32_t stream_id);
+
+  int64_t staged_bytes(uint32_t stream_id) const;
+  int64_t staged_events(uint32_t stream_id) const;
+  /// Largest staged_bytes ever observed (backpressure bound checks).
+  int64_t peak_staged_bytes(uint32_t stream_id) const;
+  bool end_of_stream(uint32_t stream_id) const;
+  /// Data events decoded for the stream so far.
+  int64_t data_events(uint32_t stream_id) const;
+
+  /// Arrival progress: every element with ingest_time <= StagedThrough()
+  /// has been staged (clients send in ingestion order, so the last staged
+  /// ingest_time is a watermark over the TCP stream). INT64_MAX once the
+  /// stream ended. Deterministic replays (tests, loadgen --lockstep) use
+  /// this to advance virtual time only through fully-arrived prefixes.
+  TimeMicros StagedThrough(uint32_t stream_id) const;
+
+  IngestMetrics& metrics() { return metrics_; }
+  const IngestMetrics& metrics() const { return metrics_; }
+
+ private:
+  struct Stream {
+    IngestStreamConfig config;
+    StreamQueue staged;
+    std::vector<Event> scratch;  // decoded, not yet committed
+    int64_t scratch_bytes = 0;
+    TimeMicros staged_through = 0;
+    bool stalled = false;
+    int64_t stall_start_micros = 0;  // wall clock
+    bool ended = false;
+  };
+
+  Stream& GetStream(uint32_t stream_id);
+  const Stream& GetStream(uint32_t stream_id) const;
+
+  std::map<uint32_t, Stream> streams_;
+  IngestMetrics metrics_;
+};
+
+/// EventFeed over gateway streams: the engine ingests network arrivals
+/// through the exact interface the synthetic in-process feeds use, so
+/// scheduling, backpressure, and memory accounting are oblivious to where
+/// events come from. Elements are delivered in ingestion order (merged
+/// across the feed's streams), gated on ingest_time <= now — an element
+/// that arrived early waits; one that arrives late (real network delay)
+/// is picked up by the next cycle, which is precisely the asynchrony
+/// Klink's slack computation runs against.
+class NetworkFeed final : public EventFeed {
+ public:
+  /// `stream_ids[i]` feeds the query's source operator i.
+  NetworkFeed(IngestGateway* gateway, std::vector<uint32_t> stream_ids);
+
+  void PollUpTo(TimeMicros now, int64_t max_bytes,
+                std::vector<FeedElement>* out) override;
+  int64_t generated_events() const override;
+
+  /// Min arrival progress across this feed's streams (see
+  /// IngestGateway::StagedThrough).
+  TimeMicros SafeThrough() const;
+
+ private:
+  IngestGateway* gateway_;
+  std::vector<uint32_t> streams_;
+};
+
+}  // namespace klink
+
+#endif  // KLINK_NET_INGEST_GATEWAY_H_

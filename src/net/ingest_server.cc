@@ -1,0 +1,259 @@
+#include "src/net/ingest_server.h"
+
+#include <poll.h>
+
+#include <algorithm>
+#include <chrono>
+
+#include "src/common/check.h"
+#include "src/net/socket.h"
+
+namespace klink {
+namespace {
+
+int64_t WallMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+IngestServer::IngestServer(const IngestServerConfig& config,
+                           IngestGateway* gateway)
+    : config_(config), gateway_(gateway) {
+  KLINK_CHECK(gateway_ != nullptr);
+  KLINK_CHECK_GE(config_.max_connections, 1);
+  KLINK_CHECK_GE(config_.idle_timeout_ms, 0);
+  KLINK_CHECK_GT(config_.read_chunk_bytes, kWireHeaderLen);
+  read_scratch_.resize(config_.read_chunk_bytes);
+}
+
+IngestServer::~IngestServer() { Stop(); }
+
+Status IngestServer::Start() {
+  KLINK_CHECK_EQ(listen_fd_, -1);
+  StatusOr<int> fd = ListenTcp(config_.port, &port_);
+  if (!fd.ok()) return fd.status();
+  listen_fd_ = fd.value();
+  return Status::Ok();
+}
+
+void IngestServer::Stop() {
+  for (Connection& c : conns_) CloseFd(c.fd);
+  conns_.clear();
+  CloseFd(listen_fd_);
+  listen_fd_ = -1;
+}
+
+int64_t IngestServer::PollOnce(int timeout_ms) {
+  KLINK_CHECK_GE(listen_fd_, 0);
+  int64_t delivered = 0;
+
+  // Resume connections whose streams regained credit since the last poll
+  // (the engine drains staging queues between polls). Buffered bytes are
+  // decoded first; the connection may immediately re-pause.
+  for (size_t i = 0; i < conns_.size();) {
+    Connection& c = conns_[i];
+    if (c.paused && gateway_->TryResume(static_cast<uint32_t>(c.stream_id))) {
+      c.paused = false;
+      if (!DecodeBuffered(c, &delivered)) {
+        conns_.erase(conns_.begin() + static_cast<ptrdiff_t>(i));
+        continue;
+      }
+    }
+    ++i;
+  }
+
+  std::vector<pollfd> fds;
+  fds.reserve(conns_.size() + 1);
+  fds.push_back(pollfd{listen_fd_, POLLIN, 0});
+  std::vector<size_t> fd_conn;  // fds[i + 1] -> conns_[fd_conn[i]]
+  for (size_t i = 0; i < conns_.size(); ++i) {
+    if (conns_[i].paused) continue;
+    fds.push_back(pollfd{conns_[i].fd, POLLIN, 0});
+    fd_conn.push_back(i);
+  }
+
+  const int rc = ::poll(fds.data(), static_cast<nfds_t>(fds.size()),
+                        timeout_ms);
+  if (rc < 0) return delivered;  // EINTR: retry next iteration
+
+  if ((fds[0].revents & POLLIN) != 0) AcceptPending();
+
+  std::vector<size_t> to_close;
+  for (size_t i = 0; i < fd_conn.size(); ++i) {
+    const short ev = fds[i + 1].revents;
+    if ((ev & (POLLIN | POLLERR | POLLHUP)) == 0) continue;
+    Connection& c = conns_[fd_conn[i]];
+    if (!ReadAndDecode(c, &delivered)) to_close.push_back(fd_conn[i]);
+  }
+  // Erase closed connections back-to-front so indices stay valid.
+  std::sort(to_close.begin(), to_close.end());
+  for (size_t i = to_close.size(); i > 0; --i) {
+    conns_.erase(conns_.begin() + static_cast<ptrdiff_t>(to_close[i - 1]));
+  }
+
+  if (config_.idle_timeout_ms > 0) {
+    const int64_t now = WallMicros();
+    const int64_t limit = config_.idle_timeout_ms * 1000;
+    for (size_t i = conns_.size(); i > 0; --i) {
+      Connection& c = conns_[i - 1];
+      if (c.paused || now - c.last_activity_micros <= limit) continue;
+      gateway_->metrics().AddIdleTimeout();
+      FailConnection(c, WireError::kIdleTimeout, "idle timeout");
+      conns_.erase(conns_.begin() + static_cast<ptrdiff_t>(i - 1));
+    }
+  }
+  return delivered;
+}
+
+void IngestServer::AcceptPending() {
+  while (true) {
+    StatusOr<int> fd = AcceptNonBlocking(listen_fd_);
+    if (!fd.ok() || fd.value() < 0) return;
+    if (static_cast<int>(conns_.size()) >= config_.max_connections) {
+      send_scratch_.clear();
+      EncodeError(WireError::kProtocolViolation, "too many connections",
+                  &send_scratch_);
+      SendAll(fd.value(), send_scratch_.data(), send_scratch_.size());
+      CloseFd(fd.value());
+      continue;
+    }
+    Connection c;
+    c.fd = fd.value();
+    c.last_activity_micros = WallMicros();
+    conns_.push_back(std::move(c));
+    gateway_->metrics().AddConnection();
+  }
+}
+
+bool IngestServer::ReadAndDecode(Connection& c, int64_t* delivered) {
+  const StatusOr<int64_t> n =
+      ReadSome(c.fd, read_scratch_.data(), read_scratch_.size());
+  if (!n.ok()) {
+    CloseConnection(c);
+    return false;
+  }
+  if (n.value() < 0) return true;  // spurious wakeup, nothing to read
+  if (n.value() == 0) {
+    // Orderly shutdown without kBye: flush what we have and end the
+    // stream's arrivals. The engine keeps running on whatever arrived.
+    CloseConnection(c);
+    return false;
+  }
+  c.last_activity_micros = WallMicros();
+  gateway_->metrics().AddBytesRead(n.value());
+  c.buf.insert(c.buf.end(), read_scratch_.begin(),
+               read_scratch_.begin() + static_cast<ptrdiff_t>(n.value()));
+  return DecodeBuffered(c, delivered);
+}
+
+bool IngestServer::DecodeBuffered(Connection& c, int64_t* delivered) {
+  bool open = true;
+  while (open && !c.paused) {
+    Frame frame;
+    size_t consumed = 0;
+    const DecodeResult r = DecodeFrame(c.buf.data() + c.off,
+                                       c.buf.size() - c.off, &frame,
+                                       &consumed);
+    if (r == DecodeResult::kNeedMore) break;
+    if (r == DecodeResult::kMalformed) {
+      gateway_->metrics().AddMalformedFrame();
+      FailConnection(c, WireError::kMalformedFrame, "malformed frame");
+      open = false;
+      break;
+    }
+    if (IsElementFrame(frame.type)) {
+      if (c.stream_id < 0) {
+        FailConnection(c, WireError::kProtocolViolation,
+                       "element frame before hello");
+        open = false;
+        break;
+      }
+      const uint32_t stream = static_cast<uint32_t>(c.stream_id);
+      if (!gateway_->HasCredit(stream)) {
+        // Out of credit: leave the frame in the buffer and stop reading
+        // this socket until the engine drains the staging queue.
+        gateway_->Flush(stream);
+        gateway_->NoteStall(stream);
+        c.paused = true;
+        break;
+      }
+      gateway_->Deliver(stream, frame.event);
+      gateway_->metrics().AddFrame(stream, static_cast<int64_t>(consumed),
+                                   frame.event.is_data());
+      ++*delivered;
+    } else {
+      gateway_->metrics().AddControlFrame();
+      switch (frame.type) {
+        case FrameType::kHello:
+          if (c.stream_id >= 0) {
+            FailConnection(c, WireError::kProtocolViolation,
+                           "duplicate hello");
+            open = false;
+          } else if (!gateway_->HasStream(frame.stream_id)) {
+            FailConnection(c, WireError::kUnknownStream,
+                           "unknown stream id");
+            open = false;
+          } else {
+            c.stream_id = frame.stream_id;
+          }
+          break;
+        case FrameType::kBye:
+          if (c.stream_id >= 0) {
+            gateway_->Flush(static_cast<uint32_t>(c.stream_id));
+            gateway_->MarkEndOfStream(static_cast<uint32_t>(c.stream_id));
+          }
+          c.stream_id = -1;  // end-of-stream already recorded
+          CloseConnection(c);
+          open = false;
+          break;
+        case FrameType::kError:
+          // Clients may report errors before disconnecting; just close.
+          CloseConnection(c);
+          open = false;
+          break;
+        default:
+          break;
+      }
+    }
+    if (!open) break;
+    c.off += consumed;
+  }
+  if (open && c.stream_id >= 0) {
+    gateway_->Flush(static_cast<uint32_t>(c.stream_id));
+  }
+  if (open) CompactBuffer(c);
+  return open;
+}
+
+void IngestServer::FailConnection(Connection& c, WireError code,
+                                  const std::string& msg) {
+  send_scratch_.clear();
+  EncodeError(code, msg, &send_scratch_);
+  // Best effort: the peer may already be gone or the socket full.
+  SendAll(c.fd, send_scratch_.data(), send_scratch_.size());
+  CloseConnection(c);
+}
+
+void IngestServer::CloseConnection(Connection& c) {
+  if (c.stream_id >= 0) {
+    gateway_->Flush(static_cast<uint32_t>(c.stream_id));
+  }
+  CloseFd(c.fd);
+  c.fd = -1;
+  gateway_->metrics().AddDisconnect();
+}
+
+void IngestServer::CompactBuffer(Connection& c) {
+  if (c.off == 0) return;
+  if (c.off == c.buf.size()) {
+    c.buf.clear();
+  } else {
+    c.buf.erase(c.buf.begin(), c.buf.begin() + static_cast<ptrdiff_t>(c.off));
+  }
+  c.off = 0;
+}
+
+}  // namespace klink

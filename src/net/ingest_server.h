@@ -1,0 +1,97 @@
+#ifndef KLINK_NET_INGEST_SERVER_H_
+#define KLINK_NET_INGEST_SERVER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/net/ingest_gateway.h"
+#include "src/net/wire.h"
+
+namespace klink {
+
+struct IngestServerConfig {
+  /// TCP port on 127.0.0.1; 0 picks an ephemeral port (see port()).
+  uint16_t port = 0;
+  int max_connections = 256;
+  /// Connections with no traffic for this long are closed with an
+  /// kIdleTimeout error frame; 0 disables. Paused (backpressured)
+  /// connections are exempt — they are stalled on purpose.
+  int64_t idle_timeout_ms = 0;
+  /// Max bytes read from one connection per poll iteration (fairness, and
+  /// a bound on per-connection buffering).
+  size_t read_chunk_bytes = 64 * 1024;
+};
+
+/// Non-blocking, poll()-based TCP ingest front end. Accepts many client
+/// connections; the first frame on each must be kHello binding it to a
+/// registered gateway stream, after which element frames are decoded and
+/// staged through the IngestGateway.
+///
+/// Single-threaded: the owner calls PollOnce() from the engine loop; all
+/// asynchrony lives in the kernel's socket buffers. Robustness: a
+/// malformed or protocol-violating frame draws an error frame and a
+/// connection close (never UB — the decoder is strictly bounds-checked);
+/// a mid-stream disconnect just ends that stream's arrivals; out-of-credit
+/// streams pause at frame granularity and resume after the engine drains
+/// them (see IngestGateway).
+class IngestServer {
+ public:
+  IngestServer(const IngestServerConfig& config, IngestGateway* gateway);
+  ~IngestServer();
+
+  IngestServer(const IngestServer&) = delete;
+  IngestServer& operator=(const IngestServer&) = delete;
+
+  /// Binds and listens. Must be called before PollOnce.
+  Status Start();
+
+  /// Closes the listener and every connection.
+  void Stop();
+
+  /// The bound port (useful with config.port = 0).
+  uint16_t port() const { return port_; }
+
+  /// One poll iteration: waits up to `timeout_ms` for socket activity,
+  /// accepts pending connections, reads and decodes frames, and resumes
+  /// paused connections whose streams regained credit. Returns the number
+  /// of element frames delivered to the gateway.
+  int64_t PollOnce(int timeout_ms);
+
+  int num_connections() const { return static_cast<int>(conns_.size()); }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::vector<uint8_t> buf;  // undecoded bytes (after compaction)
+    size_t off = 0;            // consumed prefix of buf
+    int64_t stream_id = -1;    // -1 until kHello binds one
+    bool paused = false;       // out of gateway credit
+    int64_t last_activity_micros = 0;
+  };
+
+  void AcceptPending();
+  /// Reads one chunk and decodes. Returns false when the connection was
+  /// closed (gracefully or not).
+  bool ReadAndDecode(Connection& c, int64_t* delivered);
+  /// Decodes buffered frames until exhausted, out of credit, or error.
+  /// Returns false when the connection was closed.
+  bool DecodeBuffered(Connection& c, int64_t* delivered);
+  /// Sends a best-effort error frame and closes the connection.
+  void FailConnection(Connection& c, WireError code, const std::string& msg);
+  void CloseConnection(Connection& c);
+  void CompactBuffer(Connection& c);
+
+  IngestServerConfig config_;
+  IngestGateway* gateway_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::vector<Connection> conns_;
+  std::vector<uint8_t> read_scratch_;
+  std::vector<uint8_t> send_scratch_;
+};
+
+}  // namespace klink
+
+#endif  // KLINK_NET_INGEST_SERVER_H_

@@ -1,0 +1,108 @@
+#include "src/net/loadgen.h"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <thread>
+
+#include "src/common/check.h"
+#include "src/net/socket.h"
+#include "src/net/wire.h"
+
+namespace klink {
+namespace {
+
+int64_t WallMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+LoadgenConnection::~LoadgenConnection() { Close(); }
+
+Status LoadgenConnection::Connect(const std::string& host, uint16_t port,
+                                  uint32_t stream_id) {
+  KLINK_CHECK_EQ(fd_, -1);
+  StatusOr<int> fd = ConnectTcp(host, port);
+  if (!fd.ok()) return fd.status();
+  fd_ = fd.value();
+  buf_.clear();
+  EncodeHello(stream_id, &buf_);
+  ++stats_.frames_sent;
+  return Flush();
+}
+
+Status LoadgenConnection::SendEvent(const Event& e) {
+  KLINK_CHECK_GE(fd_, 0);
+  EncodeEvent(e, &buf_);
+  ++stats_.frames_sent;
+  if (e.is_data()) ++stats_.data_events_sent;
+  if (buf_.size() >= kFlushThresholdBytes) return Flush();
+  return Status::Ok();
+}
+
+Status LoadgenConnection::Flush() {
+  if (buf_.empty()) return Status::Ok();
+  const Status s = SendAll(fd_, buf_.data(), buf_.size());
+  if (s.ok()) stats_.bytes_sent += static_cast<int64_t>(buf_.size());
+  buf_.clear();
+  return s;
+}
+
+Status LoadgenConnection::SendBye() {
+  EncodeBye(&buf_);
+  ++stats_.frames_sent;
+  return Flush();
+}
+
+void LoadgenConnection::Close() {
+  CloseFd(fd_);
+  fd_ = -1;
+  buf_.clear();
+}
+
+Status ReplayFeed(EventFeed& feed,
+                  const std::vector<LoadgenConnection*>& conns,
+                  const ReplayOptions& options) {
+  KLINK_CHECK(!conns.empty());
+  std::vector<EventFeed::FeedElement> scratch;
+  const int64_t unbounded = std::numeric_limits<int64_t>::max();
+
+  const int64_t wall_start = WallMicros();
+  TimeMicros horizon = options.speed > 0.0 ? 0 : options.until;
+  while (true) {
+    if (options.speed > 0.0) {
+      horizon = std::min<TimeMicros>(
+          options.until,
+          static_cast<TimeMicros>(
+              static_cast<double>(WallMicros() - wall_start) *
+              options.speed));
+    }
+    scratch.clear();
+    feed.PollUpTo(horizon, unbounded, &scratch);
+    for (const EventFeed::FeedElement& fe : scratch) {
+      KLINK_CHECK(fe.source_index >= 0 &&
+                  fe.source_index < static_cast<int>(conns.size()));
+      const Status s =
+          conns[static_cast<size_t>(fe.source_index)]->SendEvent(fe.event);
+      if (!s.ok()) return s;
+    }
+    for (LoadgenConnection* c : conns) {
+      if (const Status s = c->Flush(); !s.ok()) return s;
+    }
+    if (horizon >= options.until) break;
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(options.poll_step));
+  }
+
+  if (options.send_bye) {
+    for (LoadgenConnection* c : conns) {
+      if (const Status s = c->SendBye(); !s.ok()) return s;
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace klink

@@ -1,0 +1,84 @@
+#ifndef KLINK_NET_LOADGEN_H_
+#define KLINK_NET_LOADGEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/types.h"
+#include "src/event/event.h"
+#include "src/runtime/event_feed.h"
+
+namespace klink {
+
+struct LoadgenStats {
+  int64_t data_events_sent = 0;
+  int64_t frames_sent = 0;
+  int64_t bytes_sent = 0;
+};
+
+/// One client connection of the loadgen: connects, sends the hello binding
+/// the connection to an ingest stream, then streams element frames with
+/// write buffering. The socket is blocking on purpose: when the server
+/// exercises credit-based backpressure and stops reading, TCP flow control
+/// blocks the sender right here — end-to-end backpressure from the
+/// engine's staging queue to the workload generator.
+class LoadgenConnection {
+ public:
+  LoadgenConnection() = default;
+  ~LoadgenConnection();
+
+  LoadgenConnection(const LoadgenConnection&) = delete;
+  LoadgenConnection& operator=(const LoadgenConnection&) = delete;
+
+  /// Connects and sends the kHello frame for `stream_id`.
+  Status Connect(const std::string& host, uint16_t port, uint32_t stream_id);
+
+  /// Buffers one element frame; flushes when the buffer is full.
+  Status SendEvent(const Event& e);
+
+  /// Sends any buffered frames.
+  Status Flush();
+
+  /// Flushes and sends the graceful end-of-stream frame.
+  Status SendBye();
+
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+  const LoadgenStats& stats() const { return stats_; }
+
+ private:
+  static constexpr size_t kFlushThresholdBytes = 32 * 1024;
+
+  int fd_ = -1;
+  std::vector<uint8_t> buf_;
+  LoadgenStats stats_;
+};
+
+struct ReplayOptions {
+  /// Replay elements with ingest_time <= until.
+  TimeMicros until = 0;
+  /// 0 = unpaced (blast as fast as TCP accepts — loopback throughput
+  /// tests); 1.0 = one virtual second per wall second (live replay);
+  /// other values scale accordingly.
+  double speed = 0.0;
+  /// Pacing granularity (wall time between send bursts) when speed > 0.
+  DurationMicros poll_step = MillisToMicros(20);
+  /// Send kBye on every connection once the replay completes.
+  bool send_bye = true;
+};
+
+/// Replays a feed over TCP: element i of the feed targeting source s goes
+/// to conns[s], in the feed's ingestion order. This is where the simulated
+/// delay models are repurposed for real sockets — a SyntheticFeed built
+/// with a DelayModel yields elements whose ingest_time already includes
+/// the artificial per-connection network delay, so Fig-style
+/// delayed-watermark experiments run unchanged over real TCP.
+Status ReplayFeed(EventFeed& feed,
+                  const std::vector<LoadgenConnection*>& conns,
+                  const ReplayOptions& options);
+
+}  // namespace klink
+
+#endif  // KLINK_NET_LOADGEN_H_

@@ -1,0 +1,225 @@
+#include "src/net/wire.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace klink {
+namespace {
+
+constexpr size_t kDataPayloadLen = 36;
+constexpr size_t kWatermarkPayloadLen = 17;
+constexpr size_t kMarkerPayloadLen = 16;
+constexpr size_t kHelloPayloadLen = 4;
+
+void PutU16(uint16_t v, std::vector<uint8_t>* out) {
+  out->push_back(static_cast<uint8_t>(v & 0xff));
+  out->push_back(static_cast<uint8_t>(v >> 8));
+}
+
+void PutU32(uint32_t v, std::vector<uint8_t>* out) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void PutU64(uint64_t v, std::vector<uint8_t>* out) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+uint16_t GetU16(const uint8_t* p) {
+  return static_cast<uint16_t>(p[0] | (static_cast<uint16_t>(p[1]) << 8));
+}
+
+uint32_t GetU32(const uint8_t* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+uint64_t GetU64(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+void PutHeader(FrameType type, uint32_t payload_len,
+               std::vector<uint8_t>* out) {
+  PutU16(kWireMagic, out);
+  out->push_back(kWireVersion);
+  out->push_back(static_cast<uint8_t>(type));
+  PutU32(payload_len, out);
+}
+
+bool ValidType(uint8_t t) {
+  return t >= static_cast<uint8_t>(FrameType::kHello) &&
+         t <= static_cast<uint8_t>(FrameType::kBye);
+}
+
+/// Expected payload length for fixed-size frame types; -1 for variable.
+int64_t ExpectedPayloadLen(FrameType t) {
+  switch (t) {
+    case FrameType::kHello:
+      return kHelloPayloadLen;
+    case FrameType::kData:
+      return kDataPayloadLen;
+    case FrameType::kWatermark:
+      return kWatermarkPayloadLen;
+    case FrameType::kMarker:
+      return kMarkerPayloadLen;
+    case FrameType::kBye:
+      return 0;
+    case FrameType::kError:
+      return -1;
+  }
+  return -1;
+}
+
+double BitsToDouble(uint64_t bits) {
+  double d;
+  std::memcpy(&d, &bits, sizeof(d));
+  return d;
+}
+
+uint64_t DoubleToBits(double d) {
+  uint64_t bits;
+  std::memcpy(&bits, &d, sizeof(bits));
+  return bits;
+}
+
+}  // namespace
+
+DecodeResult DecodeFrame(const uint8_t* data, size_t len, Frame* frame,
+                         size_t* consumed) {
+  if (len < kWireHeaderLen) return DecodeResult::kNeedMore;
+  if (GetU16(data) != kWireMagic) return DecodeResult::kMalformed;
+  if (data[2] != kWireVersion) return DecodeResult::kMalformed;
+  if (!ValidType(data[3])) return DecodeResult::kMalformed;
+  const FrameType type = static_cast<FrameType>(data[3]);
+  const uint32_t payload_len = GetU32(data + 4);
+  if (payload_len > kMaxPayloadLen) return DecodeResult::kMalformed;
+  const int64_t expected = ExpectedPayloadLen(type);
+  if (expected >= 0 && payload_len != static_cast<uint32_t>(expected)) {
+    return DecodeResult::kMalformed;
+  }
+  if (type == FrameType::kError &&
+      (payload_len < 2 || payload_len > 2 + kMaxErrorMessageLen)) {
+    return DecodeResult::kMalformed;
+  }
+  if (len < kWireHeaderLen + payload_len) return DecodeResult::kNeedMore;
+
+  const uint8_t* p = data + kWireHeaderLen;
+  frame->type = type;
+  frame->event = Event{};
+  frame->stream_id = 0;
+  frame->error_code = 0;
+  frame->error_message.clear();
+  switch (type) {
+    case FrameType::kHello:
+      frame->stream_id = GetU32(p);
+      break;
+    case FrameType::kData: {
+      Event& e = frame->event;
+      e.kind = EventKind::kData;
+      e.event_time = static_cast<TimeMicros>(GetU64(p));
+      e.ingest_time = static_cast<TimeMicros>(GetU64(p + 8));
+      e.key = GetU64(p + 16);
+      e.value = BitsToDouble(GetU64(p + 24));
+      e.payload_bytes = GetU32(p + 32);
+      if (e.event_time < 0 || e.ingest_time < 0 ||
+          e.payload_bytes > kMaxEventPayloadBytes) {
+        return DecodeResult::kMalformed;
+      }
+      break;
+    }
+    case FrameType::kWatermark: {
+      Event& e = frame->event;
+      e.kind = EventKind::kWatermark;
+      e.event_time = static_cast<TimeMicros>(GetU64(p));
+      e.ingest_time = static_cast<TimeMicros>(GetU64(p + 8));
+      const uint8_t flags = p[16];
+      if ((flags & ~uint8_t{1}) != 0) return DecodeResult::kMalformed;
+      e.swm = (flags & 1) != 0;
+      e.payload_bytes = 16;
+      if (e.ingest_time < 0) return DecodeResult::kMalformed;
+      break;
+    }
+    case FrameType::kMarker: {
+      Event& e = frame->event;
+      e.kind = EventKind::kLatencyMarker;
+      e.event_time = static_cast<TimeMicros>(GetU64(p));
+      e.ingest_time = static_cast<TimeMicros>(GetU64(p + 8));
+      e.payload_bytes = 16;
+      if (e.event_time < 0 || e.ingest_time < 0) {
+        return DecodeResult::kMalformed;
+      }
+      break;
+    }
+    case FrameType::kError:
+      frame->error_code = GetU16(p);
+      frame->error_message.assign(reinterpret_cast<const char*>(p + 2),
+                                  payload_len - 2);
+      break;
+    case FrameType::kBye:
+      break;
+  }
+  *consumed = kWireHeaderLen + payload_len;
+  return DecodeResult::kOk;
+}
+
+void EncodeHello(uint32_t stream_id, std::vector<uint8_t>* out) {
+  PutHeader(FrameType::kHello, kHelloPayloadLen, out);
+  PutU32(stream_id, out);
+}
+
+void EncodeEvent(const Event& e, std::vector<uint8_t>* out) {
+  switch (e.kind) {
+    case EventKind::kData:
+      PutHeader(FrameType::kData, kDataPayloadLen, out);
+      PutU64(static_cast<uint64_t>(e.event_time), out);
+      PutU64(static_cast<uint64_t>(e.ingest_time), out);
+      PutU64(e.key, out);
+      PutU64(DoubleToBits(e.value), out);
+      PutU32(e.payload_bytes, out);
+      break;
+    case EventKind::kWatermark:
+      PutHeader(FrameType::kWatermark, kWatermarkPayloadLen, out);
+      PutU64(static_cast<uint64_t>(e.event_time), out);
+      PutU64(static_cast<uint64_t>(e.ingest_time), out);
+      out->push_back(e.swm ? 1 : 0);
+      break;
+    case EventKind::kLatencyMarker:
+      PutHeader(FrameType::kMarker, kMarkerPayloadLen, out);
+      PutU64(static_cast<uint64_t>(e.event_time), out);
+      PutU64(static_cast<uint64_t>(e.ingest_time), out);
+      break;
+  }
+}
+
+void EncodeError(WireError code, const std::string& message,
+                 std::vector<uint8_t>* out) {
+  const size_t msg_len = std::min(message.size(), kMaxErrorMessageLen);
+  PutHeader(FrameType::kError, static_cast<uint32_t>(2 + msg_len), out);
+  PutU16(static_cast<uint16_t>(code), out);
+  out->insert(out->end(), message.begin(),
+              message.begin() + static_cast<ptrdiff_t>(msg_len));
+}
+
+void EncodeBye(std::vector<uint8_t>* out) {
+  PutHeader(FrameType::kBye, 0, out);
+}
+
+size_t EncodedEventSize(const Event& e) {
+  switch (e.kind) {
+    case EventKind::kData:
+      return kWireHeaderLen + kDataPayloadLen;
+    case EventKind::kWatermark:
+      return kWireHeaderLen + kWatermarkPayloadLen;
+    case EventKind::kLatencyMarker:
+      return kWireHeaderLen + kMarkerPayloadLen;
+  }
+  return kWireHeaderLen;
+}
+
+}  // namespace klink

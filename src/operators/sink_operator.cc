@@ -1,8 +1,20 @@
 #include "src/operators/sink_operator.h"
 
+#include <cstring>
 #include <utility>
 
 namespace klink {
+namespace {
+
+uint64_t Fnv1a(uint64_t hash, uint64_t word) {
+  for (int i = 0; i < 8; ++i) {
+    hash ^= (word >> (8 * i)) & 0xff;
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+}  // namespace
 
 SinkOperator::SinkOperator(std::string name, double cost_micros)
     : Operator(std::move(name), cost_micros, /*num_inputs=*/1) {}
@@ -11,12 +23,18 @@ void SinkOperator::ResetStats() {
   swm_latency_.Reset();
   marker_latency_.Reset();
   results_received_ = 0;
+  results_hash_ = kHashBasis;
   last_result_time_ = kNoTime;
 }
 
 void SinkOperator::OnData(const Event& e, TimeMicros /*now*/,
                           Emitter& /*out*/) {
   ++results_received_;
+  uint64_t value_bits;
+  std::memcpy(&value_bits, &e.value, sizeof(value_bits));
+  results_hash_ = Fnv1a(results_hash_, static_cast<uint64_t>(e.event_time));
+  results_hash_ = Fnv1a(results_hash_, e.key);
+  results_hash_ = Fnv1a(results_hash_, value_bits);
   last_result_time_ = e.event_time;
 }
 

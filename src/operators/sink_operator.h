@@ -25,6 +25,13 @@ class SinkOperator final : public Operator {
   /// Number of result (data) events received.
   int64_t results_received() const { return results_received_; }
 
+  /// Order-sensitive FNV-1a fingerprint of every result received
+  /// (event_time, key, value bits). Two runs produced identical results in
+  /// identical order iff counts and hashes match — used by the network
+  /// ingest loopback tests to prove TCP ingestion reproduces in-process
+  /// ingestion exactly.
+  uint64_t results_hash() const { return results_hash_; }
+
   /// Event-time of the latest result received, or kNoTime.
   TimeMicros last_result_time() const { return last_result_time_; }
 
@@ -40,9 +47,12 @@ class SinkOperator final : public Operator {
   void OnLatencyMarker(const Event& e, TimeMicros now, Emitter& out) override;
 
  private:
+  static constexpr uint64_t kHashBasis = 14695981039346656037ull;
+
   Histogram swm_latency_;
   Histogram marker_latency_;
   int64_t results_received_ = 0;
+  uint64_t results_hash_ = kHashBasis;
   TimeMicros last_result_time_ = kNoTime;
 };
 

@@ -2,6 +2,7 @@
 #define KLINK_RUNTIME_METRICS_H_
 
 #include <cstdint>
+#include <map>
 #include <vector>
 
 #include "src/common/histogram.h"
@@ -73,6 +74,75 @@ class EngineMetrics {
   double core_available_micros_ = 0.0;
   double scheduler_micros_ = 0.0;
   std::vector<ResourceSample> samples_;
+};
+
+/// Per-ingest-stream counters maintained by the network ingest gateway
+/// (src/net/ingest_gateway.h). Stall time is wall-clock time the stream's
+/// connection spent paused by credit-based backpressure.
+struct IngestStreamMetrics {
+  int64_t frames = 0;
+  int64_t bytes = 0;  // wire bytes of decoded element frames
+  int64_t data_events = 0;
+  int64_t backpressure_stalls = 0;
+  int64_t stall_micros = 0;
+  int64_t peak_staged_bytes = 0;
+};
+
+/// Counters for the TCP ingest path: connections, frames, bytes, protocol
+/// errors, and per-stream backpressure behaviour. Owned by the
+/// IngestGateway; printed by harness/reporter's PrintIngestMetrics.
+class IngestMetrics {
+ public:
+  /// ---- updated by the ingest server / gateway ------------------------
+  void AddConnection() { ++connections_accepted_; }
+  void AddDisconnect() { ++connections_closed_; }
+  void AddIdleTimeout() { ++idle_timeouts_; }
+  void AddMalformedFrame() { ++malformed_frames_; }
+  void AddBytesRead(int64_t n) { bytes_read_ += n; }
+  void AddFrame(uint32_t stream_id, int64_t wire_bytes, bool is_data) {
+    ++frames_decoded_;
+    IngestStreamMetrics& s = streams_[stream_id];
+    ++s.frames;
+    s.bytes += wire_bytes;
+    if (is_data) ++s.data_events;
+  }
+  void AddControlFrame() { ++frames_decoded_; }
+  IngestStreamMetrics& stream(uint32_t stream_id) {
+    return streams_[stream_id];
+  }
+
+  /// ---- reporting -----------------------------------------------------
+  int64_t connections_accepted() const { return connections_accepted_; }
+  int64_t connections_closed() const { return connections_closed_; }
+  int64_t idle_timeouts() const { return idle_timeouts_; }
+  int64_t frames_decoded() const { return frames_decoded_; }
+  int64_t malformed_frames() const { return malformed_frames_; }
+  /// Raw bytes read off sockets (including partial/rejected frames).
+  int64_t bytes_read() const { return bytes_read_; }
+
+  int64_t TotalStalls() const {
+    int64_t n = 0;
+    for (const auto& [id, s] : streams_) n += s.backpressure_stalls;
+    return n;
+  }
+  int64_t TotalStallMicros() const {
+    int64_t n = 0;
+    for (const auto& [id, s] : streams_) n += s.stall_micros;
+    return n;
+  }
+
+  const std::map<uint32_t, IngestStreamMetrics>& streams() const {
+    return streams_;
+  }
+
+ private:
+  int64_t connections_accepted_ = 0;
+  int64_t connections_closed_ = 0;
+  int64_t idle_timeouts_ = 0;
+  int64_t frames_decoded_ = 0;
+  int64_t malformed_frames_ = 0;
+  int64_t bytes_read_ = 0;
+  std::map<uint32_t, IngestStreamMetrics> streams_;
 };
 
 }  // namespace klink

@@ -7,13 +7,39 @@
 //
 // Prints the paper's metrics (mean/tail latency, throughput, slowdown,
 // utilization, estimator accuracy, scheduler overhead) for the run.
+//
+// With --listen=PORT the engine ingests over real TCP instead of the
+// in-process synthetic feeds: it serves the ingest wire protocol on
+// 127.0.0.1:PORT (one connection per query source, fed by the loadgen
+// tool), maps wall-clock time onto the virtual clock, and prints ingest
+// counters next to the usual metrics:
+//
+//   klink_run --listen=9099 --policy=klink --workload=ysb --queries=4
+//             --duration=30 [--ingest-budget-kb=4096] [--lockstep]
+//
+// --lockstep advances virtual time only through prefixes that have fully
+// arrived (per-stream arrival watermarks), making a blast-mode loadgen
+// replay deterministic — the networked run produces the same results as
+// the equivalent in-process run.
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <limits>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "src/common/flags.h"
+#include "src/common/rng.h"
 #include "src/harness/experiment.h"
 #include "src/harness/reporter.h"
+#include "src/net/ingest_gateway.h"
+#include "src/net/ingest_server.h"
+#include "src/runtime/engine.h"
+#include "src/workloads/lrb.h"
+#include "src/workloads/nyt.h"
+#include "src/workloads/ysb.h"
 
 namespace {
 
@@ -54,8 +80,155 @@ int Usage() {
       "                 [--delay=uniform|zipf] [--duration=SECONDS]\n"
       "                 [--warmup=SECONDS] [--cores=N] [--memory-mb=N]\n"
       "                 [--executor=sequential|threads]\n"
-      "                 [--confidence=F] [--seed=N] [--csv=PATH]\n");
+      "                 [--confidence=F] [--seed=N] [--csv=PATH]\n"
+      "                 [--listen=PORT [--ingest-budget-kb=N] [--lockstep]]\n");
   return 2;
+}
+
+int64_t WallMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Serves the ingest protocol and runs the engine against TCP arrivals.
+int RunListenMode(const ExperimentConfig& config, uint16_t port,
+                  int64_t ingest_budget_bytes, bool lockstep) {
+  KlinkPolicyConfig klink_config = config.klink;
+  klink_config.cycle_length = config.engine.cycle_length;
+  Engine engine(config.engine, MakePolicy(config.policy, klink_config,
+                                          config.seed ^ 0x5eedULL));
+
+  // Same query construction as the in-process harness (same rng stream),
+  // so a lockstep networked run is comparable to the simulated one.
+  IngestGateway gateway;
+  std::vector<NetworkFeed*> feeds;
+  Rng rng(config.seed);
+  for (int q = 0; q < config.num_queries; ++q) {
+    const uint64_t feed_seed = rng.NextUint64();
+    (void)feed_seed;  // consumed by the loadgen side
+    std::unique_ptr<Query> query;
+    switch (config.workload) {
+      case WorkloadKind::kYsb: {
+        YsbConfig wc;
+        wc.events_per_second = config.events_per_second;
+        wc.watermark_lag = WatermarkLagFor(config.delay);
+        wc.window_offset = rng.NextInt(0, wc.window_size - 1);
+        query = MakeYsbQuery(q, wc);
+        break;
+      }
+      case WorkloadKind::kLrb: {
+        LrbConfig wc;
+        wc.events_per_substream_per_second = config.events_per_second;
+        wc.watermark_lag = WatermarkLagFor(config.delay);
+        wc.window_offset = rng.NextInt(0, wc.join_window - 1);
+        query = MakeLrbQuery(q, wc);
+        break;
+      }
+      case WorkloadKind::kNyt: {
+        NytConfig wc;
+        wc.events_per_second = config.events_per_second;
+        wc.watermark_lag = WatermarkLagFor(config.delay);
+        wc.window_offset = rng.NextInt(0, wc.slide - 1);
+        query = MakeNytQuery(q, wc);
+        break;
+      }
+    }
+    std::vector<uint32_t> stream_ids;
+    for (size_t s = 0; s < query->sources().size(); ++s) {
+      const uint32_t id = MakeStreamId(q, static_cast<int>(s));
+      IngestStreamConfig sc;
+      sc.byte_budget = ingest_budget_bytes;
+      gateway.RegisterStream(id, sc);
+      stream_ids.push_back(id);
+    }
+    auto feed = std::make_unique<NetworkFeed>(&gateway, stream_ids);
+    feeds.push_back(feed.get());
+    engine.AddQuery(std::move(query), std::move(feed), /*deploy_time=*/0);
+  }
+
+  IngestServerConfig server_config;
+  server_config.port = port;
+  server_config.idle_timeout_ms = 60000;
+  IngestServer server(server_config, &gateway);
+  if (const Status s = server.Start(); !s.ok()) {
+    std::fprintf(stderr, "listen failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("listening on 127.0.0.1:%u (%s mode); feed with e.g.\n"
+              "  loadgen --port=%u --workload=%s --queries=%d --rate=%.0f "
+              "--duration=%lld\n",
+              server.port(), lockstep ? "lockstep" : "real-time",
+              server.port(), WorkloadKindName(config.workload),
+              config.num_queries, config.events_per_second,
+              static_cast<long long>(config.duration / 1000000));
+
+  const DurationMicros cycle = config.engine.cycle_length;
+  const int64_t wall_start = WallMicros();
+  while (engine.now() < config.duration) {
+    if (lockstep) {
+      // Run only through prefixes every stream has fully delivered, so
+      // results are independent of network timing. Once all clients are
+      // gone (finished or died), drain whatever arrived.
+      TimeMicros safe = std::numeric_limits<TimeMicros>::max();
+      for (const NetworkFeed* f : feeds) {
+        safe = std::min(safe, f->SafeThrough());
+      }
+      const bool clients_done = gateway.metrics().connections_accepted() >
+                                    0 &&
+                                server.num_connections() == 0;
+      if (clients_done) safe = std::numeric_limits<TimeMicros>::max();
+      if (safe >= config.duration) {
+        engine.RunUntil(config.duration);  // final (possibly partial) step
+        continue;
+      }
+      if (engine.now() + cycle <= safe) {
+        engine.RunUntil(engine.now() + cycle);
+        continue;
+      }
+      server.PollOnce(10);
+    } else {
+      // Real time: virtual now tracks the wall clock, so delayed and
+      // out-of-order TCP arrivals are genuinely late for the scheduler.
+      const TimeMicros elapsed = WallMicros() - wall_start;
+      if (elapsed >= config.duration) {
+        engine.RunUntil(config.duration);  // final (possibly partial) step
+        continue;
+      }
+      if (engine.now() + cycle <= elapsed) {
+        engine.RunUntil(elapsed);
+        continue;
+      }
+      server.PollOnce(
+          static_cast<int>((cycle - (elapsed - engine.now())) / 1000 + 1));
+    }
+  }
+  server.Stop();
+
+  const Histogram latency = engine.AggregateSwmLatency();
+  TableReporter table("Results (TCP ingest)");
+  table.SetHeader({"metric", "value"});
+  table.AddRow({"mean latency (s)", TableReporter::Num(latency.mean() / 1e6, 3)});
+  table.AddRow({"p50 latency (s)",
+                TableReporter::Num(
+                    static_cast<double>(latency.Percentile(50)) / 1e6, 3)});
+  table.AddRow({"p99 latency (s)",
+                TableReporter::Num(
+                    static_cast<double>(latency.Percentile(99)) / 1e6, 3)});
+  table.AddRow({"ingested events",
+                std::to_string(engine.metrics().ingested_events())});
+  table.AddRow({"throughput (op-events/s)",
+                TableReporter::Num(
+                    engine.metrics().ThroughputEps(config.duration), 0)});
+  table.AddRow({"slowdown", TableReporter::Num(engine.MeanSlowdown(), 0)});
+  table.AddRow({"peak memory (MB)",
+                TableReporter::Num(
+                    static_cast<double>(engine.memory().peak_bytes()) /
+                        1048576.0,
+                    1)});
+  table.Print();
+  PrintIngestMetrics(gateway.metrics());
+  return 0;
 }
 
 }  // namespace
@@ -99,6 +272,22 @@ int main(int argc, char** argv) {
   config.engine.memory_capacity_bytes = flags.GetInt("memory-mb", 16) << 20;
   config.klink.confidence = flags.GetDouble("confidence", 0.95);
   config.seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+
+  if (flags.Has("listen")) {
+    const uint16_t port = static_cast<uint16_t>(flags.GetInt("listen", 0));
+    const int64_t budget = flags.GetInt("ingest-budget-kb", 4096) << 10;
+    std::printf("serving %s on %s: %d queries, %d cores (%s executor), "
+                "%lld MB, seed %llu\n",
+                PolicyKindName(config.policy),
+                WorkloadKindName(config.workload), config.num_queries,
+                config.engine.num_cores,
+                ExecutorKindName(config.engine.executor),
+                static_cast<long long>(config.engine.memory_capacity_bytes >>
+                                       20),
+                static_cast<unsigned long long>(config.seed));
+    return RunListenMode(config, port, budget,
+                         flags.GetBool("lockstep", false));
+  }
 
   std::printf("running %s on %s: %d queries x %.0f events/s, %lld s "
               "(%lld s warm-up), %d cores (%s executor), %lld MB, %s delay, "

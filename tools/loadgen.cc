@@ -1,0 +1,167 @@
+// loadgen: TCP workload replayer for a klink_run --listen server. Builds
+// the same synthetic YSB/LRB/NYT feeds the in-process harness uses —
+// including the paper's artificial network-delay models, now applied as a
+// per-connection delay before frames hit the real socket — and streams
+// them over the ingest wire protocol, one connection per (query, source).
+//
+//   klink_run --listen=9099 --workload=ysb --queries=4 &
+//   loadgen --port=9099 --workload=ysb --queries=4 --rate=1000
+//           --delay=uniform --duration=30 [--speed=1] [--seed=1]
+//
+// --speed=1 replays in real time (one virtual second per wall second);
+// --speed=0 blasts the whole run as fast as TCP accepts it (throughput
+// testing against a --lockstep server).
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/flags.h"
+#include "src/common/rng.h"
+#include "src/harness/experiment.h"
+#include "src/net/ingest_gateway.h"
+#include "src/net/loadgen.h"
+#include "src/workloads/lrb.h"
+#include "src/workloads/nyt.h"
+#include "src/workloads/ysb.h"
+
+namespace {
+
+using namespace klink;
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: loadgen --port=PORT [--host=127.0.0.1]\n"
+      "               [--workload=ysb|lrb|nyt] [--queries=N] [--rate=EPS]\n"
+      "               [--delay=none|uniform|zipf] [--duration=SECONDS]\n"
+      "               [--speed=X] [--seed=N]\n");
+  return 2;
+}
+
+struct QueryReplay {
+  std::unique_ptr<EventFeed> feed;
+  std::vector<std::unique_ptr<LoadgenConnection>> conns;
+  Status result;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser flags;
+  if (!flags.Parse(argc - 1, argv + 1).ok()) return Usage();
+  if (flags.Has("help") || !flags.Has("port")) return Usage();
+
+  const std::string host = flags.GetString("host", "127.0.0.1");
+  const uint16_t port = static_cast<uint16_t>(flags.GetInt("port", 0));
+  const int num_queries = static_cast<int>(flags.GetInt("queries", 1));
+  const double rate = flags.GetDouble("rate", 1000.0);
+  const TimeMicros duration =
+      SecondsToMicros(flags.GetInt("duration", 30));
+  const double speed = flags.GetDouble("speed", 1.0);
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+
+  const std::string workload = flags.GetString("workload", "ysb");
+  const std::string delay = flags.GetString("delay", "uniform");
+  DelayKind delay_kind = DelayKind::kUniform;
+  bool no_delay = false;
+  if (delay == "none") {
+    no_delay = true;
+  } else if (delay == "uniform") {
+    delay_kind = DelayKind::kUniform;
+  } else if (delay == "zipf") {
+    delay_kind = DelayKind::kZipf;
+  } else {
+    std::fprintf(stderr, "unknown --delay\n");
+    return Usage();
+  }
+  auto make_delay = [&]() -> std::unique_ptr<DelayModel> {
+    if (no_delay) return std::make_unique<ConstantDelay>(0);
+    return MakeDelayModel(delay_kind);
+  };
+  const DurationMicros watermark_lag =
+      no_delay ? MillisToMicros(50) : WatermarkLagFor(delay_kind);
+
+  // One feed + one connection per source per query; stream ids follow the
+  // klink_run --listen convention (MakeStreamId).
+  std::vector<QueryReplay> replays(static_cast<size_t>(num_queries));
+  Rng rng(seed);
+  for (int q = 0; q < num_queries; ++q) {
+    QueryReplay& r = replays[static_cast<size_t>(q)];
+    int num_sources = 1;
+    const uint64_t feed_seed = rng.NextUint64();
+    if (workload == "ysb") {
+      YsbConfig wc;
+      wc.events_per_second = rate;
+      wc.watermark_lag = watermark_lag;
+      r.feed = MakeYsbFeed(wc, make_delay(), feed_seed, 0);
+    } else if (workload == "lrb") {
+      LrbConfig wc;
+      wc.events_per_substream_per_second = rate;
+      wc.watermark_lag = watermark_lag;
+      r.feed = MakeLrbFeed(wc, make_delay(), feed_seed, 0);
+      num_sources = 3;
+    } else if (workload == "nyt") {
+      NytConfig wc;
+      wc.events_per_second = rate;
+      wc.watermark_lag = watermark_lag;
+      r.feed = MakeNytFeed(wc, make_delay(), feed_seed, 0);
+    } else {
+      std::fprintf(stderr, "unknown --workload\n");
+      return Usage();
+    }
+    for (int s = 0; s < num_sources; ++s) {
+      auto conn = std::make_unique<LoadgenConnection>();
+      const Status st = conn->Connect(host, port, MakeStreamId(q, s));
+      if (!st.ok()) {
+        std::fprintf(stderr, "connect query %d source %d: %s\n", q, s,
+                     st.ToString().c_str());
+        return 1;
+      }
+      r.conns.push_back(std::move(conn));
+    }
+  }
+
+  std::printf("loadgen: %d %s quer%s x %.0f events/s -> %s:%u, %lld s, "
+              "%s delay, speed %.2f\n",
+              num_queries, workload.c_str(), num_queries == 1 ? "y" : "ies",
+              rate, host.c_str(), port,
+              static_cast<long long>(duration / 1000000), delay.c_str(),
+              speed);
+
+  // Replay queries concurrently (each on its own thread and sockets);
+  // pacing applies per query feed.
+  std::vector<std::thread> threads;
+  for (QueryReplay& r : replays) {
+    threads.emplace_back([&r, duration, speed]() {
+      std::vector<LoadgenConnection*> conns;
+      for (auto& c : r.conns) conns.push_back(c.get());
+      ReplayOptions opts;
+      opts.until = duration;
+      opts.speed = speed;
+      r.result = ReplayFeed(*r.feed, conns, opts);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  int64_t events = 0, frames = 0, bytes = 0;
+  bool failed = false;
+  for (const QueryReplay& r : replays) {
+    if (!r.result.ok()) {
+      std::fprintf(stderr, "replay failed: %s\n",
+                   r.result.ToString().c_str());
+      failed = true;
+    }
+    for (const auto& c : r.conns) {
+      events += c->stats().data_events_sent;
+      frames += c->stats().frames_sent;
+      bytes += c->stats().bytes_sent;
+    }
+  }
+  std::printf("loadgen: sent %lld data events (%lld frames, %lld bytes)\n",
+              static_cast<long long>(events), static_cast<long long>(frames),
+              static_cast<long long>(bytes));
+  return failed ? 1 : 0;
+}
