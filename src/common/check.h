@@ -3,11 +3,63 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <string>
+#include <type_traits>
 
 // Invariant-checking macros. KLINK_CHECK is always on; KLINK_DCHECK compiles
 // away in NDEBUG builds. Both abort on failure: a violated engine invariant
 // is a programming error, not a recoverable condition (see common/status.h
 // for recoverable errors).
+//
+// The comparison macros (KLINK_CHECK_EQ and friends) evaluate each operand
+// exactly once and print the evaluated values alongside the stringified
+// expressions, so a failure log reads "bytes_ == recomputed (512 vs 480)"
+// instead of leaving the values to be rediscovered in a debugger.
+
+namespace klink {
+namespace check_internal {
+
+// Formats one checked operand for the failure message. Covers the types the
+// engine compares — integers, floats, booleans, enums, pointers, strings —
+// and prints a placeholder for anything else rather than requiring an
+// operator<< from every type that ever appears in a check.
+inline std::string CheckOpValue(bool v) { return v ? "true" : "false"; }
+inline std::string CheckOpValue(const std::string& v) { return v; }
+inline std::string CheckOpValue(const char* v) {
+  return v == nullptr ? std::string("(null)") : std::string(v);
+}
+
+template <typename T>
+std::string CheckOpValue(const T& v) {
+  if constexpr (std::is_enum_v<T>) {
+    return std::to_string(static_cast<long long>(v));
+  } else if constexpr (std::is_floating_point_v<T>) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", static_cast<double>(v));
+    return buf;
+  } else if constexpr (std::is_integral_v<T>) {
+    return std::to_string(v);
+  } else if constexpr (std::is_pointer_v<T>) {
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%p", static_cast<const void*>(v));
+    return buf;
+  } else {
+    return "<unprintable>";
+  }
+}
+
+// Renders a Status (ToString) or a StatusOr<T> (status().ToString()).
+template <typename T>
+std::string StatusString(const T& s) {
+  if constexpr (requires { s.ToString(); }) {
+    return s.ToString();
+  } else {
+    return s.status().ToString();
+  }
+}
+
+}  // namespace check_internal
+}  // namespace klink
 
 #define KLINK_CHECK(cond)                                                  \
   do {                                                                     \
@@ -18,13 +70,18 @@
     }                                                                      \
   } while (0)
 
-#define KLINK_CHECK_OP(op, a, b)                                           \
-  do {                                                                     \
-    if (!((a)op(b))) {                                                     \
-      std::fprintf(stderr, "KLINK_CHECK failed at %s:%d: %s %s %s\n",      \
-                   __FILE__, __LINE__, #a, #op, #b);                       \
-      std::abort();                                                        \
-    }                                                                      \
+#define KLINK_CHECK_OP(op, a, b)                                            \
+  do {                                                                      \
+    auto&& klink_check_a_ = (a);                                            \
+    auto&& klink_check_b_ = (b);                                            \
+    if (!(klink_check_a_ op klink_check_b_)) {                              \
+      std::fprintf(                                                         \
+          stderr, "KLINK_CHECK failed at %s:%d: %s %s %s (%s vs %s)\n",     \
+          __FILE__, __LINE__, #a, #op, #b,                                  \
+          ::klink::check_internal::CheckOpValue(klink_check_a_).c_str(),    \
+          ::klink::check_internal::CheckOpValue(klink_check_b_).c_str());   \
+      std::abort();                                                         \
+    }                                                                       \
   } while (0)
 
 #define KLINK_CHECK_EQ(a, b) KLINK_CHECK_OP(==, a, b)
@@ -33,6 +90,21 @@
 #define KLINK_CHECK_LE(a, b) KLINK_CHECK_OP(<=, a, b)
 #define KLINK_CHECK_GT(a, b) KLINK_CHECK_OP(>, a, b)
 #define KLINK_CHECK_GE(a, b) KLINK_CHECK_OP(>=, a, b)
+
+// Aborts unless `expr` — a Status or StatusOr — is OK, printing the status.
+// For recoverable-error plumbing keep returning the Status; this is for
+// call sites where failure is a programming error.
+#define KLINK_CHECK_OK(expr)                                                 \
+  do {                                                                       \
+    auto&& klink_check_status_ = (expr);                                     \
+    if (!klink_check_status_.ok()) {                                         \
+      std::fprintf(                                                          \
+          stderr, "KLINK_CHECK_OK failed at %s:%d: %s is %s\n", __FILE__,    \
+          __LINE__, #expr,                                                   \
+          ::klink::check_internal::StatusString(klink_check_status_).c_str()); \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
 
 #ifdef NDEBUG
 #define KLINK_DCHECK(cond) \
