@@ -38,8 +38,10 @@ int main() {
     const ResourceSample& d = results[0].samples[i];
     const ResourceSample& k = results[1].samples[i];
     table.AddRow({TableReporter::Num(MicrosToSeconds(d.time), 1),
-                  TableReporter::Num(d.memory_bytes / 1048576.0, 1),
-                  TableReporter::Num(k.memory_bytes / 1048576.0, 1),
+                  TableReporter::Num(
+                      static_cast<double>(d.memory_bytes) / 1048576.0, 1),
+                  TableReporter::Num(
+                      static_cast<double>(k.memory_bytes) / 1048576.0, 1),
                   TableReporter::Num(d.cpu_utilization * 100.0, 1),
                   TableReporter::Num(k.cpu_utilization * 100.0, 1)});
   }

@@ -59,7 +59,8 @@ int main() {
               static_cast<double>(latency.Percentile(99)) / 1e3);
   for (int n = 0; n < engine.num_nodes(); ++n) {
     std::printf("  node %d peak memory: %.1f MB\n", n,
-                engine.node(n).memory().peak_bytes() / 1048576.0);
+                static_cast<double>(engine.node(n).memory().peak_bytes()) /
+                    1048576.0);
   }
   return 0;
 }

@@ -139,8 +139,8 @@ INSTANTIATE_TEST_SUITE_P(
                       PolicyKind::kRoundRobin, PolicyKind::kHighestRate,
                       PolicyKind::kStreamBox, PolicyKind::kKlink,
                       PolicyKind::kKlinkNoMm),
-    [](const ::testing::TestParamInfo<PolicyKind>& info) {
-      std::string name = PolicyKindName(info.param);
+    [](const ::testing::TestParamInfo<PolicyKind>& param_info) {
+      std::string name = PolicyKindName(param_info.param);
       for (char& c : name) {
         if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
       }

@@ -218,8 +218,8 @@ TEST_P(ExecutorBackendTest, SlotCountersMergeIntoEngineMetrics) {
 INSTANTIATE_TEST_SUITE_P(
     Backends, ExecutorBackendTest,
     ::testing::Values(ExecutorKind::kSequential, ExecutorKind::kThreads),
-    [](const ::testing::TestParamInfo<ExecutorKind>& info) {
-      return std::string(ExecutorKindName(info.param));
+    [](const ::testing::TestParamInfo<ExecutorKind>& param_info) {
+      return std::string(ExecutorKindName(param_info.param));
     });
 
 using EngineConfigDeathTest = ::testing::Test;
