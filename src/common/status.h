@@ -23,7 +23,10 @@ enum class StatusCode {
 
 /// Lightweight status object, modelled after absl::Status. Functions that
 /// can fail for user-correctable reasons return Status (or StatusOr<T>).
-class Status {
+/// [[nodiscard]] at class scope: every call returning a Status must check
+/// it (or explicitly KLINK_CHECK_OK it); a silently dropped error is how a
+/// failed socket write turns into corrupted downstream accounting.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -69,7 +72,7 @@ class Status {
 
 /// A Status or a value of type T. Accessing value() on an error aborts.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   /// Implicit from value — mirrors absl::StatusOr ergonomics.
   StatusOr(T value) : value_(std::move(value)) {}  // NOLINT

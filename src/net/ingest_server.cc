@@ -13,6 +13,7 @@ namespace {
 
 int64_t WallMicros() {
   return std::chrono::duration_cast<std::chrono::microseconds>(
+             // klink-lint: allow(determinism): idle timeouts of real TCP connections
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
 }
@@ -116,7 +117,8 @@ void IngestServer::AcceptPending() {
       send_scratch_.clear();
       EncodeError(WireError::kProtocolViolation, "too many connections",
                   &send_scratch_);
-      SendAll(fd.value(), send_scratch_.data(), send_scratch_.size());
+      // Best effort: the connection is rejected either way.
+      (void)SendAll(fd.value(), send_scratch_.data(), send_scratch_.size());
       CloseFd(fd.value());
       continue;
     }
@@ -233,7 +235,7 @@ void IngestServer::FailConnection(Connection& c, WireError code,
   send_scratch_.clear();
   EncodeError(code, msg, &send_scratch_);
   // Best effort: the peer may already be gone or the socket full.
-  SendAll(c.fd, send_scratch_.data(), send_scratch_.size());
+  (void)SendAll(c.fd, send_scratch_.data(), send_scratch_.size());
   CloseConnection(c);
 }
 
