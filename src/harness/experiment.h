@@ -1,6 +1,7 @@
 #ifndef KLINK_HARNESS_EXPERIMENT_H_
 #define KLINK_HARNESS_EXPERIMENT_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>

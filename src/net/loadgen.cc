@@ -14,6 +14,7 @@ namespace {
 
 int64_t WallMicros() {
   return std::chrono::duration_cast<std::chrono::microseconds>(
+             // klink-lint: allow(determinism): paces real TCP replay against wall time
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
 }

@@ -7,6 +7,7 @@
 #include <string>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "src/operators/operator.h"
 #include "src/window/swm_tracker.h"

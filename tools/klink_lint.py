@@ -1,0 +1,385 @@
+#!/usr/bin/env python3
+"""Repo-local lint for Klink: the correctness rules generic tooling can't see.
+
+Klink's scheduling decisions are driven by exact bookkeeping — watermark
+monotonicity, SWM epoch ordering, per-query byte accounting (PAPER.md
+Sec. 3) — and the engine replays byte-identically across executor backends.
+That contract is easy to break silently: one wall-clock read in a policy, one
+counter mutated behind the MemoryDeltaSink's back. These rules make the
+contract mechanical:
+
+  determinism     src/ (outside src/harness/) must not read wall clocks or
+                  non-seeded randomness. The engine runs on virtual time;
+                  the harness and the real-socket net paths are the only
+                  places real time may enter, and the latter need an
+                  explicit allow pragma.
+  accounting      The incremental byte counters (Operator::state_bytes_,
+                  Query::memory_bytes_, StreamQueue::bytes_/data_count_) may
+                  only be mutated by their owning accounting methods. Any
+                  other mutation bypasses the MemoryDeltaSink chain and
+                  desynchronizes Query::MemoryBytes() from reality.
+  status-discard  common/status.h must keep Status/StatusOr [[nodiscard]]
+                  (the compiler then enforces no-unchecked-Status repo-wide).
+  raw-new-delete  No raw new/delete expressions; ownership goes through
+                  std::unique_ptr / containers.
+  include-guard   Headers carry the canonical KLINK_<PATH>_H_ guard.
+  iwyu            Headers directly include the std headers whose symbols
+                  they name (a deterministic include-what-you-use subset
+                  for the public headers; no compiler needed).
+
+Suppression: append `// klink-lint: allow(<rule>): <reason>` to the line,
+or put it on the line directly above.
+
+Usage:
+  tools/klink_lint.py [--repo DIR] [--changed] [--clang-tidy EXE]
+                      [--compile-commands PATH] [files...]
+
+Exit status is non-zero when any finding (or clang-tidy diagnostic) is
+reported. Run via `cmake --build build --target lint`.
+"""
+
+import argparse
+import concurrent.futures
+import os
+import re
+import subprocess
+import sys
+
+# ---------------------------------------------------------------------------
+# File collection
+
+CXX_EXTENSIONS = (".h", ".cc", ".cpp")
+
+
+def repo_files(repo, subdirs):
+    out = []
+    for sub in subdirs:
+        base = os.path.join(repo, sub)
+        for root, dirs, names in os.walk(base):
+            dirs[:] = sorted(d for d in dirs if not d.startswith("build"))
+            for name in sorted(names):
+                if name.endswith(CXX_EXTENSIONS):
+                    out.append(os.path.relpath(os.path.join(root, name), repo))
+    return out
+
+
+def changed_files(repo):
+    """Files differing from the merge base with origin/main (or HEAD~1)."""
+    for base in ("origin/main", "main", "HEAD~1"):
+        proc = subprocess.run(
+            ["git", "diff", "--name-only", "--diff-filter=d", base, "--"],
+            cwd=repo, capture_output=True, text=True)
+        if proc.returncode == 0:
+            return [f for f in proc.stdout.splitlines()
+                    if f.endswith(CXX_EXTENSIONS)]
+    return []
+
+
+# ---------------------------------------------------------------------------
+# Lexical preprocessing: strip comments and string/char literals so token
+# rules never fire on prose. Line-oriented; tracks /* */ across lines.
+
+def strip_code(lines):
+    """Returns lines with comments and literal contents blanked out."""
+    out = []
+    in_block = False
+    for line in lines:
+        res = []
+        i = 0
+        n = len(line)
+        while i < n:
+            c = line[i]
+            if in_block:
+                if line.startswith("*/", i):
+                    in_block = False
+                    i += 2
+                else:
+                    i += 1
+                continue
+            if line.startswith("//", i):
+                break
+            if line.startswith("/*", i):
+                in_block = True
+                i += 2
+                continue
+            if c in "\"'":
+                quote = c
+                res.append(quote)
+                i += 1
+                while i < n:
+                    if line[i] == "\\":
+                        i += 2
+                        continue
+                    if line[i] == quote:
+                        break
+                    i += 1
+                res.append(quote)
+                i += 1
+                continue
+            res.append(c)
+            i += 1
+        out.append("".join(res))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Rules
+
+class Finding:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+ALLOW_RE = re.compile(r"klink-lint:\s*allow\(([a-z-]+)\)")
+
+
+def allowed(rule, raw_lines, idx):
+    """True if line idx (0-based) or the line above carries an allow pragma."""
+    for j in (idx, idx - 1):
+        if j < 0:
+            continue
+        m = ALLOW_RE.search(raw_lines[j])
+        if m and m.group(1) == rule:
+            return True
+    return False
+
+
+DETERMINISM_PATTERNS = [
+    (re.compile(r"\bs?rand\s*\("), "rand()/srand()"),
+    (re.compile(r"\bstd::random_device\b"), "std::random_device"),
+    (re.compile(r"\bsystem_clock\b"), "std::chrono::system_clock"),
+    (re.compile(r"\bsteady_clock\b"), "std::chrono::steady_clock"),
+    (re.compile(r"\bhigh_resolution_clock\b"),
+     "std::chrono::high_resolution_clock"),
+    (re.compile(r"\bgettimeofday\s*\("), "gettimeofday()"),
+    (re.compile(r"\bclock_gettime\s*\("), "clock_gettime()"),
+    (re.compile(r"\btime\s*\(\s*(nullptr|NULL|0)\s*\)"), "time()"),
+    (re.compile(r"\b(localtime|mktime|gmtime)\s*\("), "calendar time"),
+]
+
+
+def check_determinism(path, raw, code):
+    # Virtual-time engine: real time may enter only through the harness
+    # (which owns wall-clock measurement) or an explicitly allowed site.
+    if not path.startswith("src/") or path.startswith("src/harness/"):
+        return
+    for i, line in enumerate(code):
+        for pat, what in DETERMINISM_PATTERNS:
+            if pat.search(line) and not allowed("determinism", raw, i):
+                yield Finding(path, i + 1, "determinism",
+                              f"{what} in the virtual-time engine; real time "
+                              "belongs in src/harness/ (or add an allow "
+                              "pragma with a reason)")
+
+
+# Counter -> the only files allowed to mutate it (the accounting methods).
+ACCOUNTING_OWNERS = {
+    "state_bytes_": {"src/operators/operator.h"},
+    "memory_bytes_": {"src/query/query.h", "src/query/query.cc"},
+    "bytes_": {"src/event/stream_queue.h", "src/event/stream_queue.cc"},
+    "data_count_": {"src/event/stream_queue.h", "src/event/stream_queue.cc"},
+}
+MUTATION_RE = r"(\+\+|--|[+\-*/|&^]=|=(?![=]))"
+
+
+def check_accounting(path, raw, code):
+    if not (path.startswith("src/") or path.startswith("tools/")):
+        return
+    for counter, owners in ACCOUNTING_OWNERS.items():
+        if path in owners:
+            continue
+        pat = re.compile(
+            rf"(\b{counter}\s*{MUTATION_RE}|(\+\+|--)\s*{counter}\b)")
+        for i, line in enumerate(code):
+            if pat.search(line) and not allowed("accounting", raw, i):
+                yield Finding(
+                    path, i + 1, "accounting",
+                    f"direct mutation of {counter} outside its accounting "
+                    f"method bypasses MemoryDeltaSink; use the owner in "
+                    f"{sorted(owners)[0]}")
+
+
+def check_status_nodiscard(path, raw, code):
+    if path != "src/common/status.h":
+        return
+    text = "\n".join(code)
+    for cls in ("Status", "StatusOr"):
+        if not re.search(rf"class\s+\[\[nodiscard\]\]\s+{cls}\b", text):
+            yield Finding(path, 1, "status-discard",
+                          f"class {cls} must stay [[nodiscard]] so the "
+                          "compiler rejects unchecked Status discards")
+
+
+NEW_RE = re.compile(r"\bnew\b\s*[\(A-Za-z_:]")
+DELETE_RE = re.compile(r"\bdelete\b(\s*\[\s*\])?\s*[\(A-Za-z_:*]")
+DELETED_FN_RE = re.compile(r"=\s*delete\s*[;,)]")
+
+
+def check_raw_new_delete(path, raw, code):
+    if not (path.startswith("src/") or path.startswith("tools/")):
+        return
+    for i, line in enumerate(code):
+        if DELETED_FN_RE.search(line):
+            line = DELETED_FN_RE.sub("", line)
+        if (NEW_RE.search(line) or DELETE_RE.search(line)) \
+                and not allowed("raw-new-delete", raw, i):
+            yield Finding(path, i + 1, "raw-new-delete",
+                          "raw new/delete; own memory with std::unique_ptr "
+                          "or a container")
+
+
+def check_include_guard(path, raw, code):
+    if not path.startswith("src/") or not path.endswith(".h"):
+        return
+    want = path[len("src/"):]
+    guard = "KLINK_" + re.sub(r"[/.]", "_", want).upper() + "_"
+    text = "\n".join(code)
+    if (f"#ifndef {guard}" not in text) or (f"#define {guard}" not in text):
+        yield Finding(path, 1, "include-guard",
+                      f"header guard must be {guard}")
+
+
+# std symbol -> required direct include. Only unambiguous mappings: a header
+# that names the symbol must include the header that defines it.
+IWYU_SYMBOLS = {
+    r"\bstd::vector\s*<": "<vector>",
+    r"\bstd::string\b": "<string>",
+    r"\bstd::(unique_ptr|shared_ptr|make_unique|make_shared)\b": "<memory>",
+    r"\bstd::map\s*<": "<map>",
+    r"\bstd::unordered_map\s*<": "<unordered_map>",
+    r"\bstd::deque\s*<": "<deque>",
+    r"\bstd::array\s*<": "<array>",
+    r"\bstd::optional\s*<": "<optional>",
+    r"\bstd::function\s*<": "<functional>",
+    r"\bstd::atomic\b": "<atomic>",
+    r"\bstd::mutex\b|\bstd::lock_guard\b|\bstd::unique_lock\b": "<mutex>",
+    r"\bstd::thread\b": "<thread>",
+    r"\bstd::condition_variable\b": "<condition_variable>",
+    r"\bstd::(u?int(8|16|32|64)_t)\b|\b(u?int(8|16|32|64)_t)\{": "<cstdint>",
+}
+
+
+def check_iwyu(path, raw, code):
+    if not path.startswith("src/") or not path.endswith(".h"):
+        return
+    text = "\n".join(code)
+    includes = set(re.findall(r'#include\s+([<"][^">]+[">])', text))
+    direct = {inc for inc in includes if inc.startswith("<")}
+    for pat, header in IWYU_SYMBOLS.items():
+        m = re.search(pat, text)
+        if m is None:
+            continue
+        if header not in direct:
+            line = text[:m.start()].count("\n") + 1
+            if not allowed("iwyu", raw, line - 1):
+                yield Finding(path, line, "iwyu",
+                              f"uses {m.group(0).strip()} but does not "
+                              f"directly include {header}")
+
+
+RULES = [
+    check_determinism,
+    check_accounting,
+    check_status_nodiscard,
+    check_raw_new_delete,
+    check_include_guard,
+    check_iwyu,
+]
+
+
+def lint_file(repo, path):
+    try:
+        with open(os.path.join(repo, path), encoding="utf-8") as f:
+            raw = f.read().splitlines()
+    except OSError as e:
+        return [Finding(path, 0, "io", str(e))]
+    code = strip_code(raw)
+    findings = []
+    for rule in RULES:
+        findings.extend(rule(path, raw, code) or [])
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# clang-tidy driver (optional; the .clang-tidy profile holds the check list)
+
+def run_clang_tidy(exe, repo, compile_commands, files):
+    ccs = [f for f in files if f.endswith((".cc", ".cpp"))
+           and (f.startswith("src/") or f.startswith("tools/"))]
+    if not ccs:
+        return 0
+    build_dir = os.path.dirname(compile_commands)
+    failures = 0
+
+    def one(path):
+        proc = subprocess.run(
+            [exe, "-p", build_dir, "--quiet", path],
+            cwd=repo, capture_output=True, text=True)
+        return path, proc.returncode, proc.stdout.strip()
+
+    with concurrent.futures.ThreadPoolExecutor(
+            max_workers=os.cpu_count() or 4) as pool:
+        for path, rc, out in pool.map(one, ccs):
+            if rc != 0 or "warning:" in out or "error:" in out:
+                failures += 1
+                print(f"-- clang-tidy: {path}")
+                if out:
+                    print(out)
+    return failures
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--repo", default=os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))))
+    ap.add_argument("--changed", action="store_true",
+                    help="lint only files that differ from origin/main")
+    ap.add_argument("--clang-tidy", default=None,
+                    help="clang-tidy executable to run over the same files")
+    ap.add_argument("--compile-commands", default=None,
+                    help="compile_commands.json for clang-tidy")
+    ap.add_argument("files", nargs="*",
+                    help="explicit files (repo-relative); default: the tree")
+    args = ap.parse_args()
+
+    repo = os.path.abspath(args.repo)
+    if args.files:
+        files = args.files
+    elif args.changed:
+        files = changed_files(repo)
+    else:
+        files = repo_files(repo, ["src", "tools", "tests", "bench",
+                                  "examples"])
+
+    findings = []
+    for path in files:
+        findings.extend(lint_file(repo, path))
+    for f in findings:
+        print(f)
+
+    tidy_failures = 0
+    if args.clang_tidy:
+        cc = args.compile_commands or os.path.join(
+            repo, "build", "compile_commands.json")
+        if not os.path.exists(cc):
+            print(f"klink_lint: no compilation database at {cc}; "
+                  "configure with CMAKE_EXPORT_COMPILE_COMMANDS=ON",
+                  file=sys.stderr)
+            return 2
+        tidy_failures = run_clang_tidy(args.clang_tidy, repo, cc, files)
+
+    total = len(findings) + tidy_failures
+    print(f"klink_lint: {len(files)} files, {len(findings)} lint finding(s)"
+          + (f", {tidy_failures} clang-tidy file failure(s)"
+             if args.clang_tidy else ""))
+    return 1 if total else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
