@@ -111,6 +111,24 @@ TimeMicros StreamQueue::OldestIngestTime() const {
   return size_ == 0 ? kNoTime : Front().ingest_time;
 }
 
+int64_t StreamQueue::AuditRecomputeBytes() const {
+  int64_t total = 0;
+  for (int64_t g = head_; g < head_ + size_; ++g) {
+    const Event& e = chunks_[ChunkIndexFor(g)]->events[g & (kChunkEvents - 1)];
+    total += e.payload_bytes + kPerEventOverhead;
+  }
+  return total;
+}
+
+int64_t StreamQueue::AuditRecomputeDataCount() const {
+  int64_t data = 0;
+  for (int64_t g = head_; g < head_ + size_; ++g) {
+    const Event& e = chunks_[ChunkIndexFor(g)]->events[g & (kChunkEvents - 1)];
+    if (e.is_data()) ++data;
+  }
+  return data;
+}
+
 void StreamQueue::Clear() {
   ReportDelta(-bytes_);
   chunk_head_ = 0;

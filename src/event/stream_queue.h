@@ -86,7 +86,18 @@ class StreamQueue {
   /// already held at bind time.
   void BindAccounting(MemoryDeltaSink* sink) { sink_ = sink; }
 
+  /// Audit-mode support (KLINK_AUDIT=1, see runtime/audit.h): recomputes
+  /// the byte total by walking every stored event, O(size). The invariant
+  /// auditor compares this against the incremental bytes() counter to catch
+  /// accounting drift in the batched push/pop paths.
+  int64_t AuditRecomputeBytes() const;
+  /// Same full walk for the data (non-punctuation) element count.
+  int64_t AuditRecomputeDataCount() const;
+
  private:
+  /// Lets the audit test plant accounting corruption to prove the auditor
+  /// detects it. Test-only; production code must go through Push/Pop.
+  friend class StreamQueueTestPeer;
   struct Chunk {
     Event events[kChunkEvents];
   };

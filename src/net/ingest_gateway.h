@@ -51,7 +51,7 @@ struct IngestStreamConfig {
 /// loop run on the same thread (sockets, not threads, provide asynchrony).
 class IngestGateway {
  public:
-  IngestGateway() = default;
+  IngestGateway();
 
   IngestGateway(const IngestGateway&) = delete;
   IngestGateway& operator=(const IngestGateway&) = delete;
@@ -116,8 +116,16 @@ class IngestGateway {
   Stream& GetStream(uint32_t stream_id);
   const Stream& GetStream(uint32_t stream_id) const;
 
+  /// KLINK_AUDIT=1: cross-checks one stream's staging accounting (ring
+  /// buffer bytes vs full recompute, scratch-run bytes, credit/stall
+  /// consistency, arrival-watermark monotonicity) at commit and drain
+  /// boundaries. No-op when auditing is off.
+  void AuditStream(const Stream& s) const;
+
   std::map<uint32_t, Stream> streams_;
   IngestMetrics metrics_;
+  /// Sampled from KLINK_AUDIT once at construction (see runtime/audit.h).
+  const bool audit_;
 };
 
 /// EventFeed over gateway streams: the engine ingests network arrivals

@@ -181,6 +181,13 @@ class Operator {
   /// Number of watermarks forwarded downstream (epoch progress signal).
   int64_t forwarded_watermarks() const { return forwarded_watermarks_; }
 
+  /// Minimum watermark most recently forwarded downstream, or kNoTime.
+  /// Public read-only view for the invariant auditor (runtime/audit.h),
+  /// which asserts it never regresses across cycles.
+  TimeMicros forwarded_min_watermark_for_audit() const {
+    return forwarded_min_watermark_;
+  }
+
  protected:
   /// Subclass hooks. Default OnData forwards; OnLatencyMarker forwards;
   /// OnWatermark does nothing extra. The base forwards the (minimum)

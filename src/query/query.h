@@ -67,6 +67,10 @@ class Query : private MemoryDeltaSink {
   void set_deploy_time(TimeMicros t) { deploy_time_ = t; }
 
  private:
+  /// Lets the audit test plant accounting corruption to prove the auditor
+  /// detects it. Test-only; production code reports deltas via the sink.
+  friend class QueryTestPeer;
+
   void OnMemoryDelta(int64_t delta_bytes) override {
     memory_bytes_ += delta_bytes;
   }

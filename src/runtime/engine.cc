@@ -29,6 +29,15 @@ Engine::Engine(const EngineConfig& config,
   executor_ = MakeExecutor(config_.executor, config_.num_cores);
   KLINK_CHECK(executor_ != nullptr);
   next_sample_time_ = config.metrics_sample_period;
+  if (AuditEnabledFromEnv()) audit_ = std::make_unique<InvariantAuditor>();
+}
+
+const std::vector<const Query*>& Engine::ActiveQueriesForAudit() {
+  audit_scratch_.clear();
+  for (const DeployedQuery& dq : queries_) {
+    if (dq.active) audit_scratch_.push_back(dq.query.get());
+  }
+  return audit_scratch_;
 }
 
 QueryId Engine::AddQuery(std::unique_ptr<Query> query,
@@ -79,6 +88,10 @@ void Engine::RunCycle() {
   // (2) account memory — Ingest already knows the post-ingest usage, so no
   // second sweep — and collect the runtime snapshot I.
   memory_.Update(Ingest());
+  if (audit_ != nullptr) {
+    audit_->CheckMemoryAccounting(ActiveQueriesForAudit(),
+                                  memory_.used_bytes());
+  }
   BuildSnapshot(&snapshot_scratch_);
 
   // (3) Policy evaluation; its modeled cost is spread across the cores'
@@ -111,8 +124,15 @@ void Engine::RunCycle() {
     tasks_scratch_.push_back(
         ExecutorTask{&query(slot.query), slot.budget_micros});
   }
+  if (audit_ != nullptr) {
+    audit_->CheckSelection(selection_scratch_, config_.num_cores, budget);
+  }
   const CycleStats stats =
       executor_->ExecuteCycle(tasks_scratch_, multiplier, now_);
+  if (audit_ != nullptr) {
+    audit_->CheckCycleStats(*executor_, tasks_scratch_, stats);
+    audit_->CheckProgressMonotonicity(ActiveQueriesForAudit());
+  }
   metrics_.AddProcessed(stats.processed_events);
   metrics_.AddCoreBusy(stats.busy_micros);
   busy_since_sample_ += stats.busy_micros;

@@ -7,6 +7,7 @@
 #include "src/common/histogram.h"
 #include "src/common/types.h"
 #include "src/query/query.h"
+#include "src/runtime/audit.h"
 #include "src/runtime/event_feed.h"
 #include "src/runtime/executor.h"
 #include "src/runtime/memory_tracker.h"
@@ -109,6 +110,8 @@ class Engine {
   };
 
   void RunCycle();
+  /// Active queries, rebuilt into audit_scratch_ for the invariant auditor.
+  const std::vector<const Query*>& ActiveQueriesForAudit();
   /// Ingests feed elements due by now() and returns the post-ingest memory
   /// usage, so RunCycle updates the tracker without a second sweep (the
   /// seed recomputed usage once in Ingest and once in RunCycle).
@@ -135,6 +138,10 @@ class Engine {
   Selection selection_scratch_;
   std::vector<ExecutorTask> tasks_scratch_;
   RuntimeSnapshot snapshot_scratch_;
+  /// Non-null when KLINK_AUDIT=1 at construction: cycle-boundary invariant
+  /// cross-checks (see runtime/audit.h for the audited invariants and cost).
+  std::unique_ptr<InvariantAuditor> audit_;
+  std::vector<const Query*> audit_scratch_;
 };
 
 }  // namespace klink

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/common/check.h"
+#include "src/runtime/audit.h"
 #include "src/runtime/batch_emitter.h"
 
 namespace klink {
@@ -13,6 +15,9 @@ namespace {
 constexpr int64_t kMaxBatch = 512;
 
 }  // namespace
+
+ExecutionContext::ExecutionContext(int slot)
+    : slot_(slot), audit_(AuditEnabledFromEnv()) {}
 
 void ExecutionContext::BeginCycle(double budget_micros, double cost_multiplier,
                                   TimeMicros cycle_start) {
@@ -102,6 +107,20 @@ double ExecutionContext::RunQuery(Query& query) {
       if (consumed + 0.01 > budget_micros_) {
         progressed = false;
         break;
+      }
+    }
+  }
+  if (audit_) {
+    // Strict cycle-grained scheduling: the drain never overruns the armed
+    // budget, and the drained queues' incremental accounting still matches
+    // a full event walk (the batched paths are the likeliest drift source).
+    KLINK_CHECK_LE(consumed, budget_micros_ + 1e-6);
+    KLINK_CHECK_GE(processed, 0);
+    for (int i = 0; i < query.num_operators(); ++i) {
+      const Operator& op = query.op(i);
+      for (int s = 0; s < op.num_inputs(); ++s) {
+        const StreamQueue& in = op.input(s);
+        KLINK_CHECK_EQ(in.bytes(), in.AuditRecomputeBytes());
       }
     }
   }

@@ -22,7 +22,7 @@ namespace klink {
 /// consumption — which is what keeps both executor backends bit-identical.
 class ExecutionContext {
  public:
-  explicit ExecutionContext(int slot) : slot_(slot) {}
+  explicit ExecutionContext(int slot);
 
   /// Arms the slot for one scheduling cycle: the virtual-CPU budget, the
   /// memory-pressure cost multiplier, and the cycle's start of virtual
@@ -56,6 +56,9 @@ class ExecutionContext {
 
  private:
   const int slot_;
+  /// KLINK_AUDIT=1: RunQuery self-checks its budget and queue accounting at
+  /// drain end (see runtime/audit.h). Sampled once at construction.
+  const bool audit_;
   double budget_micros_ = 0.0;
   double cost_multiplier_ = 1.0;
   TimeMicros cycle_start_ = 0;

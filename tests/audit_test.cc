@@ -1,0 +1,177 @@
+#include "src/runtime/audit.h"
+
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/event/stream_queue.h"
+#include "src/net/delay_model.h"
+#include "src/query/pipeline_builder.h"
+#include "src/query/query.h"
+#include "src/runtime/engine.h"
+#include "src/sched/rr_policy.h"
+#include "src/workloads/workload.h"
+
+namespace klink {
+
+/// Plants accounting corruption for the auditor to find. The incremental
+/// counter is skewed while the stored events stay intact, which is exactly
+/// the class of silent drift the audit layer exists to catch.
+class StreamQueueTestPeer {
+ public:
+  static void CorruptBytes(StreamQueue& q, int64_t delta) {
+    // klink-lint: allow(accounting): deliberate corruption under test
+    q.bytes_ += delta;
+  }
+};
+
+class QueryTestPeer {
+ public:
+  static void CorruptMemoryBytes(Query& q, int64_t delta) {
+    // klink-lint: allow(accounting): deliberate corruption under test
+    q.memory_bytes_ += delta;
+  }
+};
+
+namespace {
+
+std::unique_ptr<Query> CountQuery(QueryId id) {
+  PipelineBuilder b("count");
+  b.Source("src", 5.0)
+      .TumblingAggregate("w", 10.0, SecondsToMicros(1),
+                         AggregationKind::kCount)
+      .Sink("out", 2.0);
+  return b.Build(id);
+}
+
+std::unique_ptr<EventFeed> SteadyFeed(double rate, uint64_t seed) {
+  SourceSpec spec;
+  spec.events_per_second = rate;
+  spec.key_cardinality = 10;
+  spec.watermark_period = MillisToMicros(250);
+  spec.watermark_lag = MillisToMicros(50);
+  return std::make_unique<SyntheticFeed>(
+      std::vector<SourceSpec>{spec},
+      std::make_unique<ConstantDelay>(MillisToMicros(10)), seed, 0);
+}
+
+TEST(AuditEnvTest, ReadsEnvironment) {
+  unsetenv("KLINK_AUDIT");
+  EXPECT_FALSE(AuditEnabledFromEnv());
+  setenv("KLINK_AUDIT", "0", 1);
+  EXPECT_FALSE(AuditEnabledFromEnv());
+  setenv("KLINK_AUDIT", "1", 1);
+  EXPECT_TRUE(AuditEnabledFromEnv());
+  unsetenv("KLINK_AUDIT");
+}
+
+TEST(AuditTest, CleanEngineRunPassesUnderAudit) {
+  setenv("KLINK_AUDIT", "1", 1);
+  EngineConfig config;
+  config.num_cores = 2;
+  Engine engine(config, std::make_unique<RoundRobinPolicy>());
+  engine.AddQuery(CountQuery(0), SteadyFeed(500, 1));
+  engine.AddQuery(CountQuery(1), SteadyFeed(700, 2));
+  engine.RunFor(SecondsToMicros(5));
+  EXPECT_GT(engine.metrics().processed_events(), 1000);
+  unsetenv("KLINK_AUDIT");
+}
+
+TEST(AuditTest, AuditedRunIsByteIdenticalToUnaudited) {
+  auto run = [] {
+    EngineConfig config;
+    Engine engine(config, std::make_unique<RoundRobinPolicy>());
+    engine.AddQuery(CountQuery(0), SteadyFeed(500, 7));
+    engine.RunFor(SecondsToMicros(5));
+    return std::make_tuple(engine.metrics().processed_events(),
+                           engine.AggregateSwmLatency().mean(),
+                           engine.query(0).sink().results_received());
+  };
+  unsetenv("KLINK_AUDIT");
+  const auto plain = run();
+  setenv("KLINK_AUDIT", "1", 1);
+  const auto audited = run();
+  unsetenv("KLINK_AUDIT");
+  EXPECT_EQ(plain, audited);
+}
+
+using AuditDeathTest = ::testing::Test;
+
+TEST(AuditDeathTest, DetectsCorruptedQueueBytes) {
+  EXPECT_DEATH(
+      {
+        setenv("KLINK_AUDIT", "1", 1);
+        EngineConfig config;
+        Engine engine(config, std::make_unique<RoundRobinPolicy>());
+        engine.AddQuery(CountQuery(0), SteadyFeed(500, 1));
+        engine.RunFor(SecondsToMicros(1));
+        // Skew the incremental byte counter of a source input queue without
+        // touching the stored events: the next cycle's cross-check against
+        // full recomputation must abort.
+        StreamQueueTestPeer::CorruptBytes(engine.query(0).op(0).input(0), 64);
+        engine.RunFor(SecondsToMicros(1));
+      },
+      "KLINK_CHECK failed");
+}
+
+TEST(AuditDeathTest, DetectsCorruptedQueryMemoryTotal) {
+  EXPECT_DEATH(
+      {
+        setenv("KLINK_AUDIT", "1", 1);
+        EngineConfig config;
+        Engine engine(config, std::make_unique<RoundRobinPolicy>());
+        engine.AddQuery(CountQuery(0), SteadyFeed(500, 1));
+        engine.RunFor(SecondsToMicros(1));
+        // A phantom MemoryDeltaSink delta: Query::MemoryBytes() drifts from
+        // the sum of its operators' queues and state.
+        QueryTestPeer::CorruptMemoryBytes(engine.query(0), 4096);
+        engine.RunFor(SecondsToMicros(1));
+      },
+      "KLINK_CHECK failed");
+}
+
+TEST(AuditDeathTest, CorruptionIsInvisibleWithoutAudit) {
+  // The same planted corruption goes unnoticed when auditing is off —
+  // which is why the audit layer exists.
+  unsetenv("KLINK_AUDIT");
+  EngineConfig config;
+  Engine engine(config, std::make_unique<RoundRobinPolicy>());
+  engine.AddQuery(CountQuery(0), SteadyFeed(500, 1));
+  engine.RunFor(SecondsToMicros(1));
+  StreamQueueTestPeer::CorruptBytes(engine.query(0).op(0).input(0), 64);
+  engine.RunFor(SecondsToMicros(1));
+  EXPECT_GT(engine.metrics().processed_events(), 0);
+}
+
+TEST(AuditDeathTest, SelectionBudgetInvariants) {
+  InvariantAuditor auditor;
+  Selection sel;
+  sel.Add(0, 1.0);
+  sel[0].budget_micros = 1000.0;
+  auditor.CheckSelection(sel, 2, 1000.0);  // consistent: passes
+
+  Selection over;
+  over.Add(0, 1.5);  // fraction above the full quantum
+  over[0].budget_micros = 1500.0;
+  EXPECT_DEATH(auditor.CheckSelection(over, 2, 1000.0),
+               "KLINK_CHECK failed");
+
+  Selection skewed;
+  skewed.Add(0, 0.5);
+  skewed[0].budget_micros = 900.0;  // should be 0.5 * 1000
+  EXPECT_DEATH(auditor.CheckSelection(skewed, 2, 1000.0),
+               "KLINK_CHECK failed");
+
+  Selection duplicated;
+  duplicated.Add(0, 1.0);
+  duplicated.Add(0, 1.0);
+  duplicated[0].budget_micros = 1000.0;
+  duplicated[1].budget_micros = 1000.0;
+  EXPECT_DEATH(auditor.CheckSelection(duplicated, 2, 1000.0),
+               "KLINK_CHECK failed");
+}
+
+}  // namespace
+}  // namespace klink
