@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/common/serialize.h"
+
 namespace klink {
 
 /// Log-bucketed histogram of non-negative values (HdrHistogram-style),
@@ -32,6 +34,26 @@ class Histogram {
 
   /// Convenience: Quantile(p / 100).
   int64_t Percentile(double p) const { return Quantile(p / 100.0); }
+
+  /// Checkpoint support: full bucket array plus summary accumulators.
+  void Serialize(StateWriter& w) const {
+    w.PutU64(static_cast<uint64_t>(buckets_.size()));
+    for (const int64_t b : buckets_) w.PutI64(b);
+    w.PutI64(count_);
+    w.PutI64(min_);
+    w.PutI64(max_);
+    w.PutDouble(sum_);
+  }
+
+  void Restore(StateReader& r) {
+    const uint64_t n = r.GetU64();
+    if (!r.ok() || n != buckets_.size()) return;
+    for (int64_t& b : buckets_) b = r.GetI64();
+    count_ = r.GetI64();
+    min_ = r.GetI64();
+    max_ = r.GetI64();
+    sum_ = r.GetDouble();
+  }
 
  private:
   static constexpr int kSubBuckets = 64;  // per power-of-two bucket

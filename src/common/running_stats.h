@@ -4,6 +4,8 @@
 #include <cmath>
 #include <cstdint>
 
+#include "src/common/serialize.h"
+
 namespace klink {
 
 /// Streaming mean / variance accumulator (Welford). Used for per-operator
@@ -42,6 +44,24 @@ class RunningStats {
   }
 
   double stddev() const { return std::sqrt(variance()); }
+
+  /// Checkpoint support: all five accumulators travel as raw bit patterns
+  /// so a restored accumulator continues the identical float sequence.
+  void Serialize(StateWriter& w) const {
+    w.PutI64(count_);
+    w.PutDouble(mean_);
+    w.PutDouble(m2_);
+    w.PutDouble(sum_);
+    w.PutDouble(sum_sq_);
+  }
+
+  void Restore(StateReader& r) {
+    count_ = r.GetI64();
+    mean_ = r.GetDouble();
+    m2_ = r.GetDouble();
+    sum_ = r.GetDouble();
+    sum_sq_ = r.GetDouble();
+  }
 
  private:
   int64_t count_ = 0;

@@ -15,6 +15,9 @@ enum class EventKind : uint8_t {
   kWatermark = 1,
   /// Probe injected at the source to measure end-to-end propagation delay.
   kLatencyMarker = 2,
+  /// Epoch-numbered checkpoint barrier (asynchronous barrier snapshotting).
+  /// Flows FIFO with data through the same queues; `key` carries the epoch.
+  kCheckpointBarrier = 3,
 };
 
 /// A stream element. Events are ordered sets of values with a source-assigned
@@ -47,6 +50,10 @@ struct Event {
   bool is_data() const { return kind == EventKind::kData; }
   bool is_watermark() const { return kind == EventKind::kWatermark; }
   bool is_latency_marker() const { return kind == EventKind::kLatencyMarker; }
+  bool is_barrier() const { return kind == EventKind::kCheckpointBarrier; }
+
+  /// For checkpoint barriers only: the checkpoint epoch number.
+  uint64_t barrier_epoch() const { return key; }
 };
 
 /// Makes a data event.
@@ -84,6 +91,20 @@ inline Event MakeLatencyMarker(TimeMicros emit_time, TimeMicros ingest_time,
   e.stream = stream;
   e.event_time = emit_time;
   e.ingest_time = ingest_time;
+  e.payload_bytes = 16;
+  return e;
+}
+
+/// Makes a checkpoint barrier for the given epoch. Barriers are injected at
+/// the sources by the CheckpointCoordinator and align at every operator.
+inline Event MakeCheckpointBarrier(uint64_t epoch, TimeMicros ingest_time,
+                                   int32_t stream = 0) {
+  Event e;
+  e.kind = EventKind::kCheckpointBarrier;
+  e.stream = stream;
+  e.event_time = ingest_time;
+  e.ingest_time = ingest_time;
+  e.key = epoch;
   e.payload_bytes = 16;
   return e;
 }

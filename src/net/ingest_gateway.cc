@@ -72,6 +72,20 @@ bool IngestGateway::HasCredit(uint32_t stream_id) const {
   return s.staged.bytes() + s.scratch_bytes < s.config.byte_budget;
 }
 
+IngestGateway::SeqDecision IngestGateway::AcceptSeq(uint32_t stream_id,
+                                                    uint64_t seq) {
+  Stream& s = GetStream(stream_id);
+  if (seq == s.last_seq_received + 1) {
+    s.last_seq_received = seq;
+    return SeqDecision::kAccept;
+  }
+  if (seq <= s.last_seq_received) {
+    ++s.duplicates;
+    return SeqDecision::kDuplicate;
+  }
+  return SeqDecision::kGap;
+}
+
 void IngestGateway::Deliver(uint32_t stream_id, const Event& e) {
   Stream& s = GetStream(stream_id);
   s.scratch.push_back(e);
@@ -130,8 +144,31 @@ const Event& IngestGateway::Front(uint32_t stream_id) const {
 Event IngestGateway::Pop(uint32_t stream_id) {
   Stream& s = GetStream(stream_id);
   Event e = s.staged.Pop();
+  // Seqs are contiguous and every accepted element passes through the
+  // staging queue exactly once, so the delivered cursor is a simple count.
+  ++s.delivered_seq;
   AuditStream(s);
   return e;
+}
+
+uint64_t IngestGateway::last_seq_received(uint32_t stream_id) const {
+  return GetStream(stream_id).last_seq_received;
+}
+
+uint64_t IngestGateway::delivered_seq(uint32_t stream_id) const {
+  return GetStream(stream_id).delivered_seq;
+}
+
+int64_t IngestGateway::duplicate_events(uint32_t stream_id) const {
+  return GetStream(stream_id).duplicates;
+}
+
+void IngestGateway::RestoreCursor(uint32_t stream_id, uint64_t seq) {
+  Stream& s = GetStream(stream_id);
+  KLINK_CHECK(s.staged.empty());  // rewind before serving, not mid-stream
+  KLINK_CHECK(s.scratch.empty());
+  s.last_seq_received = seq;
+  s.delivered_seq = seq;
 }
 
 int64_t IngestGateway::staged_bytes(uint32_t stream_id) const {

@@ -61,9 +61,21 @@ class IngestGateway {
   void RegisterStream(uint32_t stream_id, const IngestStreamConfig& config);
   bool HasStream(uint32_t stream_id) const;
 
+  /// Verdict on an element frame's per-stream sequence number.
+  enum class SeqDecision {
+    kAccept,     ///< next expected: stage it
+    kDuplicate,  ///< already received (client replay overlap): drop silently
+    kGap,        ///< skipped ahead: protocol violation, fail the connection
+  };
+
   /// ---- decode path (called by IngestServer) --------------------------
   /// True while the stream's staged + scratch bytes are under budget.
   bool HasCredit(uint32_t stream_id) const;
+  /// Admits or rejects an element frame by its sequence number. Seqs are
+  /// client-assigned, contiguous from 1 per stream; after a reconnect the
+  /// client replays its unacked tail, so overlaps are expected (dropped as
+  /// duplicates) while gaps can only mean a broken client.
+  SeqDecision AcceptSeq(uint32_t stream_id, uint64_t seq);
   /// Stages one decoded element (into the scratch run; Flush commits).
   void Deliver(uint32_t stream_id, const Event& e);
   /// Commits the scratch run into the staging ring buffer with one
@@ -91,6 +103,20 @@ class IngestGateway {
   /// Data events decoded for the stream so far.
   int64_t data_events(uint32_t stream_id) const;
 
+  /// ---- exactly-once bookkeeping --------------------------------------
+  /// Highest sequence number accepted from the stream's connection.
+  uint64_t last_seq_received(uint32_t stream_id) const;
+  /// Sequence number of the last element handed to the engine via Pop().
+  /// Sampled by the checkpoint coordinator at barrier injection: it is the
+  /// stream's replay cursor (everything <= it is pre-barrier).
+  uint64_t delivered_seq(uint32_t stream_id) const;
+  /// Replayed frames dropped by dedup so far.
+  int64_t duplicate_events(uint32_t stream_id) const;
+  /// Recovery: rewinds the stream's cursors to a restored checkpoint's
+  /// cursor. The next acceptable frame is seq + 1; the reconnecting client
+  /// learns this via HELLO_ACK and replays from there.
+  void RestoreCursor(uint32_t stream_id, uint64_t seq);
+
   /// Arrival progress: every element with ingest_time <= StagedThrough()
   /// has been staged (clients send in ingestion order, so the last staged
   /// ingest_time is a watermark over the TCP stream). INT64_MAX once the
@@ -111,6 +137,9 @@ class IngestGateway {
     bool stalled = false;
     int64_t stall_start_micros = 0;  // wall clock
     bool ended = false;
+    uint64_t last_seq_received = 0;  // highest accepted (0 = none yet)
+    uint64_t delivered_seq = 0;      // last seq popped by the engine
+    int64_t duplicates = 0;          // replayed frames dropped by dedup
   };
 
   Stream& GetStream(uint32_t stream_id);

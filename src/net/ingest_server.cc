@@ -160,6 +160,16 @@ bool IngestServer::DecodeBuffered(Connection& c, int64_t* delivered) {
                                        c.buf.size() - c.off, &frame,
                                        &consumed);
     if (r == DecodeResult::kNeedMore) break;
+    if (r == DecodeResult::kVersionMismatch) {
+      // Version skew (e.g. a v1 client against this v2 server) draws a
+      // typed error, not a generic malformed-frame close: the client can
+      // tell "upgrade me" apart from "I sent garbage".
+      gateway_->metrics().AddMalformedFrame();
+      FailConnection(c, WireError::kVersionMismatch,
+                     "unsupported protocol version");
+      open = false;
+      break;
+    }
     if (r == DecodeResult::kMalformed) {
       gateway_->metrics().AddMalformedFrame();
       FailConnection(c, WireError::kMalformedFrame, "malformed frame");
@@ -182,10 +192,24 @@ bool IngestServer::DecodeBuffered(Connection& c, int64_t* delivered) {
         c.paused = true;
         break;
       }
-      gateway_->Deliver(stream, frame.event);
-      gateway_->metrics().AddFrame(stream, static_cast<int64_t>(consumed),
-                                   frame.event.is_data());
-      ++*delivered;
+      switch (gateway_->AcceptSeq(stream, frame.seq)) {
+        case IngestGateway::SeqDecision::kAccept:
+          gateway_->Deliver(stream, frame.event);
+          gateway_->metrics().AddFrame(stream,
+                                       static_cast<int64_t>(consumed),
+                                       frame.event.is_data());
+          ++*delivered;
+          break;
+        case IngestGateway::SeqDecision::kDuplicate:
+          // Replay overlap after a client reconnect: already staged (and
+          // possibly already checkpointed) — drop for exactly-once.
+          break;
+        case IngestGateway::SeqDecision::kGap:
+          FailConnection(c, WireError::kProtocolViolation, "sequence gap");
+          open = false;
+          break;
+      }
+      if (!open) break;
     } else {
       gateway_->metrics().AddControlFrame();
       switch (frame.type) {
@@ -200,6 +224,19 @@ bool IngestServer::DecodeBuffered(Connection& c, int64_t* delivered) {
             open = false;
           } else {
             c.stream_id = frame.stream_id;
+            // HELLO_ACK tells the client where to (re)start: the next
+            // acceptable sequence number. On a fresh stream that is 1; on
+            // a reconnect (or after a checkpoint restore rewound the
+            // cursor) the client skips or replays accordingly.
+            send_scratch_.clear();
+            EncodeHelloAck(frame.stream_id,
+                           gateway_->last_seq_received(frame.stream_id) + 1,
+                           &send_scratch_);
+            if (!SendAll(c.fd, send_scratch_.data(), send_scratch_.size())
+                     .ok()) {
+              CloseConnection(c);
+              open = false;
+            }
           }
           break;
         case FrameType::kBye:
@@ -228,6 +265,19 @@ bool IngestServer::DecodeBuffered(Connection& c, int64_t* delivered) {
   }
   if (open) CompactBuffer(c);
   return open;
+}
+
+void IngestServer::SendCheckpointAck(uint32_t stream_id, uint64_t epoch,
+                                     uint64_t durable_seq) {
+  for (Connection& c : conns_) {
+    if (c.fd < 0 || c.stream_id != static_cast<int64_t>(stream_id)) continue;
+    send_scratch_.clear();
+    EncodeCheckpointAck(epoch, durable_seq, &send_scratch_);
+    // Best effort: a failed send just leaves the client's replay buffer
+    // larger than necessary; the next ack (or HELLO_ACK) trims it.
+    (void)SendAll(c.fd, send_scratch_.data(), send_scratch_.size());
+    return;
+  }
 }
 
 void IngestServer::FailConnection(Connection& c, WireError code,

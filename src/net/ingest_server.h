@@ -61,6 +61,15 @@ class IngestServer {
 
   int num_connections() const { return static_cast<int>(conns_.size()); }
 
+  /// Sends a CHECKPOINT_ACK to the connection bound to `stream_id`, telling
+  /// the client every element with seq <= durable_seq is covered by durable
+  /// checkpoint `epoch` and may be dropped from its replay buffer. No-op
+  /// when the stream has no live connection (the client learns the durable
+  /// prefix from HELLO_ACK when it reconnects). Wired to the checkpoint
+  /// coordinator's ack callback; both run on the engine thread.
+  void SendCheckpointAck(uint32_t stream_id, uint64_t epoch,
+                         uint64_t durable_seq);
+
  private:
   struct Connection {
     int fd = -1;

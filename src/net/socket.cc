@@ -118,14 +118,27 @@ Status SendAll(int fd, const uint8_t* data, size_t len) {
   return Status::Ok();
 }
 
-StatusOr<int64_t> ReadSome(int fd, uint8_t* buf, size_t len) {
+namespace {
+
+StatusOr<int64_t> ReadSomeFlags(int fd, uint8_t* buf, size_t len,
+                                int flags) {
   while (true) {
-    const ssize_t n = ::recv(fd, buf, len, 0);
+    const ssize_t n = ::recv(fd, buf, len, flags);
     if (n >= 0) return static_cast<int64_t>(n);
     if (errno == EINTR) continue;
     if (errno == EAGAIN || errno == EWOULDBLOCK) return int64_t{-1};
     return Status::Internal(Errno("recv"));
   }
+}
+
+}  // namespace
+
+StatusOr<int64_t> ReadSome(int fd, uint8_t* buf, size_t len) {
+  return ReadSomeFlags(fd, buf, len, 0);
+}
+
+StatusOr<int64_t> ReadSomeNonBlocking(int fd, uint8_t* buf, size_t len) {
+  return ReadSomeFlags(fd, buf, len, MSG_DONTWAIT);
 }
 
 void CloseFd(int fd) {

@@ -40,6 +40,11 @@ Status SendAll(int fd, const uint8_t* data, size_t len);
 /// Status.
 StatusOr<int64_t> ReadSome(int fd, uint8_t* buf, size_t len);
 
+/// Like ReadSome but never blocks even on a blocking fd (MSG_DONTWAIT).
+/// Used by the loadgen client — whose socket stays blocking for send-side
+/// backpressure — to drain server acks opportunistically.
+StatusOr<int64_t> ReadSomeNonBlocking(int fd, uint8_t* buf, size_t len);
+
 void CloseFd(int fd);
 
 }  // namespace klink

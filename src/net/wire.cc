@@ -6,10 +6,12 @@
 namespace klink {
 namespace {
 
-constexpr size_t kDataPayloadLen = 36;
-constexpr size_t kWatermarkPayloadLen = 17;
-constexpr size_t kMarkerPayloadLen = 16;
+constexpr size_t kDataPayloadLen = 44;
+constexpr size_t kWatermarkPayloadLen = 25;
+constexpr size_t kMarkerPayloadLen = 24;
 constexpr size_t kHelloPayloadLen = 4;
+constexpr size_t kHelloAckPayloadLen = 12;
+constexpr size_t kCheckpointAckPayloadLen = 16;
 
 void PutU16(uint16_t v, std::vector<uint8_t>* out) {
   out->push_back(static_cast<uint8_t>(v & 0xff));
@@ -54,7 +56,7 @@ void PutHeader(FrameType type, uint32_t payload_len,
 
 bool ValidType(uint8_t t) {
   return t >= static_cast<uint8_t>(FrameType::kHello) &&
-         t <= static_cast<uint8_t>(FrameType::kBye);
+         t <= static_cast<uint8_t>(FrameType::kCheckpointAck);
 }
 
 /// Expected payload length for fixed-size frame types; -1 for variable.
@@ -72,6 +74,10 @@ int64_t ExpectedPayloadLen(FrameType t) {
       return 0;
     case FrameType::kError:
       return -1;
+    case FrameType::kHelloAck:
+      return kHelloAckPayloadLen;
+    case FrameType::kCheckpointAck:
+      return kCheckpointAckPayloadLen;
   }
   return -1;
 }
@@ -94,7 +100,7 @@ DecodeResult DecodeFrame(const uint8_t* data, size_t len, Frame* frame,
                          size_t* consumed) {
   if (len < kWireHeaderLen) return DecodeResult::kNeedMore;
   if (GetU16(data) != kWireMagic) return DecodeResult::kMalformed;
-  if (data[2] != kWireVersion) return DecodeResult::kMalformed;
+  if (data[2] != kWireVersion) return DecodeResult::kVersionMismatch;
   if (!ValidType(data[3])) return DecodeResult::kMalformed;
   const FrameType type = static_cast<FrameType>(data[3]);
   const uint32_t payload_len = GetU32(data + 4);
@@ -113,6 +119,10 @@ DecodeResult DecodeFrame(const uint8_t* data, size_t len, Frame* frame,
   frame->type = type;
   frame->event = Event{};
   frame->stream_id = 0;
+  frame->seq = 0;
+  frame->next_seq = 0;
+  frame->epoch = 0;
+  frame->durable_seq = 0;
   frame->error_code = 0;
   frame->error_message.clear();
   switch (type) {
@@ -122,12 +132,13 @@ DecodeResult DecodeFrame(const uint8_t* data, size_t len, Frame* frame,
     case FrameType::kData: {
       Event& e = frame->event;
       e.kind = EventKind::kData;
-      e.event_time = static_cast<TimeMicros>(GetU64(p));
-      e.ingest_time = static_cast<TimeMicros>(GetU64(p + 8));
-      e.key = GetU64(p + 16);
-      e.value = BitsToDouble(GetU64(p + 24));
-      e.payload_bytes = GetU32(p + 32);
-      if (e.event_time < 0 || e.ingest_time < 0 ||
+      frame->seq = GetU64(p);
+      e.event_time = static_cast<TimeMicros>(GetU64(p + 8));
+      e.ingest_time = static_cast<TimeMicros>(GetU64(p + 16));
+      e.key = GetU64(p + 24);
+      e.value = BitsToDouble(GetU64(p + 32));
+      e.payload_bytes = GetU32(p + 40);
+      if (frame->seq == 0 || e.event_time < 0 || e.ingest_time < 0 ||
           e.payload_bytes > kMaxEventPayloadBytes) {
         return DecodeResult::kMalformed;
       }
@@ -136,22 +147,26 @@ DecodeResult DecodeFrame(const uint8_t* data, size_t len, Frame* frame,
     case FrameType::kWatermark: {
       Event& e = frame->event;
       e.kind = EventKind::kWatermark;
-      e.event_time = static_cast<TimeMicros>(GetU64(p));
-      e.ingest_time = static_cast<TimeMicros>(GetU64(p + 8));
-      const uint8_t flags = p[16];
+      frame->seq = GetU64(p);
+      e.event_time = static_cast<TimeMicros>(GetU64(p + 8));
+      e.ingest_time = static_cast<TimeMicros>(GetU64(p + 16));
+      const uint8_t flags = p[24];
       if ((flags & ~uint8_t{1}) != 0) return DecodeResult::kMalformed;
       e.swm = (flags & 1) != 0;
       e.payload_bytes = 16;
-      if (e.ingest_time < 0) return DecodeResult::kMalformed;
+      if (frame->seq == 0 || e.ingest_time < 0) {
+        return DecodeResult::kMalformed;
+      }
       break;
     }
     case FrameType::kMarker: {
       Event& e = frame->event;
       e.kind = EventKind::kLatencyMarker;
-      e.event_time = static_cast<TimeMicros>(GetU64(p));
-      e.ingest_time = static_cast<TimeMicros>(GetU64(p + 8));
+      frame->seq = GetU64(p);
+      e.event_time = static_cast<TimeMicros>(GetU64(p + 8));
+      e.ingest_time = static_cast<TimeMicros>(GetU64(p + 16));
       e.payload_bytes = 16;
-      if (e.event_time < 0 || e.ingest_time < 0) {
+      if (frame->seq == 0 || e.event_time < 0 || e.ingest_time < 0) {
         return DecodeResult::kMalformed;
       }
       break;
@@ -163,6 +178,15 @@ DecodeResult DecodeFrame(const uint8_t* data, size_t len, Frame* frame,
       break;
     case FrameType::kBye:
       break;
+    case FrameType::kHelloAck:
+      frame->stream_id = GetU32(p);
+      frame->next_seq = GetU64(p + 4);
+      if (frame->next_seq == 0) return DecodeResult::kMalformed;
+      break;
+    case FrameType::kCheckpointAck:
+      frame->epoch = GetU64(p);
+      frame->durable_seq = GetU64(p + 8);
+      break;
   }
   *consumed = kWireHeaderLen + payload_len;
   return DecodeResult::kOk;
@@ -173,10 +197,11 @@ void EncodeHello(uint32_t stream_id, std::vector<uint8_t>* out) {
   PutU32(stream_id, out);
 }
 
-void EncodeEvent(const Event& e, std::vector<uint8_t>* out) {
+void EncodeEvent(const Event& e, uint64_t seq, std::vector<uint8_t>* out) {
   switch (e.kind) {
     case EventKind::kData:
       PutHeader(FrameType::kData, kDataPayloadLen, out);
+      PutU64(seq, out);
       PutU64(static_cast<uint64_t>(e.event_time), out);
       PutU64(static_cast<uint64_t>(e.ingest_time), out);
       PutU64(e.key, out);
@@ -185,14 +210,20 @@ void EncodeEvent(const Event& e, std::vector<uint8_t>* out) {
       break;
     case EventKind::kWatermark:
       PutHeader(FrameType::kWatermark, kWatermarkPayloadLen, out);
+      PutU64(seq, out);
       PutU64(static_cast<uint64_t>(e.event_time), out);
       PutU64(static_cast<uint64_t>(e.ingest_time), out);
       out->push_back(e.swm ? 1 : 0);
       break;
     case EventKind::kLatencyMarker:
       PutHeader(FrameType::kMarker, kMarkerPayloadLen, out);
+      PutU64(seq, out);
       PutU64(static_cast<uint64_t>(e.event_time), out);
       PutU64(static_cast<uint64_t>(e.ingest_time), out);
+      break;
+    case EventKind::kCheckpointBarrier:
+      // Barriers are injected by the server-side coordinator; they never
+      // cross the ingest wire.
       break;
   }
 }
@@ -210,6 +241,20 @@ void EncodeBye(std::vector<uint8_t>* out) {
   PutHeader(FrameType::kBye, 0, out);
 }
 
+void EncodeHelloAck(uint32_t stream_id, uint64_t next_seq,
+                    std::vector<uint8_t>* out) {
+  PutHeader(FrameType::kHelloAck, kHelloAckPayloadLen, out);
+  PutU32(stream_id, out);
+  PutU64(next_seq, out);
+}
+
+void EncodeCheckpointAck(uint64_t epoch, uint64_t durable_seq,
+                         std::vector<uint8_t>* out) {
+  PutHeader(FrameType::kCheckpointAck, kCheckpointAckPayloadLen, out);
+  PutU64(epoch, out);
+  PutU64(durable_seq, out);
+}
+
 size_t EncodedEventSize(const Event& e) {
   switch (e.kind) {
     case EventKind::kData:
@@ -218,6 +263,8 @@ size_t EncodedEventSize(const Event& e) {
       return kWireHeaderLen + kWatermarkPayloadLen;
     case EventKind::kLatencyMarker:
       return kWireHeaderLen + kMarkerPayloadLen;
+    case EventKind::kCheckpointBarrier:
+      return 0;
   }
   return kWireHeaderLen;
 }

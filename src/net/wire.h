@@ -24,28 +24,43 @@ namespace klink {
 ///        3     1  type         FrameType
 ///        4     4  payload_len  payload bytes that follow
 ///
-/// Element frames have fixed payload layouts (exact length is enforced):
+/// Element frames have fixed payload layouts (exact length is enforced).
+/// Since protocol v2 every element frame starts with a client-assigned
+/// per-stream sequence number (1, 2, 3, ... per connection stream) used for
+/// exactly-once ingest: the server dedups duplicates after a reconnect and
+/// acks durable prefixes so the client can trim its retransmit buffer.
 ///
-///   kData (36 B):      event_time i64, ingest_time i64, key u64,
+///   kData (44 B):      seq u64, event_time i64, ingest_time i64, key u64,
 ///                      value f64 (IEEE-754 bits), payload_bytes u32
-///   kWatermark (17 B): event_time i64, ingest_time i64, flags u8
+///   kWatermark (25 B): seq u64, event_time i64, ingest_time i64, flags u8
 ///                      (bit 0 = SWM)
-///   kMarker (16 B):    event_time i64, ingest_time i64
+///   kMarker (24 B):    seq u64, event_time i64, ingest_time i64
 ///
 /// Control frames:
 ///
-///   kHello (4 B):      stream_id u32 — must be the first frame on a
-///                      connection; binds it to one ingest stream
-///   kError (2..514 B): code u16, utf-8 message — sent by the server
-///                      before closing a misbehaving connection
-///   kBye (0 B):        graceful end-of-stream
+///   kHello (4 B):         stream_id u32 — must be the first frame on a
+///                         connection; binds it to one ingest stream
+///   kError (2..514 B):    code u16, utf-8 message — sent by the server
+///                         before closing a misbehaving connection
+///   kBye (0 B):           graceful end-of-stream
+///   kHelloAck (12 B):     stream_id u32, next_seq u64 — server reply to
+///                         hello; the first sequence number it expects
+///                         (resume cursor after a reconnect/restore)
+///   kCheckpointAck (16 B): epoch u64, durable_seq u64 — server notification
+///                         that checkpoint `epoch` is durable and covers the
+///                         stream prefix up to durable_seq; the client may
+///                         discard retained events with seq <= durable_seq
 ///
 /// Decoding is strictly bounds-checked: a frame that is structurally
-/// invalid (bad magic/version/type, wrong payload length for its type, or
-/// a length above kMaxPayloadLen) is rejected as malformed without reading
-/// past the supplied buffer, and the connection that sent it is closed.
+/// invalid (bad magic/type, wrong payload length for its type, or a length
+/// above kMaxPayloadLen) is rejected as malformed without reading past the
+/// supplied buffer, and the connection that sent it is closed. A frame
+/// whose version byte disagrees with kWireVersion decodes to the distinct
+/// kVersionMismatch result so the server can answer version skew with a
+/// typed error instead of a generic close.
 inline constexpr uint16_t kWireMagic = 0x4B4C;  // "KL"
-inline constexpr uint8_t kWireVersion = 1;
+/// v2: element frames carry sequence numbers; kHelloAck/kCheckpointAck.
+inline constexpr uint8_t kWireVersion = 2;
 inline constexpr size_t kWireHeaderLen = 8;
 
 /// Upper bound on any payload; guards against absurd length prefixes from
@@ -65,6 +80,8 @@ enum class FrameType : uint8_t {
   kMarker = 4,
   kError = 5,
   kBye = 6,
+  kHelloAck = 7,
+  kCheckpointAck = 8,
 };
 
 /// Returns true for frame types that carry a stream element.
@@ -77,18 +94,24 @@ inline bool IsElementFrame(FrameType t) {
 enum class WireError : uint16_t {
   kMalformedFrame = 1,
   kUnknownStream = 2,
-  kProtocolViolation = 3,  // e.g. element frame before hello
+  kProtocolViolation = 3,  // e.g. element frame before hello, or a seq gap
   kServerShutdown = 4,
   kIdleTimeout = 5,
+  kVersionMismatch = 6,  // peer speaks a different protocol version
 };
 
-/// One decoded frame. `event` is valid for element frames (its kind/swm
-/// fields are filled from the frame type), `stream_id` for kHello, and
-/// `error_code`/`error_message` for kError.
+/// One decoded frame. `event`/`seq` are valid for element frames (the
+/// event's kind/swm fields are filled from the frame type), `stream_id` for
+/// kHello and kHelloAck, `next_seq` for kHelloAck, `epoch`/`durable_seq`
+/// for kCheckpointAck, and `error_code`/`error_message` for kError.
 struct Frame {
   FrameType type = FrameType::kBye;
   uint32_t stream_id = 0;
   Event event;
+  uint64_t seq = 0;
+  uint64_t next_seq = 0;
+  uint64_t epoch = 0;
+  uint64_t durable_seq = 0;
   uint16_t error_code = 0;
   std::string error_message;
 };
@@ -100,6 +123,9 @@ enum class DecodeResult {
   kNeedMore,
   /// The buffer does not start with a valid frame; close the connection.
   kMalformed,
+  /// Structurally a frame, but the peer speaks a different protocol
+  /// version; reply with WireError::kVersionMismatch and close.
+  kVersionMismatch,
 };
 
 /// Decodes the frame at the start of `data`. On kOk fills `*frame` and sets
@@ -110,11 +136,17 @@ DecodeResult DecodeFrame(const uint8_t* data, size_t len, Frame* frame,
 
 /// ---- encoding: each appends one frame to `out` -------------------------
 void EncodeHello(uint32_t stream_id, std::vector<uint8_t>* out);
-/// Encodes a stream element as kData/kWatermark/kMarker from `e.kind`.
-void EncodeEvent(const Event& e, std::vector<uint8_t>* out);
+/// Encodes a stream element as kData/kWatermark/kMarker from `e.kind`,
+/// stamped with the per-stream sequence number `seq`. Checkpoint barriers
+/// never cross the wire (they are injected server-side) and encode nothing.
+void EncodeEvent(const Event& e, uint64_t seq, std::vector<uint8_t>* out);
 void EncodeError(WireError code, const std::string& message,
                  std::vector<uint8_t>* out);
 void EncodeBye(std::vector<uint8_t>* out);
+void EncodeHelloAck(uint32_t stream_id, uint64_t next_seq,
+                    std::vector<uint8_t>* out);
+void EncodeCheckpointAck(uint64_t epoch, uint64_t durable_seq,
+                         std::vector<uint8_t>* out);
 
 /// Encoded size of an element frame (header + payload), for send budgeting.
 size_t EncodedEventSize(const Event& e);

@@ -115,7 +115,13 @@ void WindowAggregateOperator::OnWatermark(const Event& incoming,
   while (!panes_.empty() && panes_.begin()->first.first <= min_watermark) {
     const auto it = panes_.begin();
     const TimeMicros end = it->first.first;
-    for (const auto& [key, agg] : it->second) {
+    // Emit in sorted-key order: a deterministic order that survives
+    // checkpoint/restore, unlike the hash map's iteration order.
+    scratch_keys_.clear();
+    for (const auto& [key, agg] : it->second) scratch_keys_.push_back(key);
+    std::sort(scratch_keys_.begin(), scratch_keys_.end());
+    for (const uint64_t key : scratch_keys_) {
+      const Aggregate& agg = it->second.find(key)->second;
       Event result = MakeDataEvent(/*event_time=*/end, /*ingest_time=*/now,
                                    key, OutputValue(agg),
                                    output_payload_bytes_);
@@ -135,6 +141,58 @@ void WindowAggregateOperator::OnWatermark(const Event& incoming,
 
   tracker_.RecordStreamSweep(0, last_deadline, incoming.ingest_time);
   SetForwardSwm(true);
+}
+
+void WindowAggregateOperator::SerializeState(StateWriter& w) const {
+  w.PutU64(static_cast<uint64_t>(panes_.size()));
+  for (const auto& [pane_key, pane] : panes_) {
+    w.PutI64(pane_key.first);   // end
+    w.PutI64(pane_key.second);  // start
+    w.PutU64(static_cast<uint64_t>(pane.size()));
+    std::vector<uint64_t> keys;
+    keys.reserve(pane.size());
+    for (const auto& [key, agg] : pane) keys.push_back(key);
+    std::sort(keys.begin(), keys.end());
+    for (const uint64_t key : keys) {
+      const Aggregate& agg = pane.find(key)->second;
+      w.PutU64(key);
+      w.PutI64(agg.count);
+      w.PutDouble(agg.sum);
+      w.PutDouble(agg.max);
+    }
+  }
+  w.PutI64(fired_panes_);
+  w.PutI64(dropped_late_);
+  tracker_.Serialize(w);
+}
+
+void WindowAggregateOperator::RestoreState(StateReader& r) {
+  KLINK_CHECK(panes_.empty());
+  const uint64_t num_panes = r.GetU64();
+  KLINK_CHECK(r.ok());
+  for (uint64_t p = 0; p < num_panes; ++p) {
+    const TimeMicros end = r.GetI64();
+    const TimeMicros start = r.GetI64();
+    const uint64_t num_keys = r.GetU64();
+    KLINK_CHECK(r.ok());
+    Pane& pane = panes_[{end, start}];
+    AddStateBytes(kBytesPerPane);
+    pane.reserve(static_cast<size_t>(num_keys));
+    for (uint64_t k = 0; k < num_keys; ++k) {
+      const uint64_t key = r.GetU64();
+      Aggregate agg;
+      agg.count = r.GetI64();
+      agg.sum = r.GetDouble();
+      agg.max = r.GetDouble();
+      pane.emplace(key, agg);
+      ++total_key_states_;
+      AddStateBytes(kBytesPerKeyState);
+    }
+  }
+  fired_panes_ = r.GetI64();
+  dropped_late_ = r.GetI64();
+  tracker_.Restore(r);
+  KLINK_CHECK(r.ok());
 }
 
 }  // namespace klink

@@ -64,6 +64,8 @@ class WindowAggregateOperator final : public Operator {
   void OnData(const Event& e, TimeMicros now, Emitter& out) override;
   void OnWatermark(const Event& incoming, TimeMicros min_watermark,
                    TimeMicros now, Emitter& out) override;
+  void SerializeState(StateWriter& w) const override;
+  void RestoreState(StateReader& r) override;
 
  private:
   struct Aggregate {
@@ -88,6 +90,10 @@ class WindowAggregateOperator final : public Operator {
   int64_t fired_panes_ = 0;
   int64_t dropped_late_ = 0;
   std::vector<WindowSpan> scratch_windows_;
+  /// Scratch for firing panes in sorted-key order: hash-map iteration
+  /// order is an implementation detail that would diverge between an
+  /// uninterrupted run and a checkpoint-restored one.
+  std::vector<uint64_t> scratch_keys_;
 };
 
 }  // namespace klink

@@ -137,4 +137,17 @@ void ChainedOperator::OnLatencyMarker(const Event& e, TimeMicros now,
   RunThrough(e, 0, now, out);
 }
 
+void ChainedOperator::SerializeState(StateWriter& w) const {
+  w.PutU32(static_cast<uint32_t>(ops_.size()));
+  for (const auto& op : ops_) op->Serialize(w);
+}
+
+void ChainedOperator::RestoreState(StateReader& r) {
+  const uint32_t n = r.GetU32();
+  KLINK_CHECK(r.ok());
+  KLINK_CHECK_EQ(static_cast<int>(n), num_chained());
+  for (auto& op : ops_) op->Restore(r);
+  KLINK_CHECK(r.ok());
+}
+
 }  // namespace klink

@@ -54,6 +54,11 @@ class ChainedOperator final : public Operator, private MemoryDeltaSink {
   void OnWatermark(const Event& incoming, TimeMicros min_watermark,
                    TimeMicros now, Emitter& out) override;
   void OnLatencyMarker(const Event& e, TimeMicros now, Emitter& out) override;
+  /// Barriers align at the composite (sub-operators never see them), so
+  /// the composite's checkpoint payload is each sub-operator's full state
+  /// in chain order.
+  void SerializeState(StateWriter& w) const override;
+  void RestoreState(StateReader& r) override;
 
  private:
   /// Sub-operator memory deltas (their state; their queues stay empty)

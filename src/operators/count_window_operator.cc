@@ -50,4 +50,38 @@ void CountWindowOperator::OnData(const Event& e, TimeMicros /*now*/,
   EmitData(result, out);
 }
 
+void CountWindowOperator::SerializeState(StateWriter& w) const {
+  w.PutU64(static_cast<uint64_t>(state_.size()));
+  std::vector<uint64_t> keys;
+  keys.reserve(state_.size());
+  for (const auto& [key, agg] : state_) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  for (const uint64_t key : keys) {
+    const Aggregate& agg = state_.find(key)->second;
+    w.PutU64(key);
+    w.PutI64(agg.count);
+    w.PutDouble(agg.sum);
+    w.PutDouble(agg.max);
+  }
+  w.PutI64(fired_windows_);
+}
+
+void CountWindowOperator::RestoreState(StateReader& r) {
+  KLINK_CHECK(state_.empty());
+  const uint64_t n = r.GetU64();
+  KLINK_CHECK(r.ok());
+  state_.reserve(static_cast<size_t>(n));
+  for (uint64_t i = 0; i < n; ++i) {
+    const uint64_t key = r.GetU64();
+    Aggregate agg;
+    agg.count = r.GetI64();
+    agg.sum = r.GetDouble();
+    agg.max = r.GetDouble();
+    state_.emplace(key, agg);
+    AddStateBytes(kBytesPerKeyState);
+  }
+  fired_windows_ = r.GetI64();
+  KLINK_CHECK(r.ok());
+}
+
 }  // namespace klink

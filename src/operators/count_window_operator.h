@@ -32,6 +32,8 @@ class CountWindowOperator final : public Operator {
 
  protected:
   void OnData(const Event& e, TimeMicros now, Emitter& out) override;
+  void SerializeState(StateWriter& w) const override;
+  void RestoreState(StateReader& r) override;
 
  private:
   struct Aggregate {

@@ -67,7 +67,15 @@ void WindowJoinOperator::FirePane(const PaneKey& pane_key, Pane& pane,
       smallest = s;
     }
   }
+  // Probe in sorted-key order: a deterministic order that survives
+  // checkpoint/restore, unlike the hash map's iteration order.
+  scratch_keys_.clear();
   for (const auto& [key, agg] : pane.per_stream[smallest]) {
+    scratch_keys_.push_back(key);
+  }
+  std::sort(scratch_keys_.begin(), scratch_keys_.end());
+  for (const uint64_t key : scratch_keys_) {
+    const Aggregate& agg = pane.per_stream[smallest].find(key)->second;
     double sum = agg.sum;
     int64_t count = agg.count;
     bool in_all = true;
@@ -129,6 +137,69 @@ void WindowJoinOperator::OnWatermark(const Event& /*incoming*/,
     panes_.erase(it);
   }
   SetForwardSwm(true);
+}
+
+void WindowJoinOperator::SerializeState(StateWriter& w) const {
+  w.PutU64(static_cast<uint64_t>(panes_.size()));
+  for (const auto& [pane_key, pane] : panes_) {
+    w.PutI64(pane_key.first);   // end
+    w.PutI64(pane_key.second);  // start
+    w.PutU32(static_cast<uint32_t>(pane.per_stream.size()));
+    for (const auto& stream_map : pane.per_stream) {
+      w.PutU64(static_cast<uint64_t>(stream_map.size()));
+      std::vector<uint64_t> keys;
+      keys.reserve(stream_map.size());
+      for (const auto& [key, agg] : stream_map) keys.push_back(key);
+      std::sort(keys.begin(), keys.end());
+      for (const uint64_t key : keys) {
+        const Aggregate& agg = stream_map.find(key)->second;
+        w.PutU64(key);
+        w.PutI64(agg.count);
+        w.PutDouble(agg.sum);
+      }
+    }
+  }
+  for (const TimeMicros d : next_stream_deadline_) w.PutI64(d);
+  w.PutI64(fired_panes_);
+  w.PutI64(emitted_joins_);
+  w.PutI64(dropped_late_);
+  tracker_.Serialize(w);
+}
+
+void WindowJoinOperator::RestoreState(StateReader& r) {
+  KLINK_CHECK(panes_.empty());
+  const uint64_t num_panes = r.GetU64();
+  KLINK_CHECK(r.ok());
+  for (uint64_t p = 0; p < num_panes; ++p) {
+    const TimeMicros end = r.GetI64();
+    const TimeMicros start = r.GetI64();
+    const uint32_t num_streams = r.GetU32();
+    KLINK_CHECK(r.ok());
+    KLINK_CHECK_EQ(static_cast<int>(num_streams), num_inputs());
+    Pane& pane = panes_[{end, start}];
+    pane.per_stream.resize(static_cast<size_t>(num_streams));
+    AddStateBytes(kBytesPerPane);
+    for (auto& stream_map : pane.per_stream) {
+      const uint64_t num_keys = r.GetU64();
+      KLINK_CHECK(r.ok());
+      stream_map.reserve(static_cast<size_t>(num_keys));
+      for (uint64_t k = 0; k < num_keys; ++k) {
+        const uint64_t key = r.GetU64();
+        Aggregate agg;
+        agg.count = r.GetI64();
+        agg.sum = r.GetDouble();
+        stream_map.emplace(key, agg);
+        ++total_key_states_;
+        AddStateBytes(kBytesPerKeyState);
+      }
+    }
+  }
+  for (TimeMicros& d : next_stream_deadline_) d = r.GetI64();
+  fired_panes_ = r.GetI64();
+  emitted_joins_ = r.GetI64();
+  dropped_late_ = r.GetI64();
+  tracker_.Restore(r);
+  KLINK_CHECK(r.ok());
 }
 
 }  // namespace klink

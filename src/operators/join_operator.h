@@ -54,6 +54,8 @@ class WindowJoinOperator final : public Operator {
   void OnWatermark(const Event& incoming, TimeMicros min_watermark,
                    TimeMicros now, Emitter& out) override;
   void OnStreamWatermark(const Event& incoming, int stream) override;
+  void SerializeState(StateWriter& w) const override;
+  void RestoreState(StateReader& r) override;
 
  private:
   struct Aggregate {
@@ -80,6 +82,8 @@ class WindowJoinOperator final : public Operator {
   int64_t emitted_joins_ = 0;
   int64_t dropped_late_ = 0;
   std::vector<WindowSpan> scratch_windows_;
+  /// Scratch for probing in sorted-key order (restore-stable emission).
+  std::vector<uint64_t> scratch_keys_;
 };
 
 }  // namespace klink

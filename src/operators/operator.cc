@@ -13,6 +13,7 @@ Operator::Operator(std::string name, double cost_micros, int num_inputs)
   KLINK_CHECK_GE(cost_micros, 0.0);
   inputs_.resize(static_cast<size_t>(num_inputs));
   last_watermark_.assign(static_cast<size_t>(num_inputs), kNoTime);
+  last_barrier_epoch_.assign(static_cast<size_t>(num_inputs), 0);
 }
 
 Operator::~Operator() = default;
@@ -92,6 +93,28 @@ void Operator::Process(const Event& e, TimeMicros now, Emitter& out) {
       out.Emit(fwd);
       return;
     }
+    case EventKind::kCheckpointBarrier: {
+      const int stream = e.stream;
+      KLINK_CHECK(stream >= 0 && stream < num_inputs());
+      const uint64_t epoch = e.barrier_epoch();
+      auto& slot = last_barrier_epoch_[static_cast<size_t>(stream)];
+      // Barrier monotonicity: the coordinator injects epochs in order and
+      // queues are FIFO, so a stale or repeated barrier is a corruption.
+      KLINK_CHECK_GT(epoch, slot);
+      slot = epoch;
+      uint64_t min_epoch = last_barrier_epoch_[0];
+      for (const uint64_t be : last_barrier_epoch_) {
+        min_epoch = std::min(min_epoch, be);
+      }
+      // Aligned exactly when the last input reaches this epoch: all
+      // pre-barrier elements are in state, no post-barrier one is.
+      if (min_epoch != epoch) return;
+      if (barrier_observer_ != nullptr) {
+        barrier_observer_->OnBarrierAligned(*this, epoch);
+      }
+      out.Emit(MakeCheckpointBarrier(epoch, e.ingest_time));
+      return;
+    }
   }
 }
 
@@ -109,6 +132,11 @@ void Operator::OnData(const Event& e, TimeMicros /*now*/, Emitter& out) {
   EmitData(e, out);
 }
 
+void Operator::EmitData(const Event& e, Emitter& out) {
+  ++emitted_data_;
+  out.Emit(e);
+}
+
 void Operator::OnWatermark(const Event& /*incoming*/,
                            TimeMicros /*min_watermark*/, TimeMicros /*now*/,
                            Emitter& /*out*/) {}
@@ -120,9 +148,36 @@ void Operator::OnLatencyMarker(const Event& e, TimeMicros /*now*/,
 
 void Operator::OnStreamWatermark(const Event& /*incoming*/, int /*stream*/) {}
 
-void Operator::EmitData(const Event& e, Emitter& out) {
-  ++emitted_data_;
-  out.Emit(e);
+void Operator::SerializeState(StateWriter& /*w*/) const {}
+
+void Operator::RestoreState(StateReader& /*r*/) {}
+
+uint64_t Operator::last_barrier_epoch(int stream) const {
+  KLINK_CHECK(stream >= 0 && stream < num_inputs());
+  return last_barrier_epoch_[static_cast<size_t>(stream)];
+}
+
+void Operator::Serialize(StateWriter& w) const {
+  w.PutU32(static_cast<uint32_t>(num_inputs()));
+  for (const TimeMicros wm : last_watermark_) w.PutI64(wm);
+  w.PutI64(forwarded_min_watermark_);
+  w.PutI64(forwarded_watermarks_);
+  w.PutI64(processed_data_);
+  w.PutI64(emitted_data_);
+  SerializeState(w);
+}
+
+void Operator::Restore(StateReader& r) {
+  const uint32_t n = r.GetU32();
+  KLINK_CHECK(r.ok());
+  KLINK_CHECK_EQ(static_cast<int>(n), num_inputs());
+  for (TimeMicros& wm : last_watermark_) wm = r.GetI64();
+  forwarded_min_watermark_ = r.GetI64();
+  forwarded_watermarks_ = r.GetI64();
+  processed_data_ = r.GetI64();
+  emitted_data_ = r.GetI64();
+  KLINK_CHECK(r.ok());
+  RestoreState(r);
 }
 
 }  // namespace klink

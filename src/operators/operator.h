@@ -1,14 +1,29 @@
 #ifndef KLINK_OPERATORS_OPERATOR_H_
 #define KLINK_OPERATORS_OPERATOR_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
+#include "src/common/serialize.h"
 #include "src/common/types.h"
 #include "src/event/event.h"
 #include "src/event/stream_queue.h"
 
 namespace klink {
+
+class Operator;
+
+/// Notified when an operator has received the epoch-`epoch` checkpoint
+/// barrier on every input stream (asynchronous barrier snapshotting): at
+/// that instant all pre-barrier elements are reflected in the operator's
+/// state and none of the post-barrier ones are, so the observer serializes
+/// the operator synchronously before any post-barrier element is processed.
+class BarrierObserver {
+ public:
+  virtual ~BarrierObserver() = default;
+  virtual void OnBarrierAligned(Operator& op, uint64_t epoch) = 0;
+};
 
 /// Receives the output elements of an operator invocation. The engine wires
 /// an Emitter that appends to the downstream operator's input queue.
@@ -188,6 +203,24 @@ class Operator {
     return forwarded_min_watermark_;
   }
 
+  /// ---- checkpointing (asynchronous barrier snapshots) ----------------
+  /// Registers the observer called at barrier alignment (nullptr detaches).
+  void SetBarrierObserver(BarrierObserver* observer) {
+    barrier_observer_ = observer;
+  }
+
+  /// Epoch of the last checkpoint barrier seen on `stream` (0 = none yet).
+  /// Read by the invariant auditor to check barrier monotonicity.
+  uint64_t last_barrier_epoch(int stream = 0) const;
+
+  /// Serializes the full operator state: base-class watermark/progress
+  /// bookkeeping followed by the subclass SerializeState payload. Restore
+  /// reads the same layout into a freshly constructed identical topology;
+  /// subclasses re-apply state growth through AddStateBytes so the memory
+  /// accounting stays consistent with the bound MemoryDeltaSink.
+  void Serialize(StateWriter& w) const;
+  void Restore(StateReader& r);
+
  protected:
   /// Subclass hooks. Default OnData forwards; OnLatencyMarker forwards;
   /// OnWatermark does nothing extra. The base forwards the (minimum)
@@ -204,6 +237,13 @@ class Operator {
   /// *before* the minimum-watermark check (so joins can track per-stream
   /// progress even when another stream holds the minimum back, Sec. 3.3).
   virtual void OnStreamWatermark(const Event& incoming, int stream);
+
+  /// Checkpoint state hooks. Stateless operators (map, filter) keep the
+  /// empty defaults; stateful ones write/read their window and state maps
+  /// in a deterministic order (sorted keys where the container is
+  /// unordered) so a restored operator is byte-identical to the original.
+  virtual void SerializeState(StateWriter& w) const;
+  virtual void RestoreState(StateReader& r);
 
   /// Emits a data element via `out` and maintains selectivity accounting.
   void EmitData(const Event& e, Emitter& out);
@@ -253,6 +293,8 @@ class Operator {
   double cost_micros_;
   std::vector<StreamQueue> inputs_;
   std::vector<TimeMicros> last_watermark_;
+  std::vector<uint64_t> last_barrier_epoch_;
+  BarrierObserver* barrier_observer_ = nullptr;
   TimeMicros forwarded_min_watermark_ = kNoTime;
   int64_t forwarded_watermarks_ = 0;
   bool forward_swm_override_ = false;

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "src/common/check.h"
 #include "src/event/stream_queue.h"
 
 namespace klink {
@@ -9,16 +10,19 @@ namespace klink {
 ReorderOperator::ReorderOperator(std::string name, double cost_micros)
     : Operator(std::move(name), cost_micros, /*num_inputs=*/1) {}
 
+void ReorderOperator::Buffer(const Event& e) {
+  buffer_.push(Entry{e, next_arrival_++});
+  AddStateBytes(e.payload_bytes + StreamQueue::kPerEventOverhead);
+}
+
 void ReorderOperator::OnData(const Event& e, TimeMicros /*now*/,
                              Emitter& /*out*/) {
-  buffer_.push(e);
-  AddStateBytes(e.payload_bytes + StreamQueue::kPerEventOverhead);
+  Buffer(e);
 }
 
 void ReorderOperator::OnLatencyMarker(const Event& e, TimeMicros /*now*/,
                                       Emitter& /*out*/) {
-  buffer_.push(e);
-  AddStateBytes(e.payload_bytes + StreamQueue::kPerEventOverhead);
+  Buffer(e);
 }
 
 void ReorderOperator::OnWatermark(const Event& /*incoming*/,
@@ -26,8 +30,8 @@ void ReorderOperator::OnWatermark(const Event& /*incoming*/,
                                   Emitter& out) {
   // Everything at or below the watermark is complete: release in
   // event-time order; the base class forwards the watermark afterwards.
-  while (!buffer_.empty() && buffer_.top().event_time <= min_watermark) {
-    const Event e = buffer_.top();
+  while (!buffer_.empty() && buffer_.top().event.event_time <= min_watermark) {
+    const Event e = buffer_.top().event;
     buffer_.pop();
     AddStateBytes(-(e.payload_bytes + StreamQueue::kPerEventOverhead));
     if (e.is_data()) {
@@ -36,6 +40,44 @@ void ReorderOperator::OnWatermark(const Event& /*incoming*/,
       out.Emit(e);  // reordered latency marker
     }
   }
+}
+
+void ReorderOperator::SerializeState(StateWriter& w) const {
+  // Drain a copy of the heap: yields entries in exact release order
+  // (event_time, arrival), which restore re-numbers 0..n-1 — the relative
+  // order is all the comparator ever reads.
+  auto copy = buffer_;
+  w.PutU64(static_cast<uint64_t>(copy.size()));
+  while (!copy.empty()) {
+    const Event& e = copy.top().event;
+    w.PutU8(static_cast<uint8_t>(e.kind));
+    w.PutI64(e.event_time);
+    w.PutI64(e.ingest_time);
+    w.PutU64(e.key);
+    w.PutDouble(e.value);
+    w.PutU32(e.payload_bytes);
+    w.PutBool(e.swm);
+    copy.pop();
+  }
+}
+
+void ReorderOperator::RestoreState(StateReader& r) {
+  KLINK_CHECK(buffer_.empty());
+  const uint64_t n = r.GetU64();
+  KLINK_CHECK(r.ok());
+  for (uint64_t i = 0; i < n; ++i) {
+    Event e;
+    e.kind = static_cast<EventKind>(r.GetU8());
+    e.event_time = r.GetI64();
+    e.ingest_time = r.GetI64();
+    e.key = r.GetU64();
+    e.value = r.GetDouble();
+    e.payload_bytes = r.GetU32();
+    e.swm = r.GetBool();
+    KLINK_CHECK(r.ok());
+    Buffer(e);
+  }
+  KLINK_CHECK(r.ok());
 }
 
 }  // namespace klink

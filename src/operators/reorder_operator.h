@@ -32,15 +32,31 @@ class ReorderOperator final : public Operator {
   void OnLatencyMarker(const Event& e, TimeMicros now, Emitter& out) override;
   void OnWatermark(const Event& incoming, TimeMicros min_watermark,
                    TimeMicros now, Emitter& out) override;
+  void SerializeState(StateWriter& w) const override;
+  void RestoreState(StateReader& r) override;
 
  private:
+  /// Buffered event plus its arrival sequence: ties on event_time release
+  /// in arrival order — a total order that is deterministic and survives
+  /// checkpoint/restore, unlike the heap's internal layout.
+  struct Entry {
+    Event event;
+    uint64_t arrival = 0;
+  };
   struct ByEventTime {
-    bool operator()(const Event& a, const Event& b) const {
-      return a.event_time > b.event_time;  // min-heap on event time
+    bool operator()(const Entry& a, const Entry& b) const {
+      // Min-heap on (event_time, arrival).
+      if (a.event.event_time != b.event.event_time) {
+        return a.event.event_time > b.event.event_time;
+      }
+      return a.arrival > b.arrival;
     }
   };
 
-  std::priority_queue<Event, std::vector<Event>, ByEventTime> buffer_;
+  void Buffer(const Event& e);
+
+  std::priority_queue<Entry, std::vector<Entry>, ByEventTime> buffer_;
+  uint64_t next_arrival_ = 0;
 };
 
 }  // namespace klink

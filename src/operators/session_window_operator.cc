@@ -119,4 +119,52 @@ void SessionWindowOperator::OnWatermark(const Event& incoming,
   SetForwardSwm(fired);
 }
 
+void SessionWindowOperator::SerializeState(StateWriter& w) const {
+  // Serialize in by_close_ iteration order and restore by re-inserting in
+  // that order: the multimap's tie order (equal close times) determines
+  // firing order, so it must survive the round trip exactly.
+  w.PutU64(static_cast<uint64_t>(by_close_.size()));
+  for (const auto& [close, key] : by_close_) {
+    const auto sit = sessions_.find(key);
+    KLINK_CHECK(sit != sessions_.end());
+    const Session& s = sit->second;
+    w.PutI64(close);
+    w.PutU64(key);
+    w.PutI64(s.start);
+    w.PutI64(s.last_event);
+    w.PutI64(s.count);
+    w.PutDouble(s.sum);
+    w.PutDouble(s.max);
+  }
+  w.PutI64(fired_sessions_);
+  w.PutI64(dropped_late_);
+  w.PutI64(merged_sessions_);
+  tracker_.Serialize(w);
+}
+
+void SessionWindowOperator::RestoreState(StateReader& r) {
+  KLINK_CHECK(sessions_.empty());
+  const uint64_t n = r.GetU64();
+  KLINK_CHECK(r.ok());
+  for (uint64_t i = 0; i < n; ++i) {
+    const TimeMicros close = r.GetI64();
+    const uint64_t key = r.GetU64();
+    Session s;
+    s.start = r.GetI64();
+    s.last_event = r.GetI64();
+    s.count = r.GetI64();
+    s.sum = r.GetDouble();
+    s.max = r.GetDouble();
+    KLINK_CHECK(r.ok());
+    sessions_.emplace(key, s);
+    by_close_.emplace(close, key);
+    AddStateBytes(kBytesPerSession);
+  }
+  fired_sessions_ = r.GetI64();
+  dropped_late_ = r.GetI64();
+  merged_sessions_ = r.GetI64();
+  tracker_.Restore(r);
+  KLINK_CHECK(r.ok());
+}
+
 }  // namespace klink

@@ -51,6 +51,8 @@ class SessionWindowOperator final : public Operator {
   void OnData(const Event& e, TimeMicros now, Emitter& out) override;
   void OnWatermark(const Event& incoming, TimeMicros min_watermark,
                    TimeMicros now, Emitter& out) override;
+  void SerializeState(StateWriter& w) const override;
+  void RestoreState(StateReader& r) override;
 
  private:
   struct Session {

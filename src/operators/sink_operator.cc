@@ -49,4 +49,20 @@ void SinkOperator::OnLatencyMarker(const Event& e, TimeMicros now,
   marker_latency_.Add(now - e.event_time);
 }
 
+void SinkOperator::SerializeState(StateWriter& w) const {
+  w.PutI64(results_received_);
+  w.PutU64(results_hash_);
+  w.PutI64(last_result_time_);
+  swm_latency_.Serialize(w);
+  marker_latency_.Serialize(w);
+}
+
+void SinkOperator::RestoreState(StateReader& r) {
+  results_received_ = r.GetI64();
+  results_hash_ = r.GetU64();
+  last_result_time_ = r.GetI64();
+  swm_latency_.Restore(r);
+  marker_latency_.Restore(r);
+}
+
 }  // namespace klink

@@ -45,6 +45,8 @@ class SinkOperator final : public Operator {
   void OnWatermark(const Event& incoming, TimeMicros min_watermark,
                    TimeMicros now, Emitter& out) override;
   void OnLatencyMarker(const Event& e, TimeMicros now, Emitter& out) override;
+  void SerializeState(StateWriter& w) const override;
+  void RestoreState(StateReader& r) override;
 
  private:
   static constexpr uint64_t kHashBasis = 14695981039346656037ull;

@@ -22,6 +22,12 @@ class SourceOperator final : public Operator {
 
  protected:
   void OnData(const Event& e, TimeMicros now, Emitter& out) override;
+  void SerializeState(StateWriter& w) const override {
+    w.PutI64(last_network_delay_);
+  }
+  void RestoreState(StateReader& r) override {
+    last_network_delay_ = r.GetI64();
+  }
 
  private:
   DurationMicros last_network_delay_ = -1;

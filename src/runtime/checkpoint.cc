@@ -1,0 +1,351 @@
+#include "src/runtime/checkpoint.h"
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "src/common/check.h"
+#include "src/event/stream_queue.h"
+#include "src/net/ingest_gateway.h"
+#include "src/runtime/audit.h"
+
+namespace klink {
+namespace {
+
+/// Leading magic of an epoch file ("KLNKCPT1" little-endian); a file that
+/// does not start with it is rejected before any structural parse.
+constexpr uint64_t kCheckpointMagic = 0x3154504b4e4c4bull;
+
+std::string EpochFileName(uint64_t epoch) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "epoch_%llu.ckpt",
+                static_cast<unsigned long long>(epoch));
+  return std::string(buf);
+}
+
+std::string JoinPath(const std::string& dir, const std::string& name) {
+  if (dir.empty()) return name;
+  return dir.back() == '/' ? dir + name : dir + "/" + name;
+}
+
+/// Writes `bytes` to `path` atomically: tmp file, flush + fsync, rename.
+/// A crash mid-write leaves either the old file or a .tmp the reader never
+/// looks at — never a torn file under the final name.
+bool WriteFileAtomic(const std::string& path,
+                     const std::vector<uint8_t>& bytes) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return false;
+  bool ok = bytes.empty() ||
+            std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
+  ok = ok && std::fflush(f) == 0;
+  if (ok) fsync(fileno(f));
+  ok = (std::fclose(f) == 0) && ok;
+  if (!ok) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+bool ReadWholeFile(const std::string& path, std::vector<uint8_t>* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  out->assign(std::istreambuf_iterator<char>(in),
+              std::istreambuf_iterator<char>());
+  return in.good() || in.eof();
+}
+
+}  // namespace
+
+CheckpointCoordinator::CheckpointCoordinator(CheckpointConfig config)
+    : config_(std::move(config)) {
+  KLINK_CHECK(!config_.dir.empty());
+  KLINK_CHECK_GT(config_.interval, 0);
+  KLINK_CHECK_GE(config_.keep_epochs, 2);
+  ::mkdir(config_.dir.c_str(), 0755);  // may already exist
+  // Adopt any epochs a previous incarnation left behind, so the fallback
+  // chain survives a restore and pruning sees the whole set.
+  std::ifstream manifest(JoinPath(config_.dir, "MANIFEST"));
+  uint64_t epoch = 0;
+  uint64_t hash = 0;
+  std::string file;
+  while (manifest >> epoch >> file >> std::hex >> hash >> std::dec) {
+    manifest_[epoch] = {file, hash};
+    last_durable_epoch_ = std::max(last_durable_epoch_, epoch);
+  }
+}
+
+void CheckpointCoordinator::RegisterQuery(Query* query,
+                                          std::vector<uint32_t> stream_ids,
+                                          IngestGateway* gateway) {
+  KLINK_CHECK(query != nullptr);
+  KLINK_CHECK(pending_.empty());  // register before the engine runs
+  if (gateway != nullptr) {
+    KLINK_CHECK_EQ(stream_ids.size(), query->sources().size());
+  }
+  const int qindex = static_cast<int>(queries_.size());
+  for (int i = 0; i < query->num_operators(); ++i) {
+    Operator& op = query->op(i);
+    op.SetBarrierObserver(this);
+    op_index_[&op] = {qindex, i};
+  }
+  total_operators_ += query->num_operators();
+  queries_.push_back(Registered{query, std::move(stream_ids), gateway});
+}
+
+void CheckpointCoordinator::ResumeFrom(uint64_t epoch,
+                                       TimeMicros checkpoint_time) {
+  next_epoch_ = epoch + 1;
+  next_checkpoint_time_ = checkpoint_time + config_.interval;
+  next_time_armed_ = true;
+}
+
+int64_t CheckpointCoordinator::OnCycleStart(TimeMicros now) {
+  // Finalize in epoch order on the engine thread; barriers flow FIFO, so
+  // epochs complete in order and the first incomplete one ends the sweep.
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (!pending_.empty()) {
+      auto it = pending_.begin();
+      if (it->second.total_captured < total_operators_) break;
+      PendingEpoch done = std::move(it->second);
+      const uint64_t epoch = it->first;
+      pending_.erase(it);
+      lock.unlock();  // file IO and acks outside the capture lock
+      FinalizeEpoch(epoch, done);
+      lock.lock();
+    }
+  }
+  if (queries_.empty()) return 0;
+  if (!next_time_armed_) {
+    // First cycle: the first barrier fires one interval into the run.
+    next_checkpoint_time_ = now + config_.interval;
+    next_time_armed_ = true;
+  }
+  if (now < next_checkpoint_time_) return 0;
+  int64_t added = 0;
+  InjectBarriers(now, &added);
+  while (next_checkpoint_time_ <= now) {
+    next_checkpoint_time_ += config_.interval;
+  }
+  return added;
+}
+
+void CheckpointCoordinator::InjectBarriers(TimeMicros now,
+                                           int64_t* added_bytes) {
+  const uint64_t epoch = next_epoch_++;
+  PendingEpoch pending;
+  pending.checkpoint_time = now;
+  pending.queries.resize(queries_.size());
+  for (size_t q = 0; q < queries_.size(); ++q) {
+    const Registered& reg = queries_[q];
+    PendingQuery& pq = pending.queries[q];
+    pq.op_blobs.resize(static_cast<size_t>(reg.query->num_operators()));
+    // The replay cursor is the gateway's delivered prefix at injection:
+    // every element the engine has popped so far is pre-barrier, everything
+    // after it will be replayed by the client on recovery.
+    if (reg.gateway != nullptr) {
+      for (const uint32_t stream_id : reg.stream_ids) {
+        pq.cursors.emplace_back(stream_id,
+                                reg.gateway->delivered_seq(stream_id));
+      }
+    }
+    for (SourceOperator* src : reg.query->sources()) {
+      const Event barrier = MakeCheckpointBarrier(epoch, now);
+      src->input(0).Push(barrier);
+      *added_bytes += barrier.payload_bytes + StreamQueue::kPerEventOverhead;
+      ++barriers_injected_;
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  pending_.emplace(epoch, std::move(pending));
+}
+
+void CheckpointCoordinator::OnBarrierAligned(Operator& op, uint64_t epoch) {
+  const auto it = op_index_.find(&op);
+  KLINK_CHECK(it != op_index_.end());  // barrier reached an unregistered op
+  StateWriter w;
+  op.Serialize(w);
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto pit = pending_.find(epoch);
+  KLINK_CHECK(pit != pending_.end());
+  PendingQuery& pq = pit->second.queries[static_cast<size_t>(it->second.first)];
+  std::vector<uint8_t>& blob =
+      pq.op_blobs[static_cast<size_t>(it->second.second)];
+  KLINK_CHECK(blob.empty());  // one alignment per (operator, epoch)
+  blob = w.TakeBytes();
+  KLINK_CHECK(!blob.empty());  // base Serialize always writes a header
+  ++pq.captured;
+  ++pit->second.total_captured;
+}
+
+void CheckpointCoordinator::FinalizeEpoch(uint64_t epoch,
+                                          PendingEpoch& pending) {
+  StateWriter w;
+  w.PutU64(kCheckpointMagic);
+  w.PutU64(epoch);
+  w.PutI64(pending.checkpoint_time);
+  w.PutU32(static_cast<uint32_t>(queries_.size()));
+  for (size_t q = 0; q < queries_.size(); ++q) {
+    const PendingQuery& pq = pending.queries[q];
+    w.PutI64(static_cast<int64_t>(queries_[q].query->id()));
+    w.PutU32(static_cast<uint32_t>(pq.cursors.size()));
+    for (const auto& [stream_id, seq] : pq.cursors) {
+      w.PutU32(stream_id);
+      w.PutU64(seq);
+    }
+    w.PutU32(static_cast<uint32_t>(pq.op_blobs.size()));
+    for (const std::vector<uint8_t>& blob : pq.op_blobs) {
+      w.PutU64(blob.size());
+      w.PutBytes(blob.data(), blob.size());
+    }
+  }
+  const std::vector<uint8_t> bytes = w.TakeBytes();
+  const uint64_t hash = Fnv1aBytes(bytes.data(), bytes.size());
+  const std::string file = EpochFileName(epoch);
+  if (!WriteFileAtomic(JoinPath(config_.dir, file), bytes)) {
+    std::fprintf(stderr, "klink: checkpoint epoch %llu write failed\n",
+                 static_cast<unsigned long long>(epoch));
+    return;  // not durable: no manifest entry, no acks
+  }
+  manifest_[epoch] = {file, hash};
+  PruneOldEpochs();
+  RewriteManifest();
+  last_durable_epoch_ = epoch;
+  // Only now — file and manifest durable — may clients trim their replay
+  // buffers: ack each stream's covered sequence prefix.
+  if (ack_) {
+    for (const PendingQuery& pq : pending.queries) {
+      for (const auto& [stream_id, seq] : pq.cursors) {
+        ack_(stream_id, epoch, seq);
+      }
+    }
+  }
+}
+
+void CheckpointCoordinator::PruneOldEpochs() {
+  while (manifest_.size() > static_cast<size_t>(config_.keep_epochs)) {
+    const auto it = manifest_.begin();
+    std::remove(JoinPath(config_.dir, it->second.first).c_str());
+    manifest_.erase(it);
+  }
+}
+
+void CheckpointCoordinator::RewriteManifest() {
+  std::ostringstream out;
+  for (const auto& [epoch, entry] : manifest_) {
+    char hash_hex[32];
+    std::snprintf(hash_hex, sizeof(hash_hex), "%016llx",
+                  static_cast<unsigned long long>(entry.second));
+    out << epoch << " " << entry.first << " " << hash_hex << "\n";
+  }
+  const std::string text = out.str();
+  std::vector<uint8_t> bytes(text.begin(), text.end());
+  if (!WriteFileAtomic(JoinPath(config_.dir, "MANIFEST"), bytes)) {
+    std::fprintf(stderr, "klink: checkpoint MANIFEST write failed\n");
+  }
+}
+
+bool LoadLatestCheckpoint(const std::string& dir, LoadedCheckpoint* out) {
+  KLINK_CHECK(out != nullptr);
+  std::ifstream manifest(JoinPath(dir, "MANIFEST"));
+  if (!manifest) return false;
+  std::map<uint64_t, std::pair<std::string, uint64_t>> entries;
+  uint64_t epoch = 0;
+  uint64_t hash = 0;
+  std::string file;
+  while (manifest >> epoch >> file >> std::hex >> hash >> std::dec) {
+    entries[epoch] = {file, hash};
+  }
+  // Newest first; a torn newest file falls back to its predecessor (the
+  // coordinator keeps >= 2 complete epochs for exactly this case).
+  for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
+    std::vector<uint8_t> bytes;
+    if (!ReadWholeFile(JoinPath(dir, it->second.first), &bytes)) {
+      std::fprintf(stderr, "klink: checkpoint epoch %llu unreadable, "
+                   "falling back\n",
+                   static_cast<unsigned long long>(it->first));
+      continue;
+    }
+    const uint64_t computed = Fnv1aBytes(bytes.data(), bytes.size());
+    if (computed != it->second.second) {
+      if (AuditEnabledFromEnv()) {
+        // Audit runs treat a hash mismatch as fatal: tmp+rename should make
+        // torn files impossible, so a mismatch means writer corruption.
+        KLINK_CHECK_EQ(computed, it->second.second);
+      }
+      std::fprintf(stderr, "klink: checkpoint epoch %llu hash mismatch, "
+                   "falling back\n",
+                   static_cast<unsigned long long>(it->first));
+      continue;
+    }
+    StateReader r(bytes);
+    const uint64_t magic = r.GetU64();
+    const uint64_t file_epoch = r.GetU64();
+    const TimeMicros checkpoint_time = r.GetI64();
+    const uint32_t num_queries = r.GetU32();
+    if (!r.ok() || magic != kCheckpointMagic || file_epoch != it->first) {
+      std::fprintf(stderr, "klink: checkpoint epoch %llu malformed, "
+                   "falling back\n",
+                   static_cast<unsigned long long>(it->first));
+      continue;
+    }
+    LoadedCheckpoint loaded;
+    loaded.epoch = file_epoch;
+    loaded.checkpoint_time = checkpoint_time;
+    bool parsed = true;
+    for (uint32_t q = 0; q < num_queries && parsed; ++q) {
+      LoadedQueryState qs;
+      qs.query_id = static_cast<QueryId>(r.GetI64());
+      const uint32_t num_cursors = r.GetU32();
+      for (uint32_t c = 0; c < num_cursors; ++c) {
+        const uint32_t stream_id = r.GetU32();
+        const uint64_t seq = r.GetU64();
+        qs.cursors.emplace_back(stream_id, seq);
+      }
+      const uint32_t num_ops = r.GetU32();
+      for (uint32_t o = 0; o < num_ops && parsed; ++o) {
+        const uint64_t len = r.GetU64();
+        if (!r.ok() || len > r.remaining()) {
+          parsed = false;
+          break;
+        }
+        std::vector<uint8_t> blob(static_cast<size_t>(len));
+        for (size_t b = 0; b < blob.size(); ++b) blob[b] = r.GetU8();
+        qs.op_blobs.push_back(std::move(blob));
+      }
+      if (!r.ok()) parsed = false;
+      loaded.queries.push_back(std::move(qs));
+    }
+    if (!parsed || !r.ok() || !r.AtEnd()) {
+      std::fprintf(stderr, "klink: checkpoint epoch %llu truncated, "
+                   "falling back\n",
+                   static_cast<unsigned long long>(it->first));
+      continue;
+    }
+    *out = std::move(loaded);
+    return true;
+  }
+  return false;
+}
+
+void RestoreQueryState(const LoadedQueryState& state, Query* query) {
+  KLINK_CHECK(query != nullptr);
+  KLINK_CHECK_EQ(static_cast<int>(state.op_blobs.size()),
+                 query->num_operators());
+  for (int i = 0; i < query->num_operators(); ++i) {
+    const std::vector<uint8_t>& blob =
+        state.op_blobs[static_cast<size_t>(i)];
+    StateReader r(blob);
+    query->op(i).Restore(r);
+    KLINK_CHECK(r.ok());     // layout mismatch: topology differs from writer
+    KLINK_CHECK(r.AtEnd());  // trailing bytes: writer serialized more state
+  }
+}
+
+}  // namespace klink

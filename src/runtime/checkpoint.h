@@ -1,0 +1,175 @@
+#ifndef KLINK_RUNTIME_CHECKPOINT_H_
+#define KLINK_RUNTIME_CHECKPOINT_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/serialize.h"
+#include "src/common/types.h"
+#include "src/operators/operator.h"
+#include "src/query/query.h"
+
+namespace klink {
+
+class IngestGateway;
+
+/// Checkpointing knobs (DESIGN.md "Fault tolerance").
+struct CheckpointConfig {
+  /// Directory holding epoch files and the MANIFEST. Created if missing.
+  std::string dir;
+  /// Virtual-time spacing between barrier injections.
+  DurationMicros interval = SecondsToMicros(1);
+  /// Complete epochs retained on disk. Must be >= 2 so a torn newest
+  /// checkpoint always leaves a complete predecessor to fall back to.
+  int keep_epochs = 2;
+};
+
+/// One query's slice of a loaded checkpoint.
+struct LoadedQueryState {
+  QueryId query_id = 0;
+  /// Ingest replay cursors: for each source stream, the per-stream sequence
+  /// number of the last element reflected in the checkpoint. Recovery
+  /// rewinds the gateway to cursor and clients replay seq > cursor.
+  std::vector<std::pair<uint32_t, uint64_t>> cursors;
+  /// Per-operator state blobs, in topological (operators()) order.
+  std::vector<std::vector<uint8_t>> op_blobs;
+};
+
+/// A complete, hash-verified checkpoint read back from disk.
+struct LoadedCheckpoint {
+  uint64_t epoch = 0;
+  /// Engine virtual time at barrier injection; the restored engine's clock
+  /// resumes here.
+  TimeMicros checkpoint_time = 0;
+  std::vector<LoadedQueryState> queries;
+};
+
+/// Coordinates asynchronous barrier snapshots (Carbone et al., "Lightweight
+/// Asynchronous Snapshots for Distributed Dataflows") over the engine's
+/// deployed queries:
+///
+///   1. Every `interval` of virtual time, OnCycleStart() injects an
+///      epoch-numbered barrier into each registered query's source queues —
+///      after the cycle's ingest, so the epoch's replay cursor is exactly
+///      the gateway's delivered prefix — and records per-stream cursors.
+///   2. Barriers flow FIFO with the data. When an operator has seen the
+///      epoch's barrier on all inputs (alignment; multi-input operators
+///      block ahead-of-epoch inputs, see execution_context.cc), it calls
+///      OnBarrierAligned and its state is serialized synchronously: all
+///      pre-barrier elements are in the snapshot, no post-barrier ones.
+///   3. When every operator of every query has aligned, the next
+///      OnCycleStart finalizes the epoch on the engine thread: the state
+///      blobs are written to `epoch_<N>.ckpt` via tmp+rename, the MANIFEST
+///      records the file's FNV-1a hash, old epochs are pruned, and the ack
+///      callback reports each stream's durable sequence prefix (the ingest
+///      server turns these into CHECKPOINT_ACK frames, letting clients
+///      trim their replay buffers).
+///
+/// Thread safety: OnBarrierAligned may run on executor worker threads (one
+/// query runs on one thread, but queries run concurrently); captures are
+/// mutex-buffered. Everything else runs on the engine thread.
+class CheckpointCoordinator final : public BarrierObserver {
+ public:
+  /// (stream_id, epoch, durable_seq): every element with seq <= durable_seq
+  /// on stream_id is covered by durable checkpoint `epoch`.
+  using AckFn =
+      std::function<void(uint32_t stream_id, uint64_t epoch, uint64_t seq)>;
+
+  explicit CheckpointCoordinator(CheckpointConfig config);
+
+  CheckpointCoordinator(const CheckpointCoordinator&) = delete;
+  CheckpointCoordinator& operator=(const CheckpointCoordinator&) = delete;
+
+  /// Registers a query before the engine runs. `stream_ids[i]` is the
+  /// gateway stream feeding source i (used for replay cursors); `gateway`
+  /// may be null for in-process feeds, in which case no cursors are
+  /// recorded. Installs this coordinator as every operator's barrier
+  /// observer.
+  void RegisterQuery(Query* query, std::vector<uint32_t> stream_ids,
+                     IngestGateway* gateway);
+
+  /// Called after a restore: the next epoch is `epoch` + 1 and the next
+  /// barrier fires one interval after `checkpoint_time`.
+  void ResumeFrom(uint64_t epoch, TimeMicros checkpoint_time);
+
+  void SetAckCallback(AckFn fn) { ack_ = std::move(fn); }
+
+  /// Engine hook, called once per cycle after ingest. Finalizes any epochs
+  /// whose barriers have fully aligned (durable write + acks), then injects
+  /// the next epoch's barriers if `now` reached the interval. Returns the
+  /// queue bytes added by injected barriers, so the engine can fold them
+  /// into the cycle's memory update.
+  int64_t OnCycleStart(TimeMicros now);
+
+  /// BarrierObserver: serializes `op` into the epoch's pending buffer.
+  void OnBarrierAligned(Operator& op, uint64_t epoch) override;
+
+  /// Newest epoch whose file and manifest entry are durable (0 = none).
+  uint64_t last_durable_epoch() const { return last_durable_epoch_; }
+  uint64_t epochs_started() const { return next_epoch_ - 1; }
+  int64_t barriers_injected() const { return barriers_injected_; }
+
+ private:
+  struct Registered {
+    Query* query = nullptr;
+    std::vector<uint32_t> stream_ids;  // one per source, same order
+    IngestGateway* gateway = nullptr;
+  };
+  struct PendingQuery {
+    std::vector<std::pair<uint32_t, uint64_t>> cursors;
+    std::vector<std::vector<uint8_t>> op_blobs;  // indexed by operator
+    int captured = 0;
+  };
+  struct PendingEpoch {
+    TimeMicros checkpoint_time = 0;
+    std::vector<PendingQuery> queries;  // parallel to queries_
+    int total_captured = 0;
+  };
+
+  void InjectBarriers(TimeMicros now, int64_t* added_bytes);
+  /// Writes the epoch file + MANIFEST (tmp+rename) and fires acks.
+  void FinalizeEpoch(uint64_t epoch, PendingEpoch& pending);
+  void RewriteManifest();
+  void PruneOldEpochs();
+
+  const CheckpointConfig config_;
+  std::vector<Registered> queries_;
+  /// op -> (query index, operator index); filled by RegisterQuery.
+  std::map<const Operator*, std::pair<int, int>> op_index_;
+  int total_operators_ = 0;
+
+  uint64_t next_epoch_ = 1;
+  TimeMicros next_checkpoint_time_ = 0;
+  bool next_time_armed_ = false;
+  uint64_t last_durable_epoch_ = 0;
+  int64_t barriers_injected_ = 0;
+
+  std::mutex mu_;  // guards pending_ (worker threads capture into it)
+  std::map<uint64_t, PendingEpoch> pending_;
+
+  /// Durable epochs currently on disk: epoch -> (filename, hash).
+  std::map<uint64_t, std::pair<std::string, uint64_t>> manifest_;
+
+  AckFn ack_;
+};
+
+/// Reads the newest complete checkpoint under `dir`: parses the MANIFEST,
+/// verifies each candidate file's FNV-1a hash and structure, and falls back
+/// to the previous epoch when the newest is torn (truncated, corrupted, or
+/// missing). Under KLINK_AUDIT=1 a hash mismatch is fatal instead — a torn
+/// checkpoint in audit runs means the writer's tmp+rename discipline broke.
+/// Returns false when no complete checkpoint exists.
+bool LoadLatestCheckpoint(const std::string& dir, LoadedCheckpoint* out);
+
+/// Applies one query's blobs to a freshly built identical topology.
+/// Aborts (KLINK_CHECK) on operator-count or layout mismatch.
+void RestoreQueryState(const LoadedQueryState& state, Query* query);
+
+}  // namespace klink
+
+#endif  // KLINK_RUNTIME_CHECKPOINT_H_

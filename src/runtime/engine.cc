@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "src/common/check.h"
+#include "src/runtime/checkpoint.h"
 
 namespace klink {
 
@@ -86,8 +87,13 @@ void Engine::RunUntil(TimeMicros end_time) {
 void Engine::RunCycle() {
   // (1) Ingest everything due by the cycle boundary, unless backpressured;
   // (2) account memory — Ingest already knows the post-ingest usage, so no
-  // second sweep — and collect the runtime snapshot I.
-  memory_.Update(Ingest());
+  // second sweep — and collect the runtime snapshot I. Checkpoint barriers
+  // inject *after* ingest (the epoch's replay cursor is the delivered
+  // prefix) and *before* the memory update, so the cycle's usage figure
+  // already includes the queued barrier elements.
+  int64_t usage = Ingest();
+  if (coordinator_ != nullptr) usage += coordinator_->OnCycleStart(now_);
+  memory_.Update(usage);
   if (audit_ != nullptr) {
     audit_->CheckMemoryAccounting(ActiveQueriesForAudit(),
                                   memory_.used_bytes());
@@ -141,6 +147,15 @@ void Engine::RunCycle() {
   // (6) Sample the resource time series and advance the virtual clock.
   now_ += config_.cycle_length;
   MaybeSampleMetrics();
+}
+
+void Engine::RestoreClock(TimeMicros t) {
+  KLINK_CHECK_GE(t, 0);
+  now_ = t;
+  last_sample_time_ = t;
+  while (next_sample_time_ <= t) {
+    next_sample_time_ += config_.metrics_sample_period;
+  }
 }
 
 int64_t Engine::Ingest() {

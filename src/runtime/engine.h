@@ -17,6 +17,8 @@
 
 namespace klink {
 
+class CheckpointCoordinator;
+
 /// Engine tuning knobs. Defaults model the paper's single-node setup,
 /// scaled down so experiments run in seconds of wall time (see DESIGN.md).
 struct EngineConfig {
@@ -94,6 +96,19 @@ class Engine {
   const Executor& executor() const { return *executor_; }
   const EngineConfig& config() const { return config_; }
 
+  /// Attaches a checkpoint coordinator (not owned; may be null to detach).
+  /// Each cycle, right after ingest, the engine gives it a chance to
+  /// finalize durable epochs and inject the next barriers; injected barrier
+  /// bytes fold into the cycle's memory update.
+  void SetCheckpointCoordinator(CheckpointCoordinator* coordinator) {
+    coordinator_ = coordinator;
+  }
+
+  /// Rewinds the virtual clock to a restored checkpoint's capture time, so
+  /// the resumed run replays the exact cycle boundaries of the original.
+  /// Only valid before the first RunUntil.
+  void RestoreClock(TimeMicros t);
+
   /// Output latency (SWM propagation delay) merged across all query sinks.
   Histogram AggregateSwmLatency() const;
   /// Latency-marker propagation delay merged across all query sinks.
@@ -138,6 +153,8 @@ class Engine {
   Selection selection_scratch_;
   std::vector<ExecutorTask> tasks_scratch_;
   RuntimeSnapshot snapshot_scratch_;
+  /// Non-owning; null when checkpointing is off (see SetCheckpointCoordinator).
+  CheckpointCoordinator* coordinator_ = nullptr;
   /// Non-null when KLINK_AUDIT=1 at construction: cycle-boundary invariant
   /// cross-checks (see runtime/audit.h for the audited invariants and cost).
   std::unique_ptr<InvariantAuditor> audit_;

@@ -82,10 +82,19 @@ double ExecutionContext::RunQuery(Query& query) {
         // earliest ingest time; that per-element scan keeps the scalar
         // loop, with outputs still buffered and flushed as one run.
         while (consumed + cost <= budget_micros_) {
+          // Checkpoint barrier alignment (Flink-style): an input whose
+          // barrier already arrived for an epoch the others have not
+          // reached is blocked — its post-barrier elements must not enter
+          // operator state before the snapshot is taken at alignment.
+          uint64_t min_epoch = op.last_barrier_epoch(0);
+          for (int s = 1; s < op.num_inputs(); ++s) {
+            min_epoch = std::min(min_epoch, op.last_barrier_epoch(s));
+          }
           int best = -1;
           TimeMicros best_time = 0;
           for (int s = 0; s < op.num_inputs(); ++s) {
             if (op.input(s).empty()) continue;
+            if (op.last_barrier_epoch(s) > min_epoch) continue;  // blocked
             const TimeMicros t = op.input(s).Front().ingest_time;
             if (best == -1 || t < best_time) {
               best = s;

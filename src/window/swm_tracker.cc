@@ -38,4 +38,33 @@ const SwmTracker::StreamStats& SwmTracker::stream(int i) const {
   return streams_[static_cast<size_t>(i)];
 }
 
+void SwmTracker::Serialize(StateWriter& w) const {
+  w.PutU32(static_cast<uint32_t>(streams_.size()));
+  for (const StreamStats& s : streams_) {
+    w.PutI64(s.epoch);
+    s.current_delays.Serialize(w);
+    w.PutDouble(s.last_mu);
+    w.PutDouble(s.last_chi);
+    w.PutBool(s.has_finalized_epoch);
+    w.PutI64(s.last_sweep_ingest);
+    w.PutI64(s.last_swept_deadline);
+  }
+}
+
+void SwmTracker::Restore(StateReader& r) {
+  const uint32_t n = r.GetU32();
+  KLINK_CHECK(r.ok());
+  KLINK_CHECK_EQ(static_cast<int>(n), num_streams());
+  for (StreamStats& s : streams_) {
+    s.epoch = r.GetI64();
+    s.current_delays.Restore(r);
+    s.last_mu = r.GetDouble();
+    s.last_chi = r.GetDouble();
+    s.has_finalized_epoch = r.GetBool();
+    s.last_sweep_ingest = r.GetI64();
+    s.last_swept_deadline = r.GetI64();
+  }
+  KLINK_CHECK(r.ok());
+}
+
 }  // namespace klink

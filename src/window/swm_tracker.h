@@ -50,6 +50,12 @@ class SwmTracker {
   int num_streams() const { return static_cast<int>(streams_.size()); }
   const StreamStats& stream(int i) const;
 
+  /// Checkpoint support: per-stream epoch progress and delay statistics
+  /// are part of operator state (a restored operator must estimate SWM
+  /// ingestion exactly as the original would have).
+  void Serialize(StateWriter& w) const;
+  void Restore(StateReader& r);
+
  private:
   std::vector<StreamStats> streams_;
 };

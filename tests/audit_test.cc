@@ -8,8 +8,10 @@
 
 #include "src/event/stream_queue.h"
 #include "src/net/delay_model.h"
+#include "src/operators/map_operator.h"
 #include "src/query/pipeline_builder.h"
 #include "src/query/query.h"
+#include "src/runtime/checkpoint.h"
 #include "src/runtime/engine.h"
 #include "src/sched/rr_policy.h"
 #include "src/workloads/workload.h"
@@ -143,6 +145,73 @@ TEST(AuditDeathTest, CorruptionIsInvisibleWithoutAudit) {
   StreamQueueTestPeer::CorruptBytes(engine.query(0).op(0).input(0), 64);
   engine.RunFor(SecondsToMicros(1));
   EXPECT_GT(engine.metrics().processed_events(), 0);
+}
+
+TEST(AuditDeathTest, NonMonotonicBarrierEpochAborts) {
+  // The coordinator injects epochs in increasing order and queues are
+  // FIFO, so a stale or repeated barrier epoch at any operator means
+  // queue corruption; the alignment invariant aborts unconditionally.
+  EXPECT_DEATH(
+      {
+        MapOperator op("m", 1.0);
+        NullEmitter out;
+        op.Process(MakeCheckpointBarrier(/*epoch=*/2, /*ingest_time=*/0), 0,
+                   out);
+        op.Process(MakeCheckpointBarrier(/*epoch=*/2, /*ingest_time=*/0), 0,
+                   out);  // repeat: epoch must strictly increase
+      },
+      "KLINK_CHECK failed");
+}
+
+TEST(AuditDeathTest, CheckpointHashMismatchFatalUnderAudit) {
+  // Build one durable checkpoint, flip a payload byte, then load with
+  // KLINK_AUDIT=1: tmp+rename makes torn files impossible, so a hash
+  // mismatch in audit runs is writer corruption and must abort rather
+  // than silently fall back.
+  std::string tmpl = ::testing::TempDir() + "klink_audit_ckpt_XXXXXX";
+  std::vector<char> pathbuf(tmpl.begin(), tmpl.end());
+  pathbuf.push_back('\0');
+  ASSERT_NE(mkdtemp(pathbuf.data()), nullptr);
+  const std::string dir(pathbuf.data());
+  {
+    unsetenv("KLINK_AUDIT");
+    CheckpointConfig cc;
+    cc.dir = dir;
+    cc.interval = MillisToMicros(500);
+    CheckpointCoordinator coordinator(cc);
+    EngineConfig config;
+    Engine engine(config, std::make_unique<RoundRobinPolicy>());
+    engine.AddQuery(CountQuery(0), SteadyFeed(500, 1));
+    coordinator.RegisterQuery(&engine.query(0), {}, nullptr);
+    engine.SetCheckpointCoordinator(&coordinator);
+    engine.RunFor(SecondsToMicros(3));
+    ASSERT_GE(coordinator.last_durable_epoch(), 1u);
+    const std::string file =
+        dir + "/epoch_" + std::to_string(coordinator.last_durable_epoch()) +
+        ".ckpt";
+    std::FILE* f = std::fopen(file.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fseek(f, 24, SEEK_SET), 0);
+    uint8_t byte = 0;
+    ASSERT_EQ(std::fread(&byte, 1, 1, f), 1u);
+    byte ^= 0xFF;
+    ASSERT_EQ(std::fseek(f, 24, SEEK_SET), 0);
+    ASSERT_EQ(std::fwrite(&byte, 1, 1, f), 1u);
+    std::fclose(f);
+  }
+  EXPECT_DEATH(
+      {
+        setenv("KLINK_AUDIT", "1", 1);
+        LoadedCheckpoint loaded;
+        LoadLatestCheckpoint(dir, &loaded);
+      },
+      "KLINK_CHECK failed");
+  // Without audit the same damage falls back to the previous epoch.
+  unsetenv("KLINK_AUDIT");
+  LoadedCheckpoint loaded;
+  if (LoadLatestCheckpoint(dir, &loaded)) {
+    EXPECT_GT(loaded.epoch, 0u);
+  }
 }
 
 TEST(AuditDeathTest, SelectionBudgetInvariants) {

@@ -215,9 +215,10 @@ void SendBytes(int fd, const std::vector<uint8_t>& bytes) {
   ASSERT_TRUE(SendAll(fd, bytes.data(), bytes.size()).ok());
 }
 
-/// Polls the server until the peer closes `fd`, collecting whatever the
-/// server sent first (an error frame, if any). Returns the decoded error
-/// code, or 0 if the connection closed silently.
+/// Polls the server until the peer closes `fd`, collecting everything the
+/// server sent. Scans past non-error frames (a HELLO_ACK precedes any
+/// error once the greeting succeeded) and returns the first error frame's
+/// code, or 0 if the connection closed without one.
 uint16_t DrainUntilClosed(IngestServer& server, int fd) {
   std::vector<uint8_t> received;
   uint8_t chunk[512];
@@ -232,12 +233,16 @@ uint16_t DrainUntilClosed(IngestServer& server, int fd) {
     if (n.value() == 0) break;  // orderly close from the server
   }
   CloseFd(fd);
-  Frame frame;
-  size_t consumed = 0;
-  if (DecodeFrame(received.data(), received.size(), &frame, &consumed) ==
-          DecodeResult::kOk &&
-      frame.type == FrameType::kError) {
-    return frame.error_code;
+  size_t off = 0;
+  while (off < received.size()) {
+    Frame frame;
+    size_t consumed = 0;
+    if (DecodeFrame(received.data() + off, received.size() - off, &frame,
+                    &consumed) != DecodeResult::kOk) {
+      break;
+    }
+    if (frame.type == FrameType::kError) return frame.error_code;
+    off += consumed;
   }
   return 0;
 }
@@ -286,7 +291,7 @@ TEST(IngestLoopbackTest, ElementBeforeHelloRejected) {
 
   const int fd = MustConnect(server.port());
   std::vector<uint8_t> bytes;
-  EncodeEvent(MakeDataEvent(1, 2, 3, 4.0), &bytes);
+  EncodeEvent(MakeDataEvent(1, 2, 3, 4.0), /*seq=*/1, &bytes);
   SendBytes(fd, bytes);
 
   EXPECT_EQ(DrainUntilClosed(server, fd),
@@ -305,7 +310,8 @@ TEST(IngestLoopbackTest, MidStreamDisconnectKeepsDeliveredPrefix) {
   std::vector<uint8_t> bytes;
   EncodeHello(1, &bytes);
   for (int i = 0; i < 10; ++i) {
-    EncodeEvent(MakeDataEvent(i, i, 0, 1.0), &bytes);
+    EncodeEvent(MakeDataEvent(i, i, 0, 1.0),
+                /*seq=*/static_cast<uint64_t>(i + 1), &bytes);
   }
   SendBytes(fd, bytes);
   CloseFd(fd);  // abrupt: no kBye
@@ -324,6 +330,86 @@ TEST(IngestLoopbackTest, MidStreamDisconnectKeepsDeliveredPrefix) {
   EXPECT_FALSE(gateway.end_of_stream(1));
   EXPECT_LT(gateway.StagedThrough(1),
             std::numeric_limits<TimeMicros>::max());
+  server.Stop();
+}
+
+TEST(IngestLoopbackTest, VersionSkewRejectedWithTypedError) {
+  // A client speaking protocol v1 against a v2 server: the server must
+  // answer with the typed kVersionMismatch error and close, not hang or
+  // misparse the old layout.
+  IngestGateway gateway;
+  gateway.RegisterStream(1, IngestStreamConfig{});
+  IngestServer server(IngestServerConfig{}, &gateway);
+  ASSERT_TRUE(server.Start().ok());
+
+  const int fd = MustConnect(server.port());
+  std::vector<uint8_t> bytes;
+  EncodeHello(1, &bytes);
+  bytes[2] = kWireVersion - 1;  // rewrite the version byte: an old client
+  SendBytes(fd, bytes);
+
+  EXPECT_EQ(DrainUntilClosed(server, fd),
+            static_cast<uint16_t>(WireError::kVersionMismatch));
+  EXPECT_EQ(server.num_connections(), 0);
+  EXPECT_EQ(gateway.metrics().malformed_frames(), 1);
+  server.Stop();
+}
+
+TEST(IngestLoopbackTest, SequenceGapDrawsProtocolViolation) {
+  IngestGateway gateway;
+  gateway.RegisterStream(1, IngestStreamConfig{});
+  IngestServer server(IngestServerConfig{}, &gateway);
+  ASSERT_TRUE(server.Start().ok());
+
+  const int fd = MustConnect(server.port());
+  std::vector<uint8_t> bytes;
+  EncodeHello(1, &bytes);
+  EncodeEvent(MakeDataEvent(1, 1, 0, 1.0), /*seq=*/1, &bytes);
+  EncodeEvent(MakeDataEvent(2, 2, 0, 1.0), /*seq=*/3, &bytes);  // gap: no 2
+  SendBytes(fd, bytes);
+
+  EXPECT_EQ(DrainUntilClosed(server, fd),
+            static_cast<uint16_t>(WireError::kProtocolViolation));
+  EXPECT_EQ(server.num_connections(), 0);
+  // The contiguous prefix before the gap was delivered.
+  EXPECT_EQ(gateway.staged_events(1), 1);
+  server.Stop();
+}
+
+TEST(IngestLoopbackTest, DuplicateSequencesDroppedSilently) {
+  // Replay overlap after a reconnect: duplicates of already-delivered
+  // seqs are dropped without error, and delivery resumes at the tail.
+  IngestGateway gateway;
+  gateway.RegisterStream(1, IngestStreamConfig{});
+  IngestServer server(IngestServerConfig{}, &gateway);
+  ASSERT_TRUE(server.Start().ok());
+
+  const int fd = MustConnect(server.port());
+  std::vector<uint8_t> bytes;
+  EncodeHello(1, &bytes);
+  for (int i = 0; i < 5; ++i) {
+    EncodeEvent(MakeDataEvent(i, i, 0, 1.0),
+                /*seq=*/static_cast<uint64_t>(i + 1), &bytes);
+  }
+  // Duplicate replay of seqs 3..5, then fresh 6..7.
+  for (int i = 2; i < 7; ++i) {
+    EncodeEvent(MakeDataEvent(i, i, 0, 1.0),
+                /*seq=*/static_cast<uint64_t>(i + 1), &bytes);
+  }
+  EncodeBye(&bytes);
+  SendBytes(fd, bytes);
+
+  EXPECT_EQ(DrainUntilClosed(server, fd), 0);  // no error: a clean bye
+  EXPECT_EQ(gateway.staged_events(1), 7);
+  EXPECT_EQ(gateway.duplicate_events(1), 3);
+  EXPECT_EQ(gateway.last_seq_received(1), 7u);
+  // Staged elements are the dedup'd contiguous stream, in order.
+  for (int i = 0; i < 7; ++i) {
+    const Event e = gateway.Pop(1);
+    ASSERT_TRUE(e.is_data());
+    EXPECT_EQ(e.event_time, i);
+  }
+  EXPECT_EQ(gateway.delivered_seq(1), 7u);
   server.Stop();
 }
 

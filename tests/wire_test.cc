@@ -3,6 +3,10 @@
 // fuzz pass feeding random byte strings through the decoder — the decoder
 // must classify every input without reading out of bounds (the CI ASan+
 // UBSan job runs this test to enforce "without UB" mechanically).
+//
+// Protocol v2 adds per-stream sequence numbers on element frames plus the
+// kHelloAck/kCheckpointAck control frames; version skew decodes to the
+// distinct kVersionMismatch result, not generic kMalformed.
 
 #include <gtest/gtest.h>
 
@@ -37,10 +41,11 @@ TEST(WireTest, DataEventRoundTrip) {
                                 123459999, /*key=*/0xDEADBEEFCAFEull,
                                 /*value=*/-3.25, /*payload_bytes=*/96);
   std::vector<uint8_t> bytes;
-  EncodeEvent(e, &bytes);
+  EncodeEvent(e, /*seq=*/77, &bytes);
   EXPECT_EQ(bytes.size(), EncodedEventSize(e));
   const Frame f = MustDecode(bytes);
   EXPECT_EQ(f.type, FrameType::kData);
+  EXPECT_EQ(f.seq, 77u);
   EXPECT_TRUE(f.event.is_data());
   EXPECT_EQ(f.event.event_time, e.event_time);
   EXPECT_EQ(f.event.ingest_time, e.ingest_time);
@@ -54,9 +59,10 @@ TEST(WireTest, WatermarkRoundTripPreservesSwmFlag) {
     Event wm = MakeWatermark(/*timestamp=*/1000, /*ingest_time=*/2000);
     wm.swm = swm;
     std::vector<uint8_t> bytes;
-    EncodeEvent(wm, &bytes);
+    EncodeEvent(wm, /*seq=*/1, &bytes);
     const Frame f = MustDecode(bytes);
     EXPECT_EQ(f.type, FrameType::kWatermark);
+    EXPECT_EQ(f.seq, 1u);
     EXPECT_TRUE(f.event.is_watermark());
     EXPECT_EQ(f.event.event_time, wm.event_time);
     EXPECT_EQ(f.event.ingest_time, wm.ingest_time);
@@ -67,12 +73,32 @@ TEST(WireTest, WatermarkRoundTripPreservesSwmFlag) {
 TEST(WireTest, LatencyMarkerRoundTrip) {
   const Event m = MakeLatencyMarker(/*emit_time=*/777, /*ingest_time=*/888);
   std::vector<uint8_t> bytes;
-  EncodeEvent(m, &bytes);
+  EncodeEvent(m, /*seq=*/999, &bytes);
   const Frame f = MustDecode(bytes);
   EXPECT_EQ(f.type, FrameType::kMarker);
+  EXPECT_EQ(f.seq, 999u);
   EXPECT_TRUE(f.event.is_latency_marker());
   EXPECT_EQ(f.event.event_time, 777);
   EXPECT_EQ(f.event.ingest_time, 888);
+}
+
+TEST(WireTest, HelloAckRoundTrip) {
+  std::vector<uint8_t> bytes;
+  EncodeHelloAck(/*stream_id=*/13, /*next_seq=*/0x1122334455667788ull,
+                 &bytes);
+  const Frame f = MustDecode(bytes);
+  EXPECT_EQ(f.type, FrameType::kHelloAck);
+  EXPECT_EQ(f.stream_id, 13u);
+  EXPECT_EQ(f.next_seq, 0x1122334455667788ull);
+}
+
+TEST(WireTest, CheckpointAckRoundTrip) {
+  std::vector<uint8_t> bytes;
+  EncodeCheckpointAck(/*epoch=*/5, /*durable_seq=*/123456, &bytes);
+  const Frame f = MustDecode(bytes);
+  EXPECT_EQ(f.type, FrameType::kCheckpointAck);
+  EXPECT_EQ(f.epoch, 5u);
+  EXPECT_EQ(f.durable_seq, 123456u);
 }
 
 TEST(WireTest, ErrorRoundTrip) {
@@ -102,7 +128,8 @@ TEST(WireTest, ByeRoundTrip) {
 TEST(WireTest, BackToBackFramesDecodeSequentially) {
   std::vector<uint8_t> bytes;
   EncodeHello(7, &bytes);
-  EncodeEvent(MakeDataEvent(1, 2, 3, 4.0), &bytes);
+  EncodeEvent(MakeDataEvent(1, 2, 3, 4.0), /*seq=*/1, &bytes);
+  EncodeCheckpointAck(1, 10, &bytes);
   EncodeBye(&bytes);
 
   size_t off = 0;
@@ -118,19 +145,31 @@ TEST(WireTest, BackToBackFramesDecodeSequentially) {
   }
   EXPECT_EQ(types, (std::vector<FrameType>{FrameType::kHello,
                                            FrameType::kData,
+                                           FrameType::kCheckpointAck,
                                            FrameType::kBye}));
 }
 
 TEST(WireTest, EveryTruncationPrefixNeedsMoreNeverCrashes) {
+  // Element frame plus both new v2 control frames: every strict prefix
+  // must classify as kNeedMore without reading out of bounds.
+  const auto check_prefixes = [](const std::vector<uint8_t>& bytes) {
+    for (size_t len = 0; len < bytes.size(); ++len) {
+      Frame f;
+      size_t consumed = 0;
+      EXPECT_EQ(DecodeFrame(bytes.data(), len, &f, &consumed),
+                DecodeResult::kNeedMore)
+          << "prefix length " << len;
+    }
+  };
   std::vector<uint8_t> bytes;
-  EncodeEvent(MakeDataEvent(100, 200, 5, 1.5), &bytes);
-  for (size_t len = 0; len < bytes.size(); ++len) {
-    Frame f;
-    size_t consumed = 0;
-    EXPECT_EQ(DecodeFrame(bytes.data(), len, &f, &consumed),
-              DecodeResult::kNeedMore)
-        << "prefix length " << len;
-  }
+  EncodeEvent(MakeDataEvent(100, 200, 5, 1.5), /*seq=*/1, &bytes);
+  check_prefixes(bytes);
+  bytes.clear();
+  EncodeHelloAck(3, 42, &bytes);
+  check_prefixes(bytes);
+  bytes.clear();
+  EncodeCheckpointAck(2, 99, &bytes);
+  check_prefixes(bytes);
 }
 
 TEST(WireTest, BadMagicRejected) {
@@ -143,20 +182,25 @@ TEST(WireTest, BadMagicRejected) {
             DecodeResult::kMalformed);
 }
 
-TEST(WireTest, BadVersionRejected) {
-  std::vector<uint8_t> bytes;
-  EncodeBye(&bytes);
-  bytes[2] = kWireVersion + 1;
-  Frame f;
-  size_t consumed = 0;
-  EXPECT_EQ(DecodeFrame(bytes.data(), bytes.size(), &f, &consumed),
-            DecodeResult::kMalformed);
+TEST(WireTest, VersionSkewDistinctFromMalformed) {
+  // A structurally valid frame from a peer speaking another protocol
+  // version must decode to kVersionMismatch (so the server can reply with
+  // the typed WireError::kVersionMismatch), not generic kMalformed.
+  for (const uint8_t version : {uint8_t{1}, uint8_t{kWireVersion + 1}}) {
+    std::vector<uint8_t> bytes;
+    EncodeBye(&bytes);
+    bytes[2] = version;
+    Frame f;
+    size_t consumed = 0;
+    EXPECT_EQ(DecodeFrame(bytes.data(), bytes.size(), &f, &consumed),
+              DecodeResult::kVersionMismatch);
+  }
 }
 
 TEST(WireTest, BadTypeRejected) {
   std::vector<uint8_t> bytes;
   EncodeBye(&bytes);
-  for (const uint8_t type : {uint8_t{0}, uint8_t{7}, uint8_t{200}}) {
+  for (const uint8_t type : {uint8_t{0}, uint8_t{9}, uint8_t{200}}) {
     bytes[3] = type;
     Frame f;
     size_t consumed = 0;
@@ -168,8 +212,8 @@ TEST(WireTest, BadTypeRejected) {
 TEST(WireTest, WrongPayloadLengthForTypeRejected) {
   // A data frame whose length prefix disagrees with the fixed layout.
   std::vector<uint8_t> bytes;
-  EncodeEvent(MakeDataEvent(1, 2, 3, 4.0), &bytes);
-  bytes[4] = 35;  // one byte short
+  EncodeEvent(MakeDataEvent(1, 2, 3, 4.0), /*seq=*/1, &bytes);
+  bytes[4] = 43;  // one byte short of the 44-byte v2 data payload
   Frame f;
   size_t consumed = 0;
   EXPECT_EQ(DecodeFrame(bytes.data(), bytes.size(), &f, &consumed),
@@ -189,11 +233,29 @@ TEST(WireTest, OversizedLengthPrefixRejectedWithoutBuffering) {
             DecodeResult::kMalformed);
 }
 
+TEST(WireTest, ZeroSequenceNumberRejected) {
+  // seq is contiguous from 1; a zero seq can only come from a broken or
+  // pre-v2 client whose frame slipped past the version check.
+  for (const Event& e :
+       {MakeDataEvent(1, 2, 3, 4.0), MakeWatermark(10, 20),
+        MakeLatencyMarker(5, 6)}) {
+    std::vector<uint8_t> bytes;
+    EncodeEvent(e, /*seq=*/1, &bytes);
+    const uint64_t zero = 0;
+    std::memcpy(bytes.data() + kWireHeaderLen, &zero, sizeof(zero));
+    Frame f;
+    size_t consumed = 0;
+    EXPECT_EQ(DecodeFrame(bytes.data(), bytes.size(), &f, &consumed),
+              DecodeResult::kMalformed);
+  }
+}
+
 TEST(WireTest, NegativeTimesRejected) {
   std::vector<uint8_t> bytes;
-  EncodeEvent(MakeDataEvent(1, 2, 3, 4.0), &bytes);
+  EncodeEvent(MakeDataEvent(1, 2, 3, 4.0), /*seq=*/1, &bytes);
   const uint64_t neg = static_cast<uint64_t>(int64_t{-5});
-  std::memcpy(bytes.data() + kWireHeaderLen, &neg, sizeof(neg));
+  // event_time sits after the 8-byte seq prefix in v2.
+  std::memcpy(bytes.data() + kWireHeaderLen + 8, &neg, sizeof(neg));
   Frame f;
   size_t consumed = 0;
   EXPECT_EQ(DecodeFrame(bytes.data(), bytes.size(), &f, &consumed),
@@ -202,9 +264,9 @@ TEST(WireTest, NegativeTimesRejected) {
 
 TEST(WireTest, AbsurdEventPayloadBytesRejected) {
   std::vector<uint8_t> bytes;
-  EncodeEvent(MakeDataEvent(1, 2, 3, 4.0), &bytes);
+  EncodeEvent(MakeDataEvent(1, 2, 3, 4.0), /*seq=*/1, &bytes);
   const uint32_t huge = kMaxEventPayloadBytes + 1;
-  std::memcpy(bytes.data() + kWireHeaderLen + 32, &huge, sizeof(huge));
+  std::memcpy(bytes.data() + kWireHeaderLen + 40, &huge, sizeof(huge));
   Frame f;
   size_t consumed = 0;
   EXPECT_EQ(DecodeFrame(bytes.data(), bytes.size(), &f, &consumed),
@@ -214,8 +276,8 @@ TEST(WireTest, AbsurdEventPayloadBytesRejected) {
 TEST(WireTest, UnknownWatermarkFlagsRejected) {
   Event wm = MakeWatermark(10, 20);
   std::vector<uint8_t> bytes;
-  EncodeEvent(wm, &bytes);
-  bytes[kWireHeaderLen + 16] = 0x02;  // reserved flag bit
+  EncodeEvent(wm, /*seq=*/1, &bytes);
+  bytes[kWireHeaderLen + 24] = 0x02;  // reserved flag bit
   Frame f;
   size_t consumed = 0;
   EXPECT_EQ(DecodeFrame(bytes.data(), bytes.size(), &f, &consumed),
@@ -243,16 +305,23 @@ TEST(WireTest, RandomBytesNeverCrashTheDecoder) {
 }
 
 TEST(WireTest, RandomPayloadBehindValidHeaderNeverCrashes) {
-  // Valid header, fuzzed payload: exercises per-type payload validation.
+  // Valid header, fuzzed payload: exercises per-type payload validation
+  // across the element frames and both v2 control frames.
   Rng rng(0xBEEF);
   for (int iter = 0; iter < 2000; ++iter) {
     std::vector<uint8_t> bytes;
-    switch (rng.NextInt(0, 2)) {
+    switch (rng.NextInt(0, 4)) {
       case 0:
-        EncodeEvent(MakeDataEvent(1, 2, 3, 4.0), &bytes);
+        EncodeEvent(MakeDataEvent(1, 2, 3, 4.0), /*seq=*/1, &bytes);
         break;
       case 1:
-        EncodeEvent(MakeWatermark(1, 2), &bytes);
+        EncodeEvent(MakeWatermark(1, 2), /*seq=*/1, &bytes);
+        break;
+      case 2:
+        EncodeHelloAck(1, 2, &bytes);
+        break;
+      case 3:
+        EncodeCheckpointAck(1, 2, &bytes);
         break;
       default:
         EncodeError(WireError::kMalformedFrame, "msg", &bytes);

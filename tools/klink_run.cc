@@ -21,6 +21,18 @@
 // arrived (per-stream arrival watermarks), making a blast-mode loadgen
 // replay deterministic — the networked run produces the same results as
 // the equivalent in-process run.
+//
+// Fault tolerance (listen mode): --checkpoint-dir=DIR arms barrier
+// checkpoints every --checkpoint-interval-ms of virtual time; durable
+// epochs are acked to clients so they can trim their replay buffers.
+// After a crash, the same command line plus --restore loads the newest
+// complete checkpoint, rewinds the gateway's sequence cursors, and
+// resumes — reconnecting clients replay their unacked tails and the run
+// finishes with the byte-identical results_hash of an uninterrupted run:
+//
+//   klink_run --listen=9099 --lockstep --checkpoint-dir=/tmp/ck ...
+//   <SIGKILL>
+//   klink_run --listen=9099 --lockstep --checkpoint-dir=/tmp/ck --restore ...
 
 #include <algorithm>
 #include <chrono>
@@ -36,6 +48,7 @@
 #include "src/harness/reporter.h"
 #include "src/net/ingest_gateway.h"
 #include "src/net/ingest_server.h"
+#include "src/runtime/checkpoint.h"
 #include "src/runtime/engine.h"
 #include "src/workloads/lrb.h"
 #include "src/workloads/nyt.h"
@@ -81,7 +94,9 @@ int Usage() {
       "                 [--warmup=SECONDS] [--cores=N] [--memory-mb=N]\n"
       "                 [--executor=sequential|threads]\n"
       "                 [--confidence=F] [--seed=N] [--csv=PATH]\n"
-      "                 [--listen=PORT [--ingest-budget-kb=N] [--lockstep]]\n");
+      "                 [--listen=PORT [--ingest-budget-kb=N] [--lockstep]\n"
+      "                  [--checkpoint-dir=DIR [--checkpoint-interval-ms=N]\n"
+      "                   [--restore]]]\n");
   return 2;
 }
 
@@ -91,9 +106,17 @@ int64_t WallMicros() {
       .count();
 }
 
+/// Checkpointing options of listen mode (see CheckpointConfig).
+struct CheckpointFlags {
+  std::string dir;  // empty = checkpointing off
+  DurationMicros interval = SecondsToMicros(1);
+  bool restore = false;
+};
+
 /// Serves the ingest protocol and runs the engine against TCP arrivals.
 int RunListenMode(const ExperimentConfig& config, uint16_t port,
-                  int64_t ingest_budget_bytes, bool lockstep) {
+                  int64_t ingest_budget_bytes, bool lockstep,
+                  const CheckpointFlags& ckpt) {
   KlinkPolicyConfig klink_config = config.klink;
   klink_config.cycle_length = config.engine.cycle_length;
   Engine engine(config.engine, MakePolicy(config.policy, klink_config,
@@ -103,6 +126,7 @@ int RunListenMode(const ExperimentConfig& config, uint16_t port,
   // so a lockstep networked run is comparable to the simulated one.
   IngestGateway gateway;
   std::vector<NetworkFeed*> feeds;
+  std::vector<std::vector<uint32_t>> query_streams;
   Rng rng(config.seed);
   for (int q = 0; q < config.num_queries; ++q) {
     const uint64_t feed_seed = rng.NextUint64();
@@ -144,7 +168,47 @@ int RunListenMode(const ExperimentConfig& config, uint16_t port,
     }
     auto feed = std::make_unique<NetworkFeed>(&gateway, stream_ids);
     feeds.push_back(feed.get());
+    query_streams.push_back(stream_ids);
     engine.AddQuery(std::move(query), std::move(feed), /*deploy_time=*/0);
+  }
+
+  // Arm barrier checkpoints (and optionally restore) before serving: the
+  // gateway's sequence cursors must be rewound before the first client
+  // hello reads them back via HELLO_ACK.
+  std::unique_ptr<CheckpointCoordinator> coordinator;
+  if (!ckpt.dir.empty()) {
+    CheckpointConfig cc;
+    cc.dir = ckpt.dir;
+    cc.interval = ckpt.interval;
+    coordinator = std::make_unique<CheckpointCoordinator>(cc);
+    for (int q = 0; q < config.num_queries; ++q) {
+      coordinator->RegisterQuery(&engine.query(q),
+                                 query_streams[static_cast<size_t>(q)],
+                                 &gateway);
+    }
+    if (ckpt.restore) {
+      LoadedCheckpoint loaded;
+      if (LoadLatestCheckpoint(ckpt.dir, &loaded)) {
+        for (const LoadedQueryState& qs : loaded.queries) {
+          RestoreQueryState(qs, &engine.query(qs.query_id));
+          for (const auto& [stream_id, seq] : qs.cursors) {
+            gateway.RestoreCursor(stream_id, seq);
+          }
+        }
+        engine.RestoreClock(loaded.checkpoint_time);
+        coordinator->ResumeFrom(loaded.epoch, loaded.checkpoint_time);
+        std::printf("restored checkpoint epoch %llu (t=%.3f s)\n",
+                    static_cast<unsigned long long>(loaded.epoch),
+                    MicrosToSeconds(loaded.checkpoint_time));
+      } else {
+        std::printf("no complete checkpoint in %s; starting fresh\n",
+                    ckpt.dir.c_str());
+      }
+    }
+    engine.SetCheckpointCoordinator(coordinator.get());
+  } else if (ckpt.restore) {
+    std::fprintf(stderr, "--restore requires --checkpoint-dir\n");
+    return 2;
   }
 
   IngestServerConfig server_config;
@@ -155,6 +219,14 @@ int RunListenMode(const ExperimentConfig& config, uint16_t port,
     std::fprintf(stderr, "listen failed: %s\n", s.ToString().c_str());
     return 1;
   }
+  if (coordinator != nullptr) {
+    // Durable-epoch acks become CHECKPOINT_ACK frames on the stream's live
+    // connection (a disconnected client catches up via HELLO_ACK instead).
+    coordinator->SetAckCallback(
+        [&server](uint32_t stream_id, uint64_t epoch, uint64_t durable_seq) {
+          server.SendCheckpointAck(stream_id, epoch, durable_seq);
+        });
+  }
   std::printf("listening on 127.0.0.1:%u (%s mode); feed with e.g.\n"
               "  loadgen --port=%u --workload=%s --queries=%d --rate=%.0f "
               "--duration=%lld\n",
@@ -162,6 +234,9 @@ int RunListenMode(const ExperimentConfig& config, uint16_t port,
               server.port(), WorkloadKindName(config.workload),
               config.num_queries, config.events_per_second,
               static_cast<long long>(config.duration / 1000000));
+  // Harnesses (the kill-mid-run recovery test) read the port and the final
+  // results_hash over a pipe; flush so they see the line promptly.
+  std::fflush(stdout);
 
   const DurationMicros cycle = config.engine.cycle_length;
   const int64_t wall_start = WallMicros();
@@ -228,6 +303,29 @@ int RunListenMode(const ExperimentConfig& config, uint16_t port,
                     1)});
   table.Print();
   PrintIngestMetrics(gateway.metrics());
+
+  // Order-sensitive fingerprint of every query's results, folded across
+  // queries: two runs (e.g. uninterrupted vs kill + --restore) produced
+  // byte-identical outputs iff these lines match.
+  uint64_t combined = 14695981039346656037ull;
+  int64_t results = 0;
+  for (int q = 0; q < config.num_queries; ++q) {
+    const SinkOperator& sink = engine.query(q).sink();
+    uint8_t word[8];
+    const uint64_t h = sink.results_hash();
+    for (int i = 0; i < 8; ++i) word[i] = static_cast<uint8_t>(h >> (8 * i));
+    combined = Fnv1aBytes(word, sizeof(word), combined);
+    results += sink.results_received();
+  }
+  std::printf("results %lld\n", static_cast<long long>(results));
+  std::printf("results_hash %016llx\n",
+              static_cast<unsigned long long>(combined));
+  if (coordinator != nullptr) {
+    std::printf("checkpoint durable_epoch %llu\n",
+                static_cast<unsigned long long>(
+                    coordinator->last_durable_epoch()));
+  }
+  std::fflush(stdout);
   return 0;
 }
 
@@ -276,6 +374,11 @@ int main(int argc, char** argv) {
   if (flags.Has("listen")) {
     const uint16_t port = static_cast<uint16_t>(flags.GetInt("listen", 0));
     const int64_t budget = flags.GetInt("ingest-budget-kb", 4096) << 10;
+    CheckpointFlags ckpt;
+    ckpt.dir = flags.GetString("checkpoint-dir", "");
+    ckpt.interval =
+        MillisToMicros(flags.GetInt("checkpoint-interval-ms", 1000));
+    ckpt.restore = flags.GetBool("restore", false);
     std::printf("serving %s on %s: %d queries, %d cores (%s executor), "
                 "%lld MB, seed %llu\n",
                 PolicyKindName(config.policy),
@@ -286,7 +389,7 @@ int main(int argc, char** argv) {
                                        20),
                 static_cast<unsigned long long>(config.seed));
     return RunListenMode(config, port, budget,
-                         flags.GetBool("lockstep", false));
+                         flags.GetBool("lockstep", false), ckpt);
   }
 
   std::printf("running %s on %s: %d queries x %.0f events/s, %lld s "

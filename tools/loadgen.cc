@@ -7,10 +7,18 @@
 //   klink_run --listen=9099 --workload=ysb --queries=4 &
 //   loadgen --port=9099 --workload=ysb --queries=4 --rate=1000
 //           --delay=uniform --duration=30 [--speed=1] [--seed=1]
+//           [--max-retries=N]
 //
 // --speed=1 replays in real time (one virtual second per wall second);
 // --speed=0 blasts the whole run as fast as TCP accepts it (throughput
 // testing against a --lockstep server).
+//
+// --max-retries=N arms connect/reconnect retries with exponential backoff
+// + jitter: a refused initial connect is re-dialed, and a connection lost
+// mid-replay (server crash) is re-established with the unacked tail
+// replayed from the retention buffer — together with the server-side
+// sequence dedup and checkpoint acks this gives exactly-once delivery
+// across a server kill + --restore.
 
 #include <cstdio>
 #include <memory>
@@ -37,7 +45,7 @@ int Usage() {
       "usage: loadgen --port=PORT [--host=127.0.0.1]\n"
       "               [--workload=ysb|lrb|nyt] [--queries=N] [--rate=EPS]\n"
       "               [--delay=none|uniform|zipf] [--duration=SECONDS]\n"
-      "               [--speed=X] [--seed=N]\n");
+      "               [--speed=X] [--seed=N] [--max-retries=N]\n");
   return 2;
 }
 
@@ -62,6 +70,8 @@ int main(int argc, char** argv) {
       SecondsToMicros(flags.GetInt("duration", 30));
   const double speed = flags.GetDouble("speed", 1.0);
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  RetryPolicy retry;
+  retry.max_retries = static_cast<int>(flags.GetInt("max-retries", 0));
 
   const std::string workload = flags.GetString("workload", "ysb");
   const std::string delay = flags.GetString("delay", "uniform");
@@ -114,7 +124,7 @@ int main(int argc, char** argv) {
     }
     for (int s = 0; s < num_sources; ++s) {
       auto conn = std::make_unique<LoadgenConnection>();
-      const Status st = conn->Connect(host, port, MakeStreamId(q, s));
+      const Status st = conn->Connect(host, port, MakeStreamId(q, s), retry);
       if (!st.ok()) {
         std::fprintf(stderr, "connect query %d source %d: %s\n", q, s,
                      st.ToString().c_str());
@@ -135,18 +145,20 @@ int main(int argc, char** argv) {
   // pacing applies per query feed.
   std::vector<std::thread> threads;
   for (QueryReplay& r : replays) {
-    threads.emplace_back([&r, duration, speed]() {
+    threads.emplace_back([&r, duration, speed, retry]() {
       std::vector<LoadgenConnection*> conns;
       for (auto& c : r.conns) conns.push_back(c.get());
       ReplayOptions opts;
       opts.until = duration;
       opts.speed = speed;
+      opts.reconnect = retry;
       r.result = ReplayFeed(*r.feed, conns, opts);
     });
   }
   for (std::thread& t : threads) t.join();
 
   int64_t events = 0, frames = 0, bytes = 0;
+  int64_t reconnects = 0, replayed = 0, skipped = 0;
   bool failed = false;
   for (const QueryReplay& r : replays) {
     if (!r.result.ok()) {
@@ -158,10 +170,20 @@ int main(int argc, char** argv) {
       events += c->stats().data_events_sent;
       frames += c->stats().frames_sent;
       bytes += c->stats().bytes_sent;
+      reconnects += c->stats().reconnects;
+      replayed += c->stats().replayed_frames;
+      skipped += c->stats().skipped_frames;
     }
   }
   std::printf("loadgen: sent %lld data events (%lld frames, %lld bytes)\n",
               static_cast<long long>(events), static_cast<long long>(frames),
               static_cast<long long>(bytes));
+  if (reconnects > 0 || skipped > 0) {
+    std::printf("loadgen: %lld reconnects, %lld frames replayed, "
+                "%lld skipped as already delivered\n",
+                static_cast<long long>(reconnects),
+                static_cast<long long>(replayed),
+                static_cast<long long>(skipped));
+  }
   return failed ? 1 : 0;
 }
