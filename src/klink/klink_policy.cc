@@ -3,27 +3,57 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <unordered_set>
+#include <utility>
 
+#include "src/common/check.h"
 #include "src/klink/memory_manager.h"
 #include "src/klink/slack.h"
+#include "src/runtime/audit.h"
 
 namespace klink {
+namespace {
 
-KlinkPolicy::KlinkPolicy(const KlinkPolicyConfig& config) : config_(config) {}
+constexpr double kInf = std::numeric_limits<double>::infinity();
 
-double KlinkPolicy::EvaluateSlack(const QueryInfo& info, TimeMicros now) {
+/// Margin added to heap lower bounds when deciding whether a cold query
+/// could still enter the top-k. Heap keys reconstruct slack as
+/// (base - cost) - now while the exact evaluator computes
+/// (base - now) - cost; the two differ by a few ulps of the largest
+/// intermediate, so the margin scales with |now|. Popped candidates are
+/// always re-evaluated exactly — a generous margin costs extra pops, never
+/// a wrong selection.
+double SlackBoundMargin(double now) { return 1e-3 + std::abs(now) * 1e-9; }
+
+}  // namespace
+
+KlinkPolicy::KlinkPolicy(const KlinkPolicyConfig& config)
+    : config_(config), audit_(AuditEnabledFromEnv()) {}
+
+double KlinkPolicy::EvaluateSlack(const QueryInfo& info, TimeMicros now,
+                                  SlackClasses* cls,
+                                  std::vector<uint64_t>* keys) {
   const double now_d = static_cast<double>(now);
   const double cost = info.drain_cost_micros;
+  if (cls != nullptr) {
+    cls->const_min = kInf;
+    cls->linear_min = kInf;
+    cls->has_nonlinear = false;
+  }
+  if (keys != nullptr) keys->clear();
   if (info.streams.empty()) {
     // Windowless query: no deadline to miss; order by drain cost so heavy
     // backlogs still make progress once windowed queries have slack.
-    return std::numeric_limits<double>::max() / 4.0 - cost;
+    const double slack = std::numeric_limits<double>::max() / 4.0 - cost;
+    if (cls != nullptr) cls->const_min = slack;
+    return slack;
   }
   double min_slack = std::numeric_limits<double>::max();
   for (const StreamProgress& progress : info.streams) {
     KlinkEstimator* est;
     const uint64_t key = StreamKey(info.id, progress.op_index,
                                    progress.stream);
+    if (keys != nullptr) keys->push_back(key);
     const auto it = estimators_.find(key);
     if (it == estimators_.end()) {
       est = estimators_
@@ -42,12 +72,31 @@ double KlinkPolicy::EvaluateSlack(const QueryInfo& info, TimeMicros now) {
           now_d, cost, pred, static_cast<double>(config_.cycle_length));
       slack = r.slack;
       eval_steps_ += r.steps;
+      if (cls != nullptr) {
+        if (pred.hi <= now_d) {
+          // Overdue: slack = (pred.mean - now) - cost, linear in now. The
+          // prediction is frozen while the query stays untouched and the
+          // interval can only recede further into the past.
+          cls->linear_min = std::min(cls->linear_min, pred.mean - cost);
+        } else {
+          cls->has_nonlinear = true;
+        }
+      }
     } else {
       slack = FallbackSlack(
           now_d, cost,
           static_cast<double>(progress.upcoming_deadline == kNoTime
                                   ? now
                                   : progress.upcoming_deadline));
+      if (cls != nullptr) {
+        if (progress.upcoming_deadline == kNoTime) {
+          cls->const_min = std::min(cls->const_min, slack);  // exactly -cost
+        } else {
+          cls->linear_min = std::min(
+              cls->linear_min,
+              static_cast<double>(progress.upcoming_deadline) - cost);
+        }
+      }
     }
     min_slack = std::min(min_slack, slack);  // Sec. 3.3: min over streams
   }
@@ -83,11 +132,29 @@ void KlinkPolicy::SelectQueries(const RuntimeSnapshot& snapshot, int slots,
   eval_steps_ = 0;
   eval_queries_ = 0;
   UpdateMemoryMode(snapshot);
+  // Detached queries release their policy state no matter which evaluator
+  // runs this cycle; the journal reports each detach exactly once.
+  if (snapshot.incremental) {
+    for (QueryId id : snapshot.detached) RetireQueryState(id);
+  }
+  if (!snapshot.incremental || mm_active_) {
+    SelectFullScan(snapshot, slots, out);
+    // The full scan does not maintain heaps or caches; rebuild them on the
+    // next incremental cycle.
+    rebuild_ = true;
+    return;
+  }
+  SelectIncremental(snapshot, slots, out);
+}
 
+void KlinkPolicy::SelectFullScan(const RuntimeSnapshot& snapshot, int slots,
+                                 Selection* out) {
   // Evaluate slack for every query each cycle: estimators must observe
   // stream progress continuously, and LastSlack() stays fresh.
   last_eval_.clear();
   for (const QueryInfo& info : snapshot.queries) {
+    // klink-lint: allow(sched-scan): this IS the exact evaluator — the
+    // incremental path delegates to it for correctness checks and MM.
     QueryEval eval;
     eval.slack = EvaluateSlack(info, snapshot.now);
     if (mm_active_) {
@@ -128,6 +195,202 @@ void KlinkPolicy::SelectQueries(const RuntimeSnapshot& snapshot, int slots,
                             return a.id < b.id;
                           },
                           out);
+  }
+}
+
+void KlinkPolicy::RetireQueryState(QueryId id) {
+  const auto it = cache_.find(id);
+  if (it != cache_.end()) {
+    for (uint64_t key : it->second.stream_keys) estimators_.erase(key);
+    cache_.erase(it);
+  } else {
+    // The query was never cached (e.g. attached and detached while memory
+    // mode kept the policy on the full-scan path); sweep by id instead.
+    EraseEstimatorsByQuery(id);
+  }
+  hot_.erase(id);
+  last_eval_.erase(id);
+}
+
+void KlinkPolicy::EraseEstimatorsByQuery(QueryId id) {
+  const uint64_t tag = static_cast<uint64_t>(static_cast<uint32_t>(id));
+  for (auto it = estimators_.begin(); it != estimators_.end();) {
+    if ((it->first >> 24) == tag) {
+      it = estimators_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void KlinkPolicy::RebuildIncrementalState(const RuntimeSnapshot& snapshot) {
+  const_heap_.Clear();
+  linear_heap_.Clear();
+  hot_.clear();
+  // Drop state of queries that vanished while the index was not
+  // maintained (full-scan cycles consume the journal without applying it).
+  for (auto it = cache_.begin(); it != cache_.end();) {
+    if (snapshot.Find(it->first) == nullptr) {
+      for (uint64_t key : it->second.stream_keys) estimators_.erase(key);
+      last_eval_.erase(it->first);
+      it = cache_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // klink-lint: allow(sched-scan): rebuild cycles only, not steady state.
+  for (const QueryInfo& info : snapshot.queries) {
+    CacheEntry& c = cache_[info.id];
+    ++c.version;
+    c.hot = true;
+    hot_.insert(info.id);
+  }
+  rebuild_ = false;
+}
+
+void KlinkPolicy::SelectIncremental(const RuntimeSnapshot& snapshot,
+                                    int slots, Selection* out) {
+  const TimeMicros now = snapshot.now;
+  const double now_d = static_cast<double>(now);
+
+  // Lazy deletion leaves stale entries behind; rebuild when they dominate.
+  const size_t heap_cap = 4 * snapshot.queries.size() + 64;
+  if (rebuild_ || const_heap_.size() + linear_heap_.size() > heap_cap) {
+    RebuildIncrementalState(snapshot);
+  } else {
+    for (QueryId id : snapshot.touched) {
+      CacheEntry& c = cache_[id];
+      ++c.version;  // invalidates any heap entries of the query
+      c.hot = true;
+      hot_.insert(id);
+    }
+  }
+
+  // Re-evaluate the hot set exactly. Queries whose streams are all
+  // constant/linear go cold: their bounds are pushed into the heaps and
+  // they are not visited again until touched.
+  for (auto it = hot_.begin(); it != hot_.end();) {
+    const QueryId id = *it;
+    const QueryInfo* info = snapshot.Find(id);
+    KLINK_CHECK(info != nullptr);  // hot queries are always live
+    CacheEntry& c = cache_.at(id);
+    SlackClasses cls;
+    const double slack = EvaluateSlack(*info, now, &cls, &c.stream_keys);
+    last_eval_[id] = QueryEval{slack, 0.0};
+    c.ready = QueryIsReady(*info);
+    if (cls.has_nonlinear) {
+      c.hot = true;
+      ++it;
+      continue;
+    }
+    c.hot = false;
+    if (c.ready) {
+      if (cls.const_min < kInf) {
+        const_heap_.Push({cls.const_min, id, c.version});
+      }
+      if (cls.linear_min < kInf) {
+        linear_heap_.Push({cls.linear_min, id, c.version});
+      }
+    }
+    it = hot_.erase(it);
+  }
+
+  // Modeled evaluator cost (Fig. 9d): the paper's evaluator walks every
+  // query each cycle, so the virtual cost keeps charging the full count —
+  // only the wall-clock cost of this function shrank.
+  eval_queries_ = static_cast<int64_t>(snapshot.queries.size());
+  pending_eval_cost_ +=
+      static_cast<double>(eval_queries_) * config_.eval_cost_per_query_micros +
+      static_cast<double>(eval_steps_) * config_.eval_cost_per_step_micros;
+
+  const size_t want =
+      static_cast<size_t>(std::max(slots, 0));
+  if (want > 0) {
+    // `best` is the current top-k as (slack, id), ascending — the same
+    // total order as the full scan's comparator.
+    std::vector<std::pair<double, QueryId>> best;
+    const auto consider = [&best, want](double slack, QueryId id) {
+      const std::pair<double, QueryId> cand{slack, id};
+      const auto pos = std::lower_bound(best.begin(), best.end(), cand);
+      if (pos == best.end() && best.size() >= want) return;
+      best.insert(pos, cand);
+      if (best.size() > want) best.pop_back();
+    };
+    for (QueryId id : hot_) {
+      const CacheEntry& c = cache_.at(id);
+      if (c.ready) consider(last_eval_.at(id).slack, id);
+    }
+    // Best-first merge over the two heaps. Every popped candidate is
+    // re-evaluated with the exact evaluator (cold queries have no
+    // nonlinear streams, so this adds no integration steps and the
+    // estimator Observe is a no-op); popping stops once the heap bound
+    // proves no remaining entry can displace the current kth best.
+    const double margin = SlackBoundMargin(now_d);
+    std::vector<DeadlineIndex::Entry> repush_const, repush_linear;
+    std::unordered_set<QueryId> seen;
+    const auto valid = [this](const DeadlineIndex::Entry& e) {
+      const auto it = cache_.find(e.id);
+      return it != cache_.end() && it->second.version == e.version &&
+             !it->second.hot && it->second.ready;
+    };
+    while (true) {
+      while (!const_heap_.empty() && !valid(const_heap_.Top())) {
+        const_heap_.Pop();
+      }
+      while (!linear_heap_.empty() && !valid(linear_heap_.Top())) {
+        linear_heap_.Pop();
+      }
+      const double b0 = const_heap_.empty() ? kInf : const_heap_.Top().key;
+      const double b1 =
+          linear_heap_.empty() ? kInf : linear_heap_.Top().key - now_d;
+      const double bound = std::min(b0, b1);
+      if (bound == kInf) break;
+      if (best.size() >= want && bound > best.back().first + margin) break;
+      DeadlineIndex* heap = b0 <= b1 ? &const_heap_ : &linear_heap_;
+      std::vector<DeadlineIndex::Entry>& repush =
+          b0 <= b1 ? repush_const : repush_linear;
+      const DeadlineIndex::Entry entry = heap->Top();
+      heap->Pop();
+      repush.push_back(entry);  // entries survive across cycles
+      if (!seen.insert(entry.id).second) continue;  // other heap's twin
+      const QueryInfo* info = snapshot.Find(entry.id);
+      KLINK_CHECK(info != nullptr);
+      const double slack = EvaluateSlack(*info, now);
+      last_eval_[entry.id] = QueryEval{slack, 0.0};
+      consider(slack, entry.id);
+    }
+    for (const DeadlineIndex::Entry& e : repush_const) const_heap_.Push(e);
+    for (const DeadlineIndex::Entry& e : repush_linear) {
+      linear_heap_.Push(e);
+    }
+    for (const auto& [slack, id] : best) out->Add(id);
+  }
+
+  if (audit_) AuditIncremental(snapshot, slots, *out);
+}
+
+void KlinkPolicy::AuditIncremental(const RuntimeSnapshot& snapshot,
+                                   int slots, const Selection& out) {
+  const_heap_.AuditHeapProperty();
+  linear_heap_.AuditHeapProperty();
+  // Recompute the selection with the exact evaluator and require an id-
+  // for-id match. Observe() is a no-op on re-observation within a cycle,
+  // and the step counter is restored, so the audit is side-effect free.
+  const int64_t saved_steps = eval_steps_;
+  std::vector<std::pair<double, QueryId>> ranked;
+  for (const QueryInfo& info : snapshot.queries) {
+    // klink-lint: allow(sched-scan): audit-only full recomputation.
+    if (!QueryIsReady(info)) continue;
+    ranked.emplace_back(EvaluateSlack(info, snapshot.now), info.id);
+  }
+  eval_steps_ = saved_steps;
+  std::sort(ranked.begin(), ranked.end());
+  const size_t take =
+      std::min(ranked.size(), static_cast<size_t>(std::max(slots, 0)));
+  KLINK_CHECK_EQ(static_cast<int64_t>(out.size()),
+                 static_cast<int64_t>(take));
+  for (size_t i = 0; i < take; ++i) {
+    KLINK_CHECK_EQ(out[i].query, ranked[i].second);
   }
 }
 

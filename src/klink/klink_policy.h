@@ -3,11 +3,13 @@
 
 #include <cstdint>
 #include <memory>
+#include <set>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "src/klink/swm_estimator.h"
+#include "src/sched/deadline_index.h"
 #include "src/sched/policy.h"
 
 namespace klink {
@@ -38,7 +40,9 @@ struct KlinkPolicyConfig {
 
   /// Modeled evaluation overhead: fixed virtual micros per evaluated query
   /// plus per slack-integration step (charged to the engine's cycle
-  /// budget; Fig. 9d).
+  /// budget; Fig. 9d). This models the *paper's* evaluator, which walks
+  /// every query each cycle — the incremental slack index below cuts the
+  /// wall-clock cost of SelectQueries, not the modeled virtual cost.
   double eval_cost_per_query_micros = 55.0;
   double eval_cost_per_step_micros = 8.0;
 };
@@ -49,6 +53,27 @@ struct KlinkPolicyConfig {
 /// utilization exceeds the bound b. One estimator is maintained per
 /// (windowed operator, input stream); a query's slack is the minimum over
 /// its streams (Sec. 3.3).
+///
+/// Wall-clock cost: on engine-built (incremental) snapshots the policy
+/// keeps per-cycle work proportional to the set of queries whose state
+/// changed, not to the number of deployed queries. Slack is a min over
+/// per-stream terms that fall into three classes while a query is
+/// untouched (no ingest, no execution, no estimator epoch):
+///   - constant  (windowless, or cold-start stream with no deadline),
+///   - linear    (slack = base - now: overdue prediction, or cold-start
+///                stream with a deadline),
+///   - nonlinear (a valid prediction whose confidence interval is still
+///                ahead of `now` — the Gaussian integration of Alg. 1).
+/// Queries with any nonlinear stream stay "hot" and are re-evaluated
+/// exactly every cycle (the integral genuinely changes with `now`; the
+/// paper's evaluator does the same work). All other queries go "cold":
+/// their constant/linear lower bounds are indexed in two lazy-deletion
+/// min-heaps, and selection pops candidates best-first, re-evaluating each
+/// popped candidate with the exact seed expression, until the heap bound
+/// proves no remaining query can enter the top-k. Selections are therefore
+/// identical to the full-scan evaluator; only wall-clock cost changes.
+/// Non-incremental (hand-built) snapshots and memory-mode cycles use the
+/// full scan unchanged.
 class KlinkPolicy final : public SchedulingPolicy {
  public:
   explicit KlinkPolicy(const KlinkPolicyConfig& config = {});
@@ -67,8 +92,10 @@ class KlinkPolicy final : public SchedulingPolicy {
   /// Aggregate SWM-ingestion estimation accuracy across all streams.
   double EstimatorAccuracy() const;
   int64_t total_predictions() const;
-  /// Expected slack of query `id` computed during the last evaluation, or
-  /// 0 if unknown (diagnostics/tests).
+  /// Expected slack of query `id` computed when it was last evaluated, or
+  /// 0 if unknown (diagnostics/tests). On incremental snapshots cold
+  /// queries are not re-evaluated every cycle, so the value may date from
+  /// an earlier cycle (linear terms drift with `now`).
   double LastSlack(QueryId id) const;
   /// The estimator of one stream, or nullptr (diagnostics/tests).
   const KlinkEstimator* EstimatorFor(QueryId id, int op_index,
@@ -80,6 +107,28 @@ class KlinkPolicy final : public SchedulingPolicy {
     double mm_reduction = 0.0;
   };
 
+  /// Per-stream slack classification accumulated by EvaluateSlack (see the
+  /// class comment): exact minima of the constant terms and of the linear
+  /// bases (slack = linear_min - now), plus whether any stream still needs
+  /// the per-cycle Gaussian integration.
+  struct SlackClasses {
+    double const_min = 0.0;   // initialized to +inf by EvaluateSlack
+    double linear_min = 0.0;  // initialized to +inf by EvaluateSlack
+    bool has_nonlinear = false;
+  };
+
+  /// Incremental-index bookkeeping for one live query.
+  struct CacheEntry {
+    /// Bumped whenever the query is touched; heap entries carrying an
+    /// older version are stale and skipped at pop time.
+    uint64_t version = 0;
+    bool hot = true;
+    /// Valid while cold (readiness cannot change without a touch).
+    bool ready = false;
+    /// Estimator keys of the query's streams, for cleanup on detach.
+    std::vector<uint64_t> stream_keys;
+  };
+
   /// Stable key for one stream of one windowed operator of one query.
   static uint64_t StreamKey(QueryId q, int op_index, int stream) {
     return (static_cast<uint64_t>(static_cast<uint32_t>(q)) << 24) |
@@ -89,10 +138,32 @@ class KlinkPolicy final : public SchedulingPolicy {
 
   /// Updates estimators with this cycle's progress and computes the
   /// query's slack (min over streams). Also accumulates the overhead step
-  /// count into eval_steps_.
-  double EvaluateSlack(const QueryInfo& info, TimeMicros now);
+  /// count into eval_steps_. When `cls`/`keys` are non-null they receive
+  /// the per-stream classification and estimator keys.
+  double EvaluateSlack(const QueryInfo& info, TimeMicros now,
+                       SlackClasses* cls = nullptr,
+                       std::vector<uint64_t>* keys = nullptr);
 
   void UpdateMemoryMode(const RuntimeSnapshot& snapshot);
+
+  /// The seed evaluator: exact full scan over every snapshot entry. Used
+  /// for non-incremental snapshots and during memory mode.
+  void SelectFullScan(const RuntimeSnapshot& snapshot, int slots,
+                      Selection* out);
+  /// O(touched + popped) evaluator for incremental snapshots.
+  void SelectIncremental(const RuntimeSnapshot& snapshot, int slots,
+                         Selection* out);
+  /// Drops all per-query policy state of a detached query, including its
+  /// stream estimators.
+  void RetireQueryState(QueryId id);
+  void EraseEstimatorsByQuery(QueryId id);
+  /// Rebuilds heaps and caches from scratch (first incremental cycle,
+  /// after a full-scan cycle, or when lazy-deletion garbage piles up).
+  void RebuildIncrementalState(const RuntimeSnapshot& snapshot);
+  /// KLINK_AUDIT: recomputes the selection with the full scan and checks
+  /// the incremental result matches exactly.
+  void AuditIncremental(const RuntimeSnapshot& snapshot, int slots,
+                        const Selection& out);
 
   KlinkPolicyConfig config_;
   std::unordered_map<uint64_t, std::unique_ptr<KlinkEstimator>> estimators_;
@@ -106,6 +177,18 @@ class KlinkPolicy final : public SchedulingPolicy {
   double pending_eval_cost_ = 0.0;
   int64_t eval_steps_ = 0;
   int64_t eval_queries_ = 0;
+
+  // ---- incremental slack index ----------------------------------------
+  std::unordered_map<QueryId, CacheEntry> cache_;
+  /// Queries re-evaluated exactly every cycle (ordered for determinism).
+  std::set<QueryId> hot_;
+  /// Ready cold queries by constant slack (key = slack).
+  DeadlineIndex const_heap_;
+  /// Ready cold queries by linear base (key - now = slack).
+  DeadlineIndex linear_heap_;
+  /// Caches and heaps must be rebuilt before the next incremental cycle.
+  bool rebuild_ = true;
+  const bool audit_;
 };
 
 }  // namespace klink

@@ -218,7 +218,12 @@ bool IngestServer::DecodeBuffered(Connection& c, int64_t* delivered) {
             FailConnection(c, WireError::kProtocolViolation,
                            "duplicate hello");
             open = false;
-          } else if (!gateway_->HasStream(frame.stream_id)) {
+          } else if (!gateway_->HasStream(frame.stream_id) &&
+                     !(config_.on_unknown_stream != nullptr &&
+                       config_.on_unknown_stream(frame.stream_id) &&
+                       gateway_->HasStream(frame.stream_id))) {
+            // Either no dynamic-attach hook, or it declined, or it claimed
+            // success without registering the stream (a broken hook).
             FailConnection(c, WireError::kUnknownStream,
                            "unknown stream id");
             open = false;
@@ -241,8 +246,12 @@ bool IngestServer::DecodeBuffered(Connection& c, int64_t* delivered) {
           break;
         case FrameType::kBye:
           if (c.stream_id >= 0) {
-            gateway_->Flush(static_cast<uint32_t>(c.stream_id));
-            gateway_->MarkEndOfStream(static_cast<uint32_t>(c.stream_id));
+            const uint32_t stream = static_cast<uint32_t>(c.stream_id);
+            gateway_->Flush(stream);
+            gateway_->MarkEndOfStream(stream);
+            if (config_.on_stream_end != nullptr) {
+              config_.on_stream_end(stream);
+            }
           }
           c.stream_id = -1;  // end-of-stream already recorded
           CloseConnection(c);

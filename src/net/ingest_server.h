@@ -2,6 +2,7 @@
 #define KLINK_NET_INGEST_SERVER_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -22,6 +23,19 @@ struct IngestServerConfig {
   /// Max bytes read from one connection per poll iteration (fairness, and
   /// a bound on per-connection buffering).
   size_t read_chunk_bytes = 64 * 1024;
+  /// Dynamic tenant attach: when set, a kHello naming a stream the gateway
+  /// does not know is offered to this hook instead of drawing
+  /// kUnknownStream. The hook attaches the tenant (registers the stream
+  /// with the gateway, deploys the query) and returns true to accept the
+  /// hello; returning false — stream id outside the tenant id space, say —
+  /// keeps the unknown-stream rejection. Unset (the default) preserves the
+  /// closed-world behavior: unknown streams are a client error.
+  std::function<bool(uint32_t stream_id)> on_unknown_stream;
+  /// Graceful-detach hook: invoked after a kBye marked `stream_id`'s
+  /// end-of-stream. The owner uses it to drain-detach a tenant once all of
+  /// its streams said goodbye. Abrupt disconnects (no kBye) deliberately
+  /// do not fire it — the client may reconnect and resume.
+  std::function<void(uint32_t stream_id)> on_stream_end;
 };
 
 /// Non-blocking, poll()-based TCP ingest front end. Accepts many client

@@ -70,6 +70,11 @@ class Query : private MemoryDeltaSink {
   /// Lets the audit test plant accounting corruption to prove the auditor
   /// detects it. Test-only; production code reports deltas via the sink.
   friend class QueryTestPeer;
+  /// The fabric stamps the generation-stamped id it allocates at attach
+  /// (runtime/query_fabric.h); nothing else may rebind an id.
+  friend class QueryFabric;
+
+  void BindId(QueryId id) { id_ = id; }
 
   void OnMemoryDelta(int64_t delta_bytes) override {
     memory_bytes_ += delta_bytes;

@@ -84,18 +84,40 @@ void CheckpointCoordinator::RegisterQuery(Query* query,
                                           std::vector<uint32_t> stream_ids,
                                           IngestGateway* gateway) {
   KLINK_CHECK(query != nullptr);
-  KLINK_CHECK(pending_.empty());  // register before the engine runs
   if (gateway != nullptr) {
     KLINK_CHECK_EQ(stream_ids.size(), query->sources().size());
   }
-  const int qindex = static_cast<int>(queries_.size());
+  const QueryId id = query->id();
+  KLINK_CHECK(queries_.count(id) == 0);  // one registration per tenant
   for (int i = 0; i < query->num_operators(); ++i) {
     Operator& op = query->op(i);
     op.SetBarrierObserver(this);
-    op_index_[&op] = {qindex, i};
+    op_index_[&op] = {id, i};
   }
-  total_operators_ += query->num_operators();
-  queries_.push_back(Registered{query, std::move(stream_ids), gateway});
+  queries_.emplace(id, Registered{query, std::move(stream_ids), gateway});
+}
+
+void CheckpointCoordinator::DeregisterQuery(QueryId id) {
+  const auto it = queries_.find(id);
+  if (it == queries_.end()) return;
+  for (int i = 0; i < it->second.query->num_operators(); ++i) {
+    Operator& op = it->second.query->op(i);
+    op.SetBarrierObserver(nullptr);
+    op_index_.erase(&op);
+  }
+  queries_.erase(it);
+  // Drop the tenant's slice from every in-flight epoch so (a) its state
+  // never reaches a checkpoint finalized after it left and (b) epochs
+  // waiting on its alignments can complete without them.
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [epoch, pending] : pending_) {
+    const auto qit = pending.queries.find(id);
+    if (qit == pending.queries.end()) continue;
+    pending.expected_operators -=
+        static_cast<int>(qit->second.op_blobs.size());
+    pending.total_captured -= qit->second.captured;
+    pending.queries.erase(qit);
+  }
 }
 
 void CheckpointCoordinator::ResumeFrom(uint64_t epoch,
@@ -112,7 +134,7 @@ int64_t CheckpointCoordinator::OnCycleStart(TimeMicros now) {
     std::unique_lock<std::mutex> lock(mu_);
     while (!pending_.empty()) {
       auto it = pending_.begin();
-      if (it->second.total_captured < total_operators_) break;
+      if (it->second.total_captured < it->second.expected_operators) break;
       PendingEpoch done = std::move(it->second);
       const uint64_t epoch = it->first;
       pending_.erase(it);
@@ -141,11 +163,10 @@ void CheckpointCoordinator::InjectBarriers(TimeMicros now,
   const uint64_t epoch = next_epoch_++;
   PendingEpoch pending;
   pending.checkpoint_time = now;
-  pending.queries.resize(queries_.size());
-  for (size_t q = 0; q < queries_.size(); ++q) {
-    const Registered& reg = queries_[q];
-    PendingQuery& pq = pending.queries[q];
+  for (const auto& [id, reg] : queries_) {
+    PendingQuery& pq = pending.queries[id];
     pq.op_blobs.resize(static_cast<size_t>(reg.query->num_operators()));
+    pending.expected_operators += reg.query->num_operators();
     // The replay cursor is the gateway's delivered prefix at injection:
     // every element the engine has popped so far is pre-barrier, everything
     // after it will be replayed by the client on recovery.
@@ -174,7 +195,11 @@ void CheckpointCoordinator::OnBarrierAligned(Operator& op, uint64_t epoch) {
   std::lock_guard<std::mutex> lock(mu_);
   const auto pit = pending_.find(epoch);
   KLINK_CHECK(pit != pending_.end());
-  PendingQuery& pq = pit->second.queries[static_cast<size_t>(it->second.first)];
+  // A registered query only sees barriers of epochs injected while it was
+  // registered, so its slice must exist in the epoch's snapshot.
+  const auto qit = pit->second.queries.find(it->second.first);
+  KLINK_CHECK(qit != pit->second.queries.end());
+  PendingQuery& pq = qit->second;
   std::vector<uint8_t>& blob =
       pq.op_blobs[static_cast<size_t>(it->second.second)];
   KLINK_CHECK(blob.empty());  // one alignment per (operator, epoch)
@@ -190,10 +215,12 @@ void CheckpointCoordinator::FinalizeEpoch(uint64_t epoch,
   w.PutU64(kCheckpointMagic);
   w.PutU64(epoch);
   w.PutI64(pending.checkpoint_time);
-  w.PutU32(static_cast<uint32_t>(queries_.size()));
-  for (size_t q = 0; q < queries_.size(); ++q) {
-    const PendingQuery& pq = pending.queries[q];
-    w.PutI64(static_cast<int64_t>(queries_[q].query->id()));
+  // The epoch's own query-set snapshot, not the current registration set:
+  // tenants that attached after injection are absent, tenants that
+  // detached mid-epoch were already dropped by DeregisterQuery.
+  w.PutU32(static_cast<uint32_t>(pending.queries.size()));
+  for (const auto& [qid, pq] : pending.queries) {
+    w.PutI64(static_cast<int64_t>(qid));
     w.PutU32(static_cast<uint32_t>(pq.cursors.size()));
     for (const auto& [stream_id, seq] : pq.cursors) {
       w.PutU32(stream_id);
@@ -220,7 +247,7 @@ void CheckpointCoordinator::FinalizeEpoch(uint64_t epoch,
   // Only now — file and manifest durable — may clients trim their replay
   // buffers: ack each stream's covered sequence prefix.
   if (ack_) {
-    for (const PendingQuery& pq : pending.queries) {
+    for (const auto& [qid, pq] : pending.queries) {
       for (const auto& [stream_id, seq] : pq.cursors) {
         ack_(stream_id, epoch, seq);
       }

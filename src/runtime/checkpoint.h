@@ -85,13 +85,25 @@ class CheckpointCoordinator final : public BarrierObserver {
   CheckpointCoordinator(const CheckpointCoordinator&) = delete;
   CheckpointCoordinator& operator=(const CheckpointCoordinator&) = delete;
 
-  /// Registers a query before the engine runs. `stream_ids[i]` is the
-  /// gateway stream feeding source i (used for replay cursors); `gateway`
-  /// may be null for in-process feeds, in which case no cursors are
-  /// recorded. Installs this coordinator as every operator's barrier
-  /// observer.
+  /// Registers a query; may be called before the engine runs or live,
+  /// between cycles, for a freshly attached tenant. A query registered
+  /// while an epoch is in flight simply joins at the next barrier
+  /// injection — in-flight epochs captured their query set at injection
+  /// and are unaffected. `stream_ids[i]` is the gateway stream feeding
+  /// source i (used for replay cursors); `gateway` may be null for
+  /// in-process feeds, in which case no cursors are recorded. Installs
+  /// this coordinator as every operator's barrier observer.
   void RegisterQuery(Query* query, std::vector<uint32_t> stream_ids,
                      IngestGateway* gateway);
+
+  /// Forgets a detached query: it stops receiving barriers, its operators
+  /// drop their observer, and its slice is removed from every in-flight
+  /// epoch — a departing tenant's state never appears in a checkpoint
+  /// finalized after it left, and epochs still waiting on its alignments
+  /// complete without them. No-op for unknown ids. The engine calls this
+  /// when a query retires (graceful drains have processed any queued
+  /// barriers by then).
+  void DeregisterQuery(QueryId id);
 
   /// Called after a restore: the next epoch is `epoch` + 1 and the next
   /// barrier fires one interval after `checkpoint_time`.
@@ -125,9 +137,14 @@ class CheckpointCoordinator final : public BarrierObserver {
     std::vector<std::vector<uint8_t>> op_blobs;  // indexed by operator
     int captured = 0;
   };
+  /// One in-flight epoch. `queries` snapshots the registered set at
+  /// injection time, so registrations and deregistrations during the
+  /// epoch's lifetime never shift another query's slice.
   struct PendingEpoch {
     TimeMicros checkpoint_time = 0;
-    std::vector<PendingQuery> queries;  // parallel to queries_
+    std::map<QueryId, PendingQuery> queries;
+    /// Alignments this epoch still expects (shrinks on deregistration).
+    int expected_operators = 0;
     int total_captured = 0;
   };
 
@@ -138,10 +155,11 @@ class CheckpointCoordinator final : public BarrierObserver {
   void PruneOldEpochs();
 
   const CheckpointConfig config_;
-  std::vector<Registered> queries_;
-  /// op -> (query index, operator index); filled by RegisterQuery.
-  std::map<const Operator*, std::pair<int, int>> op_index_;
-  int total_operators_ = 0;
+  /// Ordered by id: barrier injection and serialization walk tenants in a
+  /// deterministic order regardless of registration history.
+  std::map<QueryId, Registered> queries_;
+  /// op -> (query id, operator index); maintained by (De)RegisterQuery.
+  std::map<const Operator*, std::pair<QueryId, int>> op_index_;
 
   uint64_t next_epoch_ = 1;
   TimeMicros next_checkpoint_time_ = 0;

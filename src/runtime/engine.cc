@@ -35,8 +35,8 @@ Engine::Engine(const EngineConfig& config,
 
 const std::vector<const Query*>& Engine::ActiveQueriesForAudit() {
   audit_scratch_.clear();
-  for (const DeployedQuery& dq : queries_) {
-    if (dq.active) audit_scratch_.push_back(dq.query.get());
+  for (const QueryFabric::LiveQuery& lq : fabric_.live()) {
+    audit_scratch_.push_back(lq.query);
   }
   return audit_scratch_;
 }
@@ -45,39 +45,54 @@ QueryId Engine::AddQuery(std::unique_ptr<Query> query,
                          std::unique_ptr<EventFeed> feed,
                          TimeMicros deploy_time) {
   KLINK_CHECK(query != nullptr);
-  query->set_deploy_time(deploy_time);
-  const QueryId id = static_cast<QueryId>(queries_.size());
-  KLINK_CHECK_EQ(query->id(), id);  // ids must be assigned densely in order
-  queries_.push_back(DeployedQuery{std::move(query), std::move(feed)});
+  const QueryId id =
+      fabric_.Attach(std::move(query), std::move(feed), deploy_time);
+  const Query* q = fabric_.Find(id);
+  accounted_mem_[id] = q->MemoryBytes();
+  memory_usage_ += q->MemoryBytes();
   return id;
 }
 
 void Engine::RemoveQuery(QueryId id) {
-  KLINK_CHECK(id >= 0 && id < num_queries());
-  DeployedQuery& dq = queries_[static_cast<size_t>(id)];
-  dq.active = false;
-  dq.feed.reset();
-  // Release queued elements immediately; operator state follows when the
-  // Query object itself is released by the caller.
-  for (int i = 0; i < dq.query->num_operators(); ++i) {
-    Operator& op = dq.query->op(i);
-    for (int s = 0; s < op.num_inputs(); ++s) op.input(s).Clear();
-  }
+  KLINK_CHECK(fabric_.IsLive(id));
+  fabric_.Detach(id, QueryFabric::DetachMode::kImmediate);
+  OnQueryRetired(id);
 }
 
-bool Engine::IsActive(QueryId id) const {
-  KLINK_CHECK(id >= 0 && id < num_queries());
-  return queries_[static_cast<size_t>(id)].active;
+void Engine::DetachQuery(QueryId id) {
+  KLINK_CHECK(fabric_.IsLive(id));
+  fabric_.Detach(id, QueryFabric::DetachMode::kDrain);
+  // An already-empty query retires synchronously; otherwise SweepDrained
+  // retires it at the cycle boundary after its queues empty.
+  if (!fabric_.IsLive(id)) OnQueryRetired(id);
+}
+
+void Engine::OnQueryRetired(QueryId id) {
+  // A retired tenant's state leaves the checkpoint stream: drop it from
+  // in-flight epochs and stop injecting barriers into it.
+  if (coordinator_ != nullptr) coordinator_->DeregisterQuery(id);
+  const auto it = accounted_mem_.find(id);
+  if (it == accounted_mem_.end()) return;
+  memory_usage_ -= it->second;
+  accounted_mem_.erase(it);
+}
+
+void Engine::SyncQueryMemory(const Query& q) {
+  int64_t& accounted = accounted_mem_[q.id()];
+  memory_usage_ += q.MemoryBytes() - accounted;
+  accounted = q.MemoryBytes();
 }
 
 Query& Engine::query(QueryId id) {
-  KLINK_CHECK(id >= 0 && id < num_queries());
-  return *queries_[static_cast<size_t>(id)].query;
+  Query* q = fabric_.Find(id);
+  KLINK_CHECK(q != nullptr);
+  return *q;
 }
 
 const Query& Engine::query(QueryId id) const {
-  KLINK_CHECK(id >= 0 && id < num_queries());
-  return *queries_[static_cast<size_t>(id)].query;
+  const Query* q = fabric_.Find(id);
+  KLINK_CHECK(q != nullptr);
+  return *q;
 }
 
 void Engine::RunUntil(TimeMicros end_time) {
@@ -85,20 +100,38 @@ void Engine::RunUntil(TimeMicros end_time) {
 }
 
 void Engine::RunCycle() {
+  // (0) Retire gracefully-detaching queries whose queues emptied during a
+  // previous cycle's execution. O(1) when nothing is draining.
+  retired_scratch_.clear();
+  fabric_.SweepDrained(&retired_scratch_);
+  for (const QueryId id : retired_scratch_) OnQueryRetired(id);
+
   // (1) Ingest everything due by the cycle boundary, unless backpressured;
-  // (2) account memory — Ingest already knows the post-ingest usage, so no
-  // second sweep — and collect the runtime snapshot I. Checkpoint barriers
-  // inject *after* ingest (the epoch's replay cursor is the delivered
-  // prefix) and *before* the memory update, so the cycle's usage figure
-  // already includes the queued barrier elements.
-  int64_t usage = Ingest();
-  if (coordinator_ != nullptr) usage += coordinator_->OnCycleStart(now_);
-  memory_.Update(usage);
+  // checkpoint barriers inject *after* ingest (the epoch's replay cursor is
+  // the delivered prefix). Barrier injection touches every registered
+  // query's source queue, so those cycles refresh the full snapshot.
+  Ingest();
+  if (coordinator_ != nullptr) {
+    const int64_t barriers_before = coordinator_->barriers_injected();
+    coordinator_->OnCycleStart(now_);
+    if (coordinator_->barriers_injected() != barriers_before) {
+      fabric_.MarkAllDirty();
+    }
+  }
+
+  // (2) Refresh the runtime snapshot I from the fabric's change journal —
+  // only queries touched since the last cycle are re-collected, and their
+  // memory deltas (including injected barrier bytes) fold into the
+  // incremental total, which then backs the cycle's memory update.
+  BuildSnapshot(&snapshot_scratch_);
+  memory_.Update(memory_usage_);
   if (audit_ != nullptr) {
     audit_->CheckMemoryAccounting(ActiveQueriesForAudit(),
                                   memory_.used_bytes());
   }
-  BuildSnapshot(&snapshot_scratch_);
+  snapshot_scratch_.now = now_;
+  snapshot_scratch_.memory_utilization = memory_.utilization();
+  snapshot_scratch_.backpressured = memory_.backpressured();
 
   // (3) Policy evaluation; its modeled cost is spread across the cores'
   // cycle budgets (the scheduler borrows CPU from event processing).
@@ -135,6 +168,13 @@ void Engine::RunCycle() {
   }
   const CycleStats stats =
       executor_->ExecuteCycle(tasks_scratch_, multiplier, now_);
+  // Execution is the only mutation between this cycle's snapshot and the
+  // next cycle's ingest: fold the executed queries' memory deltas so the
+  // next Ingest sees an exact total, and mark them for snapshot refresh.
+  for (const ExecutorTask& task : tasks_scratch_) {
+    SyncQueryMemory(*task.query);
+    fabric_.MarkDirty(task.query->id());
+  }
   if (audit_ != nullptr) {
     audit_->CheckCycleStats(*executor_, tasks_scratch_, stats);
     audit_->CheckProgressMonotonicity(ActiveQueriesForAudit());
@@ -156,23 +196,30 @@ void Engine::RestoreClock(TimeMicros t) {
   while (next_sample_time_ <= t) {
     next_sample_time_ += config_.metrics_sample_period;
   }
+  // Checkpoint restore mutates operator state behind the engine's back
+  // (RestoreQueryState writes directly into operators); re-sync the
+  // incremental accounting so the first cycle's ingest budget matches what
+  // a full sweep would compute.
+  for (const QueryFabric::LiveQuery& lq : fabric_.live()) {
+    SyncQueryMemory(*lq.query);
+    fabric_.MarkDirty(lq.id);
+  }
 }
 
 int64_t Engine::Ingest() {
-  int64_t usage = ComputeMemoryUsage();
-  if (memory_.backpressured()) return usage;
+  if (memory_.backpressured()) return memory_usage_;
   // Remaining buffer space bounds how much the cycle may ingest: the SPE
   // never fetches beyond its memory capacity (backpressure semantics).
-  int64_t budget = config_.memory_capacity_bytes - usage;
-  for (DeployedQuery& dq : queries_) {
+  int64_t budget = config_.memory_capacity_bytes - memory_usage_;
+  for (const QueryFabric::LiveQuery& lq : fabric_.fed()) {
     if (budget <= 0) break;
-    if (!dq.active || dq.feed == nullptr || now_ < dq.query->deploy_time()) {
-      continue;
-    }
+    if (now_ < lq.query->deploy_time()) continue;
     feed_scratch_.clear();
-    dq.feed->PollUpTo(now_, budget, &feed_scratch_);
-    const auto& sources = dq.query->sources();
+    lq.feed->PollUpTo(now_, budget, &feed_scratch_);
+    if (feed_scratch_.empty()) continue;
+    const auto& sources = lq.query->sources();
     int64_t data = 0;
+    int64_t added_total = 0;
     for (const EventFeed::FeedElement& fe : feed_scratch_) {
       KLINK_CHECK(fe.source_index >= 0 &&
                   fe.source_index < static_cast<int>(sources.size()));
@@ -181,33 +228,46 @@ int64_t Engine::Ingest() {
       sources[static_cast<size_t>(fe.source_index)]->input(0).Push(e);
       const int64_t added = e.payload_bytes + StreamQueue::kPerEventOverhead;
       budget -= added;
-      usage += added;
+      added_total += added;
       if (e.is_data()) ++data;
     }
+    memory_usage_ += added_total;
+    accounted_mem_[lq.id] += added_total;
+    fabric_.MarkDirty(lq.id);
     metrics_.AddIngested(data);
   }
-  return usage;
+  return memory_usage_;
 }
 
 void Engine::BuildSnapshot(RuntimeSnapshot* snap) {
-  snap->now = now_;
-  snap->memory_utilization = memory_.utilization();
-  snap->backpressured = memory_.backpressured();
-  snap->queries.clear();
-  snap->queries.reserve(queries_.size());
-  for (DeployedQuery& dq : queries_) {
-    if (!dq.active) continue;
-    snap->queries.emplace_back();
-    CollectQueryInfo(*dq.query, now_, &snap->queries.back());
+  snap->incremental = true;
+  fabric_.TakeJournal(&snap->touched, &snap->detached);
+  // Drop detached entries (swap-erase; the index keeps positions dense).
+  for (const QueryId id : snap->detached) {
+    const auto it = snap->index.find(id);
+    if (it == snap->index.end()) continue;  // retired before first snapshot
+    const size_t pos = static_cast<size_t>(it->second);
+    const size_t last = snap->queries.size() - 1;
+    if (pos != last) {
+      snap->queries[pos] = std::move(snap->queries[last]);
+      snap->index[snap->queries[pos].id] = static_cast<int32_t>(pos);
+    }
+    snap->queries.pop_back();
+    snap->index.erase(it);
   }
-}
-
-int64_t Engine::ComputeMemoryUsage() const {
-  int64_t total = 0;
-  for (const DeployedQuery& dq : queries_) {
-    if (dq.active) total += dq.query->MemoryBytes();
+  // Re-collect touched queries in place (or append newly attached ones),
+  // folding each one's memory delta into the incremental total.
+  for (const QueryId id : snap->touched) {
+    const Query* q = fabric_.Find(id);  // live: TakeJournal filters retirees
+    const auto [it, inserted] =
+        snap->index.try_emplace(id, static_cast<int32_t>(snap->queries.size()));
+    if (inserted) snap->queries.emplace_back();
+    QueryInfo& info = snap->queries[static_cast<size_t>(it->second)];
+    CollectQueryInfo(*q, now_, &info);
+    int64_t& accounted = accounted_mem_[id];
+    memory_usage_ += info.memory_bytes - accounted;
+    accounted = info.memory_bytes;
   }
-  return total;
 }
 
 double Engine::CostMultiplier() const {
@@ -245,16 +305,24 @@ void Engine::MaybeSampleMetrics() {
 
 Histogram Engine::AggregateSwmLatency() const {
   Histogram h;
-  for (const DeployedQuery& dq : queries_) {
-    h.Merge(dq.query->sink().swm_latency());
+  for (const QueryFabric::LiveQuery& lq :
+       fabric_.live()) {
+    h.Merge(lq.query->sink().swm_latency());
+  }
+  for (const auto& [id, q] : fabric_.retired()) {
+    h.Merge(q->sink().swm_latency());
   }
   return h;
 }
 
 Histogram Engine::AggregateMarkerLatency() const {
   Histogram h;
-  for (const DeployedQuery& dq : queries_) {
-    h.Merge(dq.query->sink().marker_latency());
+  for (const QueryFabric::LiveQuery& lq :
+       fabric_.live()) {
+    h.Merge(lq.query->sink().marker_latency());
+  }
+  for (const auto& [id, q] : fabric_.retired()) {
+    h.Merge(q->sink().marker_latency());
   }
   return h;
 }
@@ -262,15 +330,20 @@ Histogram Engine::AggregateMarkerLatency() const {
 double Engine::MeanSlowdown() const {
   double total = 0.0;
   int counted = 0;
-  for (const DeployedQuery& dq : queries_) {
-    const Histogram& lat = dq.query->sink().swm_latency();
-    if (lat.count() == 0) continue;
+  const auto fold = [&](const Query& q) {
+    const Histogram& lat = q.sink().swm_latency();
+    if (lat.count() == 0) return;
     QueryInfo info;
-    CollectQueryInfo(*dq.query, now_, &info);
-    if (info.unit_cost_micros <= 0.0) continue;
+    CollectQueryInfo(q, now_, &info);
+    if (info.unit_cost_micros <= 0.0) return;
     total += lat.mean() / info.unit_cost_micros;
     ++counted;
+  };
+  for (const QueryFabric::LiveQuery& lq :
+       fabric_.live()) {
+    fold(*lq.query);
   }
+  for (const auto& [id, q] : fabric_.retired()) fold(*q);
   return counted == 0 ? 0.0 : total / counted;
 }
 

@@ -2,6 +2,7 @@
 #define KLINK_RUNTIME_ENGINE_H_
 
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "src/common/histogram.h"
@@ -12,6 +13,7 @@
 #include "src/runtime/executor.h"
 #include "src/runtime/memory_tracker.h"
 #include "src/runtime/metrics.h"
+#include "src/runtime/query_fabric.h"
 #include "src/runtime/snapshot.h"
 #include "src/sched/policy.h"
 
@@ -60,6 +62,12 @@ struct EngineConfig {
 /// the selection to the executor, which runs each slot for up to r of
 /// virtual CPU time and merges per-worker counters at the cycle barrier,
 /// and (5) samples resource metrics and advances the clock.
+///
+/// Query membership is managed by a QueryFabric (runtime/query_fabric.h):
+/// queries attach and detach live, and the engine's per-cycle state —
+/// memory total and runtime snapshot — is maintained *incrementally* from
+/// the fabric's change journal, so steady-state cycle overhead tracks the
+/// number of queries that changed, not the number deployed.
 class Engine {
  public:
   Engine(const EngineConfig& config, std::unique_ptr<SchedulingPolicy> policy);
@@ -67,28 +75,43 @@ class Engine {
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
-  /// Deploys a query; ingestion starts once now() >= deploy_time. `feed`
-  /// may be null for manually driven tests. Returns the query id.
+  /// Deploys a query live; ingestion starts once now() >= deploy_time.
+  /// `feed` may be null for manually driven tests. Returns the
+  /// generation-stamped query id (equal to the builder-assigned id for a
+  /// fixed up-front set — slots are dense and generations start at 0).
   QueryId AddQuery(std::unique_ptr<Query> query, std::unique_ptr<EventFeed> feed,
                    TimeMicros deploy_time = 0);
 
-  /// Undeploys a query: ingestion stops, queued elements are discarded,
-  /// and the policy no longer sees it. The Query object (and its sink's
-  /// recorded statistics) remains accessible via query(id). Workloads can
-  /// thus change at runtime, which Klink's design is robust to (Sec. 1).
+  /// Undeploys a query immediately: ingestion stops, queued elements are
+  /// discarded, and the policy no longer sees it. The Query object (and
+  /// its sink's recorded statistics) remains accessible via query(id).
   void RemoveQuery(QueryId id);
 
-  /// False after RemoveQuery(id).
-  bool IsActive(QueryId id) const;
+  /// Gracefully detaches a query: ingestion stops now, but queued work —
+  /// including in-flight checkpoint barriers — keeps being scheduled until
+  /// the queues drain, then the query retires. Stats stay readable via
+  /// query(id). This is the path tenant churn uses (tools/klink_run.cc).
+  void DetachQuery(QueryId id);
+
+  /// True while the query is deployed (active or draining); false once
+  /// removed/retired or for unknown ids.
+  bool IsActive(QueryId id) const { return fabric_.IsLive(id); }
 
   /// Runs whole scheduling cycles until now() >= end_time.
   void RunUntil(TimeMicros end_time);
   void RunFor(DurationMicros duration) { RunUntil(now_ + duration); }
 
   TimeMicros now() const { return now_; }
-  int num_queries() const { return static_cast<int>(queries_.size()); }
+  /// Live (attached, non-retired) queries — tombstones are not a concept
+  /// the fabric has, so removed queries never inflate this count.
+  int num_queries() const { return fabric_.live_count(); }
+  /// Live or retired query; aborts on unknown ids.
   Query& query(QueryId id);
   const Query& query(QueryId id) const;
+
+  /// The control plane: endpoint routing, lifecycle introspection.
+  QueryFabric& fabric() { return fabric_; }
+  const QueryFabric& fabric() const { return fabric_; }
 
   const EngineMetrics& metrics() const { return metrics_; }
   const MemoryTracker& memory() const { return memory_; }
@@ -106,10 +129,12 @@ class Engine {
 
   /// Rewinds the virtual clock to a restored checkpoint's capture time, so
   /// the resumed run replays the exact cycle boundaries of the original.
-  /// Only valid before the first RunUntil.
+  /// Also resynchronizes the incremental memory accounting with the
+  /// restored operator state. Only valid before the first RunUntil.
   void RestoreClock(TimeMicros t);
 
-  /// Output latency (SWM propagation delay) merged across all query sinks.
+  /// Output latency (SWM propagation delay) merged across all query sinks,
+  /// including retired queries.
   Histogram AggregateSwmLatency() const;
   /// Latency-marker propagation delay merged across all query sinks.
   Histogram AggregateMarkerLatency() const;
@@ -118,29 +143,28 @@ class Engine {
   double MeanSlowdown() const;
 
  private:
-  struct DeployedQuery {
-    std::unique_ptr<Query> query;
-    std::unique_ptr<EventFeed> feed;
-    bool active = true;
-  };
-
   void RunCycle();
   /// Active queries, rebuilt into audit_scratch_ for the invariant auditor.
   const std::vector<const Query*>& ActiveQueriesForAudit();
-  /// Ingests feed elements due by now() and returns the post-ingest memory
-  /// usage, so RunCycle updates the tracker without a second sweep (the
-  /// seed recomputed usage once in Ingest and once in RunCycle).
+  /// Ingests feed elements due by now() into source queues, maintaining the
+  /// incremental memory total, and returns it.
   int64_t Ingest();
+  /// Consumes the fabric's change journal into the persistent snapshot:
+  /// drops detached entries, re-collects touched ones, and folds each
+  /// touched query's memory delta into memory_usage_. O(touched), not
+  /// O(queries).
   void BuildSnapshot(RuntimeSnapshot* snap);
-  /// O(queries): each Query maintains its memory total incrementally.
-  int64_t ComputeMemoryUsage() const;
+  /// Folds `q`'s memory delta since its last accounting into memory_usage_.
+  void SyncQueryMemory(const Query& q);
+  /// Drops a retired query from the incremental memory accounting.
+  void OnQueryRetired(QueryId id);
   double CostMultiplier() const;
   void MaybeSampleMetrics();
 
   EngineConfig config_;
   std::unique_ptr<SchedulingPolicy> policy_;
   std::unique_ptr<Executor> executor_;
-  std::vector<DeployedQuery> queries_;
+  QueryFabric fabric_;
   MemoryTracker memory_;
   EngineMetrics metrics_;
   TimeMicros now_ = 0;
@@ -149,10 +173,18 @@ class Engine {
   // Rolling counters for windowed metric samples.
   double busy_since_sample_ = 0.0;
   int64_t processed_at_last_sample_ = 0;
+  /// Incremental total of live queries' MemoryBytes(), synced per query at
+  /// attach, ingest, snapshot refresh, post-execution, and retire. Equals
+  /// what a full sweep would return at every cycle's memory update (the
+  /// KLINK_AUDIT memory check proves it against recomputation).
+  int64_t memory_usage_ = 0;
+  /// Per-live-query memory last folded into memory_usage_.
+  std::unordered_map<QueryId, int64_t> accounted_mem_;
   std::vector<EventFeed::FeedElement> feed_scratch_;
   Selection selection_scratch_;
   std::vector<ExecutorTask> tasks_scratch_;
   RuntimeSnapshot snapshot_scratch_;
+  std::vector<QueryId> retired_scratch_;
   /// Non-owning; null when checkpointing is off (see SetCheckpointCoordinator).
   CheckpointCoordinator* coordinator_ = nullptr;
   /// Non-null when KLINK_AUDIT=1 at construction: cycle-boundary invariant

@@ -2,6 +2,7 @@
 #define KLINK_RUNTIME_SNAPSHOT_H_
 
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "src/common/types.h"
@@ -80,6 +81,29 @@ struct RuntimeSnapshot {
   double memory_utilization = 0.0;
   bool backpressured = false;
   std::vector<QueryInfo> queries;
+
+  /// Incremental-maintenance journal, set by engine-built snapshots (the
+  /// snapshot object persists across cycles and only changed entries are
+  /// re-collected; see Engine::BuildSnapshot). When `incremental` is true:
+  ///  - entries for queries NOT listed in `touched` are bitwise-identical
+  ///    to the previous cycle's snapshot (CollectQueryInfo does not depend
+  ///    on `now`, so an untouched query's info cannot change);
+  ///  - `touched` holds the ids refreshed this cycle, including newly
+  ///    attached queries, in ascending id order;
+  ///  - `detached` holds ids removed since the previous cycle, ascending.
+  /// Policies exploit this to keep per-cycle work O(touched) instead of
+  /// O(queries) (klink/klink_policy.cc, sched/fcfs_policy.cc). Hand-built
+  /// snapshots leave `incremental` false and policies fall back to a full
+  /// scan, so the flag never changes *what* is selected — only the cost.
+  bool incremental = false;
+  std::vector<QueryId> touched;
+  std::vector<QueryId> detached;
+  /// id -> position in `queries`, maintained by the engine. May be empty
+  /// for hand-built snapshots; Find falls back to a linear scan then.
+  std::unordered_map<QueryId, int32_t> index;
+
+  /// Entry for `id`, or nullptr when absent.
+  const QueryInfo* Find(QueryId id) const;
 };
 
 /// Fills `info` from the live query state at virtual time `now`. Reads

@@ -1,0 +1,45 @@
+#include "src/sched/deadline_index.h"
+
+#include "src/common/check.h"
+
+namespace klink {
+
+void DeadlineIndex::Push(const Entry& e) {
+  // Sift up.
+  heap_.push_back(e);
+  size_t i = heap_.size() - 1;
+  while (i > 0) {
+    const size_t parent = (i - 1) / 2;
+    if (!Less(heap_[i], heap_[parent])) break;
+    std::swap(heap_[i], heap_[parent]);
+    i = parent;
+  }
+}
+
+void DeadlineIndex::Pop() {
+  KLINK_CHECK(!heap_.empty());
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  // Sift down.
+  size_t i = 0;
+  const size_t n = heap_.size();
+  while (true) {
+    const size_t left = 2 * i + 1;
+    const size_t right = left + 1;
+    size_t smallest = i;
+    if (left < n && Less(heap_[left], heap_[smallest])) smallest = left;
+    if (right < n && Less(heap_[right], heap_[smallest])) smallest = right;
+    if (smallest == i) break;
+    std::swap(heap_[i], heap_[smallest]);
+    i = smallest;
+  }
+}
+
+void DeadlineIndex::AuditHeapProperty() const {
+  for (size_t i = 1; i < heap_.size(); ++i) {
+    const size_t parent = (i - 1) / 2;
+    KLINK_CHECK(!Less(heap_[i], heap_[parent]));
+  }
+}
+
+}  // namespace klink

@@ -1,0 +1,59 @@
+#ifndef KLINK_SCHED_DEADLINE_INDEX_H_
+#define KLINK_SCHED_DEADLINE_INDEX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace klink {
+
+/// A lazy-deletion binary min-heap of (key, query, version) entries — the
+/// incremental scheduling policies' deadline/slack index (DESIGN.md "Query
+/// fabric & incremental scheduling").
+///
+/// Policies keep one entry per cold (unchanged-since-last-cycle) query and
+/// update it only when the fabric journal reports the query touched: rather
+/// than erasing the stale entry (O(n) in a binary heap), the owner bumps a
+/// per-query version counter and pushes a fresh entry; stale versions are
+/// skipped at pop time. Per-cycle cost is therefore O(touched · log n +
+/// popped · log n), independent of how many queries are deployed.
+///
+/// Ordering is (key, id) ascending — the id tiebreak keeps pop order
+/// deterministic and matches the policies' seed comparators.
+class DeadlineIndex {
+ public:
+  struct Entry {
+    double key = 0.0;
+    QueryId id = -1;
+    /// Owner's version of `id` when the entry was pushed; an entry whose
+    /// version no longer matches is stale and must be skipped.
+    uint64_t version = 0;
+  };
+
+  bool empty() const { return heap_.empty(); }
+  size_t size() const { return heap_.size(); }
+  void Clear() { heap_.clear(); }
+
+  void Push(const Entry& e);
+  /// Smallest (key, id) entry. Undefined when empty.
+  const Entry& Top() const { return heap_.front(); }
+  void Pop();
+
+  /// KLINK_AUDIT: verifies the heap property over all entries. Aborts on
+  /// the first violation.
+  void AuditHeapProperty() const;
+
+ private:
+  static bool Less(const Entry& a, const Entry& b) {
+    if (a.key != b.key) return a.key < b.key;
+    return a.id < b.id;
+  }
+
+  std::vector<Entry> heap_;
+};
+
+}  // namespace klink
+
+#endif  // KLINK_SCHED_DEADLINE_INDEX_H_

@@ -1,9 +1,26 @@
 #include "src/sched/fcfs_policy.h"
 
+#include <algorithm>
+
+#include "src/common/check.h"
+#include "src/runtime/audit.h"
+
 namespace klink {
+
+FcfsPolicy::FcfsPolicy() : audit_(AuditEnabledFromEnv()) {}
 
 void FcfsPolicy::SelectQueries(const RuntimeSnapshot& snapshot, int slots,
                                Selection* out) {
+  if (!snapshot.incremental) {
+    SelectFullScan(snapshot, slots, out);
+    rebuild_ = true;
+    return;
+  }
+  SelectIncremental(snapshot, slots, out);
+}
+
+void FcfsPolicy::SelectFullScan(const RuntimeSnapshot& snapshot, int slots,
+                                Selection* out) {
   SelectTopReadyQueries(
       snapshot, slots,
       [](const QueryInfo& a, const QueryInfo& b) {
@@ -14,6 +31,72 @@ void FcfsPolicy::SelectQueries(const RuntimeSnapshot& snapshot, int slots,
         return a.id < b.id;
       },
       out);
+}
+
+void FcfsPolicy::Index(const RuntimeSnapshot& snapshot, QueryId id) {
+  const QueryInfo* info = snapshot.Find(id);
+  KLINK_CHECK(info != nullptr);
+  if (!QueryIsReady(*info)) return;
+  // oldest_ingest is integral virtual micros, exactly representable in a
+  // double, so the heap's (key, id) order equals the full-scan comparator.
+  heap_.Push({static_cast<double>(info->oldest_ingest), id, version_[id]});
+}
+
+void FcfsPolicy::RebuildIncrementalState(const RuntimeSnapshot& snapshot) {
+  heap_.Clear();
+  version_.clear();
+  // klink-lint: allow(sched-scan): rebuild cycles only, not steady state.
+  for (const QueryInfo& info : snapshot.queries) {
+    version_[info.id] = 0;
+    Index(snapshot, info.id);
+  }
+  rebuild_ = false;
+}
+
+void FcfsPolicy::SelectIncremental(const RuntimeSnapshot& snapshot, int slots,
+                                   Selection* out) {
+  for (QueryId id : snapshot.detached) version_.erase(id);
+  const size_t heap_cap = 4 * snapshot.queries.size() + 64;
+  if (rebuild_ || heap_.size() > heap_cap) {
+    RebuildIncrementalState(snapshot);
+  } else {
+    for (QueryId id : snapshot.touched) {
+      ++version_[id];  // invalidates the query's previous entries
+      Index(snapshot, id);
+    }
+  }
+
+  const auto valid = [this](const DeadlineIndex::Entry& e) {
+    const auto it = version_.find(e.id);
+    return it != version_.end() && it->second == e.version;
+  };
+  // Pop the heap minimum `slots` times; re-push afterwards so entries
+  // survive to later cycles (selected queries get touched next cycle and
+  // re-indexed anyway, but re-pushing keeps this call idempotent).
+  std::vector<DeadlineIndex::Entry> popped;
+  const size_t want = static_cast<size_t>(std::max(slots, 0));
+  while (out->size() < want && !heap_.empty()) {
+    const DeadlineIndex::Entry e = heap_.Top();
+    heap_.Pop();
+    if (!valid(e)) continue;
+    popped.push_back(e);
+    out->Add(e.id);
+  }
+  for (const DeadlineIndex::Entry& e : popped) heap_.Push(e);
+
+  if (audit_) AuditIncremental(snapshot, slots, *out);
+}
+
+void FcfsPolicy::AuditIncremental(const RuntimeSnapshot& snapshot, int slots,
+                                  const Selection& out) {
+  heap_.AuditHeapProperty();
+  Selection expect;
+  SelectFullScan(snapshot, slots, &expect);
+  KLINK_CHECK_EQ(static_cast<int64_t>(out.size()),
+                 static_cast<int64_t>(expect.size()));
+  for (size_t i = 0; i < expect.size(); ++i) {
+    KLINK_CHECK_EQ(out[i].query, expect[i].query);
+  }
 }
 
 }  // namespace klink

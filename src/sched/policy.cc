@@ -12,6 +12,9 @@ void SelectTopReadyQueries(
     Selection* out) {
   std::vector<const QueryInfo*> ready;
   ready.reserve(snapshot.queries.size());
+  // klink-lint: allow(sched-scan): shared seam for the legacy full-scan
+  // policies (HR, memory-mode Klink, full-scan fallbacks); incremental
+  // policies bypass this helper on engine-built snapshots.
   for (const QueryInfo& info : snapshot.queries) {
     if (QueryIsReady(info)) ready.push_back(&info);
   }

@@ -1,6 +1,7 @@
 #include "src/sched/sbox_policy.h"
 
 #include <algorithm>
+#include <unordered_set>
 
 namespace klink {
 namespace {
@@ -16,39 +17,30 @@ void StreamBoxPolicy::SelectQueries(const RuntimeSnapshot& snapshot, int slots,
   if (slots <= 0) return;
   sticky_.resize(static_cast<size_t>(slots));
 
-  auto find_info = [&snapshot](QueryId id) -> const QueryInfo* {
-    for (const QueryInfo& info : snapshot.queries) {
-      if (info.id == id) return &info;
-    }
-    return nullptr;
-  };
-
-  // Query ids are sparse when queries were removed mid-run, so the taken
-  // set must span the largest id in the snapshot, not its length.
-  QueryId max_id = -1;
-  for (const QueryInfo& info : snapshot.queries) {
-    max_id = std::max(max_id, info.id);
-  }
-  std::vector<bool> taken(static_cast<size_t>(max_id + 1), false);
+  // Generation-stamped ids are sparse under attach/detach churn, so track
+  // taken queries in a set rather than a dense max-id-sized bitmap.
+  std::unordered_set<QueryId> taken;
 
   // Keep sticky assignments whose query has not yet pushed a watermark
-  // through to the sink since selection. A removed query vanishes from the
-  // snapshot and releases its slot.
+  // through to the sink since selection. A detached query vanishes from
+  // the snapshot and releases its slot.
   for (Sticky& s : sticky_) {
     if (s.id < 0) continue;
-    const QueryInfo* info = find_info(s.id);
+    const QueryInfo* info = snapshot.Find(s.id);
     if (info == nullptr || !QueryIsReady(*info) ||
         SinkWatermarks(*info) > s.watermarks_at_selection) {
       s.id = -1;
       continue;
     }
-    taken[static_cast<size_t>(s.id)] = true;
+    taken.insert(s.id);
   }
 
   // Fill free slots with the earliest-deadline ready queries.
   std::vector<const QueryInfo*> candidates;
   for (const QueryInfo& info : snapshot.queries) {
-    if (!QueryIsReady(info) || taken[static_cast<size_t>(info.id)]) continue;
+    // klink-lint: allow(sched-scan): StreamBox re-ranks every candidate at
+    // each cycle boundary by design (sticky slots, not a priority index).
+    if (!QueryIsReady(info) || taken.count(info.id) != 0) continue;
     candidates.push_back(&info);
   }
   std::sort(candidates.begin(), candidates.end(),

@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# Measures per-cycle scheduler evaluation cost at 100/1k/10k deployed
+# queries and records the result in BENCH_scheduler_scale.json:
+#   1. builds micro_scheduler_scale in Release (-O2 -DNDEBUG),
+#   2. runs the scaling microbenchmarks (full scan vs. incremental heap,
+#      FCFS and Klink),
+#   3. checks the acceptance bar: the incremental per-cycle cost at 10k
+#      queries is <= 3x the 100-query cost for both policies (per-cycle
+#      work tracks the touched set, not the deployment size). The
+#      full-scan 10k/100 ratio is recorded alongside as the O(n) contrast.
+#
+# Usage: tools/bench_scheduler_scale.sh [build-dir] [output-json]
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-$REPO_ROOT/build-release}"
+OUT_JSON="${2:-$REPO_ROOT/BENCH_scheduler_scale.json}"
+
+cmake -B "$BUILD_DIR" -S "$REPO_ROOT" -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target micro_scheduler_scale
+
+RAW_JSON="$(mktemp)"
+"$BUILD_DIR/bench/micro_scheduler_scale" \
+  --benchmark_min_time=0.5 \
+  --benchmark_format=json > "$RAW_JSON"
+
+python3 - "$RAW_JSON" "$OUT_JSON" <<'PY'
+import json
+import sys
+
+raw_path, out_path = sys.argv[1], sys.argv[2]
+with open(raw_path) as f:
+    raw = json.load(f)
+
+bench = {b["name"]: b for b in raw["benchmarks"]}
+
+def cpu_ns(name):
+    b = bench[name]
+    scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}[b["time_unit"]]
+    return b["cpu_time"] * scale
+
+def ratio(prefix):
+    return round(cpu_ns(f"{prefix}/10000") / cpu_ns(f"{prefix}/100"), 3)
+
+TARGET = 3.0
+result = {
+    "description": "Per-cycle scheduler evaluation cost vs. deployment "
+                   "size (see bench/micro_scheduler_scale.cc); a "
+                   "steady-state cycle touches 8 queries regardless of "
+                   "how many are deployed.",
+    "context": raw.get("context", {}),
+    "per_cycle_ns": {
+        name: round(cpu_ns(name), 1) for name in sorted(bench)
+    },
+    "scale_ratio_10k_vs_100": {
+        "fcfs_incremental": ratio("BM_FcfsIncremental"),
+        "klink_incremental": ratio("BM_KlinkIncremental"),
+        "fcfs_full_scan": ratio("BM_FcfsFullScan"),
+        "klink_full_scan": ratio("BM_KlinkFullScan"),
+    },
+    "incremental_ratio_target": TARGET,
+}
+ratios = result["scale_ratio_10k_vs_100"]
+result["incremental_ratio_ok"] = (
+    ratios["fcfs_incremental"] <= TARGET
+    and ratios["klink_incremental"] <= TARGET
+)
+
+with open(out_path, "w") as f:
+    json.dump(result, f, indent=2)
+    f.write("\n")
+
+print(json.dumps(ratios, indent=2))
+print("scheduler scale:", "OK" if result["incremental_ratio_ok"] else "FAILED")
+sys.exit(0 if result["incremental_ratio_ok"] else 1)
+PY

@@ -22,6 +22,18 @@
 // replay deterministic — the networked run produces the same results as
 // the equivalent in-process run.
 //
+// --dynamic-attach turns the closed-world server into a multi-tenant
+// fabric: no queries are deployed up front; the first kHello naming a
+// stream of tenant q (stream ids follow MakeStreamId, so q = id / 8)
+// builds and attaches that tenant's query live, and once all of a
+// tenant's streams send kBye the query drain-detaches — queued work,
+// including in-flight checkpoint barriers, completes before it retires.
+// Tenant indexes still live in [0, --queries), and each tenant's workload
+// parameters are drawn from the same seeded rng stream as the static
+// server, so attach order (network arrival order) never changes what a
+// tenant computes. Per-tenant `results_hash qN` lines are printed so
+// churn harnesses can compare survivors across runs.
+//
 // Fault tolerance (listen mode): --checkpoint-dir=DIR arms barrier
 // checkpoints every --checkpoint-interval-ms of virtual time; durable
 // epochs are acked to clients so they can trim their replay buffers.
@@ -38,10 +50,13 @@
 #include <chrono>
 #include <cstdio>
 #include <limits>
+#include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
+#include "src/common/check.h"
 #include "src/common/flags.h"
 #include "src/common/rng.h"
 #include "src/harness/experiment.h"
@@ -95,6 +110,7 @@ int Usage() {
       "                 [--executor=sequential|threads]\n"
       "                 [--confidence=F] [--seed=N] [--csv=PATH]\n"
       "                 [--listen=PORT [--ingest-budget-kb=N] [--lockstep]\n"
+      "                  [--dynamic-attach [--expect-tenants=N]]\n"
       "                  [--checkpoint-dir=DIR [--checkpoint-interval-ms=N]\n"
       "                   [--restore]]]\n");
   return 2;
@@ -113,31 +129,56 @@ struct CheckpointFlags {
   bool restore = false;
 };
 
+/// One tenant of the listen-mode server: a query index in
+/// [0, --queries), its deployed (generation-stamped) query id, and the
+/// gateway streams feeding its sources.
+struct Tenant {
+  QueryId id = 0;
+  std::vector<uint32_t> streams;
+  /// Streams that have seen kBye; the tenant drain-detaches once all have.
+  std::set<uint32_t> ended;
+  /// All streams ended; detach once the gateway staging drains.
+  bool detach_pending = false;
+  bool detached = false;
+};
+
 /// Serves the ingest protocol and runs the engine against TCP arrivals.
 int RunListenMode(const ExperimentConfig& config, uint16_t port,
                   int64_t ingest_budget_bytes, bool lockstep,
+                  bool dynamic_attach, int expect_tenants,
                   const CheckpointFlags& ckpt) {
   KlinkPolicyConfig klink_config = config.klink;
   klink_config.cycle_length = config.engine.cycle_length;
   Engine engine(config.engine, MakePolicy(config.policy, klink_config,
                                           config.seed ^ 0x5eedULL));
 
-  // Same query construction as the in-process harness (same rng stream),
-  // so a lockstep networked run is comparable to the simulated one.
+  // Same per-tenant workload parameters as the in-process harness (same
+  // rng stream), drawn up front for every index: in dynamic-attach mode
+  // tenants deploy in network arrival order, which must never perturb
+  // another tenant's window offset.
   IngestGateway gateway;
-  std::vector<NetworkFeed*> feeds;
-  std::vector<std::vector<uint32_t>> query_streams;
   Rng rng(config.seed);
+  std::vector<DurationMicros> window_offsets;
+  window_offsets.reserve(static_cast<size_t>(config.num_queries));
   for (int q = 0; q < config.num_queries; ++q) {
     const uint64_t feed_seed = rng.NextUint64();
     (void)feed_seed;  // consumed by the loadgen side
+    DurationMicros range = 0;
+    switch (config.workload) {
+      case WorkloadKind::kYsb: range = YsbConfig{}.window_size; break;
+      case WorkloadKind::kLrb: range = LrbConfig{}.join_window; break;
+      case WorkloadKind::kNyt: range = NytConfig{}.slide; break;
+    }
+    window_offsets.push_back(rng.NextInt(0, range - 1));
+  }
+  auto build_query = [&](int q) {
     std::unique_ptr<Query> query;
     switch (config.workload) {
       case WorkloadKind::kYsb: {
         YsbConfig wc;
         wc.events_per_second = config.events_per_second;
         wc.watermark_lag = WatermarkLagFor(config.delay);
-        wc.window_offset = rng.NextInt(0, wc.window_size - 1);
+        wc.window_offset = window_offsets[static_cast<size_t>(q)];
         query = MakeYsbQuery(q, wc);
         break;
       }
@@ -145,7 +186,7 @@ int RunListenMode(const ExperimentConfig& config, uint16_t port,
         LrbConfig wc;
         wc.events_per_substream_per_second = config.events_per_second;
         wc.watermark_lag = WatermarkLagFor(config.delay);
-        wc.window_offset = rng.NextInt(0, wc.join_window - 1);
+        wc.window_offset = window_offsets[static_cast<size_t>(q)];
         query = MakeLrbQuery(q, wc);
         break;
       }
@@ -153,44 +194,80 @@ int RunListenMode(const ExperimentConfig& config, uint16_t port,
         NytConfig wc;
         wc.events_per_second = config.events_per_second;
         wc.watermark_lag = WatermarkLagFor(config.delay);
-        wc.window_offset = rng.NextInt(0, wc.slide - 1);
+        wc.window_offset = window_offsets[static_cast<size_t>(q)];
         query = MakeNytQuery(q, wc);
         break;
       }
     }
-    std::vector<uint32_t> stream_ids;
-    for (size_t s = 0; s < query->sources().size(); ++s) {
-      const uint32_t id = MakeStreamId(q, static_cast<int>(s));
-      IngestStreamConfig sc;
-      sc.byte_budget = ingest_budget_bytes;
-      gateway.RegisterStream(id, sc);
-      stream_ids.push_back(id);
-    }
-    auto feed = std::make_unique<NetworkFeed>(&gateway, stream_ids);
-    feeds.push_back(feed.get());
-    query_streams.push_back(stream_ids);
-    engine.AddQuery(std::move(query), std::move(feed), /*deploy_time=*/0);
-  }
+    return query;
+  };
 
-  // Arm barrier checkpoints (and optionally restore) before serving: the
-  // gateway's sequence cursors must be rewound before the first client
-  // hello reads them back via HELLO_ACK.
   std::unique_ptr<CheckpointCoordinator> coordinator;
   if (!ckpt.dir.empty()) {
     CheckpointConfig cc;
     cc.dir = ckpt.dir;
     cc.interval = ckpt.interval;
     coordinator = std::make_unique<CheckpointCoordinator>(cc);
-    for (int q = 0; q < config.num_queries; ++q) {
-      coordinator->RegisterQuery(&engine.query(q),
-                                 query_streams[static_cast<size_t>(q)],
-                                 &gateway);
+  } else if (ckpt.restore) {
+    std::fprintf(stderr, "--restore requires --checkpoint-dir\n");
+    return 2;
+  }
+
+  // Tenants keyed by query index (a std::map: the results fingerprint at
+  // the end folds in index order, independent of attach order). Indexes
+  // are single-use per run — a departed tenant's stats stay readable and
+  // its streams' sequence state stays authoritative for late duplicates.
+  std::map<int, Tenant> tenants;
+  auto attach_tenant = [&](int q) -> bool {
+    if (q < 0 || q >= config.num_queries) return false;
+    if (tenants.count(q) != 0) return false;
+    std::unique_ptr<Query> query = build_query(q);
+    Tenant t;
+    for (size_t s = 0; s < query->sources().size(); ++s) {
+      const uint32_t id = MakeStreamId(q, static_cast<int>(s));
+      IngestStreamConfig sc;
+      sc.byte_budget = ingest_budget_bytes;
+      gateway.RegisterStream(id, sc);
+      t.streams.push_back(id);
     }
+    auto feed = std::make_unique<NetworkFeed>(&gateway, t.streams);
+    t.id = engine.AddQuery(std::move(query), std::move(feed),
+                           /*deploy_time=*/engine.now());
+    if (coordinator != nullptr) {
+      coordinator->RegisterQuery(&engine.query(t.id), t.streams, &gateway);
+    }
+    tenants.emplace(q, std::move(t));
+    return true;
+  };
+  if (!dynamic_attach) {
+    // Closed world: the full query set deploys up front, exactly like the
+    // in-process harness.
+    for (int q = 0; q < config.num_queries; ++q) {
+      KLINK_CHECK(attach_tenant(q));
+    }
+  }
+
+  // Arm barrier checkpoints (and optionally restore) before serving: the
+  // gateway's sequence cursors must be rewound before the first client
+  // hello reads them back via HELLO_ACK.
+  if (coordinator != nullptr) {
     if (ckpt.restore) {
       LoadedCheckpoint loaded;
       if (LoadLatestCheckpoint(ckpt.dir, &loaded)) {
         for (const LoadedQueryState& qs : loaded.queries) {
-          RestoreQueryState(qs, &engine.query(qs.query_id));
+          QueryId target = qs.query_id;
+          if (dynamic_attach) {
+            // Checkpointed tenants re-deploy before serving; the tenant
+            // index is recoverable from any cursor's stream id. The fresh
+            // attach may stamp a different generation than the captured
+            // id, so state restores into the new id.
+            KLINK_CHECK(!qs.cursors.empty());
+            const int q =
+                static_cast<int>(qs.cursors[0].first / kStreamsPerQuery);
+            KLINK_CHECK(attach_tenant(q));
+            target = tenants.at(q).id;
+          }
+          RestoreQueryState(qs, &engine.query(target));
           for (const auto& [stream_id, seq] : qs.cursors) {
             gateway.RestoreCursor(stream_id, seq);
           }
@@ -206,15 +283,63 @@ int RunListenMode(const ExperimentConfig& config, uint16_t port,
       }
     }
     engine.SetCheckpointCoordinator(coordinator.get());
-  } else if (ckpt.restore) {
-    std::fprintf(stderr, "--restore requires --checkpoint-dir\n");
-    return 2;
   }
 
   IngestServerConfig server_config;
   server_config.port = port;
   server_config.idle_timeout_ms = 60000;
+  if (dynamic_attach) {
+    server_config.on_unknown_stream = [&](uint32_t stream_id) {
+      const int q = static_cast<int>(stream_id / kStreamsPerQuery);
+      if (attach_tenant(q)) {
+        std::printf("tenant %d attached (query id %llu) at t=%.3f s\n", q,
+                    static_cast<unsigned long long>(tenants.at(q).id),
+                    MicrosToSeconds(engine.now()));
+        std::fflush(stdout);
+      }
+      // Even after a successful attach the hello's source index may be out
+      // of range for this workload; registration truth decides.
+      return gateway.HasStream(stream_id);
+    };
+    server_config.on_stream_end = [&](uint32_t stream_id) {
+      const int q = static_cast<int>(stream_id / kStreamsPerQuery);
+      const auto it = tenants.find(q);
+      if (it == tenants.end() || it->second.detached) return;
+      Tenant& t = it->second;
+      if (!t.ended.insert(stream_id).second) return;  // repeat kBye
+      if (t.ended.size() < t.streams.size()) return;
+      // Every stream said goodbye. Don't detach yet: the goodbye raced
+      // ahead of virtual time, and elements still staged in the gateway
+      // must ingest first or the tenant's results would cut off at
+      // whatever instant the kBye happened to arrive (wall-clock
+      // dependent). The run loop detaches once staging drains.
+      t.detach_pending = true;
+    };
+  }
   IngestServer server(server_config, &gateway);
+  // Detach goodbye'd tenants whose staged elements have all been ingested;
+  // called every run-loop iteration. From here the fabric drain takes
+  // over: queued work — including in-flight checkpoint barriers — keeps
+  // being scheduled until the queues empty, then the query retires.
+  auto sweep_detach = [&]() {
+    for (auto& [q, t] : tenants) {
+      if (!t.detach_pending || t.detached) continue;
+      bool staged_empty = true;
+      for (const uint32_t sid : t.streams) {
+        if (gateway.PeekIngestTime(sid) != kNoTime) {
+          staged_empty = false;
+          break;
+        }
+      }
+      if (!staged_empty) continue;
+      engine.DetachQuery(t.id);
+      t.detached = true;
+      std::printf("tenant %d detached (query id %llu) at t=%.3f s\n", q,
+                  static_cast<unsigned long long>(t.id),
+                  MicrosToSeconds(engine.now()));
+      std::fflush(stdout);
+    }
+  };
   if (const Status s = server.Start(); !s.ok()) {
     std::fprintf(stderr, "listen failed: %s\n", s.ToString().c_str());
     return 1;
@@ -227,10 +352,11 @@ int RunListenMode(const ExperimentConfig& config, uint16_t port,
           server.SendCheckpointAck(stream_id, epoch, durable_seq);
         });
   }
-  std::printf("listening on 127.0.0.1:%u (%s mode); feed with e.g.\n"
+  std::printf("listening on 127.0.0.1:%u (%s mode%s); feed with e.g.\n"
               "  loadgen --port=%u --workload=%s --queries=%d --rate=%.0f "
               "--duration=%lld\n",
               server.port(), lockstep ? "lockstep" : "real-time",
+              dynamic_attach ? ", dynamic tenants" : "",
               server.port(), WorkloadKindName(config.workload),
               config.num_queries, config.events_per_second,
               static_cast<long long>(config.duration / 1000000));
@@ -241,20 +367,46 @@ int RunListenMode(const ExperimentConfig& config, uint16_t port,
   const DurationMicros cycle = config.engine.cycle_length;
   const int64_t wall_start = WallMicros();
   while (engine.now() < config.duration) {
+    if (dynamic_attach) sweep_detach();
     if (lockstep) {
-      // Run only through prefixes every stream has fully delivered, so
-      // results are independent of network timing. Once all clients are
-      // gone (finished or died), drain whatever arrived.
+      // Run only through prefixes every live tenant's streams have fully
+      // delivered, so results are independent of network timing. Once all
+      // clients are gone (finished or died), drain whatever arrived.
       TimeMicros safe = std::numeric_limits<TimeMicros>::max();
-      for (const NetworkFeed* f : feeds) {
-        safe = std::min(safe, f->SafeThrough());
+      bool any_live_stream = false;
+      for (const auto& [q, t] : tenants) {
+        if (t.detached) continue;
+        for (const uint32_t sid : t.streams) {
+          safe = std::min(safe, gateway.StagedThrough(sid));
+          any_live_stream = true;
+        }
       }
-      const bool clients_done = gateway.metrics().connections_accepted() >
+      // --expect-tenants keeps a blast-mode churn run deterministic: until
+      // that many tenants have attached, the server neither declares the
+      // clients gone nor runs ahead to the end of the run — it holds
+      // virtual time and keeps serving, so a delayed tenant's hello still
+      // lands inside the run no matter how fast the others blasted.
+      const bool all_expected =
+          static_cast<int>(tenants.size()) >= expect_tenants;
+      const bool clients_done = all_expected &&
+                                gateway.metrics().connections_accepted() >
                                     0 &&
                                 server.num_connections() == 0;
-      if (clients_done) safe = std::numeric_limits<TimeMicros>::max();
+      if (clients_done) {
+        safe = std::numeric_limits<TimeMicros>::max();
+      } else if (!all_expected || !any_live_stream) {
+        // Expected tenants still missing, or dynamic mode before the
+        // first tenant (or between tenants): arrival progress isn't fully
+        // bounded yet, so hold virtual time and poll.
+        safe = engine.now();
+      }
       if (safe >= config.duration) {
-        engine.RunUntil(config.duration);  // final (possibly partial) step
+        // Final drain, still a cycle per iteration: the detach sweep must
+        // keep running so a tenant whose goodbye arrived just before the
+        // clients finished retires as soon as its queues drain, not at
+        // end-of-run. (RunUntil runs whole cycles either way, so chunking
+        // the advance does not change what executes.)
+        engine.RunUntil(std::min(config.duration, engine.now() + cycle));
         continue;
       }
       if (engine.now() + cycle <= safe) {
@@ -304,15 +456,22 @@ int RunListenMode(const ExperimentConfig& config, uint16_t port,
   table.Print();
   PrintIngestMetrics(gateway.metrics());
 
-  // Order-sensitive fingerprint of every query's results, folded across
-  // queries: two runs (e.g. uninterrupted vs kill + --restore) produced
-  // byte-identical outputs iff these lines match.
+  // Order-sensitive fingerprint of every tenant's results, folded in
+  // tenant-index order (independent of attach order): two runs (e.g.
+  // uninterrupted vs kill + --restore) produced byte-identical outputs iff
+  // these lines match. Dynamic mode also prints per-tenant lines so churn
+  // harnesses can compare surviving tenants across runs whose tenant sets
+  // differ (a pre-checkpoint departure is absent after a restore).
   uint64_t combined = 14695981039346656037ull;
   int64_t results = 0;
-  for (int q = 0; q < config.num_queries; ++q) {
-    const SinkOperator& sink = engine.query(q).sink();
+  for (const auto& [q, t] : tenants) {
+    const SinkOperator& sink = engine.query(t.id).sink();
     uint8_t word[8];
     const uint64_t h = sink.results_hash();
+    if (dynamic_attach) {
+      std::printf("results_hash q%d %016llx\n", q,
+                  static_cast<unsigned long long>(h));
+    }
     for (int i = 0; i < 8; ++i) word[i] = static_cast<uint8_t>(h >> (8 * i));
     combined = Fnv1aBytes(word, sizeof(word), combined);
     results += sink.results_received();
@@ -389,7 +548,10 @@ int main(int argc, char** argv) {
                                        20),
                 static_cast<unsigned long long>(config.seed));
     return RunListenMode(config, port, budget,
-                         flags.GetBool("lockstep", false), ckpt);
+                         flags.GetBool("lockstep", false),
+                         flags.GetBool("dynamic-attach", false),
+                         static_cast<int>(flags.GetInt("expect-tenants", 0)),
+                         ckpt);
   }
 
   std::printf("running %s on %s: %d queries x %.0f events/s, %lld s "

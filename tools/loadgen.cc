@@ -19,7 +19,15 @@
 // replayed from the retention buffer — together with the server-side
 // sequence dedup and checkpoint acks this gives exactly-once delivery
 // across a server kill + --restore.
+//
+// Tenant churn (against a klink_run --dynamic-attach server):
+// --churn-detach=K makes the first K tenants replay only the first half
+// of the run and then send kBye (the server drain-detaches them);
+// --churn-attach=K makes the last K tenants delay their first connect by
+// --churn-delay-ms of wall time (default 500), so their hello — and the
+// server-side live attach it triggers — lands mid-run.
 
+#include <chrono>
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -45,13 +53,21 @@ int Usage() {
       "usage: loadgen --port=PORT [--host=127.0.0.1]\n"
       "               [--workload=ysb|lrb|nyt] [--queries=N] [--rate=EPS]\n"
       "               [--delay=none|uniform|zipf] [--duration=SECONDS]\n"
-      "               [--speed=X] [--seed=N] [--max-retries=N]\n");
+      "               [--speed=X] [--seed=N] [--max-retries=N]\n"
+      "               [--churn-detach=K] [--churn-attach=K]\n"
+      "               [--churn-delay-ms=N]\n");
   return 2;
 }
 
 struct QueryReplay {
+  int query_index = 0;
   std::unique_ptr<EventFeed> feed;
   std::vector<std::unique_ptr<LoadgenConnection>> conns;
+  std::vector<uint32_t> stream_ids;
+  /// Wall-clock delay before this tenant's first connect (--churn-attach).
+  int64_t connect_delay_ms = 0;
+  /// Replay elements with ingest_time <= this (--churn-detach halves it).
+  TimeMicros until = 0;
   Status result;
 };
 
@@ -72,6 +88,14 @@ int main(int argc, char** argv) {
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
   RetryPolicy retry;
   retry.max_retries = static_cast<int>(flags.GetInt("max-retries", 0));
+  const int churn_detach = static_cast<int>(flags.GetInt("churn-detach", 0));
+  const int churn_attach = static_cast<int>(flags.GetInt("churn-attach", 0));
+  const int64_t churn_delay_ms = flags.GetInt("churn-delay-ms", 500);
+  if (churn_detach < 0 || churn_attach < 0 ||
+      churn_detach + churn_attach > num_queries) {
+    std::fprintf(stderr, "churn tenant counts exceed --queries\n");
+    return Usage();
+  }
 
   const std::string workload = flags.GetString("workload", "ysb");
   const std::string delay = flags.GetString("delay", "uniform");
@@ -100,6 +124,12 @@ int main(int argc, char** argv) {
   Rng rng(seed);
   for (int q = 0; q < num_queries; ++q) {
     QueryReplay& r = replays[static_cast<size_t>(q)];
+    r.query_index = q;
+    // Churn roles: early-departing tenants replay half the run then send
+    // kBye; late-arriving tenants hold their first connect.
+    r.until = q < churn_detach ? duration / 2 : duration;
+    r.connect_delay_ms =
+        q >= num_queries - churn_attach ? churn_delay_ms : 0;
     int num_sources = 1;
     const uint64_t feed_seed = rng.NextUint64();
     if (workload == "ysb") {
@@ -123,14 +153,8 @@ int main(int argc, char** argv) {
       return Usage();
     }
     for (int s = 0; s < num_sources; ++s) {
-      auto conn = std::make_unique<LoadgenConnection>();
-      const Status st = conn->Connect(host, port, MakeStreamId(q, s), retry);
-      if (!st.ok()) {
-        std::fprintf(stderr, "connect query %d source %d: %s\n", q, s,
-                     st.ToString().c_str());
-        return 1;
-      }
-      r.conns.push_back(std::move(conn));
+      r.stream_ids.push_back(MakeStreamId(q, s));
+      r.conns.push_back(std::make_unique<LoadgenConnection>());
     }
   }
 
@@ -142,14 +166,27 @@ int main(int argc, char** argv) {
               speed);
 
   // Replay queries concurrently (each on its own thread and sockets);
-  // pacing applies per query feed.
+  // pacing applies per query feed. Connects happen on the replay thread so
+  // a churn-attach tenant's delayed hello lands while the others stream.
   std::vector<std::thread> threads;
   for (QueryReplay& r : replays) {
-    threads.emplace_back([&r, duration, speed, retry]() {
+    threads.emplace_back([&r, &host, port, speed, retry]() {
+      if (r.connect_delay_ms > 0) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(r.connect_delay_ms));
+      }
       std::vector<LoadgenConnection*> conns;
-      for (auto& c : r.conns) conns.push_back(c.get());
+      for (size_t s = 0; s < r.conns.size(); ++s) {
+        const Status st = r.conns[s]->Connect(host, port, r.stream_ids[s],
+                                              retry);
+        if (!st.ok()) {
+          r.result = st;
+          return;
+        }
+        conns.push_back(r.conns[s].get());
+      }
       ReplayOptions opts;
-      opts.until = duration;
+      opts.until = r.until;
       opts.speed = speed;
       opts.reconnect = retry;
       r.result = ReplayFeed(*r.feed, conns, opts);
@@ -162,7 +199,7 @@ int main(int argc, char** argv) {
   bool failed = false;
   for (const QueryReplay& r : replays) {
     if (!r.result.ok()) {
-      std::fprintf(stderr, "replay failed: %s\n",
+      std::fprintf(stderr, "query %d replay failed: %s\n", r.query_index,
                    r.result.ToString().c_str());
       failed = true;
     }
