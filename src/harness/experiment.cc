@@ -174,6 +174,8 @@ ExperimentResult RunExperiment(const ExperimentConfig& config,
         wc.events_per_second = config.events_per_second;
         wc.watermark_lag = WatermarkLagFor(config.delay);
         wc.window_offset = rng.NextInt(0, wc.window_size - 1);
+        wc.shards = config.shards;
+        wc.max_shards = config.max_shards;
         query = MakeYsbQuery(q, wc);
         feed = MakeYsbFeed(wc, MakeDelayModel(config.delay), feed_seed, deploy);
         break;
@@ -192,6 +194,8 @@ ExperimentResult RunExperiment(const ExperimentConfig& config,
         wc.events_per_second = config.events_per_second;
         wc.watermark_lag = WatermarkLagFor(config.delay);
         wc.window_offset = rng.NextInt(0, wc.slide - 1);
+        wc.shards = config.shards;
+        wc.max_shards = config.max_shards;
         query = MakeNytQuery(q, wc);
         feed = MakeNytFeed(wc, MakeDelayModel(config.delay), feed_seed, deploy);
         break;

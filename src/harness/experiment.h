@@ -66,6 +66,10 @@ struct ExperimentConfig {
   EngineConfig engine;
   KlinkPolicyConfig klink;
   uint64_t seed = 1;
+  /// Intra-query key sharding of the workloads' keyed aggregation (YSB and
+  /// NYT; LRB's join stays unsharded here). See YsbConfig::shards.
+  int shards = 1;
+  int max_shards = 0;
 };
 
 /// Aggregated outcome of one experiment.

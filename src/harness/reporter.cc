@@ -6,6 +6,11 @@
 #include <cstdlib>
 #include <utility>
 
+#include "src/klink/klink_policy.h"
+#include "src/operators/exchange_operator.h"
+#include "src/query/query.h"
+#include "src/runtime/engine.h"
+
 namespace klink {
 
 TableReporter::TableReporter(std::string title) : title_(std::move(title)) {}
@@ -117,6 +122,38 @@ void PrintIngestMetrics(const IngestMetrics& metrics) {
              static_cast<double>(s.peak_staged_bytes) / 1024.0, 1)});
   }
   streams.Print();
+}
+
+void PrintShardMetrics(Engine& engine, QueryId id) {
+  const Query& q = engine.query(id);
+  if (!q.sharded()) return;
+  const Query::ShardRegion& region = q.shard_region();
+  const auto* partition = static_cast<const PartitionExchangeOperator*>(
+      &q.op(region.partition_ops.front()));
+  const auto* klink = dynamic_cast<const KlinkPolicy*>(&engine.policy());
+  TableReporter table("Per-shard metrics (query " + std::to_string(id) +
+                      ", " + std::to_string(partition->active_shards()) + "/" +
+                      std::to_string(region.max_shards) + " shards active)");
+  table.SetHeader({"shard", "active", "events drained", "state bytes",
+                   "wm lag (ms)", "slack (ms)"});
+  for (int s = 0; s < region.max_shards; ++s) {
+    const Operator& op = q.op(region.shard_begin + s);
+    const TimeMicros wm = op.MinWatermark();
+    const std::string lag =
+        wm == kNoTime ? "-"
+                      : TableReporter::Num(
+                            static_cast<double>(engine.now() - wm) / 1e3, 1);
+    // Shard s is lane 1 + s: lanes are {stage-0 prefix, shards..., suffix}.
+    const std::string slack =
+        klink == nullptr
+            ? "-"
+            : TableReporter::Num(klink->LastSlack(id, 1 + s) / 1e3, 1);
+    table.AddRow({std::to_string(s),
+                  s < partition->active_shards() ? "yes" : "no",
+                  std::to_string(op.processed_data_count()),
+                  std::to_string(op.StateBytes()), lag, slack});
+  }
+  table.Print();
 }
 
 }  // namespace klink

@@ -4,9 +4,12 @@
 #include <string>
 #include <vector>
 
+#include "src/common/types.h"
 #include "src/runtime/metrics.h"
 
 namespace klink {
+
+class Engine;
 
 /// Minimal fixed-width table printer for the bench harnesses: every bench
 /// binary prints the same rows/series the corresponding paper figure
@@ -43,6 +46,13 @@ class TableReporter {
 /// bytes, backpressure stalls and stall time, peak staged bytes). Used by
 /// klink_run --listen after a networked run.
 void PrintIngestMetrics(const IngestMetrics& metrics);
+
+/// Prints one row per shard of a sharded query (no-op for unsharded
+/// queries): activity, events drained, keyed-state bytes, watermark lag
+/// behind the engine clock, and — when the engine runs a Klink policy —
+/// the shard lane's last evaluated slack. Used by klink_run --shards and
+/// the shard benches to make skew and re-shards visible.
+void PrintShardMetrics(Engine& engine, QueryId id);
 
 }  // namespace klink
 

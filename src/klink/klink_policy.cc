@@ -16,7 +16,7 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-/// Margin added to heap lower bounds when deciding whether a cold query
+/// Margin added to heap lower bounds when deciding whether a cold unit
 /// could still enter the top-k. Heap keys reconstruct slack as
 /// (base - cost) - now while the exact evaluator computes
 /// (base - now) - cost; the two differ by a few ulps of the largest
@@ -30,30 +30,31 @@ double SlackBoundMargin(double now) { return 1e-3 + std::abs(now) * 1e-9; }
 KlinkPolicy::KlinkPolicy(const KlinkPolicyConfig& config)
     : config_(config), audit_(AuditEnabledFromEnv()) {}
 
-double KlinkPolicy::EvaluateSlack(const QueryInfo& info, TimeMicros now,
-                                  SlackClasses* cls,
-                                  std::vector<uint64_t>* keys) {
+double KlinkPolicy::EvaluateUnitSlack(const QueryInfo& info, size_t lane_idx,
+                                      TimeMicros now, SlackClasses* cls) {
   const double now_d = static_cast<double>(now);
-  const double cost = info.drain_cost_micros;
+  const LaneView lane = LaneAt(info, lane_idx);
+  const double cost = lane.drain_cost_micros;
   if (cls != nullptr) {
     cls->const_min = kInf;
     cls->linear_min = kInf;
     cls->has_nonlinear = false;
   }
-  if (keys != nullptr) keys->clear();
-  if (info.streams.empty()) {
-    // Windowless query: no deadline to miss; order by drain cost so heavy
-    // backlogs still make progress once windowed queries have slack.
+  if (lane.streams_begin == lane.streams_end) {
+    // Windowless unit (a windowless query, or a lane holding no windowed
+    // operator — the partition prefix and merge suffix of a sharded
+    // query): no deadline to miss; order by drain cost so heavy backlogs
+    // still make progress once windowed units have slack.
     const double slack = std::numeric_limits<double>::max() / 4.0 - cost;
     if (cls != nullptr) cls->const_min = slack;
     return slack;
   }
   double min_slack = std::numeric_limits<double>::max();
-  for (const StreamProgress& progress : info.streams) {
+  for (int si = lane.streams_begin; si < lane.streams_end; ++si) {
+    const StreamProgress& progress = info.streams[static_cast<size_t>(si)];
     KlinkEstimator* est;
     const uint64_t key = StreamKey(info.id, progress.op_index,
                                    progress.stream);
-    if (keys != nullptr) keys->push_back(key);
     const auto it = estimators_.find(key);
     if (it == estimators_.end()) {
       est = estimators_
@@ -149,52 +150,82 @@ void KlinkPolicy::SelectQueries(const RuntimeSnapshot& snapshot, int slots,
 
 void KlinkPolicy::SelectFullScan(const RuntimeSnapshot& snapshot, int slots,
                                  Selection* out) {
-  // Evaluate slack for every query each cycle: estimators must observe
+  // Evaluate slack for every unit each cycle: estimators must observe
   // stream progress continuously, and LastSlack() stays fresh.
-  last_eval_.clear();
+  last_slack_.clear();
+  std::vector<std::pair<double, int64_t>> ranked;  // ready (slack, unit)
+  std::unordered_map<QueryId, double> query_slack;
+  std::unordered_map<QueryId, double> mm_reduction;
   for (const QueryInfo& info : snapshot.queries) {
     // klink-lint: allow(sched-scan): this IS the exact evaluator — the
     // incremental path delegates to it for correctness checks and MM.
-    QueryEval eval;
-    eval.slack = EvaluateSlack(info, snapshot.now);
+    double min_slack = kInf;
+    for (size_t l = 0; l < NumLanes(info); ++l) {
+      const LaneView lane = LaneAt(info, l);
+      const double slack = EvaluateUnitSlack(info, l, snapshot.now);
+      const int64_t unit = UnitKey(info.id, lane.lane);
+      last_slack_[unit] = slack;
+      min_slack = std::min(min_slack, slack);
+      if (!mm_active_ && lane.queued_events > 0) {
+        ranked.emplace_back(slack, unit);
+      }
+    }
     if (mm_active_) {
-      eval.mm_reduction =
+      query_slack[info.id] = min_slack;
+      mm_reduction[info.id] =
           ComputeMemoryPlan(info, static_cast<double>(config_.cycle_length))
               .potential_events;
     }
-    last_eval_[info.id] = eval;
     ++eval_queries_;
   }
   pending_eval_cost_ +=
       static_cast<double>(eval_queries_) * config_.eval_cost_per_query_micros +
       static_cast<double>(eval_steps_) * config_.eval_cost_per_step_micros;
-  if (mm_active_) ++mm_cycles_;
 
-  const auto slack_of = [this](const QueryInfo& q) {
-    return last_eval_.at(q.id).slack;
-  };
   if (mm_active_) {
+    ++mm_cycles_;
     // Sec. 3.4: schedule the pipelines with the largest potential memory
     // reduction so memory mode drains decisively and exits quickly; ties
-    // break toward the least slack to keep optimizing latency.
+    // break toward the least slack to keep optimizing latency. Memory
+    // mode keeps whole-query granularity: the memory plan reasons over
+    // entire pipelines, and a whole-query slot drains every lane in
+    // topological order.
     SelectTopReadyQueries(
         snapshot, slots,
-        [this, &slack_of](const QueryInfo& a, const QueryInfo& b) {
-          const double ra = last_eval_.at(a.id).mm_reduction;
-          const double rb = last_eval_.at(b.id).mm_reduction;
+        [&query_slack, &mm_reduction](const QueryInfo& a, const QueryInfo& b) {
+          const double ra = mm_reduction.at(a.id);
+          const double rb = mm_reduction.at(b.id);
           if (ra != rb) return ra > rb;
-          return slack_of(a) < slack_of(b);
+          return query_slack.at(a.id) < query_slack.at(b.id);
         },
         out);
   } else {
-    SelectTopReadyQueries(snapshot, slots,
-                          [&slack_of](const QueryInfo& a, const QueryInfo& b) {
-                            const double sa = slack_of(a);
-                            const double sb = slack_of(b);
-                            if (sa != sb) return sa < sb;
-                            return a.id < b.id;
-                          },
-                          out);
+    const size_t take = std::min(
+        ranked.size(), static_cast<size_t>(std::max(slots, 0)));
+    std::partial_sort(ranked.begin(),
+                      ranked.begin() + static_cast<long>(take), ranked.end());
+    for (size_t i = 0; i < take; ++i) {
+      out->AddLane(UnitQuery(ranked[i].second), UnitLane(ranked[i].second));
+    }
+  }
+}
+
+void KlinkPolicy::MarkQueryHot(const QueryInfo& info) {
+  CacheEntry& c = cache_[info.id];
+  ++c.version;  // invalidates any heap entries of the query's units
+  const size_t num_lanes = NumLanes(info);
+  if (c.lanes.size() != num_lanes) {
+    cache_lanes_ += num_lanes - c.lanes.size();
+    c.lanes.resize(num_lanes);
+  }
+  for (size_t l = 0; l < num_lanes; ++l) {
+    c.lanes[l].hot = true;
+    hot_.insert(UnitKey(info.id, LaneAt(info, l).lane));
+  }
+  c.stream_keys.clear();
+  c.stream_keys.reserve(info.streams.size());
+  for (const StreamProgress& p : info.streams) {
+    c.stream_keys.push_back(StreamKey(info.id, p.op_index, p.stream));
   }
 }
 
@@ -202,14 +233,28 @@ void KlinkPolicy::RetireQueryState(QueryId id) {
   const auto it = cache_.find(id);
   if (it != cache_.end()) {
     for (uint64_t key : it->second.stream_keys) estimators_.erase(key);
+    // Lane ids are -1 for a single-lane (unsharded) entry and 0..n-1 for a
+    // sharded one (snapshot.cc); erasing both spellings covers either.
+    for (int l = -1; l < static_cast<int>(it->second.lanes.size()); ++l) {
+      last_slack_.erase(UnitKey(id, l));
+    }
+    cache_lanes_ -= it->second.lanes.size();
     cache_.erase(it);
   } else {
     // The query was never cached (e.g. attached and detached while memory
     // mode kept the policy on the full-scan path); sweep by id instead.
     EraseEstimatorsByQuery(id);
+    for (auto it2 = last_slack_.begin(); it2 != last_slack_.end();) {
+      if (UnitQuery(it2->first) == id) {
+        it2 = last_slack_.erase(it2);
+      } else {
+        ++it2;
+      }
+    }
   }
-  hot_.erase(id);
-  last_eval_.erase(id);
+  // All units of `id` form a contiguous range of the ordered hot set.
+  hot_.erase(hot_.lower_bound(UnitKey(id, -1)),
+             hot_.lower_bound(UnitKey(id + 1, -1)));
 }
 
 void KlinkPolicy::EraseEstimatorsByQuery(QueryId id) {
@@ -232,7 +277,10 @@ void KlinkPolicy::RebuildIncrementalState(const RuntimeSnapshot& snapshot) {
   for (auto it = cache_.begin(); it != cache_.end();) {
     if (snapshot.Find(it->first) == nullptr) {
       for (uint64_t key : it->second.stream_keys) estimators_.erase(key);
-      last_eval_.erase(it->first);
+      for (int l = -1; l < static_cast<int>(it->second.lanes.size()); ++l) {
+        last_slack_.erase(UnitKey(it->first, l));
+      }
+      cache_lanes_ -= it->second.lanes.size();
       it = cache_.erase(it);
     } else {
       ++it;
@@ -240,10 +288,7 @@ void KlinkPolicy::RebuildIncrementalState(const RuntimeSnapshot& snapshot) {
   }
   // klink-lint: allow(sched-scan): rebuild cycles only, not steady state.
   for (const QueryInfo& info : snapshot.queries) {
-    CacheEntry& c = cache_[info.id];
-    ++c.version;
-    c.hot = true;
-    hot_.insert(info.id);
+    MarkQueryHot(info);
   }
   rebuild_ = false;
 }
@@ -254,42 +299,43 @@ void KlinkPolicy::SelectIncremental(const RuntimeSnapshot& snapshot,
   const double now_d = static_cast<double>(now);
 
   // Lazy deletion leaves stale entries behind; rebuild when they dominate.
-  const size_t heap_cap = 4 * snapshot.queries.size() + 64;
+  const size_t heap_cap = 4 * cache_lanes_ + 64;
   if (rebuild_ || const_heap_.size() + linear_heap_.size() > heap_cap) {
     RebuildIncrementalState(snapshot);
   } else {
     for (QueryId id : snapshot.touched) {
-      CacheEntry& c = cache_[id];
-      ++c.version;  // invalidates any heap entries of the query
-      c.hot = true;
-      hot_.insert(id);
+      const QueryInfo* info = snapshot.Find(id);
+      KLINK_CHECK(info != nullptr);  // touched queries are always live
+      MarkQueryHot(*info);
     }
   }
 
-  // Re-evaluate the hot set exactly. Queries whose streams are all
+  // Re-evaluate the hot set exactly. Units whose streams are all
   // constant/linear go cold: their bounds are pushed into the heaps and
   // they are not visited again until touched.
   for (auto it = hot_.begin(); it != hot_.end();) {
-    const QueryId id = *it;
-    const QueryInfo* info = snapshot.Find(id);
-    KLINK_CHECK(info != nullptr);  // hot queries are always live
-    CacheEntry& c = cache_.at(id);
+    const int64_t unit = *it;
+    const QueryInfo* info = snapshot.Find(UnitQuery(unit));
+    KLINK_CHECK(info != nullptr);  // hot units are always live
+    CacheEntry& c = cache_.at(UnitQuery(unit));
+    const size_t li = LaneIndexOf(UnitLane(unit));
     SlackClasses cls;
-    const double slack = EvaluateSlack(*info, now, &cls, &c.stream_keys);
-    last_eval_[id] = QueryEval{slack, 0.0};
-    c.ready = QueryIsReady(*info);
+    const double slack = EvaluateUnitSlack(*info, li, now, &cls);
+    last_slack_[unit] = slack;
+    LaneCache& lc = c.lanes[li];
+    lc.ready = LaneAt(*info, li).queued_events > 0;
     if (cls.has_nonlinear) {
-      c.hot = true;
+      lc.hot = true;
       ++it;
       continue;
     }
-    c.hot = false;
-    if (c.ready) {
+    lc.hot = false;
+    if (lc.ready) {
       if (cls.const_min < kInf) {
-        const_heap_.Push({cls.const_min, id, c.version});
+        const_heap_.Push({cls.const_min, unit, c.version});
       }
       if (cls.linear_min < kInf) {
-        linear_heap_.Push({cls.linear_min, id, c.version});
+        linear_heap_.Push({cls.linear_min, unit, c.version});
       }
     }
     it = hot_.erase(it);
@@ -306,32 +352,35 @@ void KlinkPolicy::SelectIncremental(const RuntimeSnapshot& snapshot,
   const size_t want =
       static_cast<size_t>(std::max(slots, 0));
   if (want > 0) {
-    // `best` is the current top-k as (slack, id), ascending — the same
+    // `best` is the current top-k as (slack, unit), ascending — the same
     // total order as the full scan's comparator.
-    std::vector<std::pair<double, QueryId>> best;
-    const auto consider = [&best, want](double slack, QueryId id) {
-      const std::pair<double, QueryId> cand{slack, id};
+    std::vector<std::pair<double, int64_t>> best;
+    const auto consider = [&best, want](double slack, int64_t unit) {
+      const std::pair<double, int64_t> cand{slack, unit};
       const auto pos = std::lower_bound(best.begin(), best.end(), cand);
       if (pos == best.end() && best.size() >= want) return;
       best.insert(pos, cand);
       if (best.size() > want) best.pop_back();
     };
-    for (QueryId id : hot_) {
-      const CacheEntry& c = cache_.at(id);
-      if (c.ready) consider(last_eval_.at(id).slack, id);
+    for (int64_t unit : hot_) {
+      const CacheEntry& c = cache_.at(UnitQuery(unit));
+      if (c.lanes[LaneIndexOf(UnitLane(unit))].ready) {
+        consider(last_slack_.at(unit), unit);
+      }
     }
     // Best-first merge over the two heaps. Every popped candidate is
-    // re-evaluated with the exact evaluator (cold queries have no
+    // re-evaluated with the exact evaluator (cold units have no
     // nonlinear streams, so this adds no integration steps and the
     // estimator Observe is a no-op); popping stops once the heap bound
     // proves no remaining entry can displace the current kth best.
     const double margin = SlackBoundMargin(now_d);
     std::vector<DeadlineIndex::Entry> repush_const, repush_linear;
-    std::unordered_set<QueryId> seen;
+    std::unordered_set<int64_t> seen;
     const auto valid = [this](const DeadlineIndex::Entry& e) {
-      const auto it = cache_.find(e.id);
-      return it != cache_.end() && it->second.version == e.version &&
-             !it->second.hot && it->second.ready;
+      const auto it = cache_.find(UnitQuery(e.id));
+      if (it == cache_.end() || it->second.version != e.version) return false;
+      const LaneCache& lc = it->second.lanes[LaneIndexOf(UnitLane(e.id))];
+      return !lc.hot && lc.ready;
     };
     while (true) {
       while (!const_heap_.empty() && !valid(const_heap_.Top())) {
@@ -353,17 +402,20 @@ void KlinkPolicy::SelectIncremental(const RuntimeSnapshot& snapshot,
       heap->Pop();
       repush.push_back(entry);  // entries survive across cycles
       if (!seen.insert(entry.id).second) continue;  // other heap's twin
-      const QueryInfo* info = snapshot.Find(entry.id);
+      const QueryInfo* info = snapshot.Find(UnitQuery(entry.id));
       KLINK_CHECK(info != nullptr);
-      const double slack = EvaluateSlack(*info, now);
-      last_eval_[entry.id] = QueryEval{slack, 0.0};
+      const double slack =
+          EvaluateUnitSlack(*info, LaneIndexOf(UnitLane(entry.id)), now);
+      last_slack_[entry.id] = slack;
       consider(slack, entry.id);
     }
     for (const DeadlineIndex::Entry& e : repush_const) const_heap_.Push(e);
     for (const DeadlineIndex::Entry& e : repush_linear) {
       linear_heap_.Push(e);
     }
-    for (const auto& [slack, id] : best) out->Add(id);
+    for (const auto& [slack, unit] : best) {
+      out->AddLane(UnitQuery(unit), UnitLane(unit));
+    }
   }
 
   if (audit_) AuditIncremental(snapshot, slots, *out);
@@ -373,15 +425,19 @@ void KlinkPolicy::AuditIncremental(const RuntimeSnapshot& snapshot,
                                    int slots, const Selection& out) {
   const_heap_.AuditHeapProperty();
   linear_heap_.AuditHeapProperty();
-  // Recompute the selection with the exact evaluator and require an id-
-  // for-id match. Observe() is a no-op on re-observation within a cycle,
+  // Recompute the selection with the exact evaluator and require a unit-
+  // for-unit match. Observe() is a no-op on re-observation within a cycle,
   // and the step counter is restored, so the audit is side-effect free.
   const int64_t saved_steps = eval_steps_;
-  std::vector<std::pair<double, QueryId>> ranked;
+  std::vector<std::pair<double, int64_t>> ranked;
   for (const QueryInfo& info : snapshot.queries) {
     // klink-lint: allow(sched-scan): audit-only full recomputation.
-    if (!QueryIsReady(info)) continue;
-    ranked.emplace_back(EvaluateSlack(info, snapshot.now), info.id);
+    for (size_t l = 0; l < NumLanes(info); ++l) {
+      const LaneView lane = LaneAt(info, l);
+      if (lane.queued_events <= 0) continue;
+      ranked.emplace_back(EvaluateUnitSlack(info, l, snapshot.now),
+                          UnitKey(info.id, lane.lane));
+    }
   }
   eval_steps_ = saved_steps;
   std::sort(ranked.begin(), ranked.end());
@@ -390,7 +446,8 @@ void KlinkPolicy::AuditIncremental(const RuntimeSnapshot& snapshot,
   KLINK_CHECK_EQ(static_cast<int64_t>(out.size()),
                  static_cast<int64_t>(take));
   for (size_t i = 0; i < take; ++i) {
-    KLINK_CHECK_EQ(out[i].query, ranked[i].second);
+    KLINK_CHECK_EQ(out[i].query, UnitQuery(ranked[i].second));
+    KLINK_CHECK_EQ(out[i].lane, UnitLane(ranked[i].second));
   }
 }
 
@@ -425,8 +482,19 @@ const KlinkEstimator* KlinkPolicy::EstimatorFor(QueryId id, int op_index,
 }
 
 double KlinkPolicy::LastSlack(QueryId id) const {
-  const auto it = last_eval_.find(id);
-  return it == last_eval_.end() ? 0.0 : it->second.slack;
+  double best = kInf;
+  bool found = false;
+  for (const auto& [unit, slack] : last_slack_) {
+    if (UnitQuery(unit) != id) continue;
+    best = std::min(best, slack);
+    found = true;
+  }
+  return found ? best : 0.0;
+}
+
+double KlinkPolicy::LastSlack(QueryId id, int lane) const {
+  const auto it = last_slack_.find(UnitKey(id, lane));
+  return it == last_slack_.end() ? 0.0 : it->second;
 }
 
 }  // namespace klink

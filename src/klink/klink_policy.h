@@ -54,6 +54,15 @@ struct KlinkPolicyConfig {
 /// (windowed operator, input stream); a query's slack is the minimum over
 /// its streams (Sec. 3.3).
 ///
+/// Scheduling is unit-granular: unsharded queries are one unit, sharded
+/// queries contribute one unit per lane (sched/policy.h UnitKey). A lane's
+/// slack is the minimum over *its* streams only, with the lane's own drain
+/// cost, so a straggling shard is prioritized independently of its idle
+/// siblings; lanes without windowed streams (the partition prefix and the
+/// merge suffix between sweeps) rank by drain cost like windowless
+/// queries. Memory-mode cycles keep whole-query granularity — the memory
+/// plan reasons over entire pipelines.
+///
 /// Wall-clock cost: on engine-built (incremental) snapshots the policy
 /// keeps per-cycle work proportional to the set of queries whose state
 /// changed, not to the number of deployed queries. Slack is a min over
@@ -64,13 +73,13 @@ struct KlinkPolicyConfig {
 ///                stream with a deadline),
 ///   - nonlinear (a valid prediction whose confidence interval is still
 ///                ahead of `now` — the Gaussian integration of Alg. 1).
-/// Queries with any nonlinear stream stay "hot" and are re-evaluated
+/// Units with any nonlinear stream stay "hot" and are re-evaluated
 /// exactly every cycle (the integral genuinely changes with `now`; the
-/// paper's evaluator does the same work). All other queries go "cold":
+/// paper's evaluator does the same work). All other units go "cold":
 /// their constant/linear lower bounds are indexed in two lazy-deletion
 /// min-heaps, and selection pops candidates best-first, re-evaluating each
 /// popped candidate with the exact seed expression, until the heap bound
-/// proves no remaining query can enter the top-k. Selections are therefore
+/// proves no remaining unit can enter the top-k. Selections are therefore
 /// identical to the full-scan evaluator; only wall-clock cost changes.
 /// Non-incremental (hand-built) snapshots and memory-mode cycles use the
 /// full scan unchanged.
@@ -92,39 +101,46 @@ class KlinkPolicy final : public SchedulingPolicy {
   /// Aggregate SWM-ingestion estimation accuracy across all streams.
   double EstimatorAccuracy() const;
   int64_t total_predictions() const;
-  /// Expected slack of query `id` computed when it was last evaluated, or
-  /// 0 if unknown (diagnostics/tests). On incremental snapshots cold
-  /// queries are not re-evaluated every cycle, so the value may date from
-  /// an earlier cycle (linear terms drift with `now`).
+  /// Expected slack of query `id` computed when it was last evaluated —
+  /// the minimum over its units — or 0 if unknown (diagnostics/tests). On
+  /// incremental snapshots cold units are not re-evaluated every cycle, so
+  /// the value may date from an earlier cycle (linear terms drift with
+  /// `now`).
   double LastSlack(QueryId id) const;
+  /// Expected slack of one lane of `id` (-1 = the whole-query unit of an
+  /// unsharded query), or 0 if never evaluated (reporter/tests).
+  double LastSlack(QueryId id, int lane) const;
   /// The estimator of one stream, or nullptr (diagnostics/tests).
   const KlinkEstimator* EstimatorFor(QueryId id, int op_index,
                                      int stream) const;
 
  private:
-  struct QueryEval {
-    double slack = 0.0;
-    double mm_reduction = 0.0;
-  };
-
-  /// Per-stream slack classification accumulated by EvaluateSlack (see the
-  /// class comment): exact minima of the constant terms and of the linear
-  /// bases (slack = linear_min - now), plus whether any stream still needs
-  /// the per-cycle Gaussian integration.
+  /// Per-stream slack classification accumulated by EvaluateUnitSlack (see
+  /// the class comment): exact minima of the constant terms and of the
+  /// linear bases (slack = linear_min - now), plus whether any stream
+  /// still needs the per-cycle Gaussian integration.
   struct SlackClasses {
-    double const_min = 0.0;   // initialized to +inf by EvaluateSlack
-    double linear_min = 0.0;  // initialized to +inf by EvaluateSlack
+    double const_min = 0.0;   // initialized to +inf by EvaluateUnitSlack
+    double linear_min = 0.0;  // initialized to +inf by EvaluateUnitSlack
     bool has_nonlinear = false;
   };
 
-  /// Incremental-index bookkeeping for one live query.
+  /// Incremental-index bookkeeping for one lane of a live query.
+  struct LaneCache {
+    bool hot = true;
+    /// Valid while cold (readiness cannot change without a touch).
+    bool ready = false;
+  };
+
+  /// Incremental-index bookkeeping for one live query. A touch re-heats
+  /// every lane: ingest and execution both funnel through shared queues of
+  /// the query, so per-lane touch tracking would buy nothing.
   struct CacheEntry {
     /// Bumped whenever the query is touched; heap entries carrying an
     /// older version are stale and skipped at pop time.
     uint64_t version = 0;
-    bool hot = true;
-    /// Valid while cold (readiness cannot change without a touch).
-    bool ready = false;
+    /// Parallel to QueryInfo::lanes (size is fixed at deploy time).
+    std::vector<LaneCache> lanes;
     /// Estimator keys of the query's streams, for cleanup on detach.
     std::vector<uint64_t> stream_keys;
   };
@@ -136,13 +152,16 @@ class KlinkPolicy final : public SchedulingPolicy {
            static_cast<uint64_t>(static_cast<uint32_t>(stream));
   }
 
-  /// Updates estimators with this cycle's progress and computes the
-  /// query's slack (min over streams). Also accumulates the overhead step
-  /// count into eval_steps_. When `cls`/`keys` are non-null they receive
-  /// the per-stream classification and estimator keys.
-  double EvaluateSlack(const QueryInfo& info, TimeMicros now,
-                       SlackClasses* cls = nullptr,
-                       std::vector<uint64_t>* keys = nullptr);
+  /// Updates estimators with this cycle's progress and computes the slack
+  /// of one unit: min over the lane's streams with the lane's drain cost
+  /// (`lane_idx` indexes QueryInfo::lanes). Also accumulates the overhead
+  /// step count into eval_steps_. When `cls` is non-null it receives the
+  /// per-stream classification.
+  double EvaluateUnitSlack(const QueryInfo& info, size_t lane_idx,
+                           TimeMicros now, SlackClasses* cls = nullptr);
+  /// Marks every lane of `id` hot and refreshes its cached stream keys;
+  /// `info` must be the query's live snapshot entry.
+  void MarkQueryHot(const QueryInfo& info);
 
   void UpdateMemoryMode(const RuntimeSnapshot& snapshot);
 
@@ -167,7 +186,8 @@ class KlinkPolicy final : public SchedulingPolicy {
 
   KlinkPolicyConfig config_;
   std::unordered_map<uint64_t, std::unique_ptr<KlinkEstimator>> estimators_;
-  std::unordered_map<QueryId, QueryEval> last_eval_;
+  /// Slack of each unit when it was last evaluated, keyed by UnitKey.
+  std::unordered_map<int64_t, double> last_slack_;
   bool mm_active_ = false;
   double mm_entry_utilization_ = 0.0;
   TimeMicros mm_entry_time_ = 0;
@@ -180,11 +200,13 @@ class KlinkPolicy final : public SchedulingPolicy {
 
   // ---- incremental slack index ----------------------------------------
   std::unordered_map<QueryId, CacheEntry> cache_;
-  /// Queries re-evaluated exactly every cycle (ordered for determinism).
-  std::set<QueryId> hot_;
-  /// Ready cold queries by constant slack (key = slack).
+  /// Total lanes across cache_ entries (sizes the lazy-deletion cap).
+  size_t cache_lanes_ = 0;
+  /// Units re-evaluated exactly every cycle (ordered for determinism).
+  std::set<int64_t> hot_;
+  /// Ready cold units by constant slack (key = slack).
   DeadlineIndex const_heap_;
-  /// Ready cold queries by linear base (key - now = slack).
+  /// Ready cold units by linear base (key - now = slack).
   DeadlineIndex linear_heap_;
   /// Caches and heaps must be rebuilt before the next incremental cycle.
   bool rebuild_ = true;

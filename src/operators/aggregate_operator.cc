@@ -143,6 +143,52 @@ void WindowAggregateOperator::OnWatermark(const Event& incoming,
   SetForwardSwm(true);
 }
 
+void WindowAggregateOperator::ExportKeyedState(
+    std::vector<KeyedStateEntry>* out) {
+  // One blob per key, records appended in pane (deadline) order; keys
+  // emitted in sorted order so redistribution is deterministic.
+  std::map<uint64_t, StateWriter> blobs;
+  int64_t keys = 0;
+  for (const auto& [pane_key, pane] : panes_) {
+    for (const auto& [key, agg] : pane) {
+      StateWriter& w = blobs[key];
+      w.PutI64(pane_key.first);   // end
+      w.PutI64(pane_key.second);  // start
+      w.PutI64(agg.count);
+      w.PutDouble(agg.sum);
+      w.PutDouble(agg.max);
+      ++keys;
+    }
+  }
+  AddStateBytes(-(static_cast<int64_t>(panes_.size()) * kBytesPerPane +
+                  keys * kBytesPerKeyState));
+  total_key_states_ = 0;
+  panes_.clear();
+  for (auto& [key, w] : blobs) {
+    out->push_back(KeyedStateEntry{key, w.TakeBytes()});
+  }
+}
+
+void WindowAggregateOperator::ImportKeyedState(const KeyedStateEntry& entry) {
+  StateReader r(entry.blob);
+  while (r.remaining() > 0) {
+    const TimeMicros end = r.GetI64();
+    const TimeMicros start = r.GetI64();
+    Aggregate agg;
+    agg.count = r.GetI64();
+    agg.sum = r.GetDouble();
+    agg.max = r.GetDouble();
+    KLINK_CHECK(r.ok());
+    auto [pane_it, pane_inserted] = panes_.try_emplace({end, start});
+    if (pane_inserted) AddStateBytes(kBytesPerPane);
+    const auto [it, inserted] = pane_it->second.emplace(entry.key, agg);
+    (void)it;
+    KLINK_CHECK(inserted);  // each (pane, key) comes from exactly one shard
+    ++total_key_states_;
+    AddStateBytes(kBytesPerKeyState);
+  }
+}
+
 void WindowAggregateOperator::SerializeState(StateWriter& w) const {
   w.PutU64(static_cast<uint64_t>(panes_.size()));
   for (const auto& [pane_key, pane] : panes_) {

@@ -60,6 +60,13 @@ class WindowAggregateOperator final : public Operator {
   /// Simulated fixed state bytes per open pane.
   static constexpr int64_t kBytesPerPane = 64;
 
+  /// ---- re-sharding ----------------------------------------------------
+  /// Keyed state moves between shards as per-key blobs of
+  /// (end, start, count, sum, max) pane records.
+  bool HasKeyedState() const override { return true; }
+  void ExportKeyedState(std::vector<KeyedStateEntry>* out) override;
+  void ImportKeyedState(const KeyedStateEntry& entry) override;
+
  protected:
   void OnData(const Event& e, TimeMicros now, Emitter& out) override;
   void OnWatermark(const Event& incoming, TimeMicros min_watermark,

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "src/operators/aggregate_operator.h"
 #include "src/operators/operator.h"
@@ -29,6 +30,11 @@ class CountWindowOperator final : public Operator {
   bool SupportsPartialComputation() const override { return true; }
 
   static constexpr int64_t kBytesPerKeyState = 48;
+
+  /// ---- re-sharding ----------------------------------------------------
+  bool HasKeyedState() const override { return true; }
+  void ExportKeyedState(std::vector<KeyedStateEntry>* out) override;
+  void ImportKeyedState(const KeyedStateEntry& entry) override;
 
  protected:
   void OnData(const Event& e, TimeMicros now, Emitter& out) override;

@@ -119,6 +119,44 @@ void SessionWindowOperator::OnWatermark(const Event& incoming,
   SetForwardSwm(fired);
 }
 
+void SessionWindowOperator::ExportKeyedState(
+    std::vector<KeyedStateEntry>* out) {
+  // Export in by_close_ order so the target multimaps' tie order (equal
+  // close times) is rebuilt deterministically.
+  for (const auto& [close, key] : by_close_) {
+    const auto sit = sessions_.find(key);
+    KLINK_CHECK(sit != sessions_.end());
+    const Session& s = sit->second;
+    StateWriter w;
+    w.PutI64(s.start);
+    w.PutI64(s.last_event);
+    w.PutI64(s.count);
+    w.PutDouble(s.sum);
+    w.PutDouble(s.max);
+    out->push_back(KeyedStateEntry{key, w.TakeBytes()});
+    (void)close;
+  }
+  AddStateBytes(-static_cast<int64_t>(sessions_.size()) * kBytesPerSession);
+  sessions_.clear();
+  by_close_.clear();
+}
+
+void SessionWindowOperator::ImportKeyedState(const KeyedStateEntry& entry) {
+  StateReader r(entry.blob);
+  Session s;
+  s.start = r.GetI64();
+  s.last_event = r.GetI64();
+  s.count = r.GetI64();
+  s.sum = r.GetDouble();
+  s.max = r.GetDouble();
+  KLINK_CHECK(r.ok() && r.AtEnd());
+  const auto [it, inserted] = sessions_.emplace(entry.key, s);
+  (void)it;
+  KLINK_CHECK(inserted);
+  by_close_.emplace(s.last_event + gap_, entry.key);
+  AddStateBytes(kBytesPerSession);
+}
+
 void SessionWindowOperator::SerializeState(StateWriter& w) const {
   // Serialize in by_close_ iteration order and restore by re-inserting in
   // that order: the multimap's tie order (equal close times) determines

@@ -5,6 +5,7 @@
 #include <map>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "src/operators/aggregate_operator.h"
 #include "src/operators/operator.h"
@@ -46,6 +47,11 @@ class SessionWindowOperator final : public Operator {
   const SwmTracker* swm_tracker() const override { return &tracker_; }
 
   static constexpr int64_t kBytesPerSession = 96;
+
+  /// ---- re-sharding ----------------------------------------------------
+  bool HasKeyedState() const override { return true; }
+  void ExportKeyedState(std::vector<KeyedStateEntry>* out) override;
+  void ImportKeyedState(const KeyedStateEntry& entry) override;
 
  protected:
   void OnData(const Event& e, TimeMicros now, Emitter& out) override;

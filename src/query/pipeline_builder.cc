@@ -3,10 +3,18 @@
 #include <utility>
 
 #include "src/common/check.h"
+#include "src/operators/exchange_operator.h"
 #include "src/operators/sink_operator.h"
 #include "src/operators/source_operator.h"
 
 namespace klink {
+
+namespace {
+/// Virtual cost per element of the exchange operators: routing is cheap
+/// relative to keyed-window work, so the partition can feed many shards
+/// within one cycle budget.
+constexpr double kExchangeCostMicros = 0.05;
+}  // namespace
 
 BuilderStream BuilderStream::Map(std::string name, double cost_micros,
                                  MapOperator::TransformFn transform) {
@@ -54,6 +62,53 @@ BuilderStream BuilderStream::CountWindow(std::string name, double cost_micros,
                                          int64_t count, AggregationKind kind) {
   return Then(std::make_unique<CountWindowOperator>(std::move(name),
                                                     cost_micros, count, kind));
+}
+
+BuilderStream BuilderStream::ShardedTumblingAggregate(
+    std::string name, double cost_micros, DurationMicros window_size,
+    AggregationKind kind, ShardSpec spec, DurationMicros offset) {
+  return builder_->ShardRegionImpl(
+      name, {*this}, spec, [&](const std::string& shard_name) {
+        return std::make_unique<WindowAggregateOperator>(
+            shard_name, cost_micros, MakeTumblingWindow(window_size, offset),
+            kind);
+      });
+}
+
+BuilderStream BuilderStream::ShardedSlidingAggregate(
+    std::string name, double cost_micros, DurationMicros window_size,
+    DurationMicros slide, AggregationKind kind, ShardSpec spec,
+    DurationMicros offset) {
+  return builder_->ShardRegionImpl(
+      name, {*this}, spec, [&](const std::string& shard_name) {
+        return std::make_unique<WindowAggregateOperator>(
+            shard_name, cost_micros,
+            MakeSlidingWindow(window_size, slide, offset), kind);
+      });
+}
+
+BuilderStream BuilderStream::ShardedSessionWindow(std::string name,
+                                                  double cost_micros,
+                                                  DurationMicros gap,
+                                                  AggregationKind kind,
+                                                  ShardSpec spec) {
+  return builder_->ShardRegionImpl(
+      name, {*this}, spec, [&](const std::string& shard_name) {
+        return std::make_unique<SessionWindowOperator>(shard_name, cost_micros,
+                                                       gap, kind);
+      });
+}
+
+BuilderStream BuilderStream::ShardedCountWindow(std::string name,
+                                                double cost_micros,
+                                                int64_t count,
+                                                AggregationKind kind,
+                                                ShardSpec spec) {
+  return builder_->ShardRegionImpl(
+      name, {*this}, spec, [&](const std::string& shard_name) {
+        return std::make_unique<CountWindowOperator>(shard_name, cost_micros,
+                                                     count, kind);
+      });
 }
 
 BuilderStream BuilderStream::Reorder(std::string name, double cost_micros) {
@@ -126,6 +181,80 @@ BuilderStream PipelineBuilder::JoinImpl(std::string name, double cost_micros,
   return BuilderStream(this, idx);
 }
 
+BuilderStream PipelineBuilder::ShardedTumblingJoin(
+    std::string name, double cost_micros, DurationMicros window_size,
+    std::vector<BuilderStream> inputs, ShardSpec spec, DurationMicros offset) {
+  KLINK_CHECK_GE(inputs.size(), 2u);
+  const int num_inputs = static_cast<int>(inputs.size());
+  return ShardRegionImpl(
+      name, std::move(inputs), spec, [&](const std::string& shard_name) {
+        return std::make_unique<WindowJoinOperator>(
+            shard_name, cost_micros, MakeTumblingWindow(window_size, offset),
+            num_inputs);
+      });
+}
+
+BuilderStream PipelineBuilder::ShardRegionImpl(
+    const std::string& name, std::vector<BuilderStream> inputs, ShardSpec spec,
+    const std::function<std::unique_ptr<Operator>(const std::string&)>&
+        make_shard) {
+  KLINK_CHECK_EQ(shard_region_.max_shards, 0);  // one region per query
+  KLINK_CHECK_GE(spec.shards, 1);
+  KLINK_CHECK_GE(spec.max_shards, spec.shards);
+  KLINK_CHECK(!inputs.empty());
+
+  // One partition exchange per input chain; fan-out happens through the
+  // partition's inline router, not the Edge graph.
+  std::vector<int> partition_idx;
+  for (size_t c = 0; c < inputs.size(); ++c) {
+    KLINK_CHECK(inputs[c].builder_ == this);
+    const int idx = Append(std::make_unique<PartitionExchangeOperator>(
+        name + "/part" + std::to_string(c), kExchangeCostMicros, spec.shards,
+        spec.max_shards));
+    Connect(inputs[c].tail_, idx, /*stream=*/0);
+    partition_idx.push_back(idx);
+  }
+
+  const int shard_begin = static_cast<int>(operators_.size());
+  for (int s = 0; s < spec.max_shards; ++s) {
+    auto op = make_shard(name + "/s" + std::to_string(s));
+    KLINK_CHECK_EQ(op->num_inputs(), static_cast<int>(inputs.size()));
+    Append(std::move(op));
+  }
+  const int shard_end = static_cast<int>(operators_.size());
+
+  const int merge_idx = Append(std::make_unique<MergeExchangeOperator>(
+      name + "/merge", kExchangeCostMicros, spec.max_shards));
+  for (int s = 0; s < spec.max_shards; ++s) {
+    Connect(shard_begin + s, merge_idx, /*stream=*/s);
+  }
+
+  // Give each partition a representative Edge to the first shard operator
+  // so the snapshot's path-cost walk sees the downstream drain cost; the
+  // emitter never uses it (inline router). Then wire the real targets:
+  // partition of chain c feeds input stream c of every shard operator.
+  for (size_t c = 0; c < partition_idx.size(); ++c) {
+    Connect(partition_idx[c], shard_begin, static_cast<int>(c));
+    auto* part = static_cast<PartitionExchangeOperator*>(
+        operators_[static_cast<size_t>(partition_idx[c])].get());
+    std::vector<StreamQueue*> targets;
+    targets.reserve(static_cast<size_t>(spec.max_shards));
+    for (int s = 0; s < spec.max_shards; ++s) {
+      targets.push_back(
+          &operators_[static_cast<size_t>(shard_begin + s)]->input(
+              static_cast<int>(c)));
+    }
+    part->SetTargets(std::move(targets));
+  }
+
+  shard_region_.shard_begin = shard_begin;
+  shard_region_.shard_end = shard_end;
+  shard_region_.max_shards = spec.max_shards;
+  shard_region_.partition_ops = std::move(partition_idx);
+  shard_region_.merge_op = merge_idx;
+  return BuilderStream(this, merge_idx);
+}
+
 int PipelineBuilder::Append(std::unique_ptr<Operator> op) {
   operators_.push_back(std::move(op));
   edges_.push_back(Query::Edge{});
@@ -144,7 +273,8 @@ void PipelineBuilder::Connect(int from, int to, int stream) {
 std::unique_ptr<Query> PipelineBuilder::Build(QueryId id) {
   KLINK_CHECK(has_sink_);
   return std::make_unique<Query>(id, std::move(query_name_),
-                                 std::move(operators_), std::move(edges_));
+                                 std::move(operators_), std::move(edges_),
+                                 std::move(shard_region_));
 }
 
 }  // namespace klink

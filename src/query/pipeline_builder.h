@@ -1,6 +1,7 @@
 #ifndef KLINK_QUERY_PIPELINE_BUILDER_H_
 #define KLINK_QUERY_PIPELINE_BUILDER_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -20,6 +21,15 @@
 namespace klink {
 
 class PipelineBuilder;
+
+/// Shard configuration for a sharded keyed-operator region: `shards` lanes
+/// are initially active; `max_shards` shard operators are constructed so a
+/// live re-shard can scale the active count up to the ceiling without
+/// changing the query topology (checkpoint layouts stay valid).
+struct ShardSpec {
+  int shards = 1;
+  int max_shards = 1;
+};
 
 /// Handle to the head of a partially built chain; returned by builder
 /// methods so pipelines compose fluently:
@@ -63,6 +73,28 @@ class BuilderStream {
   /// Appends a count-based window (fires every `count` events per key).
   BuilderStream CountWindow(std::string name, double cost_micros,
                             int64_t count, AggregationKind kind);
+
+  /// Sharded variants of the keyed windows: the operator is hash-
+  /// partitioned into spec.max_shards shard lanes (spec.shards initially
+  /// active) between a partition exchange and a merge exchange, so shards
+  /// drain concurrently on the thread-pool executor and keyed state can be
+  /// re-partitioned live (see DESIGN.md "Sharded execution"). Results are
+  /// byte-identical to the unsharded operator.
+  BuilderStream ShardedTumblingAggregate(std::string name, double cost_micros,
+                                         DurationMicros window_size,
+                                         AggregationKind kind, ShardSpec spec,
+                                         DurationMicros offset = 0);
+  BuilderStream ShardedSlidingAggregate(std::string name, double cost_micros,
+                                        DurationMicros window_size,
+                                        DurationMicros slide,
+                                        AggregationKind kind, ShardSpec spec,
+                                        DurationMicros offset = 0);
+  BuilderStream ShardedSessionWindow(std::string name, double cost_micros,
+                                     DurationMicros gap, AggregationKind kind,
+                                     ShardSpec spec);
+  BuilderStream ShardedCountWindow(std::string name, double cost_micros,
+                                   int64_t count, AggregationKind kind,
+                                   ShardSpec spec);
 
   /// Appends an in-order-processing buffer (IOP, Sec. 2.1): downstream
   /// operators observe events sorted by event-time.
@@ -113,6 +145,14 @@ class PipelineBuilder {
                             std::vector<BuilderStream> inputs,
                             DurationMicros offset = 0);
 
+  /// Sharded tumbling-window equi-join: each input chain gets its own
+  /// partition exchange and the shard joins consume one partitioned stream
+  /// per input. At most one sharded region per query.
+  BuilderStream ShardedTumblingJoin(std::string name, double cost_micros,
+                                    DurationMicros window_size,
+                                    std::vector<BuilderStream> inputs,
+                                    ShardSpec spec, DurationMicros offset = 0);
+
   /// Finalizes the query. Requires exactly one sink and every chain
   /// terminated. The builder is consumed.
   std::unique_ptr<Query> Build(QueryId id);
@@ -125,10 +165,18 @@ class PipelineBuilder {
   BuilderStream JoinImpl(std::string name, double cost_micros,
                          std::unique_ptr<WindowAssigner> assigner,
                          std::vector<BuilderStream> inputs);
+  /// Builds the partition(s) -> shard operators -> merge region. The
+  /// factory is invoked once per shard with the shard operator's name.
+  BuilderStream ShardRegionImpl(
+      const std::string& name, std::vector<BuilderStream> inputs,
+      ShardSpec spec,
+      const std::function<std::unique_ptr<Operator>(const std::string&)>&
+          make_shard);
 
   std::string query_name_;
   std::vector<std::unique_ptr<Operator>> operators_;
   std::vector<Query::Edge> edges_;
+  Query::ShardRegion shard_region_;
   bool has_sink_ = false;
 };
 

@@ -1,6 +1,7 @@
 #ifndef KLINK_QUERY_QUERY_H_
 #define KLINK_QUERY_QUERY_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
@@ -17,6 +18,11 @@ namespace klink {
 /// operator (joins have multiple upstream operators feeding distinct input
 /// streams). Klink performs query-level scheduling (Sec. 3): the engine
 /// executes a query by draining its operators in topological order.
+///
+/// Sharded queries additionally carry a ShardRegion: a contiguous run of
+/// identical keyed shard operators fed by partition exchange(s) and drained
+/// into a merge exchange. The region splits the query into *lanes* — the
+/// schedulable units of a sharded query (see lanes below).
 class Query : private MemoryDeltaSink {
  public:
   struct Edge {
@@ -26,9 +32,40 @@ class Query : private MemoryDeltaSink {
     int downstream_stream = 0;
   };
 
+  /// Describes the sharded span of the operator vector (at most one per
+  /// query): operators [shard_begin, shard_end) are the max_shards shard
+  /// operators; partition exchange(s) live before shard_begin and the merge
+  /// exchange at shard_end. Built by PipelineBuilder.
+  struct ShardRegion {
+    int shard_begin = 0;  // first shard operator index
+    int shard_end = 0;    // one past the last shard operator index
+    int max_shards = 0;   // == shard_end - shard_begin
+    /// Indices of the partition exchange operators (one per shard input
+    /// chain; joins have several).
+    std::vector<int> partition_ops;
+    /// Index of the merge exchange operator.
+    int merge_op = 0;
+  };
+
+  /// A lane is a contiguous operator range drained as one schedulable
+  /// unit. Unsharded queries have a single lane covering everything
+  /// (index -1 by convention at the scheduling seam). Sharded queries have
+  /// lane 0 = [0, shard_begin) at stage 0, one lane per shard at stage 1,
+  /// and a final lane [shard_end, num_operators) at stage 2. Stages order
+  /// execution within a cycle (producers before consumers) so concurrent
+  /// shard lanes never race their feeding partition or draining merge.
+  struct Lane {
+    int begin = 0;
+    int end = 0;
+    int stage = 0;
+  };
+
   Query(QueryId id, std::string name,
         std::vector<std::unique_ptr<Operator>> operators,
         std::vector<Edge> edges);
+  Query(QueryId id, std::string name,
+        std::vector<std::unique_ptr<Operator>> operators,
+        std::vector<Edge> edges, ShardRegion shard_region);
 
   QueryId id() const { return id_; }
   const std::string& name() const { return name_; }
@@ -50,6 +87,13 @@ class Query : private MemoryDeltaSink {
     return windowed_;
   }
 
+  /// ---- sharding -------------------------------------------------------
+  bool sharded() const { return shard_region_.max_shards > 0; }
+  const ShardRegion& shard_region() const { return shard_region_; }
+  /// Lanes in stage order (single whole-query lane when unsharded).
+  int num_lanes() const { return static_cast<int>(lanes_.size()); }
+  const Lane& lane(int i) const;
+
   /// Earliest upcoming window deadline across windowed operators, or
   /// kNoTime for a windowless query.
   TimeMicros UpcomingDeadline() const;
@@ -60,7 +104,12 @@ class Query : private MemoryDeltaSink {
   /// Total simulated memory (queues + operator state). O(1): maintained
   /// incrementally from queue and operator-state deltas, so the engine's
   /// per-cycle memory sweep is O(queries) instead of O(operators).
-  int64_t MemoryBytes() const { return memory_bytes_; }
+  /// Atomic because concurrent shard lanes of one query report deltas from
+  /// different executor slots; relaxed ordering suffices — readers only
+  /// consume the total between cycles, under the executor barrier.
+  int64_t MemoryBytes() const {
+    return memory_bytes_.load(std::memory_order_relaxed);
+  }
 
   /// Virtual time when the query was deployed (set by the engine).
   TimeMicros deploy_time() const { return deploy_time_; }
@@ -77,7 +126,7 @@ class Query : private MemoryDeltaSink {
   void BindId(QueryId id) { id_ = id; }
 
   void OnMemoryDelta(int64_t delta_bytes) override {
-    memory_bytes_ += delta_bytes;
+    memory_bytes_.fetch_add(delta_bytes, std::memory_order_relaxed);
   }
 
   QueryId id_;
@@ -87,8 +136,10 @@ class Query : private MemoryDeltaSink {
   std::vector<SourceOperator*> sources_;
   std::vector<Operator*> windowed_;
   SinkOperator* sink_ = nullptr;
+  ShardRegion shard_region_;
+  std::vector<Lane> lanes_;
   TimeMicros deploy_time_ = 0;
-  int64_t memory_bytes_ = 0;
+  std::atomic<int64_t> memory_bytes_{0};
 };
 
 }  // namespace klink

@@ -5,6 +5,7 @@
 
 #include "src/common/check.h"
 #include "src/runtime/checkpoint.h"
+#include "src/runtime/reshard.h"
 
 namespace klink {
 
@@ -160,9 +161,19 @@ void Engine::RunCycle() {
   for (SlotAssignment& slot : selection_scratch_) {
     KLINK_CHECK(IsActive(slot.query));  // policies select live queries only
     slot.budget_micros = budget * slot.budget_fraction;
+    Query& q = query(slot.query);
+    const int stage = slot.lane < 0 ? 0 : q.lane(slot.lane).stage;
     tasks_scratch_.push_back(
-        ExecutorTask{&query(slot.query), slot.budget_micros});
+        ExecutorTask{&q, slot.budget_micros, slot.lane, stage});
   }
+  // Producer lanes must run before the lanes they feed: publish tasks in
+  // stage order. The sort is stable so equal-stage slots keep the policy's
+  // priority order, and both backends execute slots in published order —
+  // which is what keeps sequential and thread-pool results bit-identical.
+  std::stable_sort(tasks_scratch_.begin(), tasks_scratch_.end(),
+                   [](const ExecutorTask& a, const ExecutorTask& b) {
+                     return a.stage < b.stage;
+                   });
   if (audit_ != nullptr) {
     audit_->CheckSelection(selection_scratch_, config_.num_cores, budget);
   }
@@ -179,6 +190,11 @@ void Engine::RunCycle() {
     audit_->CheckCycleStats(*executor_, tasks_scratch_, stats);
     audit_->CheckProgressMonotonicity(ActiveQueriesForAudit());
   }
+  // (5b) Live re-sharding: with workers parked at the cycle barrier the
+  // controller may arm partition exchanges, detect drained barriers, and
+  // redistribute keyed state across a new shard count (runtime/reshard.h).
+  // It reports mutations back through NotifyQueryMutated.
+  if (reshard_ != nullptr) reshard_->OnCycleEnd(now_);
   metrics_.AddProcessed(stats.processed_events);
   metrics_.AddCoreBusy(stats.busy_micros);
   busy_since_sample_ += stats.busy_micros;

@@ -20,6 +20,7 @@
 namespace klink {
 
 class CheckpointCoordinator;
+class ReshardController;
 
 /// Engine tuning knobs. Defaults model the paper's single-node setup,
 /// scaled down so experiments run in seconds of wall time (see DESIGN.md).
@@ -127,6 +128,22 @@ class Engine {
     coordinator_ = coordinator;
   }
 
+  /// Attaches a live re-shard controller (not owned; may be null to
+  /// detach). Its OnCycleEnd hook runs on the engine thread after each
+  /// cycle's execution, when workers are parked at the barrier — the only
+  /// point where redistributing keyed state across shards is race-free.
+  void SetReshardController(ReshardController* controller) {
+    reshard_ = controller;
+  }
+
+  /// Re-syncs the incremental memory accounting with `id`'s state and
+  /// marks it for snapshot refresh, after out-of-band mutation (re-shard
+  /// redistribution, checkpoint restore of a single query).
+  void NotifyQueryMutated(QueryId id) {
+    SyncQueryMemory(query(id));
+    fabric_.MarkDirty(id);
+  }
+
   /// Rewinds the virtual clock to a restored checkpoint's capture time, so
   /// the resumed run replays the exact cycle boundaries of the original.
   /// Also resynchronizes the incremental memory accounting with the
@@ -187,6 +204,8 @@ class Engine {
   std::vector<QueryId> retired_scratch_;
   /// Non-owning; null when checkpointing is off (see SetCheckpointCoordinator).
   CheckpointCoordinator* coordinator_ = nullptr;
+  /// Non-owning; null when live re-sharding is off (see SetReshardController).
+  ReshardController* reshard_ = nullptr;
   /// Non-null when KLINK_AUDIT=1 at construction: cycle-boundary invariant
   /// cross-checks (see runtime/audit.h for the audited invariants and cost).
   std::unique_ptr<InvariantAuditor> audit_;

@@ -28,10 +28,14 @@ void ExecutionContext::BeginCycle(double budget_micros, double cost_multiplier,
   cycle_processed_events_ = 0;
 }
 
-double ExecutionContext::RunQuery(Query& query) {
+double ExecutionContext::RunQuery(Query& query, int lane) {
   double consumed = 0.0;
   bool progressed = true;
   int64_t processed = 0;
+  // Lane -1 sweeps the whole query; otherwise only the lane's operator
+  // range (a shard lane of a sharded query, or its prefix/suffix lane).
+  const int sweep_begin = lane == -1 ? 0 : query.lane(lane).begin;
+  const int sweep_end = lane == -1 ? query.num_operators() : query.lane(lane).end;
   if (batch_.size() < static_cast<size_t>(kMaxBatch)) {
     batch_.resize(static_cast<size_t>(kMaxBatch));
   }
@@ -40,15 +44,21 @@ double ExecutionContext::RunQuery(Query& query) {
   // sweep. Stops when the budget is exhausted or all queues drained.
   while (progressed) {
     progressed = false;
-    for (int i = 0; i < query.num_operators(); ++i) {
+    for (int i = sweep_begin; i < sweep_end; ++i) {
       Operator& op = query.op(i);
       const Query::Edge& edge = query.edge(i);
       StreamQueue* downstream_queue =
           edge.downstream == -1
               ? nullptr
               : &query.op(edge.downstream).input(edge.downstream_stream);
-      BatchEmitter emitter(downstream_queue, edge.downstream_stream,
-                           &emit_scratch_);
+      BatchEmitter batch_emitter(downstream_queue, edge.downstream_stream,
+                                 &emit_scratch_);
+      // Exchange operators route through their own inline emitter (fan-out
+      // to per-shard queues); everything else appends to the single
+      // downstream edge via the buffering BatchEmitter.
+      Emitter* const inline_emitter = op.inline_emitter();
+      Emitter& emitter =
+          inline_emitter != nullptr ? *inline_emitter : batch_emitter;
       const double cost =
           std::max(0.01, op.cost_per_event() * cost_multiplier_);
       if (op.num_inputs() == 1) {
@@ -73,7 +83,7 @@ double ExecutionContext::RunQuery(Query& query) {
           BatchClock clock(cycle_start_, consumed, cost);
           op.ProcessBatch(batch_.data(), got, clock, emitter);
           consumed = clock.consumed_micros();
-          emitter.Flush();
+          batch_emitter.Flush();
           processed += got;
           progressed = true;
         }
@@ -111,7 +121,7 @@ double ExecutionContext::RunQuery(Query& query) {
           ++processed;
           progressed = true;
         }
-        emitter.Flush();
+        batch_emitter.Flush();
       }
       if (consumed + 0.01 > budget_micros_) {
         progressed = false;
@@ -125,7 +135,9 @@ double ExecutionContext::RunQuery(Query& query) {
     // a full event walk (the batched paths are the likeliest drift source).
     KLINK_CHECK_LE(consumed, budget_micros_ + 1e-6);
     KLINK_CHECK_GE(processed, 0);
-    for (int i = 0; i < query.num_operators(); ++i) {
+    // Only the swept lane's queues: sibling shard lanes may be draining
+    // concurrently on other slots, so their queues are not ours to walk.
+    for (int i = sweep_begin; i < sweep_end; ++i) {
       const Operator& op = query.op(i);
       for (int s = 0; s < op.num_inputs(); ++s) {
         const StreamQueue& in = op.input(s);

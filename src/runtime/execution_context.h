@@ -40,7 +40,13 @@ class ExecutionContext {
   /// scalar earliest-ingest interleave. Both paths charge the identical
   /// per-element virtual-time sequence, so results are byte-identical to
   /// the scalar drain (DESIGN.md "Hot path").
-  double RunQuery(Query& query);
+  ///
+  /// `lane` restricts the sweep to one lane of a sharded query (see
+  /// Query::Lane); -1 sweeps every operator. Distinct lanes of one query
+  /// touch disjoint operators and queues (the partition pushes into shard
+  /// queues only from its own stage-0 lane, which the executor orders
+  /// before the shard lanes), so lanes run concurrently on distinct slots.
+  double RunQuery(Query& query, int lane = -1);
 
   int slot() const { return slot_; }
   double budget_micros() const { return budget_micros_; }

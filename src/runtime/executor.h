@@ -29,9 +29,17 @@ bool ParseExecutorKind(const std::string& s, ExecutorKind* out);
 
 /// One slot's work for a cycle, resolved by the engine from the policy's
 /// Selection: tasks[i] runs on slot i of the executor.
+///
+/// `lane` selects one lane of a sharded query (-1 = whole query); `stage`
+/// is that lane's pipeline stage. The engine publishes tasks sorted by
+/// stage (stable), and backends must not run a task before every
+/// lower-stage task has finished: stage order is what keeps a shard lane
+/// from racing the partition that feeds it or the merge that drains it.
 struct ExecutorTask {
   Query* query = nullptr;
   double budget_micros = 0.0;
+  int lane = -1;
+  int stage = 0;
 };
 
 /// Per-cycle counters merged across slots at the cycle barrier. Backends
@@ -45,8 +53,10 @@ struct CycleStats {
 /// Runs one scheduling cycle's slot assignments. The determinism contract:
 /// given the same tasks and the same query state, every backend leaves the
 /// queries in the same state and returns the same CycleStats. This holds
-/// because tasks carry distinct queries (each owning its operators and
-/// queues) and a slot's virtual time depends only on its own consumption.
+/// because tasks carry distinct (query, lane) units touching disjoint
+/// operators and queues, stage order serializes producer lanes before
+/// consumer lanes, and a slot's virtual time depends only on its own
+/// consumption.
 class Executor {
  public:
   virtual ~Executor() = default;

@@ -28,7 +28,9 @@ CycleStats SequentialExecutor::ExecuteCycle(
     // across cycles also reuses their allocations.
     ExecutionContext& ctx = contexts_[i];
     ctx.BeginCycle(task.budget_micros, cost_multiplier, cycle_start);
-    ctx.RunQuery(*task.query);
+    // Slot order respects stage order (the engine publishes tasks sorted
+    // by stage), so producer lanes run before the lanes they feed.
+    ctx.RunQuery(*task.query, task.lane);
     stats.busy_micros += ctx.cycle_busy_micros();
     stats.processed_events += ctx.cycle_processed_events();
   }

@@ -97,6 +97,55 @@ void CollectQueryInfo(const Query& query, TimeMicros now, QueryInfo* info) {
     info->drain_cost_micros +=
         static_cast<double>(info->op_queued[idx]) * path_cost[idx];
   }
+  // Schedulable units. Unsharded queries expose a single whole-query lane
+  // (-1) mirroring the aggregates above, so lane-iterating policies keep
+  // pre-sharding behavior bit for bit. Sharded queries get one LaneInfo
+  // per Query::Lane, aggregated over the lane's contiguous op range; the
+  // lanes partition [0, n) in op order, so stream subranges are found by
+  // a single monotone sweep over the op-ordered `streams` vector.
+  info->lanes.clear();
+  if (!query.sharded()) {
+    LaneInfo lane;
+    lane.lane = -1;
+    lane.stage = 0;
+    lane.queued_events = info->queued_events;
+    lane.oldest_ingest = info->oldest_ingest;
+    lane.drain_cost_micros = info->drain_cost_micros;
+    lane.streams_begin = 0;
+    lane.streams_end = static_cast<int>(info->streams.size());
+    info->lanes.push_back(lane);
+  } else {
+    int stream_pos = 0;
+    for (int l = 0; l < query.num_lanes(); ++l) {
+      const Query::Lane& ql = query.lane(l);
+      LaneInfo lane;
+      lane.lane = l;
+      lane.stage = ql.stage;
+      lane.streams_begin = stream_pos;
+      for (int i = ql.begin; i < ql.end; ++i) {
+        const size_t idx = static_cast<size_t>(i);
+        lane.queued_events += info->op_queued[idx];
+        lane.drain_cost_micros +=
+            static_cast<double>(info->op_queued[idx]) * path_cost[idx];
+        const Operator& op = query.op(i);
+        for (int s = 0; s < op.num_inputs(); ++s) {
+          const TimeMicros oldest = op.input(s).OldestIngestTime();
+          if (oldest == kNoTime) continue;
+          lane.oldest_ingest = lane.oldest_ingest == kNoTime
+                                   ? oldest
+                                   : std::min(lane.oldest_ingest, oldest);
+        }
+      }
+      while (stream_pos < static_cast<int>(info->streams.size()) &&
+             info->streams[static_cast<size_t>(stream_pos)].op_index <
+                 ql.end) {
+        ++stream_pos;
+      }
+      lane.streams_end = stream_pos;
+      info->lanes.push_back(lane);
+    }
+  }
+
   double unit_cost = 0.0;
   for (const SourceOperator* src : query.sources()) {
     // Locate the source's operator index to read its path cost.

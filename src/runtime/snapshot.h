@@ -37,6 +37,31 @@ struct StreamProgress {
   TimeMicros last_swept_deadline = kNoTime;
 };
 
+/// One schedulable unit of a query. Unsharded queries expose exactly one
+/// lane with index -1 whose fields mirror the query-level aggregates, so
+/// policies that iterate lanes see pre-sharding behavior unchanged.
+/// Sharded queries expose one lane per Query::Lane: the stage-0 prefix
+/// (sources + partition exchanges), one lane per shard, and the stage-2
+/// suffix (merge + sink). Shard-granular policies rank and select these
+/// independently; per-lane slack is the minimum over the lane's streams.
+struct LaneInfo {
+  /// Lane index usable with Selection::AddLane; -1 = whole query.
+  int lane = -1;
+  /// Pipeline stage (Query::Lane::stage); 0 for unsharded queries.
+  int stage = 0;
+  int64_t queued_events = 0;
+  /// Ingestion time of the oldest element queued at the lane's operators.
+  TimeMicros oldest_ingest = kNoTime;
+  /// Expected virtual CPU time to drain the lane's queued events through
+  /// the rest of the pipeline (the lane's share of drain_cost_micros).
+  double drain_cost_micros = 0.0;
+  /// Subrange [streams_begin, streams_end) of QueryInfo::streams holding
+  /// this lane's window progress entries. Contiguous because lanes cover
+  /// contiguous operator ranges and streams are collected in op order.
+  int streams_begin = 0;
+  int streams_end = 0;
+};
+
 /// Everything the runtime data acquisition module reports about one query —
 /// the per-query slice of the tuple I consumed by KlinkEvaluator (Sec. 3)
 /// and by the baseline policies.
@@ -66,6 +91,9 @@ struct QueryInfo {
   double output_rate = 0.0;
   /// Per-stream window progress entries (empty for windowless queries).
   std::vector<StreamProgress> streams;
+  /// Schedulable units: one {-1} entry for unsharded queries, one entry
+  /// per Query::Lane for sharded ones.
+  std::vector<LaneInfo> lanes;
   /// Per-operator arrays in topological order (for the memory manager).
   std::vector<int64_t> op_queued;
   std::vector<double> op_selectivity;

@@ -33,20 +33,39 @@ CycleStats ThreadPoolExecutor::ExecuteCycle(
     TimeMicros cycle_start) {
   KLINK_CHECK_LE(tasks.size(), contexts_.size());
   for (const ExecutorTask& task : tasks) KLINK_CHECK(task.query != nullptr);
-  {
+  for (size_t i = 1; i < tasks.size(); ++i) {
+    KLINK_CHECK_GE(tasks[i].stage, tasks[i - 1].stage);  // engine sorts
+  }
+  // Execute one barrier group per maximal run of equal-stage tasks: the
+  // group's slots run concurrently, and the next group starts only after
+  // the group barrier. Conservative — stage 0 lanes of *different* queries
+  // could overlap stage 1 lanes safely — but a shard lane must never run
+  // while its feeding partition (lower stage, same query) still pushes
+  // into its input queue, and whole-cycle groups keep the handshake the
+  // same as the pre-sharding single-barrier protocol.
+  size_t begin = 0;
+  while (begin < tasks.size()) {
+    size_t end = begin + 1;
+    while (end < tasks.size() && tasks[end].stage == tasks[begin].stage) {
+      ++end;
+    }
     std::unique_lock<std::mutex> lock(mu_);
     tasks_ = &tasks;
     cost_multiplier_ = cost_multiplier;
     cycle_start_ = cycle_start;
-    remaining_ = static_cast<int>(tasks.size());
+    group_begin_ = begin;
+    group_end_ = end;
+    remaining_ = static_cast<int>(end - begin);
     ++cycle_seq_;
     work_cv_.notify_all();
-    // The cycle barrier: virtual time may only advance once every worker
-    // has drained its slot's quantum.
+    // The group barrier: the next stage (and, after the last group,
+    // virtual time) may only advance once every slot in the group has
+    // drained its quantum.
     done_cv_.wait(lock, [this] { return remaining_ == 0; });
     tasks_ = nullptr;
+    begin = end;
   }
-  // Merge in slot order on the engine thread. The barrier above ordered
+  // Merge in slot order on the engine thread. The barriers above ordered
   // every worker's writes before these reads, and slot order makes the
   // floating-point sum identical to the sequential backend's.
   CycleStats stats;
@@ -66,9 +85,11 @@ void ThreadPoolExecutor::WorkerLoop(int slot) {
     if (shutdown_) return;
     seen = cycle_seq_;
     // tasks_ is null when this slot had no work and the engine already
-    // passed the barrier and retired the cycle before this worker woke.
-    if (tasks_ == nullptr || static_cast<size_t>(slot) >= tasks_->size()) {
-      continue;  // idle slot this cycle
+    // passed the barrier and retired the group before this worker woke;
+    // slots outside the published stage group idle until their group.
+    if (tasks_ == nullptr || static_cast<size_t>(slot) < group_begin_ ||
+        static_cast<size_t>(slot) >= group_end_) {
+      continue;  // idle slot this group
     }
     const ExecutorTask task = (*tasks_)[static_cast<size_t>(slot)];
     const double multiplier = cost_multiplier_;
@@ -79,7 +100,7 @@ void ThreadPoolExecutor::WorkerLoop(int slot) {
     // state outside the barrier handshake.
     ExecutionContext& ctx = contexts_[static_cast<size_t>(slot)];
     ctx.BeginCycle(task.budget_micros, multiplier, start);
-    ctx.RunQuery(*task.query);
+    ctx.RunQuery(*task.query, task.lane);
     lock.lock();
     if (--remaining_ == 0) done_cv_.notify_one();
   }

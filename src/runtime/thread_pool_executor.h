@@ -53,6 +53,12 @@ class ThreadPoolExecutor final : public Executor {
   double cost_multiplier_ = 1.0;
   TimeMicros cycle_start_ = 0;
   uint64_t cycle_seq_ = 0;
+  /// Slot range [group_begin_, group_end_) of the published stage group:
+  /// a cycle's tasks arrive stage-sorted and are executed as one barrier
+  /// group per maximal equal-stage run, so a consumer lane never runs
+  /// concurrently with the producer lane that feeds its queues.
+  size_t group_begin_ = 0;
+  size_t group_end_ = 0;
   int remaining_ = 0;
   bool shutdown_ = false;
 };

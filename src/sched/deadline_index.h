@@ -21,12 +21,15 @@ namespace klink {
 /// popped · log n), independent of how many queries are deployed.
 ///
 /// Ordering is (key, id) ascending — the id tiebreak keeps pop order
-/// deterministic and matches the policies' seed comparators.
+/// deterministic and matches the policies' seed comparators. `id` is a
+/// packed scheduling-unit key (sched/policy.h UnitKey): whole queries and
+/// individual shard lanes index identically, and unit order extends the
+/// old per-query id order.
 class DeadlineIndex {
  public:
   struct Entry {
     double key = 0.0;
-    QueryId id = -1;
+    int64_t id = -1;
     /// Owner's version of `id` when the entry was pushed; an entry whose
     /// version no longer matches is stale and must be skipped.
     uint64_t version = 0;

@@ -21,25 +21,50 @@ void FcfsPolicy::SelectQueries(const RuntimeSnapshot& snapshot, int slots,
 
 void FcfsPolicy::SelectFullScan(const RuntimeSnapshot& snapshot, int slots,
                                 Selection* out) {
-  SelectTopReadyQueries(
-      snapshot, slots,
-      [](const QueryInfo& a, const QueryInfo& b) {
-        // Oldest queued element first; idle queries are filtered upstream.
-        if (a.oldest_ingest != b.oldest_ingest) {
-          return a.oldest_ingest < b.oldest_ingest;
-        }
-        return a.id < b.id;
-      },
-      out);
+  // Rank schedulable units — whole unsharded queries and individual lanes
+  // of sharded ones — by the ingestion time of their oldest queued
+  // element. Shards of one query compete independently, so a hot shard's
+  // backlog is drained without waiting for its siblings.
+  struct Cand {
+    TimeMicros oldest;
+    int64_t unit;
+  };
+  std::vector<Cand> ready;
+  ready.reserve(snapshot.queries.size());
+  // klink-lint: allow(sched-scan): this is the seed full scan — the
+  // incremental path bypasses it on engine-built snapshots.
+  for (const QueryInfo& info : snapshot.queries) {
+    for (size_t li = 0; li < NumLanes(info); ++li) {
+      const LaneView lane = LaneAt(info, li);
+      if (lane.queued_events <= 0) continue;
+      ready.push_back({lane.oldest_ingest, UnitKey(info.id, lane.lane)});
+    }
+  }
+  const size_t take = std::min(
+      ready.size(), static_cast<size_t>(std::max(slots, 0)));
+  std::partial_sort(ready.begin(), ready.begin() + static_cast<long>(take),
+                    ready.end(), [](const Cand& a, const Cand& b) {
+                      if (a.oldest != b.oldest) return a.oldest < b.oldest;
+                      return a.unit < b.unit;
+                    });
+  for (size_t i = 0; i < take; ++i) {
+    out->AddLane(UnitQuery(ready[i].unit), UnitLane(ready[i].unit));
+  }
 }
 
 void FcfsPolicy::Index(const RuntimeSnapshot& snapshot, QueryId id) {
   const QueryInfo* info = snapshot.Find(id);
   KLINK_CHECK(info != nullptr);
-  if (!QueryIsReady(*info)) return;
-  // oldest_ingest is integral virtual micros, exactly representable in a
-  // double, so the heap's (key, id) order equals the full-scan comparator.
-  heap_.Push({static_cast<double>(info->oldest_ingest), id, version_[id]});
+  const uint64_t version = version_[id];
+  for (size_t li = 0; li < NumLanes(*info); ++li) {
+    const LaneView lane = LaneAt(*info, li);
+    if (lane.queued_events <= 0) continue;
+    // oldest_ingest is integral virtual micros, exactly representable in a
+    // double, so the heap's (key, unit) order equals the full-scan
+    // comparator.
+    heap_.Push({static_cast<double>(lane.oldest_ingest),
+                UnitKey(id, lane.lane), version});
+  }
 }
 
 void FcfsPolicy::RebuildIncrementalState(const RuntimeSnapshot& snapshot) {
@@ -61,13 +86,13 @@ void FcfsPolicy::SelectIncremental(const RuntimeSnapshot& snapshot, int slots,
     RebuildIncrementalState(snapshot);
   } else {
     for (QueryId id : snapshot.touched) {
-      ++version_[id];  // invalidates the query's previous entries
+      ++version_[id];  // invalidates all the query's previous lane entries
       Index(snapshot, id);
     }
   }
 
   const auto valid = [this](const DeadlineIndex::Entry& e) {
-    const auto it = version_.find(e.id);
+    const auto it = version_.find(UnitQuery(e.id));
     return it != version_.end() && it->second == e.version;
   };
   // Pop the heap minimum `slots` times; re-push afterwards so entries
@@ -80,7 +105,7 @@ void FcfsPolicy::SelectIncremental(const RuntimeSnapshot& snapshot, int slots,
     heap_.Pop();
     if (!valid(e)) continue;
     popped.push_back(e);
-    out->Add(e.id);
+    out->AddLane(UnitQuery(e.id), UnitLane(e.id));
   }
   for (const DeadlineIndex::Entry& e : popped) heap_.Push(e);
 
@@ -96,6 +121,7 @@ void FcfsPolicy::AuditIncremental(const RuntimeSnapshot& snapshot, int slots,
                  static_cast<int64_t>(expect.size()));
   for (size_t i = 0; i < expect.size(); ++i) {
     KLINK_CHECK_EQ(out[i].query, expect[i].query);
+    KLINK_CHECK_EQ(out[i].lane, expect[i].lane);
   }
 }
 

@@ -15,9 +15,13 @@ namespace klink {
 /// order — the query holding the oldest queued element runs first,
 /// optimizing for the maximum (not mean) latency of individual requests.
 ///
+/// Scheduling is unit-granular: unsharded queries are one unit, sharded
+/// queries contribute one unit per lane (sched/policy.h UnitKey), so the
+/// shards of one query drain on distinct slots in arrival order.
+///
 /// On engine-built (incremental) snapshots the policy keeps a lazy-deletion
-/// min-heap keyed by (oldest_ingest, id): a query's key can only change
-/// when it is touched (ingest or execution), so per-cycle work is
+/// min-heap keyed by (oldest_ingest, unit): a lane's key can only change
+/// when its query is touched (ingest or execution), so per-cycle work is
 /// O(touched log n + slots log n) instead of O(n). Keys are integers and
 /// exactly representable, so the heap order equals the full-scan comparator
 /// and selections are identical by construction. Hand-built snapshots use

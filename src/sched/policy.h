@@ -44,6 +44,58 @@ class SchedulingPolicy {
 /// True when the query has work to schedule.
 bool QueryIsReady(const QueryInfo& info);
 
+/// Packed (query, lane) scheduling-unit key used by the lane-granular
+/// policies' indexes: ascending unit order equals (id, lane) lexicographic
+/// order, so id tiebreaks carry over unchanged when every query has a
+/// single -1 lane. QueryId is a non-negative int32, so the shifted key
+/// fits an int64 with room for 65535 lanes.
+inline int64_t UnitKey(QueryId id, int lane) {
+  return (static_cast<int64_t>(id) << 16) |
+         static_cast<int64_t>(static_cast<uint16_t>(lane + 1));
+}
+inline QueryId UnitQuery(int64_t unit) {
+  return static_cast<QueryId>(unit >> 16);
+}
+inline int UnitLane(int64_t unit) {
+  return static_cast<int>(unit & 0xFFFF) - 1;
+}
+/// Index into QueryInfo::lanes for a lane id (-1 = the sole whole-query
+/// lane of an unsharded query; sharded lanes are their own index).
+inline size_t LaneIndexOf(int lane) {
+  return static_cast<size_t>(lane < 0 ? 0 : lane);
+}
+
+/// A lane's scheduling stats, decoupled from how the snapshot was built.
+/// Lane-granular policies must view every QueryInfo through NumLanes /
+/// LaneAt rather than reading info.lanes directly: snapshots built outside
+/// Engine::BuildSnapshot (DistEngine node views, hand-assembled test
+/// fixtures) carry no lanes vector, and for unsharded queries the
+/// query-level aggregates are the authoritative — possibly newer — copy of
+/// the single lane's stats. Both cases collapse to one whole-query lane.
+struct LaneView {
+  int lane = -1;
+  int64_t queued_events = 0;
+  TimeMicros oldest_ingest = kNoTime;
+  double drain_cost_micros = 0.0;
+  int streams_begin = 0;
+  int streams_end = 0;
+};
+
+inline size_t NumLanes(const QueryInfo& info) {
+  return info.lanes.size() <= 1 ? 1 : info.lanes.size();
+}
+
+inline LaneView LaneAt(const QueryInfo& info, size_t i) {
+  if (info.lanes.size() <= 1) {
+    return LaneView{-1, info.queued_events, info.oldest_ingest,
+                    info.drain_cost_micros, 0,
+                    static_cast<int>(info.streams.size())};
+  }
+  const LaneInfo& l = info.lanes[i];
+  return LaneView{l.lane,         l.queued_events,  l.oldest_ingest,
+                  l.drain_cost_micros, l.streams_begin, l.streams_end};
+}
+
 /// Shared helper: appends up to `slots` ready queries ordered by `better`
 /// (a strict weak ordering on QueryInfo, best first).
 void SelectTopReadyQueries(

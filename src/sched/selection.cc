@@ -11,6 +11,14 @@ void Selection::Add(QueryId query, double budget_fraction) {
   slots_.push_back(a);
 }
 
+void Selection::AddLane(QueryId query, int lane, double budget_fraction) {
+  SlotAssignment a;
+  a.query = query;
+  a.lane = lane;
+  a.budget_fraction = std::clamp(budget_fraction, 0.0, 1.0);
+  slots_.push_back(a);
+}
+
 std::vector<QueryId> Selection::ids() const {
   std::vector<QueryId> out;
   out.reserve(slots_.size());
@@ -21,7 +29,13 @@ std::vector<QueryId> Selection::ids() const {
 bool Selection::IsDistinct() const {
   for (size_t i = 0; i < slots_.size(); ++i) {
     for (size_t j = i + 1; j < slots_.size(); ++j) {
-      if (slots_[i].query == slots_[j].query) return false;
+      if (slots_[i].query != slots_[j].query) continue;
+      // Same query: distinct only when both name lanes and the lanes
+      // differ — a whole-query slot (lane -1) overlaps every lane.
+      if (slots_[i].lane == -1 || slots_[j].lane == -1 ||
+          slots_[i].lane == slots_[j].lane) {
+        return false;
+      }
     }
   }
   return true;

@@ -14,6 +14,11 @@ namespace klink {
 /// after charging the policy's own evaluation cost against the quantum.
 struct SlotAssignment {
   QueryId query = -1;
+  /// Lane of the query this slot drains: -1 for the whole query (the only
+  /// value for unsharded queries), otherwise a lane index of a sharded
+  /// query (see Query::Lane). Shard-granular policies assign individual
+  /// lanes so shards of one query drain on distinct slots concurrently.
+  int lane = -1;
   /// Fraction of the cycle quantum this slot may consume, in (0, 1].
   /// Policies that reason only about *which* queries run keep the default
   /// full quantum (strict cycle-grained scheduling, Sec. 5); budget-aware
@@ -25,15 +30,21 @@ struct SlotAssignment {
 };
 
 /// A policy's verdict for one scheduling cycle: at most one assignment per
-/// task slot, highest priority first. Query ids must be distinct — slot i
-/// of the executor runs assignment i, and slot-parallel backends rely on
-/// distinct queries to avoid sharing operator state across workers.
+/// task slot, highest priority first. (query, lane) units must be distinct
+/// — slot i of the executor runs assignment i, and slot-parallel backends
+/// rely on distinct units to avoid sharing operator state across workers;
+/// a whole-query assignment (lane -1) conflicts with every lane of the
+/// same query.
 class Selection {
  public:
   void Clear() { slots_.clear(); }
 
-  /// Appends an assignment; `budget_fraction` defaults to the full quantum.
+  /// Appends a whole-query assignment; `budget_fraction` defaults to the
+  /// full quantum.
   void Add(QueryId query, double budget_fraction = 1.0);
+
+  /// Appends a single-lane assignment of a sharded query.
+  void AddLane(QueryId query, int lane, double budget_fraction = 1.0);
 
   bool empty() const { return slots_.empty(); }
   size_t size() const { return slots_.size(); }

@@ -45,6 +45,7 @@ std::unique_ptr<EventFeed> MakeLrbFeed(const LrbConfig& config,
     spec.value_max = 180.0;  // vehicle speed
     spec.payload_bytes = 112;  // vehicle id, speed, lane, position, ...
     spec.burstiness = config.burstiness;
+    spec.key_skew = config.key_skew;
     spec.watermark_period = config.watermark_period;
     spec.watermark_lag = config.watermark_lag;
     specs.push_back(spec);

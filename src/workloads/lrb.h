@@ -36,6 +36,8 @@ struct LrbConfig {
 
   /// Load burstiness (see SourceSpec::burstiness).
   double burstiness = 0.5;
+  /// Key skew (see SourceSpec::key_skew); 0 = uniform segment keys.
+  double key_skew = 0.0;
 
   DurationMicros watermark_period = MillisToMicros(500);
   DurationMicros watermark_lag = MillisToMicros(150);

@@ -11,19 +11,30 @@ namespace klink {
 std::unique_ptr<Query> MakeNytQuery(QueryId id, const NytConfig& config) {
   PipelineBuilder b("nyt");
   const int64_t cells = std::max<int64_t>(1, config.num_cells);
-  b.Source("taxi-trips", config.source_cost)
-      .Map("parse", config.parse_cost)
-      .Filter("valid-trip", config.filter_cost,
-              FilterOperator::HashPassRate(config.valid_fraction),
-              config.valid_fraction)
-      .Map("pickup-cell", config.cell_map_cost,
-           [cells](Event& e) { e.key %= cells; })
-      .Map("fare-enrich", config.enrich_cost,
-           [](Event& e) { e.value *= 1.15; })  // add taxes & surcharge
-      .SlidingAggregate("fare-average", config.aggregate_cost,
-                        config.window_size, config.slide,
-                        AggregationKind::kAverage, config.window_offset)
-      .Sink("dashboard", config.sink_cost);
+  BuilderStream head =
+      b.Source("taxi-trips", config.source_cost)
+          .Map("parse", config.parse_cost)
+          .Filter("valid-trip", config.filter_cost,
+                  FilterOperator::HashPassRate(config.valid_fraction),
+                  config.valid_fraction)
+          .Map("pickup-cell", config.cell_map_cost,
+               [cells](Event& e) { e.key %= cells; })
+          .Map("fare-enrich", config.enrich_cost,
+               [](Event& e) { e.value *= 1.15; });  // add taxes & surcharge
+  const int shards = std::max(1, config.shards);
+  const int max_shards = std::max(shards, config.max_shards);
+  if (max_shards > 1) {
+    head = head.ShardedSlidingAggregate(
+        "fare-average", config.aggregate_cost, config.window_size,
+        config.slide, AggregationKind::kAverage, ShardSpec{shards, max_shards},
+        config.window_offset);
+  } else {
+    head = head.SlidingAggregate("fare-average", config.aggregate_cost,
+                                 config.window_size, config.slide,
+                                 AggregationKind::kAverage,
+                                 config.window_offset);
+  }
+  head.Sink("dashboard", config.sink_cost);
   return b.Build(id);
 }
 
@@ -37,6 +48,7 @@ std::unique_ptr<EventFeed> MakeNytFeed(const NytConfig& config,
   spec.value_max = 80.0;
   spec.payload_bytes = 128;  // trip record: times, coordinates, fare, tip
   spec.burstiness = config.burstiness;
+  spec.key_skew = config.key_skew;
   spec.watermark_period = config.watermark_period;
   spec.watermark_lag = config.watermark_lag;
   return std::make_unique<SyntheticFeed>(std::vector<SourceSpec>{spec},

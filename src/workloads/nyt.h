@@ -30,6 +30,8 @@ struct NytConfig {
 
   /// Load burstiness (see SourceSpec::burstiness).
   double burstiness = 0.5;
+  /// Key skew (see SourceSpec::key_skew); 0 = uniform location keys.
+  double key_skew = 0.0;
 
   DurationMicros watermark_period = MillisToMicros(500);
   DurationMicros watermark_lag = MillisToMicros(150);
@@ -41,6 +43,11 @@ struct NytConfig {
   double enrich_cost = 12.0;
   double aggregate_cost = 35.0;
   double sink_cost = 5.0;
+
+  /// Intra-query key sharding of the sliding aggregation (DESIGN.md
+  /// "Sharded execution"); see YsbConfig::shards.
+  int shards = 1;
+  int max_shards = 0;
 };
 
 /// Builds the NYT aggregation query.

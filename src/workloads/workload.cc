@@ -19,6 +19,10 @@ SyntheticFeed::SyntheticFeed(std::vector<SourceSpec> sources,
     KLINK_CHECK_GT(spec.watermark_period, 0);
     SourceState state;
     state.spec = spec;
+    if (spec.key_skew > 0.0) {
+      state.key_sampler =
+          std::make_shared<ZipfSampler>(spec.key_cardinality, spec.key_skew);
+    }
     state.next_event_time = static_cast<double>(start_time);
     state.next_watermark_time = start_time + spec.watermark_period;
     state.next_marker_time = start_time + spec.marker_period;
@@ -43,8 +47,11 @@ void SyntheticFeed::GenerateUpTo(TimeMicros horizon) {
       const double interval =
           1e6 / (src.spec.events_per_second * src.rate_multiplier);
       const TimeMicros gen = static_cast<TimeMicros>(src.next_event_time);
-      const uint64_t key = static_cast<uint64_t>(
-          rng_.NextInt(0, src.spec.key_cardinality - 1));
+      const uint64_t key =
+          src.key_sampler != nullptr
+              ? static_cast<uint64_t>(src.key_sampler->Sample(rng_) - 1)
+              : static_cast<uint64_t>(
+                    rng_.NextInt(0, src.spec.key_cardinality - 1));
       const double value =
           src.spec.value_min +
           rng_.NextDouble() * (src.spec.value_max - src.spec.value_min);

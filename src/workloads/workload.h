@@ -7,6 +7,7 @@
 
 #include "src/common/rng.h"
 #include "src/common/types.h"
+#include "src/common/zipf.h"
 #include "src/net/delay_model.h"
 #include "src/runtime/event_feed.h"
 
@@ -16,8 +17,12 @@ namespace klink {
 struct SourceSpec {
   /// Data events per second of virtual time.
   double events_per_second = 1000.0;
-  /// Keys are drawn uniformly from [0, key_cardinality).
+  /// Keys are drawn from [0, key_cardinality): uniformly when key_skew is
+  /// 0, else Zipf-distributed with exponent key_skew (key 0 hottest) — the
+  /// skewed-key regime that concentrates load on one shard of a sharded
+  /// keyed operator (loadgen --key-skew, bench/micro_shard_scale).
   int64_t key_cardinality = 100;
+  double key_skew = 0.0;
   /// Values are drawn uniformly from [value_min, value_max).
   double value_min = 0.0;
   double value_max = 100.0;
@@ -56,6 +61,8 @@ class SyntheticFeed final : public EventFeed {
  private:
   struct SourceState {
     SourceSpec spec;
+    /// Non-null when spec.key_skew > 0.
+    std::shared_ptr<ZipfSampler> key_sampler;
     double next_event_time = 0.0;  // double: sub-micro rate accumulation
     TimeMicros next_watermark_time = 0;
     TimeMicros next_marker_time = 0;

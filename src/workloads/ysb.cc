@@ -11,16 +11,26 @@ namespace klink {
 std::unique_ptr<Query> MakeYsbQuery(QueryId id, const YsbConfig& config) {
   PipelineBuilder b("ysb");
   const int64_t ads_per_campaign = std::max<int64_t>(1, config.ads_per_campaign);
-  b.Source("ad-events", config.source_cost)
-      .Filter("view-filter", config.filter_cost,
-              FilterOperator::HashPassRate(config.view_fraction),
-              config.view_fraction)
-      .Map("project-join-campaign", config.map_cost,
-           [ads_per_campaign](Event& e) { e.key /= ads_per_campaign; })
-      .TumblingAggregate("campaign-count", config.aggregate_cost,
-                         config.window_size, AggregationKind::kCount,
-                         config.window_offset)
-      .Sink("output", config.sink_cost);
+  BuilderStream head =
+      b.Source("ad-events", config.source_cost)
+          .Filter("view-filter", config.filter_cost,
+                  FilterOperator::HashPassRate(config.view_fraction),
+                  config.view_fraction)
+          .Map("project-join-campaign", config.map_cost,
+               [ads_per_campaign](Event& e) { e.key /= ads_per_campaign; });
+  const int shards = std::max(1, config.shards);
+  const int max_shards = std::max(shards, config.max_shards);
+  if (max_shards > 1) {
+    head = head.ShardedTumblingAggregate(
+        "campaign-count", config.aggregate_cost, config.window_size,
+        AggregationKind::kCount, ShardSpec{shards, max_shards},
+        config.window_offset);
+  } else {
+    head = head.TumblingAggregate("campaign-count", config.aggregate_cost,
+                                  config.window_size, AggregationKind::kCount,
+                                  config.window_offset);
+  }
+  head.Sink("output", config.sink_cost);
   return b.Build(id);
 }
 
@@ -32,6 +42,7 @@ std::unique_ptr<EventFeed> MakeYsbFeed(const YsbConfig& config,
   spec.key_cardinality = config.num_campaigns * config.ads_per_campaign;
   spec.payload_bytes = 96;  // ad id, page id, event type, timestamp, ip
   spec.burstiness = config.burstiness;
+  spec.key_skew = config.key_skew;
   spec.watermark_period = config.watermark_period;
   spec.watermark_lag = config.watermark_lag;
   return std::make_unique<SyntheticFeed>(std::vector<SourceSpec>{spec},

@@ -30,6 +30,8 @@ struct YsbConfig {
 
   /// Load burstiness (see SourceSpec::burstiness).
   double burstiness = 0.5;
+  /// Key skew (see SourceSpec::key_skew); 0 = uniform ad keys.
+  double key_skew = 0.0;
 
   DurationMicros watermark_period = MillisToMicros(500);
   DurationMicros watermark_lag = MillisToMicros(150);
@@ -40,6 +42,14 @@ struct YsbConfig {
   double map_cost = 25.0;
   double aggregate_cost = 60.0;
   double sink_cost = 5.0;
+
+  /// Intra-query key sharding of the aggregation (DESIGN.md "Sharded
+  /// execution"): shards > 1 hash-partitions campaign-count into that many
+  /// active shard lanes, out of max_shards constructed so a live re-shard
+  /// can scale up to the ceiling (max_shards = 0 means equal to shards).
+  /// Results are byte-identical to the unsharded pipeline.
+  int shards = 1;
+  int max_shards = 0;
 };
 
 /// Builds the YSB query pipeline.

@@ -1,0 +1,439 @@
+// Live re-sharding correctness.
+//
+// In-process: a query deployed at 2 active shards (max 8) is re-sharded
+// to 8 mid-run, under backlog, with barriers flowing — and its fully
+// drained results_hash must be byte-identical to runs that never
+// re-sharded at all (static 2 shards, static 8 shards, and the unsharded
+// reference), on both executors.
+//
+// Subprocess: the crash race. A klink_run --listen server with a timed
+// --reshard trigger is SIGKILLed while the re-shard protocol is near the
+// durable checkpoint frontier, restarted with --restore and the same
+// trigger (re-requesting is idempotent; an adopted in-flight re-shard
+// wins), and fed the rest of the run by replaying clients. The final
+// results_hash must match an uninterrupted run with the same trigger —
+// modeled on tests/recovery_test.cc.
+
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <limits>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/check.h"
+#include "src/common/rng.h"
+#include "src/common/types.h"
+#include "src/net/delay_model.h"
+#include "src/net/ingest_gateway.h"
+#include "src/net/loadgen.h"
+#include "src/operators/exchange_operator.h"
+#include "src/query/pipeline_builder.h"
+#include "src/runtime/checkpoint.h"
+#include "src/runtime/engine.h"
+#include "src/runtime/event_feed.h"
+#include "src/runtime/reshard.h"
+#include "src/sched/fcfs_policy.h"
+#include "src/workloads/workload.h"
+#include "src/workloads/ysb.h"
+
+namespace klink {
+namespace {
+
+std::string MakeTempDir() {
+  std::string tmpl = ::testing::TempDir() + "klink_reshard_XXXXXX";
+  std::vector<char> buf(tmpl.begin(), tmpl.end());
+  buf.push_back('\0');
+  const char* dir = mkdtemp(buf.data());
+  KLINK_CHECK(dir != nullptr);
+  return std::string(dir);
+}
+
+// ---------------------------------------------------------------------------
+// In-process: re-shard mid-run == never re-sharded, to the byte.
+
+constexpr TimeMicros kFeedCutoff = SecondsToMicros(4);
+/// 2 active shards drain ~4.8k/s at this cost; the 6k/s offered rate
+/// builds real backlog that the mid-run scale-out to 8 then absorbs.
+constexpr double kAggCostMicros = 400.0;
+
+class CutoffFeed final : public EventFeed {
+ public:
+  explicit CutoffFeed(std::unique_ptr<EventFeed> inner)
+      : inner_(std::move(inner)) {}
+
+  void PollUpTo(TimeMicros now, int64_t max_bytes,
+                std::vector<FeedElement>* out) override {
+    inner_->PollUpTo(std::min(now, kFeedCutoff), max_bytes, out);
+  }
+  int64_t generated_events() const override {
+    return inner_->generated_events();
+  }
+
+ private:
+  std::unique_ptr<EventFeed> inner_;
+};
+
+std::unique_ptr<Query> MakeQuery(int shards, int max_shards) {
+  PipelineBuilder b("reshard");
+  BuilderStream head = b.Source("src", 0.5);
+  if (max_shards > 0) {
+    head = head.ShardedTumblingAggregate(
+        "keyed-count", kAggCostMicros, MillisToMicros(800),
+        AggregationKind::kCount, ShardSpec{shards, max_shards});
+  } else {
+    head = head.TumblingAggregate("keyed-count", kAggCostMicros,
+                                  MillisToMicros(800),
+                                  AggregationKind::kCount);
+  }
+  head.Sink("out", 0.5);
+  return b.Build(/*id=*/0);
+}
+
+std::unique_ptr<EventFeed> MakeFeed() {
+  SourceSpec spec;
+  spec.events_per_second = 6000.0;
+  spec.key_cardinality = 256;
+  spec.watermark_period = MillisToMicros(250);
+  spec.watermark_lag = MillisToMicros(60);
+  return std::make_unique<CutoffFeed>(std::make_unique<SyntheticFeed>(
+      std::vector<SourceSpec>{spec},
+      std::make_unique<UniformDelay>(0, MillisToMicros(20)), /*seed=*/9, 0));
+}
+
+/// One fully drained run; `reshard_to` > 0 requests that count at t=1.5s.
+uint64_t RunHash(int shards, int max_shards, int reshard_to,
+                 ExecutorKind executor) {
+  const std::string dir = MakeTempDir();
+  CheckpointConfig cc;
+  cc.dir = dir;
+  cc.interval = MillisToMicros(250);
+  CheckpointCoordinator coordinator(cc);
+
+  EngineConfig config;
+  config.num_cores = 12;
+  config.memory_capacity_bytes = 64ll << 20;
+  config.executor = executor;
+  Engine engine(config, std::make_unique<FcfsPolicy>());
+  const QueryId id =
+      engine.AddQuery(MakeQuery(shards, max_shards), MakeFeed());
+  coordinator.RegisterQuery(&engine.query(id), {}, nullptr);
+  engine.SetCheckpointCoordinator(&coordinator);
+  ReshardController resharder(&engine);
+  engine.SetReshardController(&resharder);
+
+  engine.RunUntil(MillisToMicros(1500));
+  if (reshard_to > 0) {
+    EXPECT_TRUE(resharder.RequestReshard(id, reshard_to));
+  }
+  engine.RunUntil(kFeedCutoff);
+  const TimeMicros deadline = kFeedCutoff + SecondsToMicros(60);
+  while (engine.query(id).QueuedEvents() > 0 && engine.now() < deadline) {
+    engine.RunFor(SecondsToMicros(1));
+  }
+  EXPECT_EQ(engine.query(id).QueuedEvents(), 0);
+
+  if (reshard_to > 0) {
+    EXPECT_EQ(resharder.completed_reshards(), 1);
+    EXPECT_FALSE(resharder.reshard_in_flight(id));
+    const Query& q = engine.query(id);
+    const auto* partition = dynamic_cast<const PartitionExchangeOperator*>(
+        &q.op(q.shard_region().partition_ops.front()));
+    EXPECT_NE(partition, nullptr);
+    if (partition != nullptr) {
+      EXPECT_EQ(partition->active_shards(), reshard_to);
+    }
+  }
+  return engine.query(id).sink().results_hash();
+}
+
+TEST(ReshardTest, MidRunReshardIsByteIdentical) {
+  for (const ExecutorKind executor :
+       {ExecutorKind::kSequential, ExecutorKind::kThreads}) {
+    SCOPED_TRACE(ExecutorKindName(executor));
+    const uint64_t unsharded = RunHash(0, 0, /*reshard_to=*/0, executor);
+    const uint64_t static_2of8 = RunHash(2, 8, /*reshard_to=*/0, executor);
+    const uint64_t static_8of8 = RunHash(8, 8, /*reshard_to=*/0, executor);
+    const uint64_t resharded = RunHash(2, 8, /*reshard_to=*/8, executor);
+    EXPECT_EQ(static_2of8, unsharded);
+    EXPECT_EQ(static_8of8, unsharded);
+    EXPECT_EQ(resharded, unsharded);
+  }
+}
+
+// Scale-down must hold to the same bar: 8 active shards collapsing onto 2
+// merges keyed state rather than splitting it.
+TEST(ReshardTest, ScaleDownIsByteIdentical) {
+  const uint64_t unsharded =
+      RunHash(0, 0, /*reshard_to=*/0, ExecutorKind::kThreads);
+  const uint64_t resharded =
+      RunHash(8, 8, /*reshard_to=*/2, ExecutorKind::kThreads);
+  EXPECT_EQ(resharded, unsharded);
+}
+
+// ---------------------------------------------------------------------------
+// Subprocess: SIGKILL + --restore racing the re-shard (recovery_test.cc
+// harness, plus --shards/--max-shards/--reshard).
+
+constexpr uint64_t kSeed = 1;
+constexpr int kQueries = 2;
+constexpr double kRate = 500.0;
+constexpr TimeMicros kDuration = SecondsToMicros(6);
+/// The re-shard trigger fires at 2.2s of virtual time — between the
+/// durable frontier the clients wait for (>= 2 epochs at 500 ms) and the
+/// 3.0s of data delivered before the SIGKILL, so the protocol is armed,
+/// in flight, or freshly completed when the crash lands.
+constexpr double kReshardAtSeconds = 2.2;
+constexpr TimeMicros kPreCrashSafe = MillisToMicros(2500);
+constexpr TimeMicros kPreCrashSent = MillisToMicros(3000);
+
+std::vector<uint64_t> FeedSeeds() {
+  Rng rng(kSeed);
+  std::vector<uint64_t> seeds;
+  for (int q = 0; q < kQueries; ++q) seeds.push_back(rng.NextUint64());
+  return seeds;
+}
+
+std::unique_ptr<EventFeed> QueryFeed(uint64_t feed_seed) {
+  YsbConfig wc;
+  wc.events_per_second = kRate;
+  wc.watermark_lag = MillisToMicros(50);  // loadgen's --delay=none lag
+  return MakeYsbFeed(wc, std::make_unique<ConstantDelay>(0), feed_seed,
+                     /*start_time=*/0);
+}
+
+RetryPolicy TestRetry() {
+  RetryPolicy retry;
+  retry.max_retries = 60;
+  retry.initial_backoff = MillisToMicros(20);
+  retry.max_backoff = MillisToMicros(500);
+  return retry;
+}
+
+struct ServerProc {
+  pid_t pid = -1;
+  std::FILE* out = nullptr;
+  uint16_t port = 0;
+  bool restored = false;
+};
+
+struct ServerResult {
+  int exit_code = -1;
+  int64_t results = -1;
+  std::string results_hash;
+  int64_t reshards_completed = -1;
+  std::string output;
+};
+
+ServerProc SpawnServer(const std::string& checkpoint_dir, uint16_t port,
+                       bool restore) {
+  std::vector<std::string> args = {
+      "klink_run",
+      "--listen=" + std::to_string(port),
+      "--lockstep",
+      "--policy=fcfs",
+      "--workload=ysb",
+      "--queries=" + std::to_string(kQueries),
+      "--rate=" + std::to_string(static_cast<long long>(kRate)),
+      "--duration=" + std::to_string(kDuration / 1000000),
+      "--cores=4",
+      "--memory-mb=64",
+      "--seed=" + std::to_string(kSeed),
+      "--executor=threads",
+      "--shards=2",
+      "--max-shards=8",
+      "--reshard=4@" + std::to_string(kReshardAtSeconds),
+      "--checkpoint-dir=" + checkpoint_dir,
+      "--checkpoint-interval-ms=500",
+  };
+  if (restore) args.push_back("--restore");
+
+  int fds[2];
+  KLINK_CHECK_EQ(pipe(fds), 0);
+  const pid_t pid = fork();
+  KLINK_CHECK_GE(pid, 0);
+  if (pid == 0) {
+    dup2(fds[1], STDOUT_FILENO);
+    close(fds[0]);
+    close(fds[1]);
+    std::vector<char*> argv;
+    for (std::string& a : args) argv.push_back(a.data());
+    argv.push_back(nullptr);
+    execv(KLINK_RUN_PATH, argv.data());
+    _exit(127);
+  }
+  close(fds[1]);
+
+  ServerProc p;
+  p.pid = pid;
+  p.out = fdopen(fds[0], "r");
+  KLINK_CHECK(p.out != nullptr);
+  char line[512];
+  while (std::fgets(line, sizeof(line), p.out) != nullptr) {
+    unsigned long long epoch = 0;
+    unsigned bound = 0;
+    if (std::sscanf(line, "restored checkpoint epoch %llu", &epoch) == 1) {
+      p.restored = true;
+    }
+    if (std::sscanf(line, "listening on 127.0.0.1:%u", &bound) == 1) {
+      p.port = static_cast<uint16_t>(bound);
+      break;
+    }
+  }
+  return p;
+}
+
+ServerResult WaitServer(ServerProc& p) {
+  ServerResult r;
+  char line[512];
+  while (std::fgets(line, sizeof(line), p.out) != nullptr) {
+    r.output += line;
+    long long value = 0;
+    char hash[64];
+    if (std::sscanf(line, "results %lld", &value) == 1) r.results = value;
+    if (std::sscanf(line, "results_hash %63s", hash) == 1) {
+      r.results_hash = hash;
+    }
+    if (std::sscanf(line, "reshards completed %lld", &value) == 1) {
+      r.reshards_completed = value;
+    }
+  }
+  std::fclose(p.out);
+  p.out = nullptr;
+  int status = 0;
+  KLINK_CHECK_EQ(waitpid(p.pid, &status, 0), p.pid);
+  r.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return r;
+}
+
+void KillServer(ServerProc& p) {
+  KLINK_CHECK_EQ(kill(p.pid, SIGKILL), 0);
+  int status = 0;
+  KLINK_CHECK_EQ(waitpid(p.pid, &status, 0), p.pid);
+  std::fclose(p.out);
+  p.out = nullptr;
+}
+
+void SendSlice(std::vector<std::unique_ptr<EventFeed>>& feeds,
+               std::vector<std::unique_ptr<LoadgenConnection>>& conns,
+               TimeMicros until, bool send_bye, const RetryPolicy& reconnect) {
+  for (int q = 0; q < kQueries; ++q) {
+    ReplayOptions opts;
+    opts.until = until;
+    opts.speed = 0.0;
+    opts.send_bye = send_bye;
+    opts.reconnect = reconnect;
+    const Status s = ReplayFeed(*feeds[static_cast<size_t>(q)],
+                                {conns[static_cast<size_t>(q)].get()}, opts);
+    ASSERT_TRUE(s.ok()) << "query " << q << ": " << s.ToString();
+  }
+}
+
+void ConnectAll(std::vector<std::unique_ptr<LoadgenConnection>>& conns,
+                uint16_t port) {
+  for (int q = 0; q < kQueries; ++q) {
+    auto conn = std::make_unique<LoadgenConnection>();
+    ASSERT_TRUE(
+        conn->Connect("127.0.0.1", port, MakeStreamId(q, 0), TestRetry())
+            .ok());
+    conns.push_back(std::move(conn));
+  }
+}
+
+void AwaitDurableEpochs(
+    std::vector<std::unique_ptr<LoadgenConnection>>& conns, uint64_t epochs) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(60);
+  while (true) {
+    uint64_t min_epoch = std::numeric_limits<uint64_t>::max();
+    for (auto& conn : conns) {
+      ASSERT_TRUE(conn->PollAcks().ok());
+      min_epoch = std::min(min_epoch, conn->durable_epoch());
+    }
+    if (min_epoch >= epochs) return;
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "no durable checkpoint acks from the server";
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+}
+
+TEST(ReshardRecoveryTest, KillRacingReshardIsByteIdentical) {
+  const std::vector<uint64_t> seeds = FeedSeeds();
+
+  // Uninterrupted baseline with the same timed re-shard.
+  std::string baseline_hash;
+  int64_t baseline_results = 0;
+  {
+    const std::string dir = MakeTempDir();
+    ServerProc server = SpawnServer(dir, /*port=*/0, /*restore=*/false);
+    ASSERT_GT(server.port, 0);
+    std::vector<std::unique_ptr<EventFeed>> feeds;
+    std::vector<std::unique_ptr<LoadgenConnection>> conns;
+    for (int q = 0; q < kQueries; ++q) {
+      feeds.push_back(QueryFeed(seeds[static_cast<size_t>(q)]));
+    }
+    ConnectAll(conns, server.port);
+    if (::testing::Test::HasFatalFailure()) return;
+    SendSlice(feeds, conns, kDuration, /*send_bye=*/true, RetryPolicy{});
+    if (::testing::Test::HasFatalFailure()) return;
+    const ServerResult r = WaitServer(server);
+    ASSERT_EQ(r.exit_code, 0);
+    ASSERT_GT(r.results, 0);
+    ASSERT_FALSE(r.results_hash.empty());
+    // Both tenants re-sharded 2 -> 4.
+    EXPECT_EQ(r.reshards_completed, kQueries);
+    baseline_hash = r.results_hash;
+    baseline_results = r.results;
+  }
+
+  // Interrupted run: durable prefix, a tail past the frontier with the
+  // re-shard trigger inside it, SIGKILL.
+  const std::string dir = MakeTempDir();
+  ServerProc first = SpawnServer(dir, /*port=*/0, /*restore=*/false);
+  ASSERT_GT(first.port, 0);
+  const uint16_t port = first.port;
+  std::vector<std::unique_ptr<EventFeed>> feeds;
+  std::vector<std::unique_ptr<LoadgenConnection>> conns;
+  for (int q = 0; q < kQueries; ++q) {
+    feeds.push_back(QueryFeed(seeds[static_cast<size_t>(q)]));
+  }
+  ConnectAll(conns, port);
+  if (::testing::Test::HasFatalFailure()) return;
+  SendSlice(feeds, conns, kPreCrashSafe, /*send_bye=*/false, RetryPolicy{});
+  if (::testing::Test::HasFatalFailure()) return;
+  AwaitDurableEpochs(conns, 2);
+  if (::testing::Test::HasFatalFailure()) return;
+  SendSlice(feeds, conns, kPreCrashSent, /*send_bye=*/false, RetryPolicy{});
+  if (::testing::Test::HasFatalFailure()) return;
+  KillServer(first);
+
+  // Restore on the same port: the timed trigger re-fires (idempotent when
+  // the restored checkpoint already carries the re-shard in flight or
+  // completed) and the clients replay their unacked tails.
+  ServerProc second = SpawnServer(dir, port, /*restore=*/true);
+  ASSERT_GT(second.port, 0);
+  EXPECT_TRUE(second.restored);
+  for (auto& conn : conns) {
+    ASSERT_TRUE(conn->Reconnect(TestRetry()).ok());
+  }
+  SendSlice(feeds, conns, kDuration, /*send_bye=*/true, TestRetry());
+  if (::testing::Test::HasFatalFailure()) return;
+  const ServerResult r = WaitServer(second);
+  ASSERT_EQ(r.exit_code, 0);
+
+  EXPECT_EQ(r.results, baseline_results);
+  EXPECT_EQ(r.results_hash, baseline_hash);
+}
+
+}  // namespace
+}  // namespace klink

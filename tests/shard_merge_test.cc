@@ -1,0 +1,152 @@
+// Per-shard watermark merge edge cases.
+//
+//  1. Empty shards must never stall the merged watermark: watermarks are
+//     broadcast to every shard, so a shard that no key ever hashes to
+//     still forwards them and the merge exchange's min advances. A
+//     single-key feed (every data event lands on one shard of four) must
+//     produce exactly the unsharded run's results.
+//  2. Late-event accounting distributes but never double-counts: the
+//     per-shard aggregates' dropped_late_events() must sum to the
+//     unsharded operator's count on the same feed.
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/types.h"
+#include "src/net/delay_model.h"
+#include "src/operators/aggregate_operator.h"
+#include "src/query/pipeline_builder.h"
+#include "src/runtime/engine.h"
+#include "src/sched/fcfs_policy.h"
+#include "src/workloads/workload.h"
+
+namespace klink {
+namespace {
+
+std::unique_ptr<Query> MakeQuery(int shards) {
+  PipelineBuilder b("shard-merge");
+  BuilderStream head = b.Source("src", 0.5);
+  if (shards > 0) {
+    head = head.ShardedTumblingAggregate(
+        "keyed-count", 2.0, MillisToMicros(500), AggregationKind::kCount,
+        ShardSpec{shards, shards});
+  } else {
+    head = head.TumblingAggregate("keyed-count", 2.0, MillisToMicros(500),
+                                  AggregationKind::kCount);
+  }
+  head.Sink("out", 0.5);
+  return b.Build(/*id=*/0);
+}
+
+constexpr TimeMicros kFeedCutoff = SecondsToMicros(4);
+
+/// Stops delivering past the cutoff so runs can be drained to completion
+/// and compared over their full output.
+class CutoffFeed final : public EventFeed {
+ public:
+  explicit CutoffFeed(std::unique_ptr<EventFeed> inner)
+      : inner_(std::move(inner)) {}
+
+  void PollUpTo(TimeMicros now, int64_t max_bytes,
+                std::vector<FeedElement>* out) override {
+    inner_->PollUpTo(std::min(now, kFeedCutoff), max_bytes, out);
+  }
+  int64_t generated_events() const override {
+    return inner_->generated_events();
+  }
+
+ private:
+  std::unique_ptr<EventFeed> inner_;
+};
+
+/// `lag` below the delay spread makes a deterministic fraction of events
+/// arrive behind a watermark that already passed their event time.
+std::unique_ptr<EventFeed> MakeFeed(int64_t key_cardinality,
+                                    DurationMicros lag,
+                                    DurationMicros max_delay) {
+  SourceSpec spec;
+  spec.events_per_second = 2000.0;
+  spec.key_cardinality = key_cardinality;
+  spec.watermark_period = MillisToMicros(200);
+  spec.watermark_lag = lag;
+  return std::make_unique<CutoffFeed>(std::make_unique<SyntheticFeed>(
+      std::vector<SourceSpec>{spec},
+      std::make_unique<UniformDelay>(0, max_delay), /*seed=*/5, 0));
+}
+
+struct RunStats {
+  uint64_t hash = 0;
+  int64_t results = 0;
+  int64_t dropped_late = 0;
+};
+
+RunStats RunOne(int shards, int64_t key_cardinality, DurationMicros lag,
+                DurationMicros max_delay) {
+  EngineConfig config;
+  config.num_cores = 12;  // >= every lane of the widest topology
+  Engine engine(config, std::make_unique<FcfsPolicy>());
+  const QueryId id = engine.AddQuery(
+      MakeQuery(shards), MakeFeed(key_cardinality, lag, max_delay));
+  engine.RunUntil(kFeedCutoff);
+  const TimeMicros deadline = kFeedCutoff + SecondsToMicros(30);
+  while (engine.query(id).QueuedEvents() > 0 && engine.now() < deadline) {
+    engine.RunFor(SecondsToMicros(1));
+  }
+  EXPECT_EQ(engine.query(id).QueuedEvents(), 0);
+
+  RunStats stats;
+  const Query& q = engine.query(id);
+  stats.hash = q.sink().results_hash();
+  stats.results = q.sink().results_received();
+  if (q.sharded()) {
+    const Query::ShardRegion& region = q.shard_region();
+    for (int idx = region.shard_begin; idx < region.shard_end; ++idx) {
+      const auto* agg = dynamic_cast<const WindowAggregateOperator*>(&q.op(idx));
+      EXPECT_NE(agg, nullptr);
+      if (agg != nullptr) stats.dropped_late += agg->dropped_late_events();
+    }
+  } else {
+    const auto* agg = dynamic_cast<const WindowAggregateOperator*>(&q.op(1));
+    EXPECT_NE(agg, nullptr);
+    if (agg != nullptr) stats.dropped_late = agg->dropped_late_events();
+  }
+  return stats;
+}
+
+// One key, four shards: three shards never see a data event, only
+// broadcast watermarks. If an empty shard held the merged watermark back,
+// no window would ever close and the sink would stay empty.
+TEST(ShardMergeTest, EmptyShardNeverStallsMergedWatermark) {
+  const RunStats unsharded = RunOne(/*shards=*/0, /*key_cardinality=*/1,
+                                    MillisToMicros(50), MillisToMicros(10));
+  const RunStats sharded = RunOne(/*shards=*/4, /*key_cardinality=*/1,
+                                  MillisToMicros(50), MillisToMicros(10));
+  ASSERT_GT(unsharded.results, 0);
+  EXPECT_EQ(sharded.results, unsharded.results);
+  EXPECT_EQ(sharded.hash, unsharded.hash);
+}
+
+// Late events are dropped by whichever shard owns their key; the counts
+// must sum to the unsharded operator's on the same feed — each drop
+// happens exactly once, on exactly one shard.
+TEST(ShardMergeTest, LateDropCountsSumAcrossShards) {
+  // 20 ms of lateness bound under up-to-60 ms delivery delay: plenty of
+  // deterministic late arrivals.
+  const DurationMicros lag = MillisToMicros(20);
+  const DurationMicros max_delay = MillisToMicros(60);
+  const RunStats unsharded =
+      RunOne(/*shards=*/0, /*key_cardinality=*/64, lag, max_delay);
+  ASSERT_GT(unsharded.dropped_late, 0);
+  for (const int shards : {2, 4, 8}) {
+    const RunStats sharded =
+        RunOne(shards, /*key_cardinality=*/64, lag, max_delay);
+    EXPECT_EQ(sharded.dropped_late, unsharded.dropped_late)
+        << "shards=" << shards;
+    EXPECT_EQ(sharded.hash, unsharded.hash) << "shards=" << shards;
+  }
+}
+
+}  // namespace
+}  // namespace klink

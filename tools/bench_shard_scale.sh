@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# Measures keyed-aggregation drain throughput vs. shard count and records
+# the result in BENCH_shard_scale.json:
+#   1. builds micro_shard_scale in Release (-O2 -DNDEBUG),
+#   2. runs it on the thread-pool executor: shard counts 1/2/4/8 (plus the
+#      unsharded reference) under uniform and Zipf-skewed keys, reporting
+#      virtual-time drain throughput (what the scheduling model allocates;
+#      host-core-count independent) with wall time alongside,
+#   3. checks the acceptance bar: uniform-key throughput at 4 shards is
+#      >= 2.5x the 1-shard sharded topology.
+#
+# Usage: tools/bench_shard_scale.sh [build-dir] [output-json]
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-$REPO_ROOT/build-release}"
+OUT_JSON="${2:-$REPO_ROOT/BENCH_shard_scale.json}"
+
+cmake -B "$BUILD_DIR" -S "$REPO_ROOT" -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target micro_shard_scale
+
+RAW_TXT="$(mktemp)"
+"$BUILD_DIR/bench/micro_shard_scale" --executor=threads | tee "$RAW_TXT"
+
+python3 - "$RAW_TXT" "$OUT_JSON" <<'PY'
+import json
+import sys
+
+raw_path, out_path = sys.argv[1], sys.argv[2]
+rows = []
+with open(raw_path) as f:
+    for line in f:
+        if not line.startswith("RESULT "):
+            continue
+        fields = dict(kv.split("=", 1) for kv in line.split()[1:])
+        rows.append({
+            "key_skew": float(fields["skew"]),
+            "shards": int(fields["shards"]),  # 0 = unsharded reference
+            "drained_events": int(fields["drained"]),
+            "virtual_seconds": float(fields["virtual_seconds"]),
+            "throughput_eps": float(fields["throughput_eps"]),
+            "wall_ms": float(fields["wall_ms"]),
+        })
+
+def tput(skew, shards):
+    for r in rows:
+        if r["key_skew"] == skew and r["shards"] == shards:
+            return r["throughput_eps"]
+    raise KeyError((skew, shards))
+
+TARGET = 2.5
+speedup_4x = round(tput(0.0, 4) / tput(0.0, 1), 3)
+result = {
+    "description": "Keyed-aggregation drain throughput vs. shard count "
+                   "(see bench/micro_shard_scale.cc); virtual-time "
+                   "throughput on the thread-pool executor, uniform and "
+                   "Zipf-skewed keys. shards=0 is the unsharded "
+                   "reference topology.",
+    "rows": rows,
+    "uniform_speedup_4_shards_vs_1": speedup_4x,
+    "uniform_speedup_8_shards_vs_1": round(tput(0.0, 8) / tput(0.0, 1), 3),
+    "speedup_target_4_shards": TARGET,
+    "speedup_ok": speedup_4x >= TARGET,
+}
+
+with open(out_path, "w") as f:
+    json.dump(result, f, indent=2)
+    f.write("\n")
+
+print(f"4-shard uniform speedup: {speedup_4x}x (target >= {TARGET}x)")
+print("shard scale:", "OK" if result["speedup_ok"] else "FAILED")
+sys.exit(0 if result["speedup_ok"] else 1)
+PY

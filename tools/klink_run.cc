@@ -45,10 +45,21 @@
 //   klink_run --listen=9099 --lockstep --checkpoint-dir=/tmp/ck ...
 //   <SIGKILL>
 //   klink_run --listen=9099 --lockstep --checkpoint-dir=/tmp/ck --restore ...
+//
+// Sharded execution: --shards=N hash-partitions each query's keyed
+// aggregation into N concurrently schedulable shard lanes (--max-shards
+// raises the re-shard ceiling above the initial count); results are
+// byte-identical to the unsharded run. In listen mode with checkpoints,
+// --reshard=COUNT@SECONDS re-partitions every query's keyed state to
+// COUNT active shards at the first barrier after the given virtual time —
+// while the run keeps going — and --hot-reshard doubles a query's active
+// shards automatically when one shard's backlog stays far above the mean.
+// A per-shard metrics table prints at the end of listen-mode runs.
 
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <limits>
 #include <map>
 #include <memory>
@@ -65,6 +76,7 @@
 #include "src/net/ingest_server.h"
 #include "src/runtime/checkpoint.h"
 #include "src/runtime/engine.h"
+#include "src/runtime/reshard.h"
 #include "src/workloads/lrb.h"
 #include "src/workloads/nyt.h"
 #include "src/workloads/ysb.h"
@@ -109,10 +121,12 @@ int Usage() {
       "                 [--warmup=SECONDS] [--cores=N] [--memory-mb=N]\n"
       "                 [--executor=sequential|threads]\n"
       "                 [--confidence=F] [--seed=N] [--csv=PATH]\n"
+      "                 [--shards=N] [--max-shards=N]\n"
       "                 [--listen=PORT [--ingest-budget-kb=N] [--lockstep]\n"
       "                  [--dynamic-attach [--expect-tenants=N]]\n"
       "                  [--checkpoint-dir=DIR [--checkpoint-interval-ms=N]\n"
-      "                   [--restore]]]\n");
+      "                   [--restore] [--reshard=COUNT@SECONDS]\n"
+      "                   [--hot-reshard]]]\n");
   return 2;
 }
 
@@ -127,6 +141,18 @@ struct CheckpointFlags {
   std::string dir;  // empty = checkpointing off
   DurationMicros interval = SecondsToMicros(1);
   bool restore = false;
+};
+
+/// Live re-sharding options of listen mode (see ReshardController).
+/// --reshard=COUNT@SECONDS re-shards every sharded tenant to COUNT active
+/// shards once virtual time passes SECONDS; the trigger re-requests every
+/// cycle until each query reaches the target, so a run killed around the
+/// re-shard and restarted with --restore converges to the same state no
+/// matter which protocol step the newest checkpoint captured.
+struct ReshardFlags {
+  int target = 0;          // 0 = no explicit re-shard
+  TimeMicros at = 0;       // virtual trigger time
+  bool hot_trigger = false;  // --hot-reshard: double hot queries' shards
 };
 
 /// One tenant of the listen-mode server: a query index in
@@ -146,7 +172,7 @@ struct Tenant {
 int RunListenMode(const ExperimentConfig& config, uint16_t port,
                   int64_t ingest_budget_bytes, bool lockstep,
                   bool dynamic_attach, int expect_tenants,
-                  const CheckpointFlags& ckpt) {
+                  const CheckpointFlags& ckpt, const ReshardFlags& reshard) {
   KlinkPolicyConfig klink_config = config.klink;
   klink_config.cycle_length = config.engine.cycle_length;
   Engine engine(config.engine, MakePolicy(config.policy, klink_config,
@@ -179,6 +205,8 @@ int RunListenMode(const ExperimentConfig& config, uint16_t port,
         wc.events_per_second = config.events_per_second;
         wc.watermark_lag = WatermarkLagFor(config.delay);
         wc.window_offset = window_offsets[static_cast<size_t>(q)];
+        wc.shards = config.shards;
+        wc.max_shards = config.max_shards;
         query = MakeYsbQuery(q, wc);
         break;
       }
@@ -195,6 +223,8 @@ int RunListenMode(const ExperimentConfig& config, uint16_t port,
         wc.events_per_second = config.events_per_second;
         wc.watermark_lag = WatermarkLagFor(config.delay);
         wc.window_offset = window_offsets[static_cast<size_t>(q)];
+        wc.shards = config.shards;
+        wc.max_shards = config.max_shards;
         query = MakeNytQuery(q, wc);
         break;
       }
@@ -211,6 +241,19 @@ int RunListenMode(const ExperimentConfig& config, uint16_t port,
   } else if (ckpt.restore) {
     std::fprintf(stderr, "--restore requires --checkpoint-dir\n");
     return 2;
+  }
+
+  // Live re-sharding pauses at checkpoint barriers, so the protocol only
+  // runs when a coordinator injects them.
+  std::unique_ptr<ReshardController> resharder;
+  if (reshard.target > 0 || reshard.hot_trigger) {
+    if (coordinator == nullptr) {
+      std::fprintf(stderr, "--reshard/--hot-reshard require --checkpoint-dir\n");
+      return 2;
+    }
+    resharder = std::make_unique<ReshardController>(&engine);
+    if (reshard.hot_trigger) resharder->EnableHotShardTrigger();
+    engine.SetReshardController(resharder.get());
   }
 
   // Tenants keyed by query index (a std::map: the results fingerprint at
@@ -368,6 +411,16 @@ int RunListenMode(const ExperimentConfig& config, uint16_t port,
   const int64_t wall_start = WallMicros();
   while (engine.now() < config.duration) {
     if (dynamic_attach) sweep_detach();
+    if (resharder != nullptr && reshard.target > 0 &&
+        engine.now() >= reshard.at) {
+      // Re-request every iteration: RequestReshard refuses (returns false)
+      // while a protocol is in flight — including one adopted from a
+      // restored checkpoint — and once the query runs at the target, so
+      // the trigger converges no matter where a crash interrupted it.
+      for (const auto& [q, t] : tenants) {
+        if (!t.detached) resharder->RequestReshard(t.id, reshard.target);
+      }
+    }
     if (lockstep) {
       // Run only through prefixes every live tenant's streams have fully
       // delivered, so results are independent of network timing. Once all
@@ -430,6 +483,26 @@ int RunListenMode(const ExperimentConfig& config, uint16_t port,
           static_cast<int>((cycle - (elapsed - engine.now())) / 1000 + 1));
     }
   }
+  // Lockstep runs drain to empty before reporting. Two runs of the same
+  // stream compare byte-identically only over their complete output: a
+  // crash + --restore, or a re-shard pausing at a different barrier,
+  // legitimately shifts WHEN queued work is absorbed, so cutting the run
+  // at a fixed virtual time would fingerprint whatever tail each run
+  // happened not to have drained yet.
+  if (lockstep) {
+    const TimeMicros drain_deadline = engine.now() + SecondsToMicros(60);
+    const auto queued_total = [&tenants, &engine]() {
+      int64_t total = 0;
+      for (const auto& [q, t] : tenants) {
+        if (!t.detached) total += engine.query(t.id).QueuedEvents();
+      }
+      return total;
+    };
+    while (queued_total() > 0 && engine.now() < drain_deadline) {
+      if (dynamic_attach) sweep_detach();
+      engine.RunUntil(engine.now() + cycle);
+    }
+  }
   server.Stop();
 
   const Histogram latency = engine.AggregateSwmLatency();
@@ -455,6 +528,11 @@ int RunListenMode(const ExperimentConfig& config, uint16_t port,
                     1)});
   table.Print();
   PrintIngestMetrics(gateway.metrics());
+  for (const auto& [q, t] : tenants) PrintShardMetrics(engine, t.id);
+  if (resharder != nullptr) {
+    std::printf("reshards completed %lld\n",
+                static_cast<long long>(resharder->completed_reshards()));
+  }
 
   // Order-sensitive fingerprint of every tenant's results, folded in
   // tenant-index order (independent of attach order): two runs (e.g.
@@ -529,6 +607,13 @@ int main(int argc, char** argv) {
   config.engine.memory_capacity_bytes = flags.GetInt("memory-mb", 16) << 20;
   config.klink.confidence = flags.GetDouble("confidence", 0.95);
   config.seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  config.shards = static_cast<int>(flags.GetInt("shards", 1));
+  config.max_shards = static_cast<int>(flags.GetInt("max-shards", 0));
+  if (config.shards < 1 ||
+      (config.max_shards != 0 && config.max_shards < config.shards)) {
+    std::fprintf(stderr, "--max-shards must be 0 or >= --shards (>= 1)\n");
+    return Usage();
+  }
 
   if (flags.Has("listen")) {
     const uint16_t port = static_cast<uint16_t>(flags.GetInt("listen", 0));
@@ -538,6 +623,23 @@ int main(int argc, char** argv) {
     ckpt.interval =
         MillisToMicros(flags.GetInt("checkpoint-interval-ms", 1000));
     ckpt.restore = flags.GetBool("restore", false);
+    ReshardFlags reshard;
+    reshard.hot_trigger = flags.GetBool("hot-reshard", false);
+    const std::string reshard_spec = flags.GetString("reshard", "");
+    if (!reshard_spec.empty()) {
+      const size_t at = reshard_spec.find('@');
+      if (at == std::string::npos) {
+        std::fprintf(stderr, "--reshard expects COUNT@SECONDS\n");
+        return Usage();
+      }
+      reshard.target = std::atoi(reshard_spec.substr(0, at).c_str());
+      reshard.at = static_cast<TimeMicros>(
+          std::atof(reshard_spec.substr(at + 1).c_str()) * 1e6);
+      if (reshard.target < 1) {
+        std::fprintf(stderr, "--reshard expects COUNT >= 1\n");
+        return Usage();
+      }
+    }
     std::printf("serving %s on %s: %d queries, %d cores (%s executor), "
                 "%lld MB, seed %llu\n",
                 PolicyKindName(config.policy),
@@ -551,7 +653,7 @@ int main(int argc, char** argv) {
                          flags.GetBool("lockstep", false),
                          flags.GetBool("dynamic-attach", false),
                          static_cast<int>(flags.GetInt("expect-tenants", 0)),
-                         ckpt);
+                         ckpt, reshard);
   }
 
   std::printf("running %s on %s: %d queries x %.0f events/s, %lld s "

@@ -54,6 +54,7 @@ int Usage() {
       "               [--workload=ysb|lrb|nyt] [--queries=N] [--rate=EPS]\n"
       "               [--delay=none|uniform|zipf] [--duration=SECONDS]\n"
       "               [--speed=X] [--seed=N] [--max-retries=N]\n"
+      "               [--key-skew=S]\n"
       "               [--churn-detach=K] [--churn-attach=K]\n"
       "               [--churn-delay-ms=N]\n");
   return 2;
@@ -91,6 +92,13 @@ int main(int argc, char** argv) {
   const int churn_detach = static_cast<int>(flags.GetInt("churn-detach", 0));
   const int churn_attach = static_cast<int>(flags.GetInt("churn-attach", 0));
   const int64_t churn_delay_ms = flags.GetInt("churn-delay-ms", 500);
+  // Zipf exponent for key draws (0 = uniform); skewed keys concentrate
+  // load on one shard of a server-side sharded keyed operator.
+  const double key_skew = flags.GetDouble("key-skew", 0.0);
+  if (key_skew < 0.0) {
+    std::fprintf(stderr, "--key-skew must be >= 0\n");
+    return Usage();
+  }
   if (churn_detach < 0 || churn_attach < 0 ||
       churn_detach + churn_attach > num_queries) {
     std::fprintf(stderr, "churn tenant counts exceed --queries\n");
@@ -136,17 +144,20 @@ int main(int argc, char** argv) {
       YsbConfig wc;
       wc.events_per_second = rate;
       wc.watermark_lag = watermark_lag;
+      wc.key_skew = key_skew;
       r.feed = MakeYsbFeed(wc, make_delay(), feed_seed, 0);
     } else if (workload == "lrb") {
       LrbConfig wc;
       wc.events_per_substream_per_second = rate;
       wc.watermark_lag = watermark_lag;
+      wc.key_skew = key_skew;
       r.feed = MakeLrbFeed(wc, make_delay(), feed_seed, 0);
       num_sources = 3;
     } else if (workload == "nyt") {
       NytConfig wc;
       wc.events_per_second = rate;
       wc.watermark_lag = watermark_lag;
+      wc.key_skew = key_skew;
       r.feed = MakeNytFeed(wc, make_delay(), feed_seed, 0);
     } else {
       std::fprintf(stderr, "unknown --workload\n");
