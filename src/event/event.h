@@ -18,6 +18,16 @@ enum class EventKind : uint8_t {
   /// Epoch-numbered checkpoint barrier (asynchronous barrier snapshotting).
   /// Flows FIFO with data through the same queues; `key` carries the epoch.
   kCheckpointBarrier = 3,
+  /// Cancels a previously emitted result: carries the exact
+  /// (event_time, key, value) of the speculative result it withdraws. A
+  /// retraction is always followed by the kUpdate that replaces it (Aion
+  /// incremental update/retraction semantics); downstream consumers that
+  /// fold results — the sink's results_hash above all — remove the matched
+  /// entry instead of appending.
+  kRetraction = 4,
+  /// The corrected result replacing a retracted one (or inserting a result
+  /// for a window that had none). Routed and merged exactly like kData.
+  kUpdate = 5,
 };
 
 /// A stream element. Events are ordered sets of values with a source-assigned
@@ -51,6 +61,15 @@ struct Event {
   bool is_watermark() const { return kind == EventKind::kWatermark; }
   bool is_latency_marker() const { return kind == EventKind::kLatencyMarker; }
   bool is_barrier() const { return kind == EventKind::kCheckpointBarrier; }
+  bool is_retraction() const { return kind == EventKind::kRetraction; }
+  bool is_update() const { return kind == EventKind::kUpdate; }
+  /// Keyed payload elements: routed by key hash through partitions and
+  /// buffered/merged in canonical order by the merge exchange, as opposed
+  /// to control elements, which are broadcast.
+  bool is_keyed_element() const {
+    return kind == EventKind::kData || kind == EventKind::kRetraction ||
+           kind == EventKind::kUpdate;
+  }
 
   /// For checkpoint barriers only: the checkpoint epoch number.
   uint64_t barrier_epoch() const { return key; }
@@ -106,6 +125,37 @@ inline Event MakeCheckpointBarrier(uint64_t epoch, TimeMicros ingest_time,
   e.ingest_time = ingest_time;
   e.key = epoch;
   e.payload_bytes = 16;
+  return e;
+}
+
+/// Makes a retraction withdrawing the result (event_time, key, value).
+inline Event MakeRetractionEvent(TimeMicros event_time, TimeMicros ingest_time,
+                                 uint64_t key, double value,
+                                 uint32_t payload_bytes = 64,
+                                 int32_t stream = 0) {
+  Event e;
+  e.kind = EventKind::kRetraction;
+  e.stream = stream;
+  e.event_time = event_time;
+  e.ingest_time = ingest_time;
+  e.key = key;
+  e.value = value;
+  e.payload_bytes = payload_bytes;
+  return e;
+}
+
+/// Makes an update carrying the corrected result for (event_time, key).
+inline Event MakeUpdateEvent(TimeMicros event_time, TimeMicros ingest_time,
+                             uint64_t key, double value,
+                             uint32_t payload_bytes = 64, int32_t stream = 0) {
+  Event e;
+  e.kind = EventKind::kUpdate;
+  e.stream = stream;
+  e.event_time = event_time;
+  e.ingest_time = ingest_time;
+  e.key = key;
+  e.value = value;
+  e.payload_bytes = payload_bytes;
   return e;
 }
 

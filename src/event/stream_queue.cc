@@ -31,7 +31,7 @@ void StreamQueue::Push(const Event& e) {
   ++size_;
   const int64_t delta = e.payload_bytes + kPerEventOverhead;
   bytes_ += delta;
-  if (e.is_data()) ++data_count_;
+  if (e.is_keyed_element()) ++data_count_;
   ReportDelta(delta);
 }
 
@@ -51,7 +51,7 @@ void StreamQueue::PushBatch(const Event* events, int64_t n) {
       const Event& e = events[i + k];
       dst[k] = e;
       delta += e.payload_bytes + kPerEventOverhead;
-      data += e.is_data() ? 1 : 0;
+      data += e.is_keyed_element() ? 1 : 0;
     }
     size_ += run;
     i += run;
@@ -69,7 +69,7 @@ Event StreamQueue::Pop() {
   if (head_ == kChunkEvents) RecycleFrontChunk();
   const int64_t delta = e.payload_bytes + kPerEventOverhead;
   bytes_ -= delta;
-  if (e.is_data()) --data_count_;
+  if (e.is_keyed_element()) --data_count_;
   KLINK_DCHECK(bytes_ >= 0);
   ReportDelta(-delta);
   return e;
@@ -87,7 +87,7 @@ int64_t StreamQueue::PopBatch(Event* out, int64_t max_n) {
     for (int64_t k = 0; k < run; ++k) {
       out[k] = src[k];
       delta += src[k].payload_bytes + kPerEventOverhead;
-      data += src[k].is_data() ? 1 : 0;
+      data += src[k].is_keyed_element() ? 1 : 0;
     }
     out += run;
     head_ += run;
@@ -124,7 +124,7 @@ int64_t StreamQueue::AuditRecomputeDataCount() const {
   int64_t data = 0;
   for (int64_t g = head_; g < head_ + size_; ++g) {
     const Event& e = chunks_[ChunkIndexFor(g)]->events[g & (kChunkEvents - 1)];
-    if (e.is_data()) ++data;
+    if (e.is_keyed_element()) ++data;
   }
   return data;
 }

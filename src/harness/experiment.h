@@ -28,8 +28,9 @@ enum class PolicyKind {
 /// The benchmark workloads (Sec. 6.1.1).
 enum class WorkloadKind { kYsb, kLrb, kNyt };
 
-/// The network delay distributions (Sec. 6.2).
-enum class DelayKind { kUniform, kZipf };
+/// The network delay distributions (Sec. 6.2), plus the heavy-tailed
+/// Pareto straggler regime used by the allowed-lateness experiments.
+enum class DelayKind { kUniform, kZipf, kPareto };
 
 const char* PolicyKindName(PolicyKind kind);
 const char* WorkloadKindName(WorkloadKind kind);
@@ -70,6 +71,9 @@ struct ExperimentConfig {
   /// NYT; LRB's join stays unsharded here). See YsbConfig::shards.
   int shards = 1;
   int max_shards = 0;
+  /// Allowed-lateness horizon applied to every query's windowed operators
+  /// and sink (see YsbConfig::allowed_lateness). 0 = strict drop policy.
+  DurationMicros allowed_lateness = 0;
 };
 
 /// Aggregated outcome of one experiment.
@@ -97,6 +101,11 @@ struct ExperimentResult {
   /// Klink-only: SWM ingestion estimation accuracy (Fig. 9c).
   double estimator_accuracy = 0.0;
   int64_t estimator_predictions = 0;
+  /// Klink-only: mean |actual - predicted| SWM ingestion time in seconds
+  /// (Fig. 9c companion; more sensitive under heavy-tailed delays).
+  double estimator_mae_s = 0.0;
+  /// Late-data accounting summed over every query (allowed lateness).
+  QueryLateMetrics late;
   /// Raw time series for Fig. 8-style plots.
   std::vector<ResourceSample> samples;
 };

@@ -54,6 +54,15 @@ void PrintIngestMetrics(const IngestMetrics& metrics);
 /// the shard benches to make skew and re-shards visible.
 void PrintShardMetrics(Engine& engine, QueryId id);
 
+/// Refreshes the engine's late-data accounting and prints one row per
+/// query: late events accepted within the lateness horizon, late events
+/// dropped beyond it, retraction/update elements emitted by windowed
+/// operators, and retractions absorbed (or unmatched) at the sink. Prints
+/// nothing when every counter is zero, so lateness-disabled runs keep
+/// their output unchanged. Used by klink_run when --allowed-lateness-ms
+/// is set and by the lateness bench.
+void PrintLateEventMetrics(Engine& engine);
+
 }  // namespace klink
 
 #endif  // KLINK_HARNESS_REPORTER_H_

@@ -34,7 +34,12 @@ double KlinkPolicy::EvaluateUnitSlack(const QueryInfo& info, size_t lane_idx,
                                       TimeMicros now, SlackClasses* cls) {
   const double now_d = static_cast<double>(now);
   const LaneView lane = LaneAt(info, lane_idx);
-  const double cost = lane.drain_cost_micros;
+  // Pending corrections drain through the pipeline ahead of the sweep just
+  // like queued events do; without this term the slack of lateness-heavy
+  // units is systematically optimistic.
+  const double cost =
+      lane.drain_cost_micros +
+      (config_.refire_debt_correction ? lane.refire_debt_micros : 0.0);
   if (cls != nullptr) {
     cls->const_min = kInf;
     cls->linear_min = kInf;
@@ -473,6 +478,16 @@ int64_t KlinkPolicy::total_predictions() const {
   int64_t preds = 0;
   for (const auto& [key, est] : estimators_) preds += est->predictions();
   return preds;
+}
+
+double KlinkPolicy::EstimatorMeanAbsErrorMicros() const {
+  int64_t preds = 0;
+  double err = 0.0;
+  for (const auto& [key, est] : estimators_) {
+    preds += est->predictions();
+    err += est->abs_error_sum_micros();
+  }
+  return preds == 0 ? 0.0 : err / static_cast<double>(preds);
 }
 
 const KlinkEstimator* KlinkPolicy::EstimatorFor(QueryId id, int op_index,

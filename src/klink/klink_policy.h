@@ -26,6 +26,12 @@ struct KlinkPolicyConfig {
   /// and slack degenerates to the deterministic Eq. 1 on the raw deadline
   /// (no network-delay/periodicity awareness).
   bool use_estimator = true;
+  /// Allowed-lateness refinement: add the pending-refire debt of each unit
+  /// (QueryInfo::refire_debt_micros — corrections that windowed operators
+  /// will emit at the next watermark) to its drain cost before computing
+  /// slack. Off = the ablation baseline that underestimates the cost of
+  /// lateness-heavy queries (bench/micro_lateness measures the gap).
+  bool refire_debt_correction = true;
 
   /// Memory management (Sec. 3.4). When disabled the policy is the paper's
   /// "Klink (w/o MM)" variant and the engine's backpressure is the only
@@ -101,6 +107,10 @@ class KlinkPolicy final : public SchedulingPolicy {
   /// Aggregate SWM-ingestion estimation accuracy across all streams.
   double EstimatorAccuracy() const;
   int64_t total_predictions() const;
+  /// Mean absolute error of the frozen point predictions vs actual SWM
+  /// ingestion times, in virtual micros (Fig. 9c companion metric; more
+  /// sensitive than interval hit rate under heavy-tailed delays).
+  double EstimatorMeanAbsErrorMicros() const;
   /// Expected slack of query `id` computed when it was last evaluated —
   /// the minimum over its units — or 0 if unknown (diagnostics/tests). On
   /// incremental snapshots cold units are not re-evaluated every cycle, so

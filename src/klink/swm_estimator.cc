@@ -14,6 +14,7 @@ void IngestionEstimator::Observe(const StreamProgress& progress) {
     ++predictions_;
     const double actual = static_cast<double>(progress.last_sweep_ingest);
     if (actual >= frozen_lo_ && actual <= frozen_hi_) ++hits_;
+    abs_error_sum_ += std::abs(actual - frozen_mean_);
   }
   last_epoch_ = progress.epoch;
   OnEpochClosed(progress);
@@ -23,6 +24,7 @@ void IngestionEstimator::Observe(const StreamProgress& progress) {
   if (pred.valid) {
     frozen_lo_ = pred.lo;
     frozen_hi_ = pred.hi;
+    frozen_mean_ = pred.mean;
   }
 }
 

@@ -48,6 +48,14 @@ class IngestionEstimator {
                ? 0.0
                : static_cast<double>(hits_) / static_cast<double>(predictions_);
   }
+  /// Sum over scored predictions of |actual ingestion - frozen mean|, in
+  /// virtual micros; divide by predictions() for the mean absolute error.
+  double abs_error_sum_micros() const { return abs_error_sum_; }
+  double mean_abs_error_micros() const {
+    return predictions_ == 0
+               ? 0.0
+               : abs_error_sum_ / static_cast<double>(predictions_);
+  }
 
  protected:
   /// Subclass hook: one epoch closed; update the model from its statistics.
@@ -58,8 +66,10 @@ class IngestionEstimator {
   bool has_frozen_ = false;
   double frozen_lo_ = 0.0;
   double frozen_hi_ = 0.0;
+  double frozen_mean_ = 0.0;
   int64_t predictions_ = 0;
   int64_t hits_ = 0;
+  double abs_error_sum_ = 0.0;
 };
 
 /// Klink's estimator (Sec. 3.1): per-epoch delay statistics mu/chi

@@ -1,5 +1,8 @@
 #include "src/net/delay_model.h"
 
+#include <algorithm>
+#include <cmath>
+
 #include "src/common/check.h"
 
 namespace klink {
@@ -29,6 +32,26 @@ DurationMicros ZipfDelay::Sample(Rng& rng) {
   return lo_ + (sampler_.Sample(rng) - 1) * step_;
 }
 
+ParetoDelay::ParetoDelay(DurationMicros lo, double alpha, DurationMicros scale,
+                         DurationMicros cap)
+    : lo_(lo), alpha_(alpha), scale_(scale), cap_(cap) {
+  KLINK_CHECK_GE(lo, 0);
+  KLINK_CHECK(alpha > 0.0);
+  KLINK_CHECK_GT(scale, 0);
+  KLINK_CHECK_GE(cap, lo);
+}
+
+DurationMicros ParetoDelay::Sample(Rng& rng) {
+  // Inverse-CDF of the Lomax distribution; NextDouble() is in [0, 1), so
+  // u = 1 - NextDouble() is in (0, 1] and the pow is finite.
+  const double u = 1.0 - rng.NextDouble();
+  const double tail =
+      static_cast<double>(scale_) * (std::pow(u, -1.0 / alpha_) - 1.0);
+  const double capped =
+      std::min(static_cast<double>(cap_ - lo_), tail);
+  return lo_ + static_cast<DurationMicros>(capped);
+}
+
 ExponentialDelay::ExponentialDelay(DurationMicros lo, DurationMicros mean)
     : lo_(lo), mean_(mean) {
   KLINK_CHECK_GE(lo, 0);
@@ -51,6 +74,13 @@ std::unique_ptr<DelayModel> MakePaperZipfDelay() {
   // arrive promptly, a heavy tail is delayed by up to ~400 ms.
   return std::make_unique<ZipfDelay>(MillisToMicros(5), MillisToMicros(2),
                                      /*n=*/200, /*s=*/0.99);
+}
+
+std::unique_ptr<DelayModel> MakeDefaultParetoDelay() {
+  // alpha = 1.5: finite mean (~45 ms including the floor), infinite
+  // variance — a realistic straggler tail reaching seconds.
+  return std::make_unique<ParetoDelay>(MillisToMicros(5), /*alpha=*/1.5,
+                                       MillisToMicros(20));
 }
 
 }  // namespace klink

@@ -65,6 +65,30 @@ class ZipfDelay final : public DelayModel {
   ZipfSampler sampler_;
 };
 
+/// Heavy-tailed Pareto (Lomax) delay: lo + scale * (U^(-1/alpha) - 1).
+/// Unlike ZipfDelay's bounded rank ladder, the tail is unbounded: with
+/// alpha <= 2 the variance diverges and with alpha <= 1 even the mean
+/// does — the straggler regime where an allowed-lateness horizon matters
+/// (events arrive arbitrarily far behind the watermark). Samples are
+/// capped at `cap` to keep virtual-time experiments finite.
+class ParetoDelay final : public DelayModel {
+ public:
+  /// Requires alpha > 0, scale > 0, cap >= lo.
+  ParetoDelay(DurationMicros lo, double alpha, DurationMicros scale,
+              DurationMicros cap = SecondsToMicros(30));
+  DurationMicros Sample(Rng& rng) override;
+  std::string name() const override { return "pareto"; }
+
+  double alpha() const { return alpha_; }
+  DurationMicros scale() const { return scale_; }
+
+ private:
+  DurationMicros lo_;
+  double alpha_;
+  DurationMicros scale_;
+  DurationMicros cap_;
+};
+
 /// Exponential with the given mean, shifted by `lo`.
 class ExponentialDelay final : public DelayModel {
  public:
@@ -81,6 +105,9 @@ class ExponentialDelay final : public DelayModel {
 /// (tens-of-milliseconds scale, matching commodity-cluster delays).
 std::unique_ptr<DelayModel> MakePaperUniformDelay();
 std::unique_ptr<DelayModel> MakePaperZipfDelay();
+/// Default heavy-tailed straggler distribution for the lateness
+/// experiments: Pareto(alpha = 1.5) with a 20 ms scale atop a 5 ms floor.
+std::unique_ptr<DelayModel> MakeDefaultParetoDelay();
 
 }  // namespace klink
 

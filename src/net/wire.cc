@@ -56,7 +56,7 @@ void PutHeader(FrameType type, uint32_t payload_len,
 
 bool ValidType(uint8_t t) {
   return t >= static_cast<uint8_t>(FrameType::kHello) &&
-         t <= static_cast<uint8_t>(FrameType::kCheckpointAck);
+         t <= static_cast<uint8_t>(FrameType::kUpdate);
 }
 
 /// Expected payload length for fixed-size frame types; -1 for variable.
@@ -65,6 +65,8 @@ int64_t ExpectedPayloadLen(FrameType t) {
     case FrameType::kHello:
       return kHelloPayloadLen;
     case FrameType::kData:
+    case FrameType::kRetraction:
+    case FrameType::kUpdate:
       return kDataPayloadLen;
     case FrameType::kWatermark:
       return kWatermarkPayloadLen;
@@ -129,9 +131,13 @@ DecodeResult DecodeFrame(const uint8_t* data, size_t len, Frame* frame,
     case FrameType::kHello:
       frame->stream_id = GetU32(p);
       break;
-    case FrameType::kData: {
+    case FrameType::kData:
+    case FrameType::kRetraction:
+    case FrameType::kUpdate: {
       Event& e = frame->event;
-      e.kind = EventKind::kData;
+      e.kind = type == FrameType::kData ? EventKind::kData
+               : type == FrameType::kRetraction ? EventKind::kRetraction
+                                                : EventKind::kUpdate;
       frame->seq = GetU64(p);
       e.event_time = static_cast<TimeMicros>(GetU64(p + 8));
       e.ingest_time = static_cast<TimeMicros>(GetU64(p + 16));
@@ -200,7 +206,12 @@ void EncodeHello(uint32_t stream_id, std::vector<uint8_t>* out) {
 void EncodeEvent(const Event& e, uint64_t seq, std::vector<uint8_t>* out) {
   switch (e.kind) {
     case EventKind::kData:
-      PutHeader(FrameType::kData, kDataPayloadLen, out);
+    case EventKind::kRetraction:
+    case EventKind::kUpdate:
+      PutHeader(e.kind == EventKind::kData        ? FrameType::kData
+                : e.kind == EventKind::kRetraction ? FrameType::kRetraction
+                                                   : FrameType::kUpdate,
+                kDataPayloadLen, out);
       PutU64(seq, out);
       PutU64(static_cast<uint64_t>(e.event_time), out);
       PutU64(static_cast<uint64_t>(e.ingest_time), out);
@@ -258,6 +269,8 @@ void EncodeCheckpointAck(uint64_t epoch, uint64_t durable_seq,
 size_t EncodedEventSize(const Event& e) {
   switch (e.kind) {
     case EventKind::kData:
+    case EventKind::kRetraction:
+    case EventKind::kUpdate:
       return kWireHeaderLen + kDataPayloadLen;
     case EventKind::kWatermark:
       return kWireHeaderLen + kWatermarkPayloadLen;

@@ -35,6 +35,10 @@ namespace klink {
 ///   kWatermark (25 B): seq u64, event_time i64, ingest_time i64, flags u8
 ///                      (bit 0 = SWM)
 ///   kMarker (24 B):    seq u64, event_time i64, ingest_time i64
+///   kRetraction (44 B), kUpdate (44 B): same layout as kData — the
+///                      late-data correction elements (protocol v3; a v2
+///                      peer never sees them because version skew is
+///                      rejected at the header)
 ///
 /// Control frames:
 ///
@@ -60,7 +64,8 @@ namespace klink {
 /// typed error instead of a generic close.
 inline constexpr uint16_t kWireMagic = 0x4B4C;  // "KL"
 /// v2: element frames carry sequence numbers; kHelloAck/kCheckpointAck.
-inline constexpr uint8_t kWireVersion = 2;
+/// v3: kRetraction/kUpdate late-data correction element frames.
+inline constexpr uint8_t kWireVersion = 3;
 inline constexpr size_t kWireHeaderLen = 8;
 
 /// Upper bound on any payload; guards against absurd length prefixes from
@@ -82,12 +87,15 @@ enum class FrameType : uint8_t {
   kBye = 6,
   kHelloAck = 7,
   kCheckpointAck = 8,
+  kRetraction = 9,
+  kUpdate = 10,
 };
 
 /// Returns true for frame types that carry a stream element.
 inline bool IsElementFrame(FrameType t) {
   return t == FrameType::kData || t == FrameType::kWatermark ||
-         t == FrameType::kMarker;
+         t == FrameType::kMarker || t == FrameType::kRetraction ||
+         t == FrameType::kUpdate;
 }
 
 /// Error codes carried by kError frames.

@@ -27,6 +27,12 @@ TimeMicros WindowAggregateOperator::UpcomingDeadline() const {
   return assigner_->NextDeadlineAfter(wm == kNoTime ? 0 : wm);
 }
 
+void WindowAggregateOperator::SetAllowedLateness(DurationMicros lateness) {
+  KLINK_CHECK_GE(lateness, 0);
+  KLINK_CHECK(retained_.empty());  // configure before processing starts
+  allowed_lateness_ = lateness;
+}
+
 double WindowAggregateOperator::OutputValue(const Aggregate& agg) const {
   switch (kind_) {
     case AggregationKind::kCount:
@@ -41,21 +47,55 @@ double WindowAggregateOperator::OutputValue(const Aggregate& agg) const {
   return 0.0;
 }
 
+void WindowAggregateOperator::FoldLateIntoRetained(const WindowSpan& w,
+                                                   const Event& e) {
+  // The pane fired (or its deadline passed with no data) but is inside the
+  // retention horizon: fold and mark the (pane, key) for a correction pair
+  // at the next watermark.
+  auto [pane_it, pane_inserted] = retained_.try_emplace({w.end, w.start});
+  if (pane_inserted) AddStateBytes(kBytesPerPane);
+  auto [it, inserted] = pane_it->second.try_emplace(e.key);
+  if (inserted) {
+    ++retained_key_states_;
+    AddStateBytes(kBytesPerRetainedState);
+  }
+  RetainedEntry& entry = it->second;
+  ++entry.agg.count;
+  entry.agg.sum += e.value;
+  entry.agg.max =
+      entry.agg.count == 1 ? e.value : std::max(entry.agg.max, e.value);
+  if (dirty_.insert({{w.end, w.start}, e.key}).second) {
+    // A refire emits an update, plus a retraction when a result is out.
+    pending_correction_elements_ += entry.has_emitted ? 2 : 1;
+  }
+}
+
 void WindowAggregateOperator::FoldData(const Event& e) {
-  // OOP late-event policy: drop events at or below the forwarded watermark;
-  // their windows already fired (Sec. 2.1/2.2).
+  // OOP late-event policy: drop events at or below the forwarded watermark
+  // (Sec. 2.1/2.2) — unless an allowed-lateness horizon retains their
+  // panes past the speculative firing.
   const TimeMicros forwarded = forwarded_min_watermark();
-  if (forwarded != kNoTime && e.event_time < forwarded) {
+  const bool late = forwarded != kNoTime && e.event_time < forwarded;
+  if (late && allowed_lateness_ == 0) {
     ++dropped_late_;
     return;
   }
-  tracker_.RecordEventDelay(0, e.network_delay());
+  if (!late) tracker_.RecordEventDelay(0, e.network_delay());
   scratch_windows_.clear();
   assigner_->AssignWindows(e.event_time, &scratch_windows_);
+  bool accepted_late = false;
   for (const WindowSpan& w : scratch_windows_) {
-    // Skip panes whose deadline already elapsed (possible for sliding
-    // windows when the event is late for some of its panes but not all).
-    if (forwarded != kNoTime && w.end <= forwarded) continue;
+    if (forwarded != kNoTime && w.end <= forwarded) {
+      // This pane's deadline already elapsed (a late event, or a sliding
+      // window the event is late for). Without lateness: skip, as ever.
+      if (allowed_lateness_ == 0) continue;
+      if (!WithinLatenessHorizon(w.end, forwarded, allowed_lateness_)) {
+        continue;  // beyond the horizon: this pane's result is final
+      }
+      FoldLateIntoRetained(w, e);
+      accepted_late = true;
+      continue;
+    }
     auto [pane_it, pane_inserted] = panes_.try_emplace({w.end, w.start});
     if (pane_inserted) AddStateBytes(kBytesPerPane);
     auto [it, inserted] = pane_it->second.try_emplace(e.key);
@@ -67,6 +107,15 @@ void WindowAggregateOperator::FoldData(const Event& e) {
     ++agg.count;
     agg.sum += e.value;
     agg.max = agg.count == 1 ? e.value : std::max(agg.max, e.value);
+    if (late) accepted_late = true;  // below-watermark pane still open
+  }
+  if (late) {
+    if (accepted_late) {
+      ++late_.late_accepted;
+      tracker_.RecordLateEventDelay(0, e.network_delay());
+    } else {
+      ++late_.late_dropped_beyond_horizon;
+    }
   }
 }
 
@@ -94,9 +143,59 @@ void WindowAggregateOperator::ProcessBatch(const Event* events, int64_t n,
   }
 }
 
+void WindowAggregateOperator::FlushRefires(TimeMicros now, Emitter& out) {
+  // Dirty marks iterate in (end, start, key) order — the canonical order —
+  // and every mark's pane end precedes any deadline this watermark can
+  // newly elapse, so corrections flush before fresh firings.
+  for (const auto& [pane_key, key] : dirty_) {
+    const auto pane_it = retained_.find(pane_key);
+    KLINK_CHECK(pane_it != retained_.end());
+    const auto it = pane_it->second.find(key);
+    KLINK_CHECK(it != pane_it->second.end());
+    RetainedEntry& entry = it->second;
+    if (entry.has_emitted) {
+      EmitData(MakeRetractionEvent(/*event_time=*/pane_key.first,
+                                   /*ingest_time=*/now, key, entry.emitted,
+                                   output_payload_bytes_),
+               out);
+      ++late_.retractions_emitted;
+    }
+    const double corrected = OutputValue(entry.agg);
+    EmitData(MakeUpdateEvent(/*event_time=*/pane_key.first,
+                             /*ingest_time=*/now, key, corrected,
+                             output_payload_bytes_),
+             out);
+    ++late_.updates_emitted;
+    entry.emitted = corrected;
+    entry.has_emitted = true;
+  }
+  dirty_.clear();
+  pending_correction_elements_ = 0;
+}
+
+void WindowAggregateOperator::EvictRetained(TimeMicros min_watermark) {
+  while (!retained_.empty() &&
+         !WithinLatenessHorizon(retained_.begin()->first.first, min_watermark,
+                                allowed_lateness_)) {
+    const auto it = retained_.begin();
+    const int64_t keys = static_cast<int64_t>(it->second.size());
+    retained_key_states_ -= keys;
+    AddStateBytes(-(kBytesPerPane + keys * kBytesPerRetainedState));
+    retained_.erase(it);
+  }
+}
+
 void WindowAggregateOperator::OnWatermark(const Event& incoming,
                                           TimeMicros min_watermark,
                                           TimeMicros now, Emitter& out) {
+  // Corrections for already-fired panes flush before anything else (their
+  // deadlines precede every pane fired below), then expired retained panes
+  // are released.
+  if (allowed_lateness_ > 0) {
+    FlushRefires(now, out);
+    EvictRetained(min_watermark);
+  }
+
   // Determine whether this watermark elapses any window deadline: it is
   // then the SWM of the epoch even if no pane holds data (stream progress
   // is independent of data presence, Sec. 2.2).
@@ -128,6 +227,21 @@ void WindowAggregateOperator::OnWatermark(const Event& incoming,
       EmitData(result, out);
     }
     const int64_t keys = static_cast<int64_t>(it->second.size());
+    if (allowed_lateness_ > 0 &&
+        WithinLatenessHorizon(end, min_watermark, allowed_lateness_)) {
+      // Speculative firing: the emitted results above may be retracted, so
+      // the pane's keyed state moves to the retained store together with
+      // each key's emitted value.
+      const auto [rit, rinserted] = retained_.try_emplace(it->first);
+      KLINK_CHECK(rinserted);  // a pane fires exactly once
+      AddStateBytes(kBytesPerPane);
+      for (const auto& [key, agg] : it->second) {
+        rit->second.emplace(key,
+                            RetainedEntry{agg, OutputValue(agg), true});
+        ++retained_key_states_;
+        AddStateBytes(kBytesPerRetainedState);
+      }
+    }
     total_key_states_ -= keys;
     AddStateBytes(-(kBytesPerPane + keys * kBytesPerKeyState));
     last_deadline = std::max(last_deadline, end);
@@ -145,33 +259,74 @@ void WindowAggregateOperator::OnWatermark(const Event& incoming,
 
 void WindowAggregateOperator::ExportKeyedState(
     std::vector<KeyedStateEntry>* out) {
-  // One blob per key, records appended in pane (deadline) order; keys
-  // emitted in sorted order so redistribution is deterministic.
-  std::map<uint64_t, StateWriter> blobs;
+  // One blob per key: open-pane records then retained-pane records (each
+  // in pane/deadline order), so redistribution moves the full late-data
+  // context — aggregate, emitted value, pending-refire mark — with the
+  // key. Keys emitted in sorted order so redistribution is deterministic.
+  struct KeyBlob {
+    StateWriter open;
+    StateWriter retained;
+    uint32_t open_records = 0;
+    uint32_t retained_records = 0;
+  };
+  std::map<uint64_t, KeyBlob> blobs;
   int64_t keys = 0;
   for (const auto& [pane_key, pane] : panes_) {
     for (const auto& [key, agg] : pane) {
-      StateWriter& w = blobs[key];
-      w.PutI64(pane_key.first);   // end
-      w.PutI64(pane_key.second);  // start
-      w.PutI64(agg.count);
-      w.PutDouble(agg.sum);
-      w.PutDouble(agg.max);
+      KeyBlob& b = blobs[key];
+      b.open.PutI64(pane_key.first);   // end
+      b.open.PutI64(pane_key.second);  // start
+      b.open.PutI64(agg.count);
+      b.open.PutDouble(agg.sum);
+      b.open.PutDouble(agg.max);
+      ++b.open_records;
       ++keys;
+    }
+  }
+  int64_t retained_keys = 0;
+  for (const auto& [pane_key, pane] : retained_) {
+    for (const auto& [key, entry] : pane) {
+      KeyBlob& b = blobs[key];
+      b.retained.PutI64(pane_key.first);
+      b.retained.PutI64(pane_key.second);
+      b.retained.PutI64(entry.agg.count);
+      b.retained.PutDouble(entry.agg.sum);
+      b.retained.PutDouble(entry.agg.max);
+      b.retained.PutBool(entry.has_emitted);
+      b.retained.PutDouble(entry.emitted);
+      b.retained.PutBool(dirty_.count({pane_key, key}) != 0);
+      ++b.retained_records;
+      ++retained_keys;
     }
   }
   AddStateBytes(-(static_cast<int64_t>(panes_.size()) * kBytesPerPane +
                   keys * kBytesPerKeyState));
+  AddStateBytes(-(static_cast<int64_t>(retained_.size()) * kBytesPerPane +
+                  retained_keys * kBytesPerRetainedState));
   total_key_states_ = 0;
+  retained_key_states_ = 0;
   panes_.clear();
-  for (auto& [key, w] : blobs) {
+  retained_.clear();
+  dirty_.clear();
+  pending_correction_elements_ = 0;
+  for (auto& [key, b] : blobs) {
+    StateWriter w;
+    w.PutU32(b.open_records);
+    w.PutU32(b.retained_records);
+    const std::vector<uint8_t> open_bytes = b.open.TakeBytes();
+    const std::vector<uint8_t> retained_bytes = b.retained.TakeBytes();
+    w.PutBytes(open_bytes.data(), open_bytes.size());
+    w.PutBytes(retained_bytes.data(), retained_bytes.size());
     out->push_back(KeyedStateEntry{key, w.TakeBytes()});
   }
 }
 
 void WindowAggregateOperator::ImportKeyedState(const KeyedStateEntry& entry) {
   StateReader r(entry.blob);
-  while (r.remaining() > 0) {
+  const uint32_t open_records = r.GetU32();
+  const uint32_t retained_records = r.GetU32();
+  KLINK_CHECK(r.ok());
+  for (uint32_t i = 0; i < open_records; ++i) {
     const TimeMicros end = r.GetI64();
     const TimeMicros start = r.GetI64();
     Aggregate agg;
@@ -187,6 +342,30 @@ void WindowAggregateOperator::ImportKeyedState(const KeyedStateEntry& entry) {
     ++total_key_states_;
     AddStateBytes(kBytesPerKeyState);
   }
+  for (uint32_t i = 0; i < retained_records; ++i) {
+    const TimeMicros end = r.GetI64();
+    const TimeMicros start = r.GetI64();
+    RetainedEntry re;
+    re.agg.count = r.GetI64();
+    re.agg.sum = r.GetDouble();
+    re.agg.max = r.GetDouble();
+    re.has_emitted = r.GetBool();
+    re.emitted = r.GetDouble();
+    const bool dirty = r.GetBool();
+    KLINK_CHECK(r.ok());
+    auto [pane_it, pane_inserted] = retained_.try_emplace({end, start});
+    if (pane_inserted) AddStateBytes(kBytesPerPane);
+    const auto [it, inserted] = pane_it->second.emplace(entry.key, re);
+    (void)it;
+    KLINK_CHECK(inserted);
+    ++retained_key_states_;
+    AddStateBytes(kBytesPerRetainedState);
+    if (dirty) {
+      KLINK_CHECK(dirty_.insert({{end, start}, entry.key}).second);
+      pending_correction_elements_ += re.has_emitted ? 2 : 1;
+    }
+  }
+  KLINK_CHECK(r.AtEnd());
 }
 
 void WindowAggregateOperator::SerializeState(StateWriter& w) const {
@@ -209,6 +388,34 @@ void WindowAggregateOperator::SerializeState(StateWriter& w) const {
   }
   w.PutI64(fired_panes_);
   w.PutI64(dropped_late_);
+  // Lateness subsystem state: retained panes (sorted pane order, sorted
+  // keys within), dirty refire marks, and the late-event counters.
+  w.PutU64(static_cast<uint64_t>(retained_.size()));
+  for (const auto& [pane_key, pane] : retained_) {
+    w.PutI64(pane_key.first);   // end
+    w.PutI64(pane_key.second);  // start
+    w.PutU64(static_cast<uint64_t>(pane.size()));
+    std::vector<uint64_t> keys;
+    keys.reserve(pane.size());
+    for (const auto& [key, entry] : pane) keys.push_back(key);
+    std::sort(keys.begin(), keys.end());
+    for (const uint64_t key : keys) {
+      const RetainedEntry& entry = pane.find(key)->second;
+      w.PutU64(key);
+      w.PutI64(entry.agg.count);
+      w.PutDouble(entry.agg.sum);
+      w.PutDouble(entry.agg.max);
+      w.PutBool(entry.has_emitted);
+      w.PutDouble(entry.emitted);
+    }
+  }
+  w.PutU64(static_cast<uint64_t>(dirty_.size()));
+  for (const auto& [pane_key, key] : dirty_) {
+    w.PutI64(pane_key.first);
+    w.PutI64(pane_key.second);
+    w.PutU64(key);
+  }
+  late_.Serialize(w);
   tracker_.Serialize(w);
 }
 
@@ -237,6 +444,45 @@ void WindowAggregateOperator::RestoreState(StateReader& r) {
   }
   fired_panes_ = r.GetI64();
   dropped_late_ = r.GetI64();
+  KLINK_CHECK(retained_.empty());
+  const uint64_t num_retained = r.GetU64();
+  KLINK_CHECK(r.ok());
+  for (uint64_t p = 0; p < num_retained; ++p) {
+    const TimeMicros end = r.GetI64();
+    const TimeMicros start = r.GetI64();
+    const uint64_t num_keys = r.GetU64();
+    KLINK_CHECK(r.ok());
+    RetainedPane& pane = retained_[{end, start}];
+    AddStateBytes(kBytesPerPane);
+    pane.reserve(static_cast<size_t>(num_keys));
+    for (uint64_t k = 0; k < num_keys; ++k) {
+      const uint64_t key = r.GetU64();
+      RetainedEntry entry;
+      entry.agg.count = r.GetI64();
+      entry.agg.sum = r.GetDouble();
+      entry.agg.max = r.GetDouble();
+      entry.has_emitted = r.GetBool();
+      entry.emitted = r.GetDouble();
+      pane.emplace(key, entry);
+      ++retained_key_states_;
+      AddStateBytes(kBytesPerRetainedState);
+    }
+  }
+  const uint64_t num_dirty = r.GetU64();
+  KLINK_CHECK(r.ok());
+  for (uint64_t d = 0; d < num_dirty; ++d) {
+    const TimeMicros end = r.GetI64();
+    const TimeMicros start = r.GetI64();
+    const uint64_t key = r.GetU64();
+    KLINK_CHECK(r.ok());
+    KLINK_CHECK(dirty_.insert({{end, start}, key}).second);
+    const auto pane_it = retained_.find({end, start});
+    KLINK_CHECK(pane_it != retained_.end());
+    const auto it = pane_it->second.find(key);
+    KLINK_CHECK(it != pane_it->second.end());
+    pending_correction_elements_ += it->second.has_emitted ? 2 : 1;
+  }
+  late_.Restore(r);
   tracker_.Restore(r);
   KLINK_CHECK(r.ok());
 }

@@ -4,12 +4,14 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "src/operators/operator.h"
+#include "src/window/lateness.h"
 #include "src/window/swm_tracker.h"
 #include "src/window/window_assigner.h"
 
@@ -27,13 +29,23 @@ enum class AggregationKind : uint8_t { kCount, kSum, kAverage, kMax };
 /// emits one result event per key of each elapsed pane, in deadline order,
 /// and then the base class forwards the watermark flagged as SWM
 /// (invariant ii of Sec. 2.2). Late data events (event_time below the last
-/// forwarded watermark) are dropped, the OOP policy of Sec. 2.1.
+/// forwarded watermark) are dropped, the OOP policy of Sec. 2.1 — unless
+/// an allowed-lateness horizon is configured (SetAllowedLateness): then a
+/// fired pane's keyed state is retained until `watermark >= deadline +
+/// lateness`, late arrivals inside the horizon fold into it, and the next
+/// watermark flushes one retraction+update pair per touched (pane, key)
+/// before any new firing (window/lateness.h).
 class WindowAggregateOperator final : public Operator {
  public:
   WindowAggregateOperator(std::string name, double cost_micros,
                           std::unique_ptr<WindowAssigner> assigner,
                           AggregationKind kind,
                           uint32_t output_payload_bytes = 64);
+
+  /// Enables speculative firing with the given retention horizon (0 keeps
+  /// the strict drop policy). Must be set before processing starts.
+  void SetAllowedLateness(DurationMicros lateness);
+  DurationMicros allowed_lateness() const { return allowed_lateness_; }
 
   /// ---- Operator overrides -------------------------------------------
   bool IsWindowed() const override { return true; }
@@ -54,11 +66,21 @@ class WindowAggregateOperator final : public Operator {
   int64_t swm_count() const { return tracker_.stream(0).epoch; }
   int64_t dropped_late_events() const { return dropped_late_; }
   int64_t open_panes() const { return static_cast<int64_t>(panes_.size()); }
+  int64_t retained_panes() const {
+    return static_cast<int64_t>(retained_.size());
+  }
+  const LateEventCounters& late_counters() const { return late_; }
+  int64_t PendingRefires() const override {
+    return pending_correction_elements_;
+  }
 
   /// Simulated state bytes per (window, key) aggregate entry.
   static constexpr int64_t kBytesPerKeyState = 48;
   /// Simulated fixed state bytes per open pane.
   static constexpr int64_t kBytesPerPane = 64;
+  /// Simulated state bytes per retained (speculatively fired) key entry:
+  /// the aggregate plus the emitted value needed for its retraction.
+  static constexpr int64_t kBytesPerRetainedState = 64;
 
   /// ---- re-sharding ----------------------------------------------------
   /// Keyed state moves between shards as per-key blobs of
@@ -84,14 +106,38 @@ class WindowAggregateOperator final : public Operator {
   using PaneKey = std::pair<TimeMicros, TimeMicros>;
   using Pane = std::unordered_map<uint64_t, Aggregate>;
 
+  /// A speculatively fired pane's per-key state: the live aggregate plus
+  /// the last emitted result, which the next refire must retract.
+  struct RetainedEntry {
+    Aggregate agg;
+    double emitted = 0.0;
+    bool has_emitted = false;
+  };
+  using RetainedPane = std::unordered_map<uint64_t, RetainedEntry>;
+
   double OutputValue(const Aggregate& agg) const;
   /// Folds one data element into pane state (the OnData body).
   void FoldData(const Event& e);
+  /// Folds a late element into the retained pane for window `w`.
+  void FoldLateIntoRetained(const WindowSpan& w, const Event& e);
+  /// Emits the pending retraction+update pairs in (end, start, key) order.
+  void FlushRefires(TimeMicros now, Emitter& out);
+  /// Drops retained panes whose retention horizon `min_watermark` passed.
+  void EvictRetained(TimeMicros min_watermark);
 
   std::unique_ptr<WindowAssigner> assigner_;
   AggregationKind kind_;
   uint32_t output_payload_bytes_;
   std::map<PaneKey, Pane> panes_;
+  /// Fired panes still inside the lateness horizon, by deadline.
+  std::map<PaneKey, RetainedPane> retained_;
+  /// (pane, key) marks with a pending correction pair; iteration order is
+  /// the canonical refire order.
+  std::set<std::pair<PaneKey, uint64_t>> dirty_;
+  DurationMicros allowed_lateness_ = 0;
+  LateEventCounters late_;
+  int64_t pending_correction_elements_ = 0;
+  int64_t retained_key_states_ = 0;
   SwmTracker tracker_{1};
   int64_t total_key_states_ = 0;  // sum of per-pane key counts
   int64_t fired_panes_ = 0;

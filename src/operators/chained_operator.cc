@@ -23,7 +23,7 @@ class ChainedOperator::CascadeEmitter final : public Emitter {
       return;
     }
     // End of chain.
-    if (e.is_data()) {
+    if (e.is_keyed_element()) {
       chain_->EmitData(e, *out_);
     } else if (e.is_watermark()) {
       // The composite's base class forwards one watermark per advance;
@@ -134,6 +134,15 @@ void ChainedOperator::OnWatermark(const Event& incoming,
 
 void ChainedOperator::OnLatencyMarker(const Event& e, TimeMicros now,
                                       Emitter& out) {
+  RunThrough(e, 0, now, out);
+}
+
+void ChainedOperator::OnRetraction(const Event& e, TimeMicros now,
+                                   Emitter& out) {
+  RunThrough(e, 0, now, out);
+}
+
+void ChainedOperator::OnUpdate(const Event& e, TimeMicros now, Emitter& out) {
   RunThrough(e, 0, now, out);
 }
 

@@ -54,6 +54,10 @@ class ChainedOperator final : public Operator, private MemoryDeltaSink {
   void OnWatermark(const Event& incoming, TimeMicros min_watermark,
                    TimeMicros now, Emitter& out) override;
   void OnLatencyMarker(const Event& e, TimeMicros now, Emitter& out) override;
+  /// Corrections traverse the chain like data so sub-operators past the
+  /// window see them (the window itself is what emits them).
+  void OnRetraction(const Event& e, TimeMicros now, Emitter& out) override;
+  void OnUpdate(const Event& e, TimeMicros now, Emitter& out) override;
   /// Barriers align at the composite (sub-operators never see them), so
   /// the composite's checkpoint payload is each sub-operator's full state
   /// in chain order.

@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/common/check.h"
 #include "src/operators/aggregate_operator.h"
 #include "src/operators/operator.h"
 
@@ -23,6 +24,17 @@ class CountWindowOperator final : public Operator {
   CountWindowOperator(std::string name, double cost_micros, int64_t size,
                       AggregationKind kind,
                       uint32_t output_payload_bytes = 64);
+
+  /// Allowed lateness is a no-op for count windows: their deadlines are
+  /// arrival-count-based, not event-time-based, so no event is ever "late"
+  /// relative to a window deadline and nothing is speculatively fired.
+  /// Accepted (and validated) so per-query lateness config applies
+  /// uniformly to every windowed operator in a pipeline.
+  void SetAllowedLateness(DurationMicros lateness) {
+    KLINK_CHECK_GE(lateness, 0);
+    allowed_lateness_ = lateness;
+  }
+  DurationMicros allowed_lateness() const { return allowed_lateness_; }
 
   int64_t window_size() const { return size_; }
   int64_t fired_windows() const { return fired_windows_; }
@@ -51,6 +63,7 @@ class CountWindowOperator final : public Operator {
   double OutputValue(const Aggregate& agg) const;
 
   int64_t size_;
+  DurationMicros allowed_lateness_ = 0;
   AggregationKind kind_;
   uint32_t output_payload_bytes_;
   std::unordered_map<uint64_t, Aggregate> state_;

@@ -15,12 +15,34 @@ uint64_t ValueBits(double v) {
   return bits;
 }
 
+/// Merge rank of a keyed element's kind: a retraction always precedes the
+/// update that replaces it, and both precede a fresh data result that ties
+/// on (event_time, key) — the sink applies remove-before-insert, so this
+/// order keeps its converging-result fold canonical across shard counts.
+int KindRank(EventKind kind) {
+  switch (kind) {
+    case EventKind::kRetraction:
+      return 0;
+    case EventKind::kUpdate:
+      return 1;
+    case EventKind::kData:
+      return 2;
+    case EventKind::kWatermark:
+    case EventKind::kLatencyMarker:
+    case EventKind::kCheckpointBarrier:
+      break;  // controls are never buffered in merge segments
+  }
+  return 3;
+}
+
 /// Canonical flush order: the fields the sink's results hash folds, in hash
-/// order. Events that tie on all three are hash-indistinguishable, so their
-/// relative order is irrelevant.
+/// order, with the correction rank breaking (event_time, key) ties. Events
+/// that tie on all four are hash-indistinguishable, so their relative order
+/// is irrelevant.
 bool CanonicalLess(const Event& a, const Event& b) {
   if (a.event_time != b.event_time) return a.event_time < b.event_time;
   if (a.key != b.key) return a.key < b.key;
+  if (a.kind != b.kind) return KindRank(a.kind) < KindRank(b.kind);
   return ValueBits(a.value) < ValueBits(b.value);
 }
 
@@ -99,7 +121,7 @@ void PartitionExchangeOperator::Route(const Event& e) {
     hold_.push_back(e);
     return;
   }
-  if (e.is_data()) {
+  if (e.is_keyed_element()) {
     targets_[static_cast<size_t>(ShardOf(e.key, active_shards_))]->Push(e);
     return;
   }
@@ -119,9 +141,9 @@ void PartitionExchangeOperator::ProcessBatch(const Event* events, int64_t n,
                                              BatchClock& clock, Emitter& out) {
   int64_t i = 0;
   while (i < n) {
-    if (events[i].is_data()) {
+    if (events[i].is_keyed_element()) {
       int64_t j = i + 1;
-      while (j < n && events[j].is_data()) ++j;
+      while (j < n && events[j].is_keyed_element()) ++j;
       clock.Advance(j - i);
       NoteDataProcessed(j - i);
       for (int64_t k = i; k < j; ++k) EmitData(events[k], out);
@@ -173,8 +195,7 @@ MergeExchangeOperator::MergeExchangeOperator(std::string name,
   KLINK_CHECK_GE(num_shards, 1);
 }
 
-void MergeExchangeOperator::OnData(const Event& e, TimeMicros /*now*/,
-                                   Emitter& /*out*/) {
+void MergeExchangeOperator::BufferElement(const Event& e) {
   KLINK_CHECK(e.stream >= 0 && e.stream < num_inputs());
   Segment& seg = buffers_[seen_watermarks_[static_cast<size_t>(e.stream)]];
   seg.events.push_back(e);
@@ -183,6 +204,21 @@ void MergeExchangeOperator::OnData(const Event& e, TimeMicros /*now*/,
   seg.bytes += bytes;
   ++buffered_events_;
   AddStateBytes(bytes);
+}
+
+void MergeExchangeOperator::OnData(const Event& e, TimeMicros /*now*/,
+                                   Emitter& /*out*/) {
+  BufferElement(e);
+}
+
+void MergeExchangeOperator::OnRetraction(const Event& e, TimeMicros /*now*/,
+                                         Emitter& /*out*/) {
+  BufferElement(e);
+}
+
+void MergeExchangeOperator::OnUpdate(const Event& e, TimeMicros /*now*/,
+                                     Emitter& /*out*/) {
+  BufferElement(e);
 }
 
 void MergeExchangeOperator::OnStreamWatermark(const Event& incoming,

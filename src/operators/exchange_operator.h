@@ -148,10 +148,18 @@ class MergeExchangeOperator final : public Operator {
                    TimeMicros now, Emitter& out) override;
   void OnStreamWatermark(const Event& incoming, int stream) override;
   void OnLatencyMarker(const Event& e, TimeMicros now, Emitter& out) override;
+  /// Retraction/update pairs from late refires buffer into the same
+  /// watermark segment as data and flush in the same canonical order (the
+  /// kind rank puts a retraction before the update that replaces it).
+  void OnRetraction(const Event& e, TimeMicros now, Emitter& out) override;
+  void OnUpdate(const Event& e, TimeMicros now, Emitter& out) override;
   void SerializeState(StateWriter& w) const override;
   void RestoreState(StateReader& r) override;
 
  private:
+  /// Appends a keyed element to its input's open segment.
+  void BufferElement(const Event& e);
+
   struct Segment {
     std::vector<Event> events;
     int64_t bytes = 0;

@@ -71,6 +71,14 @@ void Operator::Process(const Event& e, TimeMicros now, Emitter& out) {
     case EventKind::kLatencyMarker:
       OnLatencyMarker(e, now, out);
       return;
+    case EventKind::kRetraction:
+      ++processed_data_;
+      OnRetraction(e, now, out);
+      return;
+    case EventKind::kUpdate:
+      ++processed_data_;
+      OnUpdate(e, now, out);
+      return;
     case EventKind::kWatermark: {
       const int stream = e.stream;
       KLINK_CHECK(stream >= 0 && stream < num_inputs());
@@ -144,6 +152,14 @@ void Operator::OnWatermark(const Event& /*incoming*/,
 void Operator::OnLatencyMarker(const Event& e, TimeMicros /*now*/,
                                Emitter& out) {
   out.Emit(e);
+}
+
+void Operator::OnRetraction(const Event& e, TimeMicros /*now*/, Emitter& out) {
+  EmitData(e, out);
+}
+
+void Operator::OnUpdate(const Event& e, TimeMicros /*now*/, Emitter& out) {
+  EmitData(e, out);
 }
 
 void Operator::OnStreamWatermark(const Event& /*incoming*/, int /*stream*/) {}

@@ -186,6 +186,13 @@ class Operator {
   /// must elapse.
   virtual TimeMicros UpcomingDeadline() const { return kNoTime; }
 
+  /// Correction elements (retractions + updates) this operator will emit at
+  /// its next watermark because late arrivals dirtied retained panes.
+  /// Downstream work the queues cannot see yet: the Klink policy adds it to
+  /// a lane's drain cost as refire debt (allowed-lateness support,
+  /// window/lateness.h). 0 for operators without retained state.
+  virtual int64_t PendingRefires() const { return 0; }
+
   /// Last watermark timestamp seen on `stream`, or kNoTime.
   TimeMicros last_watermark(int stream = 0) const;
 
@@ -254,6 +261,16 @@ class Operator {
   virtual void OnWatermark(const Event& incoming, TimeMicros min_watermark,
                            TimeMicros now, Emitter& out);
   virtual void OnLatencyMarker(const Event& e, TimeMicros now, Emitter& out);
+
+  /// Late-data corrections (window/lateness.h). Retraction/update pairs
+  /// originate at windowed operators when a late arrival lands inside the
+  /// allowed-lateness horizon; intermediate operators forward them
+  /// unchanged by default (they are keyed elements — exchanges route and
+  /// canonically merge them) and the sink folds them into results_hash.
+  /// Windowed operators never receive them: the pipeline builder places at
+  /// most one windowed stage per path (cascading windows are unsupported).
+  virtual void OnRetraction(const Event& e, TimeMicros now, Emitter& out);
+  virtual void OnUpdate(const Event& e, TimeMicros now, Emitter& out);
 
   /// Called for every non-late watermark arrival on any input stream,
   /// *before* the minimum-watermark check (so joins can track per-stream

@@ -1,6 +1,7 @@
 #include "src/operators/session_window_operator.h"
 
 #include <algorithm>
+#include <limits>
 #include <utility>
 
 #include "src/common/check.h"
@@ -18,6 +19,12 @@ SessionWindowOperator::SessionWindowOperator(std::string name,
       output_payload_bytes_(output_payload_bytes) {
   KLINK_CHECK_GT(gap, 0);
   set_selectivity_hint(0.05);
+}
+
+void SessionWindowOperator::SetAllowedLateness(DurationMicros lateness) {
+  KLINK_CHECK_GE(lateness, 0);
+  KLINK_CHECK(retained_.empty());
+  allowed_lateness_ = lateness;
 }
 
 TimeMicros SessionWindowOperator::UpcomingDeadline() const {
@@ -54,24 +61,97 @@ void SessionWindowOperator::Reindex(uint64_t key, TimeMicros old_close,
   by_close_.emplace(new_close, key);
 }
 
-void SessionWindowOperator::OnData(const Event& e, TimeMicros /*now*/,
-                                   Emitter& /*out*/) {
-  const TimeMicros forwarded = forwarded_min_watermark();
-  if (forwarded != kNoTime && e.event_time < forwarded) {
-    ++dropped_late_;
-    return;
+bool SessionWindowOperator::FoldLateIntoRetained(const Event& e,
+                                                 TimeMicros now,
+                                                 Emitter& out) {
+  auto it = retained_.lower_bound(
+      {e.key, std::numeric_limits<TimeMicros>::min()});
+  for (; it != retained_.end() && it->first.first == e.key; ++it) {
+    const RetainedSession& rs = it->second;
+    if (e.event_time >= rs.s.start - gap_ && e.event_time <= rs.close) break;
   }
-  tracker_.RecordEventDelay(0, e.network_delay());
-  auto [it, inserted] = sessions_.try_emplace(e.key);
-  Session& s = it->second;
-  if (inserted) {
+  if (it == retained_.end() || it->first.first != e.key) return false;
+  RetainedSession& rs = it->second;
+  Session& s = rs.s;
+  s.start = std::min(s.start, e.event_time);
+  s.last_event = std::max(s.last_event, e.event_time);
+  ++s.count;
+  s.sum += e.value;
+  s.max = std::max(s.max, e.value);
+  const double corrected = OutputValue(s);
+  // Correction pair at the frozen close time, the result's identity: the
+  // sink's converging log removes the stale value and adds the corrected
+  // one, so the fold converges to the in-order result (window/lateness.h).
+  EmitData(MakeRetractionEvent(rs.close, now, e.key, rs.emitted,
+                               output_payload_bytes_),
+           out);
+  ++late_.retractions_emitted;
+  EmitData(MakeUpdateEvent(rs.close, now, e.key, corrected,
+                           output_payload_bytes_),
+           out);
+  ++late_.updates_emitted;
+  rs.emitted = corrected;
+  return true;
+}
+
+void SessionWindowOperator::EvictRetained(TimeMicros min_watermark) {
+  while (!retained_by_close_.empty()) {
+    const auto [close, key] = *retained_by_close_.begin();
+    if (WithinLatenessHorizon(close, min_watermark, allowed_lateness_)) break;
+    retained_by_close_.erase(retained_by_close_.begin());
+    const size_t erased = retained_.erase({key, close});
+    KLINK_CHECK(erased == 1);
+    AddStateBytes(-kBytesPerRetainedSession);
+  }
+}
+
+void SessionWindowOperator::OnData(const Event& e, TimeMicros now,
+                                   Emitter& out) {
+  const TimeMicros forwarded = forwarded_min_watermark();
+  const bool late = forwarded != kNoTime && e.event_time < forwarded;
+  if (late) {
+    if (allowed_lateness_ == 0) {
+      ++dropped_late_;
+      return;
+    }
+    // Late-accepted delays feed a separate channel so the epoch mu/chi the
+    // SWM estimator consumes describe the on-time population only.
+    tracker_.RecordLateEventDelay(0, e.network_delay());
+  } else {
+    tracker_.RecordEventDelay(0, e.network_delay());
+  }
+  const auto it = sessions_.find(e.key);
+  if (it == sessions_.end()) {
+    if (late) {
+      // No open session: the event can only correct a fired one. The
+      // watermark froze session structure — an orphan late event never
+      // creates a new (already elapsed) session.
+      if (FoldLateIntoRetained(e, now, out)) {
+        ++late_.late_accepted;
+      } else {
+        ++late_.late_dropped_beyond_horizon;
+      }
+      return;
+    }
     AddStateBytes(kBytesPerSession);
+    Session& s = sessions_.try_emplace(e.key).first->second;
     s.start = e.event_time;
     s.last_event = e.event_time;
     s.count = 1;
     s.sum = e.value;
     s.max = e.value;
     by_close_.emplace(e.event_time + gap_, e.key);
+    return;
+  }
+  Session& s = it->second;
+  if (late && e.event_time < s.start - gap_) {
+    // Predates the open session by more than a gap: in order it would have
+    // been a separate, already-fired session.
+    if (FoldLateIntoRetained(e, now, out)) {
+      ++late_.late_accepted;
+    } else {
+      ++late_.late_dropped_beyond_horizon;
+    }
     return;
   }
   // Extending an existing session; events within the gap merge into it
@@ -89,6 +169,7 @@ void SessionWindowOperator::OnData(const Event& e, TimeMicros /*now*/,
   const TimeMicros new_close = s.last_event + gap_;
   if (new_close != old_close) Reindex(e.key, old_close, new_close);
   s.start = std::min(s.start, e.event_time);
+  if (late) ++late_.late_accepted;  // folded before firing: no correction
 }
 
 void SessionWindowOperator::OnWatermark(const Event& incoming,
@@ -103,9 +184,19 @@ void SessionWindowOperator::OnWatermark(const Event& incoming,
     by_close_.erase(it);
     const auto sit = sessions_.find(key);
     KLINK_CHECK(sit != sessions_.end());
+    const double value = OutputValue(sit->second);
     Event result = MakeDataEvent(/*event_time=*/close, /*ingest_time=*/now,
-                                 key, OutputValue(sit->second),
-                                 output_payload_bytes_);
+                                 key, value, output_payload_bytes_);
+    if (allowed_lateness_ > 0 &&
+        WithinLatenessHorizon(close, min_watermark, allowed_lateness_)) {
+      const auto [rit, inserted] = retained_.try_emplace(
+          std::make_pair(key, close),
+          RetainedSession{sit->second, close, value});
+      (void)rit;
+      KLINK_CHECK(inserted);
+      retained_by_close_.insert({close, key});
+      AddStateBytes(kBytesPerRetainedSession);
+    }
     sessions_.erase(sit);
     AddStateBytes(-kBytesPerSession);
     ++fired_sessions_;
@@ -113,6 +204,7 @@ void SessionWindowOperator::OnWatermark(const Event& incoming,
     last_close = close;
     EmitData(result, out);
   }
+  if (allowed_lateness_ > 0) EvictRetained(min_watermark);
   if (fired) {
     tracker_.RecordStreamSweep(0, last_close, incoming.ingest_time);
   }
@@ -121,40 +213,119 @@ void SessionWindowOperator::OnWatermark(const Event& incoming,
 
 void SessionWindowOperator::ExportKeyedState(
     std::vector<KeyedStateEntry>* out) {
-  // Export in by_close_ order so the target multimaps' tie order (equal
-  // close times) is rebuilt deterministically.
+  // Export open sessions in by_close_ order so the target multimaps' tie
+  // order (equal close times) is rebuilt deterministically. Each blob
+  // carries the key's open session (if any) plus its retained sessions.
+  std::set<uint64_t> exported;
   for (const auto& [close, key] : by_close_) {
     const auto sit = sessions_.find(key);
     KLINK_CHECK(sit != sessions_.end());
     const Session& s = sit->second;
     StateWriter w;
+    w.PutU32(1);  // has open session
     w.PutI64(s.start);
     w.PutI64(s.last_event);
     w.PutI64(s.count);
     w.PutDouble(s.sum);
     w.PutDouble(s.max);
+    uint32_t retained_count = 0;
+    for (auto rit = retained_.lower_bound(
+             {key, std::numeric_limits<TimeMicros>::min()});
+         rit != retained_.end() && rit->first.first == key; ++rit) {
+      ++retained_count;
+    }
+    w.PutU32(retained_count);
+    for (auto rit = retained_.lower_bound(
+             {key, std::numeric_limits<TimeMicros>::min()});
+         rit != retained_.end() && rit->first.first == key; ++rit) {
+      const RetainedSession& rs = rit->second;
+      w.PutI64(rs.close);
+      w.PutI64(rs.s.start);
+      w.PutI64(rs.s.last_event);
+      w.PutI64(rs.s.count);
+      w.PutDouble(rs.s.sum);
+      w.PutDouble(rs.s.max);
+      w.PutDouble(rs.emitted);
+    }
     out->push_back(KeyedStateEntry{key, w.TakeBytes()});
+    exported.insert(key);
     (void)close;
   }
-  AddStateBytes(-static_cast<int64_t>(sessions_.size()) * kBytesPerSession);
+  // Keys with retained sessions but no open one.
+  for (auto rit = retained_.begin(); rit != retained_.end();) {
+    const uint64_t key = rit->first.first;
+    uint32_t retained_count = 0;
+    auto end = rit;
+    for (; end != retained_.end() && end->first.first == key; ++end) {
+      ++retained_count;
+    }
+    if (exported.count(key) != 0) {
+      rit = end;
+      continue;
+    }
+    StateWriter w;
+    w.PutU32(0);  // no open session
+    w.PutU32(retained_count);
+    for (; rit != end; ++rit) {
+      const RetainedSession& rs = rit->second;
+      w.PutI64(rs.close);
+      w.PutI64(rs.s.start);
+      w.PutI64(rs.s.last_event);
+      w.PutI64(rs.s.count);
+      w.PutDouble(rs.s.sum);
+      w.PutDouble(rs.s.max);
+      w.PutDouble(rs.emitted);
+    }
+    out->push_back(KeyedStateEntry{key, w.TakeBytes()});
+  }
+  AddStateBytes(-static_cast<int64_t>(sessions_.size()) * kBytesPerSession -
+                static_cast<int64_t>(retained_.size()) *
+                    kBytesPerRetainedSession);
   sessions_.clear();
   by_close_.clear();
+  retained_.clear();
+  retained_by_close_.clear();
 }
 
 void SessionWindowOperator::ImportKeyedState(const KeyedStateEntry& entry) {
   StateReader r(entry.blob);
-  Session s;
-  s.start = r.GetI64();
-  s.last_event = r.GetI64();
-  s.count = r.GetI64();
-  s.sum = r.GetDouble();
-  s.max = r.GetDouble();
+  const uint32_t has_open = r.GetU32();
+  KLINK_CHECK(r.ok());
+  if (has_open != 0) {
+    KLINK_CHECK(has_open == 1);
+    Session s;
+    s.start = r.GetI64();
+    s.last_event = r.GetI64();
+    s.count = r.GetI64();
+    s.sum = r.GetDouble();
+    s.max = r.GetDouble();
+    KLINK_CHECK(r.ok());
+    const auto [it, inserted] = sessions_.emplace(entry.key, s);
+    (void)it;
+    KLINK_CHECK(inserted);
+    by_close_.emplace(s.last_event + gap_, entry.key);
+    AddStateBytes(kBytesPerSession);
+  }
+  const uint32_t retained_count = r.GetU32();
+  KLINK_CHECK(r.ok());
+  for (uint32_t i = 0; i < retained_count; ++i) {
+    RetainedSession rs;
+    rs.close = r.GetI64();
+    rs.s.start = r.GetI64();
+    rs.s.last_event = r.GetI64();
+    rs.s.count = r.GetI64();
+    rs.s.sum = r.GetDouble();
+    rs.s.max = r.GetDouble();
+    rs.emitted = r.GetDouble();
+    KLINK_CHECK(r.ok());
+    const auto [it, inserted] =
+        retained_.emplace(std::make_pair(entry.key, rs.close), rs);
+    (void)it;
+    KLINK_CHECK(inserted);
+    retained_by_close_.insert({rs.close, entry.key});
+    AddStateBytes(kBytesPerRetainedSession);
+  }
   KLINK_CHECK(r.ok() && r.AtEnd());
-  const auto [it, inserted] = sessions_.emplace(entry.key, s);
-  (void)it;
-  KLINK_CHECK(inserted);
-  by_close_.emplace(s.last_event + gap_, entry.key);
-  AddStateBytes(kBytesPerSession);
 }
 
 void SessionWindowOperator::SerializeState(StateWriter& w) const {
@@ -174,6 +345,18 @@ void SessionWindowOperator::SerializeState(StateWriter& w) const {
     w.PutDouble(s.sum);
     w.PutDouble(s.max);
   }
+  w.PutU64(static_cast<uint64_t>(retained_.size()));
+  for (const auto& [kc, rs] : retained_) {
+    w.PutU64(kc.first);
+    w.PutI64(rs.close);
+    w.PutI64(rs.s.start);
+    w.PutI64(rs.s.last_event);
+    w.PutI64(rs.s.count);
+    w.PutDouble(rs.s.sum);
+    w.PutDouble(rs.s.max);
+    w.PutDouble(rs.emitted);
+  }
+  late_.Serialize(w);
   w.PutI64(fired_sessions_);
   w.PutI64(dropped_late_);
   w.PutI64(merged_sessions_);
@@ -182,6 +365,7 @@ void SessionWindowOperator::SerializeState(StateWriter& w) const {
 
 void SessionWindowOperator::RestoreState(StateReader& r) {
   KLINK_CHECK(sessions_.empty());
+  KLINK_CHECK(retained_.empty());
   const uint64_t n = r.GetU64();
   KLINK_CHECK(r.ok());
   for (uint64_t i = 0; i < n; ++i) {
@@ -198,6 +382,27 @@ void SessionWindowOperator::RestoreState(StateReader& r) {
     by_close_.emplace(close, key);
     AddStateBytes(kBytesPerSession);
   }
+  const uint64_t rn = r.GetU64();
+  KLINK_CHECK(r.ok());
+  for (uint64_t i = 0; i < rn; ++i) {
+    const uint64_t key = r.GetU64();
+    RetainedSession rs;
+    rs.close = r.GetI64();
+    rs.s.start = r.GetI64();
+    rs.s.last_event = r.GetI64();
+    rs.s.count = r.GetI64();
+    rs.s.sum = r.GetDouble();
+    rs.s.max = r.GetDouble();
+    rs.emitted = r.GetDouble();
+    KLINK_CHECK(r.ok());
+    const auto [it, inserted] =
+        retained_.emplace(std::make_pair(key, rs.close), rs);
+    (void)it;
+    KLINK_CHECK(inserted);
+    retained_by_close_.insert({rs.close, key});
+    AddStateBytes(kBytesPerRetainedSession);
+  }
+  late_.Restore(r);
   fired_sessions_ = r.GetI64();
   dropped_late_ = r.GetI64();
   merged_sessions_ = r.GetI64();

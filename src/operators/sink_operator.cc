@@ -3,15 +3,15 @@
 #include <cstring>
 #include <utility>
 
+#include "src/common/check.h"
+
 namespace klink {
 namespace {
 
-uint64_t Fnv1a(uint64_t hash, uint64_t word) {
-  for (int i = 0; i < 8; ++i) {
-    hash ^= (word >> (8 * i)) & 0xff;
-    hash *= 1099511628211ull;
-  }
-  return hash;
+uint64_t ValueBits(const Event& e) {
+  uint64_t value_bits;
+  std::memcpy(&value_bits, &e.value, sizeof(value_bits));
+  return value_bits;
 }
 
 }  // namespace
@@ -19,28 +19,74 @@ uint64_t Fnv1a(uint64_t hash, uint64_t word) {
 SinkOperator::SinkOperator(std::string name, double cost_micros)
     : Operator(std::move(name), cost_micros, /*num_inputs=*/1) {}
 
+void SinkOperator::SetAllowedLateness(DurationMicros lateness) {
+  KLINK_CHECK_GE(lateness, 0);
+  KLINK_CHECK_EQ(results_received_, 0);
+  allowed_lateness_ = lateness;
+}
+
 void SinkOperator::ResetStats() {
   swm_latency_.Reset();
   marker_latency_.Reset();
   results_received_ = 0;
+  retractions_received_ = 0;
+  unmatched_retractions_ = 0;
   results_hash_ = kHashBasis;
+  log_.Clear();
   last_result_time_ = kNoTime;
+}
+
+uint64_t SinkOperator::results_hash() const {
+  return allowed_lateness_ > 0 ? log_.FoldedHash() : results_hash_;
+}
+
+void SinkOperator::Absorb(const Event& e) {
+  ++results_received_;
+  const uint64_t value_bits = ValueBits(e);
+  if (allowed_lateness_ > 0) {
+    log_.Append(e.event_time, e.key, value_bits);
+  } else {
+    results_hash_ =
+        ConvergingResultLog::Fnv1a(results_hash_,
+                                   static_cast<uint64_t>(e.event_time));
+    results_hash_ = ConvergingResultLog::Fnv1a(results_hash_, e.key);
+    results_hash_ = ConvergingResultLog::Fnv1a(results_hash_, value_bits);
+  }
+  last_result_time_ = e.event_time;
 }
 
 void SinkOperator::OnData(const Event& e, TimeMicros /*now*/,
                           Emitter& /*out*/) {
-  ++results_received_;
-  uint64_t value_bits;
-  std::memcpy(&value_bits, &e.value, sizeof(value_bits));
-  results_hash_ = Fnv1a(results_hash_, static_cast<uint64_t>(e.event_time));
-  results_hash_ = Fnv1a(results_hash_, e.key);
-  results_hash_ = Fnv1a(results_hash_, value_bits);
-  last_result_time_ = e.event_time;
+  Absorb(e);
+}
+
+void SinkOperator::OnRetraction(const Event& e, TimeMicros /*now*/,
+                                Emitter& /*out*/) {
+  ++retractions_received_;
+  // A retraction outside a lateness run means a misconfigured pipeline
+  // (upstream fires speculatively but the sink folds in arrival order and
+  // can never converge) — surface that instead of corrupting the hash.
+  KLINK_CHECK_GT(allowed_lateness_, 0);
+  if (log_.Retract(e.event_time, e.key, ValueBits(e))) {
+    --results_received_;
+  } else {
+    // The speculative result this corrects predates the warm-up reset.
+    ++unmatched_retractions_;
+  }
+}
+
+void SinkOperator::OnUpdate(const Event& e, TimeMicros /*now*/,
+                            Emitter& /*out*/) {
+  KLINK_CHECK_GT(allowed_lateness_, 0);
+  Absorb(e);
 }
 
 void SinkOperator::OnWatermark(const Event& incoming,
-                               TimeMicros /*min_watermark*/, TimeMicros now,
+                               TimeMicros min_watermark, TimeMicros now,
                                Emitter& /*out*/) {
+  if (allowed_lateness_ > 0 && min_watermark != kNoTime) {
+    log_.FinalizeUpTo(min_watermark, allowed_lateness_);
+  }
   if (incoming.swm) swm_latency_.Add(now - incoming.event_time);
 }
 
@@ -53,6 +99,9 @@ void SinkOperator::SerializeState(StateWriter& w) const {
   w.PutI64(results_received_);
   w.PutU64(results_hash_);
   w.PutI64(last_result_time_);
+  w.PutI64(retractions_received_);
+  w.PutI64(unmatched_retractions_);
+  log_.Serialize(w);
   swm_latency_.Serialize(w);
   marker_latency_.Serialize(w);
 }
@@ -61,6 +110,9 @@ void SinkOperator::RestoreState(StateReader& r) {
   results_received_ = r.GetI64();
   results_hash_ = r.GetU64();
   last_result_time_ = r.GetI64();
+  retractions_received_ = r.GetI64();
+  unmatched_retractions_ = r.GetI64();
+  log_.Restore(r);
   swm_latency_.Restore(r);
   marker_latency_.Restore(r);
 }

@@ -5,6 +5,7 @@
 
 #include "src/common/histogram.h"
 #include "src/operators/operator.h"
+#include "src/window/lateness.h"
 
 namespace klink {
 
@@ -16,21 +17,38 @@ class SinkOperator final : public Operator {
  public:
   SinkOperator(std::string name, double cost_micros);
 
+  /// Must match the allowed-lateness horizon of the upstream windowed
+  /// operators. With a non-zero horizon the sink folds results through a
+  /// ConvergingResultLog: retraction+update pairs replace the speculative
+  /// result they correct, so the folded hash equals the hash an in-order
+  /// run would produce once the horizon elapses (window/lateness.h). With
+  /// a zero horizon results are folded in arrival order, byte-identical
+  /// to the strict drop policy.
+  void SetAllowedLateness(DurationMicros lateness);
+  DurationMicros allowed_lateness() const { return allowed_lateness_; }
+
   /// Distribution of SWM propagation delays (the paper's output latency).
   const Histogram& swm_latency() const { return swm_latency_; }
 
   /// Distribution of latency-marker propagation delays.
   const Histogram& marker_latency() const { return marker_latency_; }
 
-  /// Number of result (data) events received.
+  /// Number of live results: data/update events received minus matched
+  /// retractions — the cardinality of the converged result set.
   int64_t results_received() const { return results_received_; }
 
-  /// Order-sensitive FNV-1a fingerprint of every result received
-  /// (event_time, key, value bits). Two runs produced identical results in
-  /// identical order iff counts and hashes match — used by the network
-  /// ingest loopback tests to prove TCP ingestion reproduces in-process
-  /// ingestion exactly.
-  uint64_t results_hash() const { return results_hash_; }
+  /// Retractions received, and those that found no matching live result
+  /// (possible only when warm-up reset discarded the speculative result
+  /// they correct — never in steady state).
+  int64_t retractions_received() const { return retractions_received_; }
+  int64_t unmatched_retractions() const { return unmatched_retractions_; }
+
+  /// Order-sensitive FNV-1a fingerprint of the results. With
+  /// allowed_lateness == 0 this folds every result in arrival order. With
+  /// a non-zero horizon it is the converging-log fold: finalized prefix
+  /// plus the canonically ordered still-correctable tail. Two runs
+  /// produced identical converged results iff counts and hashes match.
+  uint64_t results_hash() const;
 
   /// Event-time of the latest result received, or kNoTime.
   TimeMicros last_result_time() const { return last_result_time_; }
@@ -42,6 +60,8 @@ class SinkOperator final : public Operator {
 
  protected:
   void OnData(const Event& e, TimeMicros now, Emitter& out) override;
+  void OnRetraction(const Event& e, TimeMicros now, Emitter& out) override;
+  void OnUpdate(const Event& e, TimeMicros now, Emitter& out) override;
   void OnWatermark(const Event& incoming, TimeMicros min_watermark,
                    TimeMicros now, Emitter& out) override;
   void OnLatencyMarker(const Event& e, TimeMicros now, Emitter& out) override;
@@ -49,12 +69,20 @@ class SinkOperator final : public Operator {
   void RestoreState(StateReader& r) override;
 
  private:
-  static constexpr uint64_t kHashBasis = 14695981039346656037ull;
+  static constexpr uint64_t kHashBasis = ConvergingResultLog::kHashBasis;
+
+  /// Appends a result to whichever fold is active.
+  void Absorb(const Event& e);
 
   Histogram swm_latency_;
   Histogram marker_latency_;
+  DurationMicros allowed_lateness_ = 0;
   int64_t results_received_ = 0;
+  int64_t retractions_received_ = 0;
+  int64_t unmatched_retractions_ = 0;
   uint64_t results_hash_ = kHashBasis;
+  /// Active only when allowed_lateness_ > 0.
+  ConvergingResultLog log_;
   TimeMicros last_result_time_ = kNoTime;
 };
 

@@ -270,8 +270,30 @@ void PipelineBuilder::Connect(int from, int to, int stream) {
   e.downstream_stream = stream;
 }
 
+void PipelineBuilder::SetAllowedLateness(DurationMicros lateness) {
+  KLINK_CHECK_GE(lateness, 0);
+  allowed_lateness_ = lateness;
+}
+
 std::unique_ptr<Query> PipelineBuilder::Build(QueryId id) {
   KLINK_CHECK(has_sink_);
+  // The horizon applies uniformly: every windowed operator retains fired
+  // panes for the same span and the sink's converging log finalizes on the
+  // same predicate, so corrections always reach the sink before their
+  // target entry finalizes.
+  if (allowed_lateness_ > 0) {
+    for (auto& op : operators_) {
+      if (auto* agg = dynamic_cast<WindowAggregateOperator*>(op.get())) {
+        agg->SetAllowedLateness(allowed_lateness_);
+      } else if (auto* sess = dynamic_cast<SessionWindowOperator*>(op.get())) {
+        sess->SetAllowedLateness(allowed_lateness_);
+      } else if (auto* cnt = dynamic_cast<CountWindowOperator*>(op.get())) {
+        cnt->SetAllowedLateness(allowed_lateness_);
+      } else if (auto* sink = dynamic_cast<SinkOperator*>(op.get())) {
+        sink->SetAllowedLateness(allowed_lateness_);
+      }
+    }
+  }
   return std::make_unique<Query>(id, std::move(query_name_),
                                  std::move(operators_), std::move(edges_),
                                  std::move(shard_region_));

@@ -129,6 +129,13 @@ class PipelineBuilder {
   PipelineBuilder(const PipelineBuilder&) = delete;
   PipelineBuilder& operator=(const PipelineBuilder&) = delete;
 
+  /// Per-query allowed-lateness horizon, applied at Build() to every
+  /// windowed operator (including shard lanes) and the sink: fired panes
+  /// are retained for `lateness` of watermark progress and late arrivals
+  /// within the horizon emit retraction+update corrections
+  /// (window/lateness.h). 0 (the default) keeps the strict drop policy.
+  void SetAllowedLateness(DurationMicros lateness);
+
   /// Adds a source; each source becomes an ingestion point for generators.
   BuilderStream Source(std::string name, double cost_micros);
 
@@ -177,6 +184,7 @@ class PipelineBuilder {
   std::vector<std::unique_ptr<Operator>> operators_;
   std::vector<Query::Edge> edges_;
   Query::ShardRegion shard_region_;
+  DurationMicros allowed_lateness_ = 0;
   bool has_sink_ = false;
 };
 

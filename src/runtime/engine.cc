@@ -96,6 +96,12 @@ const Query& Engine::query(QueryId id) const {
   return *q;
 }
 
+void Engine::RefreshLateEventMetrics() {
+  for (const QueryFabric::LiveQuery& lq : fabric_.live()) {
+    metrics_.SetQueryLateMetrics(lq.id, CollectQueryLateMetrics(*lq.query));
+  }
+}
+
 void Engine::RunUntil(TimeMicros end_time) {
   while (now_ < end_time) RunCycle();
 }

@@ -115,6 +115,10 @@ class Engine {
   const QueryFabric& fabric() const { return fabric_; }
 
   const EngineMetrics& metrics() const { return metrics_; }
+  /// Recollects late-data accounting (allowed lateness) of every live
+  /// query into metrics().late_by_query(). Operator counters are
+  /// cumulative, so calling this at any point yields totals-so-far.
+  void RefreshLateEventMetrics();
   const MemoryTracker& memory() const { return memory_; }
   SchedulingPolicy& policy() { return *policy_; }
   const Executor& executor() const { return *executor_; }

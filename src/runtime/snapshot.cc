@@ -97,6 +97,23 @@ void CollectQueryInfo(const Query& query, TimeMicros now, QueryInfo* info) {
     info->drain_cost_micros +=
         static_cast<double>(info->op_queued[idx]) * path_cost[idx];
   }
+
+  // Refire debt: correction elements pending at windowed operators are not
+  // queued anywhere yet, but will be emitted at the next watermark and must
+  // drain through the emitting operator's downstream path before the sweep
+  // completes.
+  std::vector<double> op_refire_debt(static_cast<size_t>(n), 0.0);
+  info->refire_debt_micros = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const int64_t refires = query.op(i).PendingRefires();
+    if (refires <= 0) continue;
+    const int down = query.edge(i).downstream;
+    const double tail =
+        down == -1 ? 0.0 : path_cost[static_cast<size_t>(down)];
+    const size_t idx = static_cast<size_t>(i);
+    op_refire_debt[idx] = static_cast<double>(refires) * tail;
+    info->refire_debt_micros += op_refire_debt[idx];
+  }
   // Schedulable units. Unsharded queries expose a single whole-query lane
   // (-1) mirroring the aggregates above, so lane-iterating policies keep
   // pre-sharding behavior bit for bit. Sharded queries get one LaneInfo
@@ -111,6 +128,7 @@ void CollectQueryInfo(const Query& query, TimeMicros now, QueryInfo* info) {
     lane.queued_events = info->queued_events;
     lane.oldest_ingest = info->oldest_ingest;
     lane.drain_cost_micros = info->drain_cost_micros;
+    lane.refire_debt_micros = info->refire_debt_micros;
     lane.streams_begin = 0;
     lane.streams_end = static_cast<int>(info->streams.size());
     info->lanes.push_back(lane);
@@ -127,6 +145,7 @@ void CollectQueryInfo(const Query& query, TimeMicros now, QueryInfo* info) {
         lane.queued_events += info->op_queued[idx];
         lane.drain_cost_micros +=
             static_cast<double>(info->op_queued[idx]) * path_cost[idx];
+        lane.refire_debt_micros += op_refire_debt[idx];
         const Operator& op = query.op(i);
         for (int s = 0; s < op.num_inputs(); ++s) {
           const TimeMicros oldest = op.input(s).OldestIngestTime();

@@ -55,6 +55,8 @@ struct LaneInfo {
   /// Expected virtual CPU time to drain the lane's queued events through
   /// the rest of the pipeline (the lane's share of drain_cost_micros).
   double drain_cost_micros = 0.0;
+  /// The lane's share of QueryInfo::refire_debt_micros.
+  double refire_debt_micros = 0.0;
   /// Subrange [streams_begin, streams_end) of QueryInfo::streams holding
   /// this lane's window progress entries. Contiguous because lanes cover
   /// contiguous operator ranges and streams are collected in op order.
@@ -82,6 +84,13 @@ struct QueryInfo {
   /// cost^q(t): expected virtual CPU time to drain all queued events
   /// end-to-end, combining per-operator cost and selectivity (Sec. 3).
   double drain_cost_micros = 0.0;
+  /// Pending-refire debt (allowed lateness, window/lateness.h): expected
+  /// virtual CPU cost of the retraction+update correction elements that
+  /// windowed operators will emit at their next watermark — invisible to
+  /// queue-based drain cost until emission, yet certain to precede the
+  /// sweep. Klink folds it into the drain cost when
+  /// KlinkPolicyConfig::refire_debt_correction is on.
+  double refire_debt_micros = 0.0;
   /// Expected end-to-end cost of a single source event (the ideal
   /// processing time used by the slowdown metric, Sec. 6.1.2).
   double unit_cost_micros = 0.0;

@@ -77,6 +77,7 @@ struct LaneView {
   int64_t queued_events = 0;
   TimeMicros oldest_ingest = kNoTime;
   double drain_cost_micros = 0.0;
+  double refire_debt_micros = 0.0;
   int streams_begin = 0;
   int streams_end = 0;
 };
@@ -87,13 +88,19 @@ inline size_t NumLanes(const QueryInfo& info) {
 
 inline LaneView LaneAt(const QueryInfo& info, size_t i) {
   if (info.lanes.size() <= 1) {
-    return LaneView{-1, info.queued_events, info.oldest_ingest,
-                    info.drain_cost_micros, 0,
+    return LaneView{-1,
+                    info.queued_events,
+                    info.oldest_ingest,
+                    info.drain_cost_micros,
+                    info.refire_debt_micros,
+                    0,
                     static_cast<int>(info.streams.size())};
   }
   const LaneInfo& l = info.lanes[i];
-  return LaneView{l.lane,         l.queued_events,  l.oldest_ingest,
-                  l.drain_cost_micros, l.streams_begin, l.streams_end};
+  return LaneView{l.lane,           l.queued_events,
+                  l.oldest_ingest,  l.drain_cost_micros,
+                  l.refire_debt_micros, l.streams_begin,
+                  l.streams_end};
 }
 
 /// Shared helper: appends up to `slots` ready queries ordered by `better`

@@ -1,0 +1,113 @@
+#include "src/window/lateness.h"
+
+#include "src/common/check.h"
+
+namespace klink {
+
+void LateEventCounters::Serialize(StateWriter& w) const {
+  w.PutI64(late_accepted);
+  w.PutI64(late_dropped_beyond_horizon);
+  w.PutI64(retractions_emitted);
+  w.PutI64(updates_emitted);
+}
+
+void LateEventCounters::Restore(StateReader& r) {
+  late_accepted = r.GetI64();
+  late_dropped_beyond_horizon = r.GetI64();
+  retractions_emitted = r.GetI64();
+  updates_emitted = r.GetI64();
+}
+
+uint64_t ConvergingResultLog::Fnv1a(uint64_t hash, uint64_t word) {
+  for (int i = 0; i < 8; ++i) {
+    hash ^= (word >> (8 * i)) & 0xff;
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+void ConvergingResultLog::Append(TimeMicros event_time, uint64_t key,
+                                 uint64_t value_bits) {
+  ++tail_[Entry{event_time, key, value_bits}];
+  ++tail_live_;
+}
+
+bool ConvergingResultLog::Retract(TimeMicros event_time, uint64_t key,
+                                  uint64_t value_bits) {
+  const auto it = tail_.find(Entry{event_time, key, value_bits});
+  if (it == tail_.end()) return false;
+  --tail_live_;
+  if (--it->second == 0) tail_.erase(it);
+  return true;
+}
+
+void ConvergingResultLog::FinalizeUpTo(TimeMicros watermark,
+                                       DurationMicros allowed_lateness) {
+  auto it = tail_.begin();
+  while (it != tail_.end() &&
+         !WithinLatenessHorizon(it->first.event_time, watermark,
+                                allowed_lateness)) {
+    for (int64_t i = 0; i < it->second; ++i) {
+      prefix_hash_ =
+          Fnv1a(prefix_hash_, static_cast<uint64_t>(it->first.event_time));
+      prefix_hash_ = Fnv1a(prefix_hash_, it->first.key);
+      prefix_hash_ = Fnv1a(prefix_hash_, it->first.value_bits);
+    }
+    finalized_ += it->second;
+    tail_live_ -= it->second;
+    it = tail_.erase(it);
+  }
+}
+
+uint64_t ConvergingResultLog::FoldedHash() const {
+  uint64_t hash = prefix_hash_;
+  for (const auto& [entry, count] : tail_) {
+    for (int64_t i = 0; i < count; ++i) {
+      hash = Fnv1a(hash, static_cast<uint64_t>(entry.event_time));
+      hash = Fnv1a(hash, entry.key);
+      hash = Fnv1a(hash, entry.value_bits);
+    }
+  }
+  return hash;
+}
+
+void ConvergingResultLog::Clear() {
+  tail_.clear();
+  prefix_hash_ = kHashBasis;
+  finalized_ = 0;
+  tail_live_ = 0;
+}
+
+void ConvergingResultLog::Serialize(StateWriter& w) const {
+  w.PutU64(prefix_hash_);
+  w.PutI64(finalized_);
+  w.PutU64(static_cast<uint64_t>(tail_.size()));
+  for (const auto& [entry, count] : tail_) {
+    w.PutI64(entry.event_time);
+    w.PutU64(entry.key);
+    w.PutU64(entry.value_bits);
+    w.PutI64(count);
+  }
+}
+
+void ConvergingResultLog::Restore(StateReader& r) {
+  KLINK_CHECK(tail_.empty());
+  prefix_hash_ = r.GetU64();
+  finalized_ = r.GetI64();
+  const uint64_t n = r.GetU64();
+  KLINK_CHECK(r.ok());
+  for (uint64_t i = 0; i < n; ++i) {
+    Entry e;
+    e.event_time = r.GetI64();
+    e.key = r.GetU64();
+    e.value_bits = r.GetU64();
+    const int64_t count = r.GetI64();
+    KLINK_CHECK(r.ok());
+    KLINK_CHECK_GT(count, 0);
+    tail_.emplace(e, count);
+    tail_live_ += count;
+  }
+  KLINK_CHECK(r.ok());
+}
+
+}  // namespace klink

@@ -1,0 +1,135 @@
+#ifndef KLINK_WINDOW_LATENESS_H_
+#define KLINK_WINDOW_LATENESS_H_
+
+#include <cstdint>
+#include <map>
+
+#include "src/common/serialize.h"
+#include "src/common/types.h"
+
+namespace klink {
+
+/// Allowed-lateness support for windowed operators (DESIGN.md "Late data").
+///
+/// The engine's default is the paper's strict out-of-order-processing drop
+/// policy (Sec. 2.1): an event below the forwarded watermark is discarded.
+/// With `allowed_lateness` > 0, a windowed operator instead fires each pane
+/// *speculatively* at its deadline and retains the pane's keyed state until
+/// `watermark >= deadline + allowed_lateness`. A late arrival inside that
+/// horizon folds into the retained state and, at the next watermark, the
+/// operator emits a canonical retraction+update pair per touched (pane,
+/// key): the retraction carries the exact previously emitted result and the
+/// update carries the corrected one. Downstream, the pair routes and merges
+/// like data (exchange operators treat all keyed elements alike) and the
+/// sink folds it into a converging result log, so the final results_hash
+/// matches an in-order delivery of the same events.
+
+/// True when a pane ending at `end` may still accept late events: its
+/// retention horizon `end + allowed_lateness` has not been reached by the
+/// forwarded watermark. (The pane itself has already fired: callers check
+/// `end <= watermark` separately.)
+inline bool WithinLatenessHorizon(TimeMicros end, TimeMicros watermark,
+                                  DurationMicros allowed_lateness) {
+  return watermark == kNoTime || end + allowed_lateness > watermark;
+}
+
+/// Per-operator late-event accounting, surfaced through EngineMetrics into
+/// the reporter's late-event table and checkpointed with operator state.
+struct LateEventCounters {
+  /// Late data events folded into a retained pane (within the horizon).
+  int64_t late_accepted = 0;
+  /// Late data events past every candidate pane's retention horizon.
+  int64_t late_dropped_beyond_horizon = 0;
+  /// Retraction elements emitted downstream.
+  int64_t retractions_emitted = 0;
+  /// Update elements emitted downstream.
+  int64_t updates_emitted = 0;
+
+  LateEventCounters& operator+=(const LateEventCounters& o) {
+    late_accepted += o.late_accepted;
+    late_dropped_beyond_horizon += o.late_dropped_beyond_horizon;
+    retractions_emitted += o.retractions_emitted;
+    updates_emitted += o.updates_emitted;
+    return *this;
+  }
+
+  void Serialize(StateWriter& w) const;
+  void Restore(StateReader& r);
+};
+
+/// The sink's converging fold of results under retractions.
+///
+/// Without lateness the sink hashes results in arrival order; under
+/// speculative firing the arrival order contains corrections, so the log
+/// holds every still-retractable result in canonical (event_time, key,
+/// value-bits) order — the exact order the upstream operators fire in and
+/// the merge exchange flushes in — and folds an entry into the running
+/// FNV-1a prefix hash only once its retention horizon passes (it can no
+/// longer be retracted). The final hash over prefix + remaining tail is
+/// therefore a function of the *converged* result set alone: byte-identical
+/// across executors, shard counts, restores, and delivery order.
+class ConvergingResultLog {
+ public:
+  /// FNV-1a offset basis / folding step shared with SinkOperator's
+  /// arrival-order hash, so a lateness=0 run reports the identical value
+  /// through either path.
+  static constexpr uint64_t kHashBasis = 14695981039346656037ull;
+  static uint64_t Fnv1a(uint64_t hash, uint64_t word);
+
+  /// Simulated bytes per retained tail entry (memory accounting).
+  static constexpr int64_t kBytesPerEntry = 40;
+
+  /// Adds a result (a speculative firing or the update half of a
+  /// correction pair).
+  void Append(TimeMicros event_time, uint64_t key, uint64_t value_bits);
+
+  /// Removes the result a retraction names. Returns false when no such
+  /// entry is live (possible only after stats were reset mid-run, e.g. at
+  /// the end of an experiment warm-up: the retraction's target predates
+  /// the reset).
+  bool Retract(TimeMicros event_time, uint64_t key, uint64_t value_bits);
+
+  /// Folds every tail entry with event_time + allowed_lateness <= watermark
+  /// into the prefix hash; those results can no longer be retracted.
+  void FinalizeUpTo(TimeMicros watermark, DurationMicros allowed_lateness);
+
+  /// Prefix hash folded over the remaining tail in canonical order — the
+  /// hash of the run as if every retained result had finalized.
+  uint64_t FoldedHash() const;
+
+  /// Finalized + retained results currently live.
+  int64_t live_results() const { return finalized_ + tail_live_; }
+  /// Retained (still retractable) results.
+  int64_t tail_entries() const { return tail_live_; }
+  /// Simulated bytes held by the retained tail.
+  int64_t tail_bytes() const {
+    return static_cast<int64_t>(tail_.size()) * kBytesPerEntry;
+  }
+
+  void Clear();
+  void Serialize(StateWriter& w) const;
+  void Restore(StateReader& r);
+
+ private:
+  struct Entry {
+    TimeMicros event_time = 0;
+    uint64_t key = 0;
+    uint64_t value_bits = 0;
+    bool operator<(const Entry& o) const {
+      if (event_time != o.event_time) return event_time < o.event_time;
+      if (key != o.key) return key < o.key;
+      return value_bits < o.value_bits;
+    }
+  };
+
+  /// Retained results with multiplicity (duplicates are legal for
+  /// non-windowed result streams).
+  std::map<Entry, int64_t> tail_;
+  uint64_t prefix_hash_ = kHashBasis;
+  int64_t finalized_ = 0;
+  int64_t tail_live_ = 0;
+};
+
+}  // namespace klink
+
+#endif  // KLINK_WINDOW_LATENESS_H_

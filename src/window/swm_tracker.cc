@@ -15,6 +15,12 @@ void SwmTracker::RecordEventDelay(int stream, DurationMicros delay) {
       static_cast<double>(delay));
 }
 
+void SwmTracker::RecordLateEventDelay(int stream, DurationMicros delay) {
+  KLINK_CHECK(stream >= 0 && stream < num_streams());
+  streams_[static_cast<size_t>(stream)].late_delays.Add(
+      static_cast<double>(delay));
+}
+
 void SwmTracker::RecordStreamSweep(int stream, TimeMicros deadline,
                                    TimeMicros ingest_time) {
   KLINK_CHECK(stream >= 0 && stream < num_streams());
@@ -48,6 +54,7 @@ void SwmTracker::Serialize(StateWriter& w) const {
     w.PutBool(s.has_finalized_epoch);
     w.PutI64(s.last_sweep_ingest);
     w.PutI64(s.last_swept_deadline);
+    s.late_delays.Serialize(w);
   }
 }
 
@@ -63,6 +70,7 @@ void SwmTracker::Restore(StateReader& r) {
     s.has_finalized_epoch = r.GetBool();
     s.last_sweep_ingest = r.GetI64();
     s.last_swept_deadline = r.GetI64();
+    s.late_delays.Restore(r);
   }
   KLINK_CHECK(r.ok());
 }

@@ -35,12 +35,22 @@ class SwmTracker {
     TimeMicros last_sweep_ingest = kNoTime;
     /// The window deadline that sweep elapsed.
     TimeMicros last_swept_deadline = kNoTime;
+    /// Delays of *late-accepted* events (allowed-lateness folds into
+    /// retained panes, window/lateness.h). Kept out of current_delays so
+    /// the mu/chi epoch statistics describe the on-time population the SWM
+    /// estimator models; the refire-debt correction reads these counts to
+    /// price pending corrections into slack.
+    RunningStats late_delays;
   };
 
   explicit SwmTracker(int num_streams);
 
   /// Records the network delay of a data event on `stream`.
   void RecordEventDelay(int stream, DurationMicros delay);
+
+  /// Records the network delay of a late-accepted event on `stream`
+  /// (folded into a retained pane past its deadline).
+  void RecordLateEventDelay(int stream, DurationMicros delay);
 
   /// Records that a watermark ingested at `ingest_time` elapsed window
   /// deadline `deadline` on `stream`, closing the current epoch.

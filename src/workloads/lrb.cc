@@ -10,6 +10,7 @@ namespace klink {
 
 std::unique_ptr<Query> MakeLrbQuery(QueryId id, const LrbConfig& config) {
   PipelineBuilder b("lrb");
+  b.SetAllowedLateness(config.allowed_lateness);
   // Three position-report sub-streams, each mapped onto its highway
   // segment before the group-by join.
   std::vector<BuilderStream> inputs;

@@ -41,6 +41,9 @@ struct LrbConfig {
 
   DurationMicros watermark_period = MillisToMicros(500);
   DurationMicros watermark_lag = MillisToMicros(150);
+  /// Allowed-lateness horizon (see YsbConfig::allowed_lateness). Applies
+  /// to the accident and toll windows; the join keeps its drop policy.
+  DurationMicros allowed_lateness = 0;
 
   double source_cost = 25.0;
   double map_cost = 22.0;

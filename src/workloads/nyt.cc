@@ -10,6 +10,7 @@ namespace klink {
 
 std::unique_ptr<Query> MakeNytQuery(QueryId id, const NytConfig& config) {
   PipelineBuilder b("nyt");
+  b.SetAllowedLateness(config.allowed_lateness);
   const int64_t cells = std::max<int64_t>(1, config.num_cells);
   BuilderStream head =
       b.Source("taxi-trips", config.source_cost)

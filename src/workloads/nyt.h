@@ -35,6 +35,8 @@ struct NytConfig {
 
   DurationMicros watermark_period = MillisToMicros(500);
   DurationMicros watermark_lag = MillisToMicros(150);
+  /// Allowed-lateness horizon (see YsbConfig::allowed_lateness).
+  DurationMicros allowed_lateness = 0;
 
   double source_cost = 12.0;
   double parse_cost = 17.0;

@@ -31,10 +31,34 @@ SyntheticFeed::SyntheticFeed(std::vector<SourceSpec> sources,
 }
 
 void SyntheticFeed::GenerateUpTo(TimeMicros horizon) {
-  for (size_t i = 0; i < sources_.size(); ++i) {
-    SourceState& src = sources_[i];
-    // Data events, with bursty rate modulation when configured.
-    while (src.next_event_time <= static_cast<double>(horizon)) {
+  // Elements are generated in strict global generation-time order across
+  // sources and element kinds, so the RNG draw sequence (burst switches,
+  // keys, values, delay samples) and the heap tie-break seq depend only on
+  // how far generation has advanced — never on how the caller slices its
+  // poll horizons. Polling to 6 s in one call therefore yields the
+  // byte-identical stream to polling 2.5 s, 3 s, then 6 s; crash-replay
+  // legs and paced replay both rely on this invariance.
+  while (true) {
+    size_t best_src = 0;
+    int best_kind = -1;  // 0 data, 1 watermark, 2 latency marker
+    double best_time = 0.0;
+    for (size_t i = 0; i < sources_.size(); ++i) {
+      const SourceState& src = sources_[i];
+      const double cand[3] = {src.next_event_time,
+                              static_cast<double>(src.next_watermark_time),
+                              static_cast<double>(src.next_marker_time)};
+      for (int k = 0; k < 3; ++k) {
+        if (best_kind < 0 || cand[k] < best_time) {
+          best_src = i;
+          best_kind = k;
+          best_time = cand[k];
+        }
+      }
+    }
+    if (best_time > static_cast<double>(horizon)) break;
+    SourceState& src = sources_[best_src];
+    if (best_kind == 0) {
+      // Data event, with bursty rate modulation when configured.
       if (src.spec.burstiness > 0.0 &&
           static_cast<TimeMicros>(src.next_event_time) >=
               src.next_burst_switch) {
@@ -58,25 +82,22 @@ void SyntheticFeed::GenerateUpTo(TimeMicros horizon) {
       Event e = MakeDataEvent(gen, gen + delay_->Sample(rng_), key, value,
                               src.spec.payload_bytes);
       pending_.push(Pending{e.ingest_time, seq_++,
-                            FeedElement{static_cast<int>(i), e}});
+                            FeedElement{static_cast<int>(best_src), e}});
       ++generated_;
       src.next_event_time += interval;
-    }
-    // Watermarks: timestamp trails emission by the lateness bound.
-    while (src.next_watermark_time <= horizon) {
+    } else if (best_kind == 1) {
+      // Watermark: timestamp trails emission by the lateness bound.
       const TimeMicros gen = src.next_watermark_time;
       Event wm = MakeWatermark(gen - src.spec.watermark_lag,
                                gen + delay_->Sample(rng_));
       pending_.push(Pending{wm.ingest_time, seq_++,
-                            FeedElement{static_cast<int>(i), wm}});
+                            FeedElement{static_cast<int>(best_src), wm}});
       src.next_watermark_time += src.spec.watermark_period;
-    }
-    // Latency markers.
-    while (src.next_marker_time <= horizon) {
+    } else {
       const TimeMicros gen = src.next_marker_time;
       Event m = MakeLatencyMarker(gen, gen + delay_->Sample(rng_));
       pending_.push(Pending{m.ingest_time, seq_++,
-                            FeedElement{static_cast<int>(i), m}});
+                            FeedElement{static_cast<int>(best_src), m}});
       src.next_marker_time += src.spec.marker_period;
     }
   }

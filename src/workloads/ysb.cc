@@ -10,6 +10,7 @@ namespace klink {
 
 std::unique_ptr<Query> MakeYsbQuery(QueryId id, const YsbConfig& config) {
   PipelineBuilder b("ysb");
+  b.SetAllowedLateness(config.allowed_lateness);
   const int64_t ads_per_campaign = std::max<int64_t>(1, config.ads_per_campaign);
   BuilderStream head =
       b.Source("ad-events", config.source_cost)

@@ -35,6 +35,10 @@ struct YsbConfig {
 
   DurationMicros watermark_period = MillisToMicros(500);
   DurationMicros watermark_lag = MillisToMicros(150);
+  /// Allowed-lateness horizon (PipelineBuilder::SetAllowedLateness): 0
+  /// drops late events, > 0 retains fired panes and emits
+  /// retraction+update corrections for late arrivals within the horizon.
+  DurationMicros allowed_lateness = 0;
 
   /// Per-event virtual CPU costs (micros).
   double source_cost = 30.0;

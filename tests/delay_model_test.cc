@@ -75,5 +75,53 @@ TEST(DelayModelTest, PaperModels) {
   }
 }
 
+TEST(DelayModelTest, ParetoBoundsAndMean) {
+  // Lomax (shifted Pareto) with alpha=3: finite mean = scale/(alpha-1).
+  const DurationMicros lo = 1000;
+  const DurationMicros scale = 10000;
+  ParetoDelay d(lo, /*alpha=*/3.0, scale);
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const DurationMicros v = d.Sample(rng);
+    EXPECT_GE(v, lo);
+    EXPECT_LE(v, SecondsToMicros(30));  // default cap
+    sum += static_cast<double>(v - lo);
+  }
+  // E[tail] = scale/(alpha-1) = 5000 us; Monte Carlo tolerance ~2%.
+  EXPECT_NEAR(sum / n, 5000.0, 120.0);
+  EXPECT_EQ(d.name(), "pareto");
+}
+
+TEST(DelayModelTest, ParetoTailIsHeavy) {
+  // alpha=1.5 has infinite variance: the tail beyond 10x the scale must
+  // carry real mass — (1 + 10)^-1.5 ~ 2.7% — where an exponential with
+  // the same scale would put e^-10 ~ 0.005% there.
+  ParetoDelay d(0, /*alpha=*/1.5, /*scale=*/20000);
+  Rng rng(12);
+  const int n = 100000;
+  int beyond = 0;
+  for (int i = 0; i < n; ++i) {
+    if (d.Sample(rng) > 200000) ++beyond;
+  }
+  EXPECT_GT(beyond, n / 100);  // > 1%
+  EXPECT_LT(beyond, n / 20);   // < 5% (sanity: not all mass in the tail)
+}
+
+TEST(DelayModelTest, ParetoDefaultIsNotCoveredByWatermarkLag) {
+  // The allowed-lateness experiments rely on the Pareto regime producing
+  // genuinely late events: a non-trivial fraction of delays must exceed
+  // the 250 ms watermark lag WatermarkLagFor assigns to it.
+  auto d = MakeDefaultParetoDelay();
+  Rng rng(13);
+  const int n = 100000;
+  int late = 0;
+  for (int i = 0; i < n; ++i) {
+    if (d->Sample(rng) > MillisToMicros(250)) ++late;
+  }
+  EXPECT_GT(late, n / 200);  // > 0.5% of events arrive behind the lag
+}
+
 }  // namespace
 }  // namespace klink

@@ -1,0 +1,317 @@
+// Allowed-lateness subsystem units (DESIGN.md "Late data"): the converging
+// result log's retraction algebra and order-insensitive folded hash, the
+// shared retention-horizon predicate, late-counter checkpointing, and the
+// operator-level contracts — speculative firing with retained panes and
+// canonical retraction+update correction pairs at the aggregate, frozen
+// close times with eager in-horizon corrections at the session window, and
+// the sink's converging fold.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "src/common/serialize.h"
+#include "src/operators/aggregate_operator.h"
+#include "src/operators/session_window_operator.h"
+#include "src/operators/sink_operator.h"
+#include "src/window/lateness.h"
+#include "src/window/window_assigner.h"
+
+namespace klink {
+namespace {
+
+// ---------------------------------------------------------------------------
+// WithinLatenessHorizon
+
+TEST(LatenessTest, HorizonPredicate) {
+  // No watermark yet: everything is retainable.
+  EXPECT_TRUE(WithinLatenessHorizon(1000, kNoTime, 0));
+  // Horizon open while watermark < end + lateness.
+  EXPECT_TRUE(WithinLatenessHorizon(1000, 1500, 1000));
+  EXPECT_TRUE(WithinLatenessHorizon(1000, 1999, 1000));
+  // Closed exactly at end + lateness.
+  EXPECT_FALSE(WithinLatenessHorizon(1000, 2000, 1000));
+  // Zero lateness: closed as soon as the watermark reaches the end.
+  EXPECT_FALSE(WithinLatenessHorizon(1000, 1000, 0));
+}
+
+// ---------------------------------------------------------------------------
+// ConvergingResultLog
+
+uint64_t LegacyFold(const std::vector<std::array<uint64_t, 3>>& entries) {
+  uint64_t h = ConvergingResultLog::kHashBasis;
+  for (const auto& e : entries) {
+    h = ConvergingResultLog::Fnv1a(h, e[0]);
+    h = ConvergingResultLog::Fnv1a(h, e[1]);
+    h = ConvergingResultLog::Fnv1a(h, e[2]);
+  }
+  return h;
+}
+
+TEST(ConvergingResultLogTest, FoldedHashMatchesCanonicalOrderFold) {
+  ConvergingResultLog log;
+  // Appended out of canonical order: the folded hash must equal the legacy
+  // arrival-order fold of the *sorted* entries.
+  log.Append(300, 1, 30);
+  log.Append(100, 2, 10);
+  log.Append(200, 1, 20);
+  EXPECT_EQ(log.FoldedHash(),
+            LegacyFold({{100, 2, 10}, {200, 1, 20}, {300, 1, 30}}));
+  EXPECT_EQ(log.live_results(), 3);
+  EXPECT_EQ(log.tail_entries(), 3);
+}
+
+TEST(ConvergingResultLogTest, RetractThenAppendConverges) {
+  // A speculative result corrected by retraction+update must hash exactly
+  // like a run that only ever saw the corrected value.
+  ConvergingResultLog corrected;
+  corrected.Append(100, 7, 10);  // speculative
+  EXPECT_TRUE(corrected.Retract(100, 7, 10));
+  corrected.Append(100, 7, 11);  // update
+
+  ConvergingResultLog in_order;
+  in_order.Append(100, 7, 11);
+  EXPECT_EQ(corrected.FoldedHash(), in_order.FoldedHash());
+  EXPECT_EQ(corrected.live_results(), 1);
+}
+
+TEST(ConvergingResultLogTest, RetractMissingEntryReturnsFalse) {
+  ConvergingResultLog log;
+  log.Append(100, 7, 10);
+  EXPECT_FALSE(log.Retract(100, 7, 99));
+  EXPECT_FALSE(log.Retract(999, 7, 10));
+  EXPECT_EQ(log.live_results(), 1);
+}
+
+TEST(ConvergingResultLogTest, FinalizeFoldsAndFreezesEntries) {
+  ConvergingResultLog log;
+  log.Append(100, 1, 10);
+  log.Append(500, 1, 50);
+  // Horizon 200: entry at 100 finalizes once the watermark reaches 300.
+  log.FinalizeUpTo(/*watermark=*/300, /*allowed_lateness=*/200);
+  EXPECT_EQ(log.tail_entries(), 1);
+  EXPECT_EQ(log.live_results(), 2);
+  // A finalized entry can no longer be retracted.
+  EXPECT_FALSE(log.Retract(100, 1, 10));
+  // The hash is unchanged by finalization (prefix + tail == full fold).
+  EXPECT_EQ(log.FoldedHash(), LegacyFold({{100, 1, 10}, {500, 1, 50}}));
+}
+
+TEST(ConvergingResultLogTest, SerializeRestoreRoundTrip) {
+  ConvergingResultLog log;
+  log.Append(100, 1, 10);
+  log.Append(500, 2, 50);
+  log.Append(500, 2, 50);  // duplicates are legal (multiplicity)
+  log.FinalizeUpTo(200, 50);
+
+  StateWriter w;
+  log.Serialize(w);
+  StateReader r(w.bytes());
+  ConvergingResultLog restored;
+  restored.Restore(r);
+  EXPECT_EQ(restored.FoldedHash(), log.FoldedHash());
+  EXPECT_EQ(restored.live_results(), log.live_results());
+  EXPECT_EQ(restored.tail_entries(), log.tail_entries());
+  EXPECT_EQ(restored.tail_bytes(), log.tail_bytes());
+}
+
+TEST(LatenessTest, LateEventCountersSerializeRoundTrip) {
+  LateEventCounters c;
+  c.late_accepted = 3;
+  c.late_dropped_beyond_horizon = 1;
+  c.retractions_emitted = 2;
+  c.updates_emitted = 4;
+  StateWriter w;
+  c.Serialize(w);
+  StateReader r(w.bytes());
+  LateEventCounters d;
+  d.Restore(r);
+  EXPECT_EQ(d.late_accepted, 3);
+  EXPECT_EQ(d.late_dropped_beyond_horizon, 1);
+  EXPECT_EQ(d.retractions_emitted, 2);
+  EXPECT_EQ(d.updates_emitted, 4);
+}
+
+// ---------------------------------------------------------------------------
+// WindowAggregateOperator under allowed lateness
+
+std::unique_ptr<WindowAggregateOperator> MakeLateAgg(
+    DurationMicros lateness, DurationMicros size = 1000) {
+  auto op = std::make_unique<WindowAggregateOperator>(
+      "agg", 1.0, MakeTumblingWindow(size), AggregationKind::kCount);
+  op->SetAllowedLateness(lateness);
+  return op;
+}
+
+TEST(AggregateLatenessTest, LateEventEmitsRetractionUpdatePair) {
+  auto op = MakeLateAgg(/*lateness=*/2000);
+  VectorEmitter out;
+  op->Process(MakeDataEvent(100, 100, /*key=*/1, 1.0), 0, out);
+  op->Process(MakeWatermark(1000, 1050), 0, out);
+  // Speculative firing: count=1, pane retained for the horizon.
+  ASSERT_EQ(out.events.size(), 2u);
+  EXPECT_DOUBLE_EQ(out.events[0].value, 1.0);
+  EXPECT_EQ(op->retained_panes(), 1);
+  out.events.clear();
+
+  // Late arrival (event_time 200 < forwarded watermark 1000) folds into
+  // the retained pane and schedules a correction.
+  op->Process(MakeDataEvent(200, 1100, 1, 1.0), 0, out);
+  EXPECT_TRUE(out.events.empty());  // corrections are batched
+  EXPECT_EQ(op->late_counters().late_accepted, 1);
+  EXPECT_EQ(op->dropped_late_events(), 0);
+  EXPECT_EQ(op->PendingRefires(), 2);  // one retraction + one update
+
+  // The next watermark flushes the canonical pair before anything else.
+  op->Process(MakeWatermark(1500, 1550), 0, out);
+  ASSERT_GE(out.events.size(), 3u);
+  EXPECT_TRUE(out.events[0].is_retraction());
+  EXPECT_DOUBLE_EQ(out.events[0].value, 1.0);  // exact speculative result
+  EXPECT_TRUE(out.events[1].is_update());
+  EXPECT_DOUBLE_EQ(out.events[1].value, 2.0);  // corrected count
+  EXPECT_EQ(out.events[0].event_time, out.events[1].event_time);
+  EXPECT_EQ(out.events[0].key, out.events[1].key);
+  EXPECT_EQ(op->late_counters().retractions_emitted, 1);
+  EXPECT_EQ(op->late_counters().updates_emitted, 1);
+  EXPECT_EQ(op->PendingRefires(), 0);
+}
+
+TEST(AggregateLatenessTest, HorizonEvictsRetainedPanes) {
+  auto op = MakeLateAgg(/*lateness=*/2000);
+  VectorEmitter out;
+  op->Process(MakeDataEvent(100, 100, 1, 1.0), 0, out);
+  op->Process(MakeWatermark(1000, 1050), 0, out);
+  EXPECT_EQ(op->retained_panes(), 1);
+
+  // Watermark reaches end + lateness = 3000: the pane is evicted and a
+  // later arrival for it is beyond the horizon.
+  op->Process(MakeWatermark(3000, 3050), 0, out);
+  EXPECT_EQ(op->retained_panes(), 0);
+  out.events.clear();
+  op->Process(MakeDataEvent(300, 3100, 1, 1.0), 0, out);
+  EXPECT_TRUE(out.events.empty());
+  EXPECT_EQ(op->late_counters().late_accepted, 0);
+  EXPECT_EQ(op->late_counters().late_dropped_beyond_horizon, 1);
+}
+
+TEST(AggregateLatenessTest, ZeroLatenessKeepsStrictDropPolicy) {
+  auto strict = std::make_unique<WindowAggregateOperator>(
+      "agg", 1.0, MakeTumblingWindow(1000), AggregationKind::kCount);
+  VectorEmitter out;
+  strict->Process(MakeDataEvent(100, 100, 1, 1.0), 0, out);
+  strict->Process(MakeWatermark(1000, 1050), 0, out);
+  out.events.clear();
+  strict->Process(MakeDataEvent(200, 1100, 1, 1.0), 0, out);
+  EXPECT_TRUE(out.events.empty());
+  EXPECT_EQ(strict->dropped_late_events(), 1);
+  EXPECT_EQ(strict->retained_panes(), 0);
+  EXPECT_EQ(strict->late_counters().late_accepted, 0);
+}
+
+// ---------------------------------------------------------------------------
+// SessionWindowOperator under allowed lateness
+
+TEST(SessionLatenessTest, LateEventReopensSessionContentsEagerly) {
+  SessionWindowOperator op("sess", 1.0, /*gap=*/1000, AggregationKind::kCount);
+  op.SetAllowedLateness(3000);
+  VectorEmitter out;
+  op.Process(MakeDataEvent(100, 100, 1, 1.0), 0, out);
+  op.Process(MakeDataEvent(400, 400, 1, 1.0), 0, out);
+  op.Process(MakeWatermark(1400, 1450), 0, out);  // close = 400 + 1000
+  ASSERT_EQ(out.events.size(), 2u);
+  EXPECT_DOUBLE_EQ(out.events[0].value, 2.0);
+  const TimeMicros close = out.events[0].event_time;
+  EXPECT_EQ(close, 1400);
+  EXPECT_EQ(op.retained_sessions(), 1);
+  out.events.clear();
+
+  // A late event inside [start - gap, close] folds into the retained
+  // session and corrects it *eagerly* — the close time stays frozen, so
+  // the corrected result replaces the speculative one at the same
+  // (event_time, key).
+  op.Process(MakeDataEvent(300, 1500, 1, 1.0), 0, out);
+  ASSERT_EQ(out.events.size(), 2u);
+  EXPECT_TRUE(out.events[0].is_retraction());
+  EXPECT_DOUBLE_EQ(out.events[0].value, 2.0);
+  EXPECT_EQ(out.events[0].event_time, close);
+  EXPECT_TRUE(out.events[1].is_update());
+  EXPECT_DOUBLE_EQ(out.events[1].value, 3.0);
+  EXPECT_EQ(out.events[1].event_time, close);
+  EXPECT_EQ(op.late_counters().late_accepted, 1);
+  EXPECT_EQ(op.PendingRefires(), 0);  // eager: nothing pending
+}
+
+TEST(SessionLatenessTest, OrphanLateEventDroppedBeyondHorizon) {
+  SessionWindowOperator op("sess", 1.0, /*gap=*/1000, AggregationKind::kCount);
+  op.SetAllowedLateness(3000);
+  VectorEmitter out;
+  op.Process(MakeDataEvent(5000, 5000, 1, 1.0), 0, out);
+  op.Process(MakeWatermark(6000, 6050), 0, out);  // fires, close = 6000
+  out.events.clear();
+  // Late event for key 1 but outside [start - gap, close] of the retained
+  // session (3000 < 5000 - 1000): no session structure to reopen.
+  op.Process(MakeDataEvent(3000, 6100, 1, 1.0), 0, out);
+  EXPECT_TRUE(out.events.empty());
+  EXPECT_EQ(op.late_counters().late_dropped_beyond_horizon, 1);
+  // Horizon passes: the retained session is evicted.
+  op.Process(MakeWatermark(9000, 9050), 0, out);
+  EXPECT_EQ(op.retained_sessions(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// SinkOperator converging fold
+
+TEST(SinkLatenessTest, CorrectionPairConvergesToInOrderHash) {
+  // Corrected delivery: speculative result, then a retraction+update pair.
+  SinkOperator corrected("sink", 0.0);
+  corrected.SetAllowedLateness(1000);
+  NullEmitter null;
+  corrected.Process(MakeDataEvent(1000, 1100, 1, 5.0), 1100, null);
+  corrected.Process(MakeRetractionEvent(1000, 1600, 1, 5.0, 64), 1600, null);
+  corrected.Process(MakeUpdateEvent(1000, 1600, 1, 7.0, 64), 1600, null);
+  EXPECT_EQ(corrected.results_received(), 1);
+  EXPECT_EQ(corrected.retractions_received(), 1);
+  EXPECT_EQ(corrected.unmatched_retractions(), 0);
+
+  // In-order delivery of the converged result, same horizon.
+  SinkOperator in_order("sink", 0.0);
+  in_order.SetAllowedLateness(1000);
+  in_order.Process(MakeDataEvent(1000, 1100, 1, 7.0), 1100, null);
+  EXPECT_EQ(corrected.results_hash(), in_order.results_hash());
+
+  // And a lateness=0 sink that only ever saw the corrected value reports
+  // the identical hash through the legacy arrival-order path.
+  SinkOperator legacy("sink", 0.0);
+  legacy.Process(MakeDataEvent(1000, 1100, 1, 7.0), 1100, null);
+  EXPECT_EQ(corrected.results_hash(), legacy.results_hash());
+}
+
+TEST(SinkLatenessTest, UnmatchedRetractionCounted) {
+  SinkOperator sink("sink", 0.0);
+  sink.SetAllowedLateness(1000);
+  NullEmitter null;
+  // Retraction for a result the sink never saw (warm-up reset scenario).
+  sink.Process(MakeRetractionEvent(1000, 1600, 1, 5.0, 64), 1600, null);
+  EXPECT_EQ(sink.retractions_received(), 1);
+  EXPECT_EQ(sink.unmatched_retractions(), 1);
+  EXPECT_EQ(sink.results_received(), 0);
+}
+
+TEST(SinkLatenessTest, FinalizationKeepsHashStable) {
+  SinkOperator sink("sink", 0.0);
+  sink.SetAllowedLateness(500);
+  NullEmitter null;
+  sink.Process(MakeDataEvent(1000, 1100, 1, 5.0), 1100, null);
+  const uint64_t before = sink.results_hash();
+  // An SWM past event_time + lateness finalizes the entry; the reported
+  // hash must not change (prefix + tail == full fold).
+  Event swm = MakeWatermark(2000, 2100);
+  swm.swm = true;
+  sink.Process(swm, 2100, null);
+  EXPECT_EQ(sink.results_hash(), before);
+}
+
+}  // namespace
+}  // namespace klink

@@ -54,6 +54,38 @@ TEST(WireTest, DataEventRoundTrip) {
   EXPECT_EQ(f.event.payload_bytes, e.payload_bytes);
 }
 
+TEST(WireTest, RetractionAndUpdateRoundTrip) {
+  // v3 correction elements: same layout as kData, distinct frame types, so
+  // a correction pair survives the wire byte-exactly (the retraction must
+  // name the exact speculative result it cancels).
+  struct Case {
+    Event e;
+    FrameType type;
+  };
+  const Case cases[] = {
+      {MakeRetractionEvent(1000, 1600, /*key=*/42, /*value=*/5.5, 64),
+       FrameType::kRetraction},
+      {MakeUpdateEvent(1000, 1600, /*key=*/42, /*value=*/7.5, 64),
+       FrameType::kUpdate},
+  };
+  for (const Case& c : cases) {
+    std::vector<uint8_t> bytes;
+    EncodeEvent(c.e, /*seq=*/9, &bytes);
+    EXPECT_EQ(bytes.size(), EncodedEventSize(c.e));
+    const Frame f = MustDecode(bytes);
+    EXPECT_EQ(f.type, c.type);
+    EXPECT_EQ(f.seq, 9u);
+    EXPECT_EQ(f.event.kind, c.e.kind);
+    EXPECT_EQ(f.event.event_time, c.e.event_time);
+    EXPECT_EQ(f.event.ingest_time, c.e.ingest_time);
+    EXPECT_EQ(f.event.key, c.e.key);
+    EXPECT_EQ(f.event.value, c.e.value);
+    EXPECT_EQ(f.event.payload_bytes, c.e.payload_bytes);
+    EXPECT_TRUE(f.event.is_keyed_element());
+    EXPECT_FALSE(f.event.is_data());
+  }
+}
+
 TEST(WireTest, WatermarkRoundTripPreservesSwmFlag) {
   for (const bool swm : {false, true}) {
     Event wm = MakeWatermark(/*timestamp=*/1000, /*ingest_time=*/2000);

@@ -31,6 +31,15 @@ contract mechanical:
   iwyu            Headers directly include the std headers whose symbols
                   they name (a deterministic include-what-you-use subset
                   for the public headers; no compiler needed).
+  event-kind-switch
+                  Switches over EventKind must enumerate every kind, with
+                  no `default:` arm. The repo compiles with -Wswitch as an
+                  error, so an exhaustive switch turns every future kind
+                  addition (e.g. kRetraction/kUpdate for allowed lateness)
+                  into a compile error at each decode/route/merge site; a
+                  `default:` silently swallows the new kind instead — the
+                  exact bug class the wire decoder and exchange merge must
+                  never have.
 
 Suppression: append `// klink-lint: allow(<rule>): <reason>` to the line,
 or put it on the line directly above.
@@ -320,6 +329,52 @@ def check_iwyu(path, raw, code):
                               f"directly include {header}")
 
 
+EVENT_KIND_SWITCH_RE = re.compile(
+    r"switch\s*\(\s*[^)]*(\bkind\b|\bEventKind\b|(\.|->)\s*kind\s*\(\))")
+DEFAULT_ARM_RE = re.compile(r"\bdefault\s*:")
+
+
+def check_event_kind_switch(path, raw, code):
+    # EventKind switches must stay exhaustive: -Wswitch (an error here)
+    # then flags every decode/route/merge site when a kind is added. A
+    # `default:` arm defeats that and silently drops unknown kinds.
+    if not (path.startswith("src/") or path.startswith("tools/")
+            or path.startswith("bench/")):
+        return
+    i = 0
+    n = len(code)
+    while i < n:
+        m = EVENT_KIND_SWITCH_RE.search(code[i])
+        if m is None:
+            i += 1
+            continue
+        # Walk the switch body by brace depth, starting from the first `{`
+        # at or after the switch line.
+        depth = 0
+        entered = False
+        j = i
+        while j < n:
+            for c in code[j]:
+                if c == "{":
+                    depth += 1
+                    entered = True
+                elif c == "}":
+                    depth -= 1
+            if entered:
+                dm = DEFAULT_ARM_RE.search(code[j])
+                if dm and not allowed_near("event-kind-switch", raw, j, 2, 1):
+                    yield Finding(
+                        path, j + 1, "event-kind-switch",
+                        "default: arm in an EventKind switch; enumerate "
+                        "every kind so -Wswitch flags this site when a "
+                        "kind is added (see src/event/event.h)")
+                if depth <= 0:
+                    break
+            j += 1
+        i = max(i + 1, j)
+    return
+
+
 RULES = [
     check_determinism,
     check_accounting,
@@ -328,6 +383,7 @@ RULES = [
     check_raw_new_delete,
     check_include_guard,
     check_iwyu,
+    check_event_kind_switch,
 ]
 
 

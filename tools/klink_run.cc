@@ -117,7 +117,8 @@ int Usage() {
       stderr,
       "usage: klink_run [--policy=default|fcfs|rr|hr|sbox|klink|klink-nomm]\n"
       "                 [--workload=ysb|lrb|nyt] [--queries=N] [--rate=EPS]\n"
-      "                 [--delay=uniform|zipf] [--duration=SECONDS]\n"
+      "                 [--delay=uniform|zipf|pareto] [--duration=SECONDS]\n"
+      "                 [--allowed-lateness-ms=N]\n"
       "                 [--warmup=SECONDS] [--cores=N] [--memory-mb=N]\n"
       "                 [--executor=sequential|threads]\n"
       "                 [--confidence=F] [--seed=N] [--csv=PATH]\n"
@@ -207,6 +208,7 @@ int RunListenMode(const ExperimentConfig& config, uint16_t port,
         wc.window_offset = window_offsets[static_cast<size_t>(q)];
         wc.shards = config.shards;
         wc.max_shards = config.max_shards;
+        wc.allowed_lateness = config.allowed_lateness;
         query = MakeYsbQuery(q, wc);
         break;
       }
@@ -215,6 +217,7 @@ int RunListenMode(const ExperimentConfig& config, uint16_t port,
         wc.events_per_substream_per_second = config.events_per_second;
         wc.watermark_lag = WatermarkLagFor(config.delay);
         wc.window_offset = window_offsets[static_cast<size_t>(q)];
+        wc.allowed_lateness = config.allowed_lateness;
         query = MakeLrbQuery(q, wc);
         break;
       }
@@ -225,6 +228,7 @@ int RunListenMode(const ExperimentConfig& config, uint16_t port,
         wc.window_offset = window_offsets[static_cast<size_t>(q)];
         wc.shards = config.shards;
         wc.max_shards = config.max_shards;
+        wc.allowed_lateness = config.allowed_lateness;
         query = MakeNytQuery(q, wc);
         break;
       }
@@ -491,15 +495,26 @@ int RunListenMode(const ExperimentConfig& config, uint16_t port,
   // happened not to have drained yet.
   if (lockstep) {
     const TimeMicros drain_deadline = engine.now() + SecondsToMicros(60);
-    const auto queued_total = [&tenants, &engine]() {
+    // Count gateway-staged events alongside engine queues: a delayed tail
+    // (ingest_time past the current virtual now) is otherwise cut off the
+    // moment the engine queues happen to empty, fingerprinting the run.
+    const auto pending_total = [&tenants, &engine, &gateway]() {
       int64_t total = 0;
       for (const auto& [q, t] : tenants) {
-        if (!t.detached) total += engine.query(t.id).QueuedEvents();
+        if (t.detached) continue;
+        total += engine.query(t.id).QueuedEvents();
+        for (const uint32_t sid : t.streams) {
+          total += gateway.staged_events(sid);
+        }
       }
       return total;
     };
-    while (queued_total() > 0 && engine.now() < drain_deadline) {
+    while ((server.num_connections() > 0 || pending_total() > 0) &&
+           engine.now() < drain_deadline) {
       if (dynamic_attach) sweep_detach();
+      // Paced clients may still be flushing their post-duration delay
+      // tail; keep reading so it lands in the drain instead of in flight.
+      if (server.num_connections() > 0) server.PollOnce(0);
       engine.RunUntil(engine.now() + cycle);
     }
   }
@@ -529,6 +544,7 @@ int RunListenMode(const ExperimentConfig& config, uint16_t port,
   table.Print();
   PrintIngestMetrics(gateway.metrics());
   for (const auto& [q, t] : tenants) PrintShardMetrics(engine, t.id);
+  PrintLateEventMetrics(engine);
   if (resharder != nullptr) {
     std::printf("reshards completed %lld\n",
                 static_cast<long long>(resharder->completed_reshards()));
@@ -587,6 +603,8 @@ int main(int argc, char** argv) {
     config.delay = DelayKind::kUniform;
   } else if (delay == "zipf") {
     config.delay = DelayKind::kZipf;
+  } else if (delay == "pareto") {
+    config.delay = DelayKind::kPareto;
   } else {
     std::fprintf(stderr, "unknown --delay\n");
     return Usage();
@@ -607,6 +625,12 @@ int main(int argc, char** argv) {
   config.engine.memory_capacity_bytes = flags.GetInt("memory-mb", 16) << 20;
   config.klink.confidence = flags.GetDouble("confidence", 0.95);
   config.seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  const int64_t lateness_ms = flags.GetInt("allowed-lateness-ms", 0);
+  if (lateness_ms < 0) {
+    std::fprintf(stderr, "--allowed-lateness-ms must be >= 0\n");
+    return Usage();
+  }
+  config.allowed_lateness = MillisToMicros(lateness_ms);
   config.shards = static_cast<int>(flags.GetInt("shards", 1));
   config.max_shards = static_cast<int>(flags.GetInt("max-shards", 0));
   if (config.shards < 1 ||
@@ -693,6 +717,17 @@ int main(int argc, char** argv) {
   if (r.estimator_predictions > 0) {
     table.AddRow({"SWM estimation accuracy (%)",
                   TableReporter::Num(r.estimator_accuracy * 100.0, 1)});
+    table.AddRow({"SWM estimation MAE (s)",
+                  TableReporter::Num(r.estimator_mae_s, 3)});
+  }
+  if (config.allowed_lateness > 0) {
+    table.AddRow({"late accepted", std::to_string(r.late.late_accepted)});
+    table.AddRow({"late dropped (beyond horizon)",
+                  std::to_string(r.late.late_dropped_beyond_horizon)});
+    table.AddRow({"retractions emitted",
+                  std::to_string(r.late.retractions_emitted)});
+    table.AddRow({"updates emitted",
+                  std::to_string(r.late.updates_emitted)});
   }
   table.Print();
 

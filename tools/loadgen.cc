@@ -29,6 +29,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <thread>
@@ -37,6 +38,7 @@
 #include "src/common/flags.h"
 #include "src/common/rng.h"
 #include "src/harness/experiment.h"
+#include "src/net/delay_model.h"
 #include "src/net/ingest_gateway.h"
 #include "src/net/loadgen.h"
 #include "src/workloads/lrb.h"
@@ -52,7 +54,8 @@ int Usage() {
       stderr,
       "usage: loadgen --port=PORT [--host=127.0.0.1]\n"
       "               [--workload=ysb|lrb|nyt] [--queries=N] [--rate=EPS]\n"
-      "               [--delay=none|uniform|zipf] [--duration=SECONDS]\n"
+      "               [--delay=none|uniform|zipf|pareto] [--duration=SECONDS]\n"
+      "               [--delay-pareto=ALPHA,SCALE_MS]\n"
       "               [--speed=X] [--seed=N] [--max-retries=N]\n"
       "               [--key-skew=S]\n"
       "               [--churn-detach=K] [--churn-attach=K]\n"
@@ -115,12 +118,38 @@ int main(int argc, char** argv) {
     delay_kind = DelayKind::kUniform;
   } else if (delay == "zipf") {
     delay_kind = DelayKind::kZipf;
+  } else if (delay == "pareto") {
+    delay_kind = DelayKind::kPareto;
   } else {
     std::fprintf(stderr, "unknown --delay\n");
     return Usage();
   }
+  // --delay-pareto=ALPHA,SCALE_MS overrides the default Pareto shape/scale
+  // (implies --delay=pareto): alpha <= 2 gives an infinite-variance tail.
+  double pareto_alpha = 0.0, pareto_scale_ms = 0.0;
+  const std::string pareto_spec = flags.GetString("delay-pareto", "");
+  if (!pareto_spec.empty()) {
+    const size_t comma = pareto_spec.find(',');
+    if (comma == std::string::npos) {
+      std::fprintf(stderr, "--delay-pareto expects ALPHA,SCALE_MS\n");
+      return Usage();
+    }
+    pareto_alpha = std::atof(pareto_spec.substr(0, comma).c_str());
+    pareto_scale_ms = std::atof(pareto_spec.substr(comma + 1).c_str());
+    if (pareto_alpha <= 0.0 || pareto_scale_ms <= 0.0) {
+      std::fprintf(stderr, "--delay-pareto expects positive ALPHA,SCALE_MS\n");
+      return Usage();
+    }
+    delay_kind = DelayKind::kPareto;
+    no_delay = false;
+  }
   auto make_delay = [&]() -> std::unique_ptr<DelayModel> {
     if (no_delay) return std::make_unique<ConstantDelay>(0);
+    if (delay_kind == DelayKind::kPareto && pareto_alpha > 0.0) {
+      return std::make_unique<ParetoDelay>(
+          MillisToMicros(5), pareto_alpha,
+          static_cast<DurationMicros>(pareto_scale_ms * 1000.0));
+    }
     return MakeDelayModel(delay_kind);
   };
   const DurationMicros watermark_lag =
