@@ -1,0 +1,64 @@
+#ifndef KLINK_COMMON_FAULT_INJECTION_H_
+#define KLINK_COMMON_FAULT_INJECTION_H_
+
+#include <atomic>
+#include <cstddef>
+
+/// Mutation harness for the schedule explorer (DESIGN.md "Static analysis
+/// & schedule exploration"): named, re-injectable versions of bugs the
+/// repo has already fixed. A production binary never enables a fault; the
+/// explorer test enables one, drives the protocols through explored
+/// schedules, and asserts the exploration *detects* the re-injected bug
+/// from a logged, replayable seed — which is the evidence the explorer
+/// would have caught the bug class before it shipped.
+///
+/// Faults are compiled in unconditionally (the check is one relaxed
+/// atomic load on a cold path) so the mutation tests exercise the exact
+/// production binary, not an #ifdef variant of it.
+
+namespace klink {
+
+enum class TestFault : int {
+  /// PR-8 checkpoint bug #1: serialize the partition exchange's re-shard
+  /// hold buffer into checkpoints. Held elements precede the aligning
+  /// barrier, so downstream snapshots already contain their effects; a
+  /// restore then replays them a second time.
+  kCheckpointHoldBuffer = 0,
+  kNumFaults,
+};
+
+inline std::atomic<bool>& FaultSlot(TestFault fault) {
+  static std::atomic<bool> slots[static_cast<size_t>(TestFault::kNumFaults)];
+  return slots[static_cast<size_t>(fault)];
+}
+
+/// Cold-path query at each injection site.
+inline bool TestFaultEnabled(TestFault fault) {
+  // klink-lint: allow(relaxed-atomics): test-only flag toggled while the
+  // engine is quiescent; no data is published through it.
+  return FaultSlot(fault).load(std::memory_order_relaxed);
+}
+
+/// Test-only toggle. RAII via ScopedTestFault below.
+inline void SetTestFault(TestFault fault, bool enabled) {
+  // klink-lint: allow(relaxed-atomics): see TestFaultEnabled above.
+  FaultSlot(fault).store(enabled, std::memory_order_relaxed);
+}
+
+class ScopedTestFault {
+ public:
+  explicit ScopedTestFault(TestFault fault) : fault_(fault) {
+    SetTestFault(fault_, true);
+  }
+  ~ScopedTestFault() { SetTestFault(fault_, false); }
+
+  ScopedTestFault(const ScopedTestFault&) = delete;
+  ScopedTestFault& operator=(const ScopedTestFault&) = delete;
+
+ private:
+  TestFault fault_;
+};
+
+}  // namespace klink
+
+#endif  // KLINK_COMMON_FAULT_INJECTION_H_

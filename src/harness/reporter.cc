@@ -52,6 +52,8 @@ void TableReporter::Print() const {
   for (const auto& row : rows_) print_row(row);
   std::fflush(stdout);
 
+  // Harness shutdown path, single-threaded by construction.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   if (const char* dir = std::getenv("KLINK_BENCH_CSV_DIR")) {
     std::string slug;
     for (char ch : title_) {

@@ -15,6 +15,9 @@ namespace klink {
 namespace {
 
 std::string Errno(const char* what) {
+  // strerror's static buffer is fine here: error formatting happens on
+  // the one thread that owns the failing socket.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   return std::string(what) + ": " + std::strerror(errno);
 }
 

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "src/common/check.h"
+#include "src/common/fault_injection.h"
 
 namespace klink {
 
@@ -170,6 +171,14 @@ void PartitionExchangeOperator::SerializeState(StateWriter& w) const {
   w.PutU64(pause_at_epoch_);
   w.PutBool(paused_);
   w.PutU64(last_broadcast_epoch_);
+  if (TestFaultEnabled(TestFault::kCheckpointHoldBuffer)) {
+    // MUTATION (schedule_explorer_test): re-inject the PR-8 bug the comment
+    // above explains — checkpoint the hold buffer anyway. A restore then
+    // replays held elements whose effects the downstream snapshots already
+    // contain, and the explorer's hash oracle must catch the double-apply.
+    w.PutU64(hold_.size());
+    for (const Event& e : hold_) PutEvent(w, e);
+  }
 }
 
 void PartitionExchangeOperator::RestoreState(StateReader& r) {
@@ -179,6 +188,11 @@ void PartitionExchangeOperator::RestoreState(StateReader& r) {
   pause_at_epoch_ = r.GetU64();
   paused_ = r.GetBool();
   last_broadcast_epoch_ = r.GetU64();
+  if (TestFaultEnabled(TestFault::kCheckpointHoldBuffer)) {
+    const uint64_t n = r.GetU64();
+    KLINK_CHECK(r.ok());
+    for (uint64_t i = 0; i < n; ++i) hold_.push_back(GetEvent(r));
+  }
   KLINK_CHECK(r.ok());
   KLINK_CHECK_GE(active_shards_, 1);
   KLINK_CHECK_GE(max_shards_, active_shards_);

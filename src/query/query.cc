@@ -81,6 +81,8 @@ Query::Query(QueryId id, std::string name,
   // Seed the incremental memory counter with any state accrued before
   // deployment, then subscribe to every queue and operator-state delta.
   for (const auto& op : operators_) {
+    // klink-lint: allow(relaxed-atomics): deploy-time seeding on the
+    // engine thread, before any shard lane can run.
     memory_bytes_.fetch_add(op->MemoryBytes(), std::memory_order_relaxed);
     op->BindMemoryAccounting(this);
   }

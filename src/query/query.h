@@ -108,6 +108,8 @@ class Query : private MemoryDeltaSink {
   /// different executor slots; relaxed ordering suffices — readers only
   /// consume the total between cycles, under the executor barrier.
   int64_t MemoryBytes() const {
+    // klink-lint: allow(relaxed-atomics): read between cycles only; the
+    // executor's cycle barrier orders it against the shard-lane writers.
     return memory_bytes_.load(std::memory_order_relaxed);
   }
 
@@ -126,6 +128,8 @@ class Query : private MemoryDeltaSink {
   void BindId(QueryId id) { id_ = id; }
 
   void OnMemoryDelta(int64_t delta_bytes) override {
+    // klink-lint: allow(relaxed-atomics): commutative counter increment;
+    // totals are only consumed under the executor barrier (MemoryBytes).
     memory_bytes_.fetch_add(delta_bytes, std::memory_order_relaxed);
   }
 

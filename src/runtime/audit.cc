@@ -29,6 +29,8 @@ void CheckTimeMonotone(TimeMicros prev, TimeMicros next, const char* what) {
 }  // namespace
 
 bool AuditEnabledFromEnv() {
+  // Read once at engine construction, before any worker thread exists.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   const char* v = std::getenv("KLINK_AUDIT");
   return v != nullptr && v[0] != '\0' && std::strcmp(v, "0") != 0;
 }

@@ -109,7 +109,7 @@ void CheckpointCoordinator::DeregisterQuery(QueryId id) {
   // Drop the tenant's slice from every in-flight epoch so (a) its state
   // never reaches a checkpoint finalized after it left and (b) epochs
   // waiting on its alignments can complete without them.
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (auto& [epoch, pending] : pending_) {
     const auto qit = pending.queries.find(id);
     if (qit == pending.queries.end()) continue;
@@ -131,16 +131,16 @@ int64_t CheckpointCoordinator::OnCycleStart(TimeMicros now) {
   // Finalize in epoch order on the engine thread; barriers flow FIFO, so
   // epochs complete in order and the first incomplete one ends the sweep.
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     while (!pending_.empty()) {
       auto it = pending_.begin();
       if (it->second.total_captured < it->second.expected_operators) break;
       PendingEpoch done = std::move(it->second);
       const uint64_t epoch = it->first;
       pending_.erase(it);
-      lock.unlock();  // file IO and acks outside the capture lock
+      lock.Unlock();  // file IO and acks outside the capture lock
       FinalizeEpoch(epoch, done);
-      lock.lock();
+      lock.Relock();
     }
   }
   if (queries_.empty()) return 0;
@@ -183,7 +183,7 @@ void CheckpointCoordinator::InjectBarriers(TimeMicros now,
       ++barriers_injected_;
     }
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   pending_.emplace(epoch, std::move(pending));
 }
 
@@ -192,7 +192,11 @@ void CheckpointCoordinator::OnBarrierAligned(Operator& op, uint64_t epoch) {
   KLINK_CHECK(it != op_index_.end());  // barrier reached an unregistered op
   StateWriter w;
   op.Serialize(w);
-  std::lock_guard<std::mutex> lock(mu_);
+  // Explorer decision point: the serialize-then-buffer capture may be
+  // preempted here, interleaving with captures on other worker threads and
+  // with the engine thread's inject/finalize sweep.
+  SchedulePoint("ckpt.barrier-capture");
+  MutexLock lock(&mu_);
   const auto pit = pending_.find(epoch);
   KLINK_CHECK(pit != pending_.end());
   // A registered query only sees barriers of epochs injected while it was

@@ -4,12 +4,12 @@
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "src/common/serialize.h"
+#include "src/common/thread_annotations.h"
 #include "src/common/types.h"
 #include "src/operators/operator.h"
 #include "src/query/query.h"
@@ -167,8 +167,10 @@ class CheckpointCoordinator final : public BarrierObserver {
   uint64_t last_durable_epoch_ = 0;
   int64_t barriers_injected_ = 0;
 
-  std::mutex mu_;  // guards pending_ (worker threads capture into it)
-  std::map<uint64_t, PendingEpoch> pending_;
+  /// Guards pending_: OnBarrierAligned captures into it from executor
+  /// worker threads while the engine thread injects and finalizes.
+  Mutex mu_{"ckpt.mu"};
+  std::map<uint64_t, PendingEpoch> pending_ KLINK_GUARDED_BY(mu_);
 
   /// Durable epochs currently on disk: epoch -> (filename, hash).
   std::map<uint64_t, std::pair<std::string, uint64_t>> manifest_;

@@ -1,0 +1,151 @@
+#ifndef KLINK_RUNTIME_SCHEDULE_EXPLORER_H_
+#define KLINK_RUNTIME_SCHEDULE_EXPLORER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/thread_annotations.h"
+
+namespace klink {
+
+/// Configuration of one explored schedule. The seed fully determines the
+/// schedule: thread priorities and priority-demotion steps are derived
+/// from it alone, so re-running with the same seed replays the identical
+/// interleaving (the program itself is deterministic given the schedule —
+/// the engine runs on virtual time).
+struct ScheduleExplorerConfig {
+  uint64_t seed = 1;
+  /// PCT-style priority change points (Burckhardt et al., "A Randomized
+  /// Scheduler with Probabilistic Guarantees of Finding Bugs"): at d-1
+  /// seed-chosen decision steps the running thread's priority is demoted
+  /// below every other thread's, which is what reaches bugs that need a
+  /// preemption at one specific instruction window.
+  int priority_change_points = 3;
+  /// Range the demotion steps are drawn from. Steps past the hint simply
+  /// see no further demotions; the hint does not bound the run length.
+  uint64_t max_steps_hint = 4096;
+  /// Record a human-readable decision trace (TakeTrace). The last
+  /// `max_trace` entries are kept; a deadlock report always includes the
+  /// tail regardless of this flag.
+  bool record_trace = false;
+  size_t max_trace = 20000;
+};
+
+/// Deterministic schedule explorer for the engine's concurrent protocols
+/// (DESIGN.md "Static analysis & schedule exploration").
+///
+/// Installs itself as the process-wide ScheduleHooks, then serializes all
+/// participating threads onto a single turn token: exactly one participant
+/// runs at any instant, and at every synchronization point — klink::Mutex
+/// acquire/release, CondVar wait/notify, explicit SchedulePoint() — the
+/// explorer picks the next thread to run as the highest-priority runnable
+/// one under its seeded priorities. Because the token serializes
+/// everything, real locks never contend and real condition waits never
+/// park in the kernel: waiting threads are parked inside the explorer,
+/// which therefore always knows the exact runnable set and can
+/// deterministically diagnose a deadlock (no runnable thread while
+/// non-ended threads remain) with a full state and trace dump.
+///
+/// Participants are the thread-pool workers (ThreadScheduleScope in
+/// WorkerLoop) plus the thread that constructed the explorer (registered
+/// as "main"). Threads that never touch klink sync primitives while an
+/// explorer is installed are unaffected.
+///
+/// Lifecycle:
+///   ScheduleExplorer ex({.seed = s});         // installs hooks, owns token
+///   ...construct engine (spawns workers)...
+///   ex.AwaitParticipants(1 + workers);        // registration barrier: the
+///       // participant set at every later decision is seed-independent of
+///       // OS spawn timing, which is what makes seeds replayable
+///   ...drive the protocols...
+///   ...destroy engine (workers end)...
+///   // ~ScheduleExplorer uninstalls; all other participants must have
+///   // ended (the executor's destructor quiesces before joining).
+class ScheduleExplorer final : public ScheduleHooks {
+ public:
+  explicit ScheduleExplorer(const ScheduleExplorerConfig& config);
+  ~ScheduleExplorer() override;
+
+  ScheduleExplorer(const ScheduleExplorer&) = delete;
+  ScheduleExplorer& operator=(const ScheduleExplorer&) = delete;
+
+  /// Blocks the calling (token-holding) thread until `live` participants
+  /// (including itself) are registered. Call after constructing each
+  /// ThreadPoolExecutor-backed engine, before driving it.
+  void AwaitParticipants(int live);
+
+  /// Scheduling decisions made so far (equal across replays of a seed).
+  uint64_t steps() const;
+  /// Drains the recorded trace (record_trace only).
+  std::vector<std::string> TakeTrace();
+
+  // ScheduleHooks implementation (called from instrumented threads).
+  void ThreadBegin(const char* name) override;
+  void ThreadEnd() override;
+  void Yield(const char* tag) override;
+  void LockAcquire(Mutex* mu) override;
+  void LockRelease(Mutex* mu) override;
+  bool CvWait(void* cv, Mutex* mu) override;
+  void CvNotify(void* cv) override;
+  void Quiesce() override;
+
+ private:
+  enum class Run {
+    kRunning,      // holds the turn token
+    kReady,        // runnable, waiting for the token
+    kBlockedMutex, // needs `wants` free before it can be granted
+    kParkedCv,     // waiting for a CvNotify on `parked_on`
+    kQuiescing,    // runnable only once every other participant ended
+    kEnded,
+  };
+  struct Thread {
+    std::string name;
+    int64_t priority = 0;
+    Run run = Run::kReady;
+    Mutex* wants = nullptr;     // kBlockedMutex / kParkedCv reacquire target
+    const void* parked_on = nullptr;  // kParkedCv
+    std::condition_variable cv;
+    std::thread::id os_id;
+    int index = 0;  // registration order, last-resort tie break
+  };
+
+  Thread* SelfLocked();
+  int64_t BasePriority(const std::string& name) const;
+  bool RunnableLocked(const Thread& t) const;
+  /// Advances the step counter, applies a pending priority demotion, and
+  /// appends a trace entry.
+  void StepLocked(Thread* self, const char* kind, const char* detail);
+  /// Picks the next thread to hold the token and wakes it; aborts with a
+  /// state + trace dump when non-ended threads remain but none is
+  /// runnable (deadlock).
+  void PickNextLocked();
+  void WaitForTurnLocked(std::unique_lock<std::mutex>& lock, Thread* self);
+  /// kReady decision point: yield the token, wait to get it back.
+  void RescheduleLocked(std::unique_lock<std::mutex>& lock, Thread* self,
+                        const char* kind, const char* detail);
+  [[noreturn]] void DeadlockAbortLocked();
+
+  const ScheduleExplorerConfig config_;
+
+  mutable std::mutex m_;  // the explorer's own lock, below all klink locks
+  std::condition_variable participants_cv_;
+  std::vector<std::unique_ptr<Thread>> threads_;
+  std::map<std::thread::id, Thread*> by_os_id_;
+  std::map<const Mutex*, Thread*> owner_;
+  Thread* current_ = nullptr;
+  uint64_t steps_ = 0;
+  /// Remaining seed-chosen demotion steps, descending (back() is next).
+  std::vector<uint64_t> demote_steps_;
+  int64_t next_demoted_priority_ = -1;
+  std::vector<std::string> trace_;
+};
+
+}  // namespace klink
+
+#endif  // KLINK_RUNTIME_SCHEDULE_EXPLORER_H_

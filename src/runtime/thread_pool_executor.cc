@@ -16,10 +16,14 @@ ThreadPoolExecutor::ThreadPoolExecutor(int num_slots) {
 
 ThreadPoolExecutor::~ThreadPoolExecutor() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     shutdown_ = true;
+    work_cv_.NotifyAll();
   }
-  work_cv_.notify_all();
+  // Under the schedule explorer the workers still need turns to observe
+  // shutdown_ and sign off; an uninstrumented join would deadlock against
+  // the turn token. No-op in production.
+  ScheduleQuiesceBeforeJoin();
   for (std::thread& t : threads_) t.join();
 }
 
@@ -49,20 +53,22 @@ CycleStats ThreadPoolExecutor::ExecuteCycle(
     while (end < tasks.size() && tasks[end].stage == tasks[begin].stage) {
       ++end;
     }
-    std::unique_lock<std::mutex> lock(mu_);
-    tasks_ = &tasks;
-    cost_multiplier_ = cost_multiplier;
-    cycle_start_ = cycle_start;
-    group_begin_ = begin;
-    group_end_ = end;
-    remaining_ = static_cast<int>(end - begin);
-    ++cycle_seq_;
-    work_cv_.notify_all();
-    // The group barrier: the next stage (and, after the last group,
-    // virtual time) may only advance once every slot in the group has
-    // drained its quantum.
-    done_cv_.wait(lock, [this] { return remaining_ == 0; });
-    tasks_ = nullptr;
+    {
+      MutexLock lock(&mu_);
+      tasks_ = &tasks;
+      cost_multiplier_ = cost_multiplier;
+      cycle_start_ = cycle_start;
+      group_begin_ = begin;
+      group_end_ = end;
+      remaining_ = static_cast<int>(end - begin);
+      ++cycle_seq_;
+      work_cv_.NotifyAll();
+      // The group barrier: the next stage (and, after the last group,
+      // virtual time) may only advance once every slot in the group has
+      // drained its quantum.
+      while (remaining_ != 0) done_cv_.Wait(mu_);
+      tasks_ = nullptr;
+    }
     begin = end;
   }
   // Merge in slot order on the engine thread. The barriers above ordered
@@ -77,32 +83,44 @@ CycleStats ThreadPoolExecutor::ExecuteCycle(
 }
 
 void ThreadPoolExecutor::WorkerLoop(int slot) {
+  // Participate in explored schedules (schedule_explorer tests); declared
+  // before any lock scope so sign-off happens after the last unlock.
+  char name[32];
+  std::snprintf(name, sizeof(name), "worker-%d", slot);
+  ThreadScheduleScope sched(name);
+
   uint64_t seen = 0;
-  std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
-    work_cv_.wait(lock,
-                  [this, seen] { return shutdown_ || cycle_seq_ != seen; });
-    if (shutdown_) return;
-    seen = cycle_seq_;
-    // tasks_ is null when this slot had no work and the engine already
-    // passed the barrier and retired the group before this worker woke;
-    // slots outside the published stage group idle until their group.
-    if (tasks_ == nullptr || static_cast<size_t>(slot) < group_begin_ ||
-        static_cast<size_t>(slot) >= group_end_) {
-      continue;  // idle slot this group
+    ExecutorTask task;
+    double multiplier = 1.0;
+    TimeMicros start = 0;
+    {
+      MutexLock lock(&mu_);
+      while (!shutdown_ && cycle_seq_ == seen) work_cv_.Wait(mu_);
+      if (shutdown_) return;
+      seen = cycle_seq_;
+      // tasks_ is null when this slot had no work and the engine already
+      // passed the barrier and retired the group before this worker woke;
+      // slots outside the published stage group idle until their group.
+      if (tasks_ == nullptr || static_cast<size_t>(slot) < group_begin_ ||
+          static_cast<size_t>(slot) >= group_end_) {
+        continue;  // idle slot this group
+      }
+      task = (*tasks_)[static_cast<size_t>(slot)];
+      multiplier = cost_multiplier_;
+      start = cycle_start_;
     }
-    const ExecutorTask task = (*tasks_)[static_cast<size_t>(slot)];
-    const double multiplier = cost_multiplier_;
-    const TimeMicros start = cycle_start_;
-    lock.unlock();
     // The batched drain keeps its pop/emit scratch inside the context, so
     // each worker touches only its own slot's buffers — no shared mutable
-    // state outside the barrier handshake.
+    // state outside the barrier handshake. Running outside the lock is
+    // the point: holding mu_ across RunQuery would serialize the pool.
     ExecutionContext& ctx = contexts_[static_cast<size_t>(slot)];
     ctx.BeginCycle(task.budget_micros, multiplier, start);
     ctx.RunQuery(*task.query, task.lane);
-    lock.lock();
-    if (--remaining_ == 0) done_cv_.notify_one();
+    {
+      MutexLock lock(&mu_);
+      if (--remaining_ == 0) done_cv_.NotifyOne();
+    }
   }
 }
 

@@ -1,12 +1,11 @@
 #ifndef KLINK_RUNTIME_THREAD_POOL_EXECUTOR_H_
 #define KLINK_RUNTIME_THREAD_POOL_EXECUTOR_H_
 
-#include <condition_variable>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "src/common/thread_annotations.h"
 #include "src/runtime/executor.h"
 
 namespace klink {
@@ -21,6 +20,9 @@ namespace klink {
 /// engine-side bookkeeping (ingest, snapshot, policy, metrics, the virtual
 /// clock) stays on the engine thread between barriers, which is what lets
 /// this backend reproduce the sequential backend's results bit for bit.
+/// The handshake fields below are the only cross-thread state, and every
+/// one of them is KLINK_GUARDED_BY(mu_) — a clang -Wthread-safety build
+/// proves no access escapes the lock.
 class ThreadPoolExecutor final : public Executor {
  public:
   explicit ThreadPoolExecutor(int num_slots);
@@ -42,25 +44,29 @@ class ThreadPoolExecutor final : public Executor {
  private:
   void WorkerLoop(int slot);
 
+  /// Per-slot contexts are cross-thread but not mu_-guarded: slot i is
+  /// written only by worker i between the publish and the barrier, and
+  /// read only by the engine thread after the barrier; the mu_-guarded
+  /// remaining_ handshake orders those accesses (DESIGN.md "Static
+  /// analysis & schedule exploration").
   std::vector<ExecutionContext> contexts_;
   std::vector<std::thread> threads_;
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;   // engine -> workers: cycle published
-  std::condition_variable done_cv_;   // workers -> engine: barrier reached
-  // All fields below are guarded by mu_.
-  const std::vector<ExecutorTask>* tasks_ = nullptr;
-  double cost_multiplier_ = 1.0;
-  TimeMicros cycle_start_ = 0;
-  uint64_t cycle_seq_ = 0;
+  Mutex mu_{"tpe.mu"};
+  CondVar work_cv_;   // engine -> workers: cycle published
+  CondVar done_cv_;   // workers -> engine: barrier reached
+  const std::vector<ExecutorTask>* tasks_ KLINK_GUARDED_BY(mu_) = nullptr;
+  double cost_multiplier_ KLINK_GUARDED_BY(mu_) = 1.0;
+  TimeMicros cycle_start_ KLINK_GUARDED_BY(mu_) = 0;
+  uint64_t cycle_seq_ KLINK_GUARDED_BY(mu_) = 0;
   /// Slot range [group_begin_, group_end_) of the published stage group:
   /// a cycle's tasks arrive stage-sorted and are executed as one barrier
   /// group per maximal equal-stage run, so a consumer lane never runs
   /// concurrently with the producer lane that feeds its queues.
-  size_t group_begin_ = 0;
-  size_t group_end_ = 0;
-  int remaining_ = 0;
-  bool shutdown_ = false;
+  size_t group_begin_ KLINK_GUARDED_BY(mu_) = 0;
+  size_t group_end_ KLINK_GUARDED_BY(mu_) = 0;
+  int remaining_ KLINK_GUARDED_BY(mu_) = 0;
+  bool shutdown_ KLINK_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace klink

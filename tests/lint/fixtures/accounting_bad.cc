@@ -1,0 +1,9 @@
+// lint-fixture: src/operators/fixture_accounting.cc
+// lint-expect: 8 accounting
+// Mutating an owned byte counter outside its accounting method bypasses
+// the MemoryDeltaSink chain and desynchronizes Query::MemoryBytes().
+extern long state_bytes_;
+
+void Corrupt() {
+  state_bytes_ += 64;
+}

@@ -1,0 +1,9 @@
+// lint-fixture: src/runtime/fixture_declorder.cc
+// lint-expect: 7 lock-order
+// Contradictory KLINK_ACQUIRED_BEFORE declarations: the declared-order
+// graph itself carries the cycle — no lock site needed.
+class DeclOrder {
+ private:
+  Mutex a_ KLINK_ACQUIRED_BEFORE(b_);
+  Mutex b_ KLINK_ACQUIRED_BEFORE(a_);
+};

@@ -1,0 +1,9 @@
+// lint-fixture: src/sched/fixture_clock.cc
+// lint-expect: 8 determinism
+// A policy reading the wall clock: the exact defect the determinism rule
+// exists for (virtual-time engine; real time only in src/harness/).
+#include <chrono>
+
+long BadNow() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}

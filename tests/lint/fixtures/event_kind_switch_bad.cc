@@ -1,0 +1,12 @@
+// lint-fixture: src/event/fixture_switch.cc
+// lint-expect: 10 event-kind-switch
+// A default: arm in an EventKind switch swallows future kinds instead of
+// letting -Wswitch flag the site when one is added.
+enum class EventKind { kData, kWatermark };
+
+int Route(EventKind kind) {
+  switch (kind) {
+    case EventKind::kData: return 1;
+    default: return 0;
+  }
+}

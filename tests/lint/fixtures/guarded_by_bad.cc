@@ -1,0 +1,17 @@
+// lint-fixture: src/runtime/fixture_guarded.cc
+// lint-expect: 12 guarded-by
+// Touching a KLINK_GUARDED_BY field without its mutex: the lexical twin
+// of clang's -Wthread-safety diagnostic, for GCC-only environments.
+class GuardedCounter {
+ public:
+  void Ok() {
+    MutexLock lock(&mu_);
+    n_ += 1;
+  }
+  int OkAnnotated() KLINK_REQUIRES(mu_) { return n_; }
+  int Bad() const { return n_; }
+
+ private:
+  Mutex mu_{"fx.mu"};
+  int n_ KLINK_GUARDED_BY(mu_) = 0;
+};

@@ -1,0 +1,7 @@
+// lint-fixture: src/runtime/fixture_guard.h
+// lint-expect: 1 include-guard
+// Wrong guard token for its path (wants KLINK_RUNTIME_FIXTURE_GUARD_H_).
+#ifndef KLINK_WRONG_GUARD_H_
+#define KLINK_WRONG_GUARD_H_
+
+#endif  // KLINK_WRONG_GUARD_H_

@@ -1,0 +1,9 @@
+// lint-fixture: src/runtime/fixture_iwyu.h
+// lint-expect: 7 iwyu
+// Names std::vector without directly including <vector>.
+#ifndef KLINK_RUNTIME_FIXTURE_IWYU_H_
+#define KLINK_RUNTIME_FIXTURE_IWYU_H_
+
+std::vector<int> MakeInts();
+
+#endif  // KLINK_RUNTIME_FIXTURE_IWYU_H_

@@ -1,0 +1,20 @@
+// lint-fixture: src/runtime/fixture_lockorder.cc
+// lint-expect: 10 lock-order
+// AB() and BA() take the same two locks in opposite orders: a cycle in
+// the lock-order graph, i.e. a deadlock one schedule away (the dynamic
+// twin of this finding is schedule_explorer_test's DeadlockScenario).
+class LockPair {
+ public:
+  void AB() {
+    MutexLock a(&a_);
+    MutexLock b(&b_);
+  }
+  void BA() {
+    MutexLock b(&b_);
+    MutexLock a(&a_);
+  }
+
+ private:
+  Mutex a_{"fx.a"};
+  Mutex b_{"fx.b"};
+};

@@ -1,0 +1,29 @@
+// lint-fixture: src/runtime/fixture_clean.cc
+// lint-expect: none
+// Every concurrency rule's allow pragma in action: a justified lock
+// nesting, a justified unguarded read, a justified relaxed atomic.
+#include <atomic>
+
+class Settled {
+ public:
+  void Nest() {
+    MutexLock outer(&coarse_);
+    // klink-lint: allow(lock-order): fixed global order coarse_ < fine_
+    MutexLock inner(&fine_);
+    hits_ += 1;
+  }
+  int Snapshot() const {
+    // klink-lint: allow(guarded-by): racy stats read, documented fuzzy
+    return hits_;
+  }
+
+ private:
+  Mutex coarse_{"fx.coarse"};
+  Mutex fine_{"fx.fine"};
+  int hits_ KLINK_GUARDED_BY(coarse_) = 0;
+};
+
+bool PeekFlag(const std::atomic<bool>& flag) {
+  // klink-lint: allow(relaxed-atomics): test-only flag, no data published
+  return flag.load(std::memory_order_relaxed);
+}

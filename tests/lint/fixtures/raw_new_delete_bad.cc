@@ -1,0 +1,9 @@
+// lint-fixture: src/runtime/fixture_new.cc
+// lint-expect: 6 raw-new-delete
+// lint-expect: 7 raw-new-delete
+// Raw ownership; the rule pushes unique_ptr/containers.
+int* Dangle() {
+  int* p = new int(41);
+  delete p;
+  return p;
+}

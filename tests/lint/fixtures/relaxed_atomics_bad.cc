@@ -1,0 +1,9 @@
+// lint-fixture: src/runtime/fixture_relaxed.cc
+// lint-expect: 8 relaxed-atomics
+// Unaudited relaxed atomic: no pragma stating where the ordering the
+// surrounding protocol needs actually comes from.
+#include <atomic>
+
+bool Peek(const std::atomic<bool>& flag) {
+  return flag.load(std::memory_order_relaxed);
+}

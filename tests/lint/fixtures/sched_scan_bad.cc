@@ -1,0 +1,11 @@
+// lint-fixture: src/sched/fixture_scan.cc
+// lint-expect: 9 sched-scan
+// Per-cycle full-snapshot iteration in policy code: the linear evaluator
+// the incremental indexes exist to avoid.
+struct Snap { int queries[4]; };
+
+int Scan(const Snap& snapshot) {
+  int n = 0;
+  for (int q : snapshot.queries) n += q;
+  return n;
+}

@@ -1,0 +1,12 @@
+// lint-fixture: src/common/status.h
+// lint-expect: 1 status-discard
+// lint-expect: 1 status-discard
+// Status/StatusOr stripped of [[nodiscard]]: the rule pins the attribute
+// so unchecked Status discards stay compile errors repo-wide.
+#ifndef KLINK_COMMON_STATUS_H_
+#define KLINK_COMMON_STATUS_H_
+
+class Status {};
+template <typename T> class StatusOr {};
+
+#endif  // KLINK_COMMON_STATUS_H_

@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Golden tests for every tools/klink_lint.py rule (ctest: lint_rules_test).
+
+Each fixture under fixtures/ is a self-describing snippet:
+
+  // lint-fixture: <repo-relative destination path>
+  // lint-expect: <line> <rule>      one per expected finding, or
+  // lint-expect: none               for a fixture proving pragmas work
+
+The fixtures are materialized verbatim (directive lines included, so the
+expected line numbers are the numbers you see in the fixture file) into a
+temporary repo skeleton at their declared paths and linted in a single
+lint_paths() pass — one pass because the concurrency rules (lock-order,
+guarded-by) are whole-tree. The findings must match the expectations
+EXACTLY, both ways: a missed finding means the rule regressed, an extra
+finding means it grew noise.
+
+The test then lints the real tree and requires zero findings, so a rule
+change that would break `cmake --build build --target lint` fails here
+first, inside the normal test suite.
+"""
+
+import os
+import re
+import sys
+import tempfile
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+REPO = os.path.dirname(os.path.dirname(HERE))
+sys.path.insert(0, os.path.join(REPO, "tools"))
+
+import klink_lint  # noqa: E402
+
+FIXTURE_RE = re.compile(r"lint-fixture:\s*(\S+)")
+EXPECT_RE = re.compile(r"lint-expect:\s*(none|\d+\s+[a-z-]+)")
+
+
+def load_fixtures():
+    out = []
+    fdir = os.path.join(HERE, "fixtures")
+    for name in sorted(os.listdir(fdir)):
+        path = os.path.join(fdir, name)
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+        dest = FIXTURE_RE.search(text)
+        if dest is None:
+            raise SystemExit(f"{name}: missing '// lint-fixture:' directive")
+        expects = []
+        saw_expect = False
+        for m in EXPECT_RE.finditer(text):
+            saw_expect = True
+            if m.group(1) != "none":
+                line, rule = m.group(1).split()
+                expects.append((int(line), rule))
+        if not saw_expect:
+            raise SystemExit(f"{name}: missing '// lint-expect:' directive")
+        out.append((name, dest.group(1), text, sorted(expects)))
+    return out
+
+
+def main():
+    fixtures = load_fixtures()
+    dests = [dest for _, dest, _, _ in fixtures]
+    if len(set(dests)) != len(dests):
+        raise SystemExit("fixture destination paths collide")
+
+    failures = 0
+    with tempfile.TemporaryDirectory(prefix="klink_lint_fx_") as tmp:
+        for _, dest, text, _ in fixtures:
+            full = os.path.join(tmp, dest)
+            os.makedirs(os.path.dirname(full), exist_ok=True)
+            with open(full, "w", encoding="utf-8") as f:
+                f.write(text)
+        by_path = {}
+        for finding in klink_lint.lint_paths(tmp, dests):
+            by_path.setdefault(finding.path, []).append(
+                (finding.line, finding.rule))
+        for name, dest, _, expects in fixtures:
+            actual = sorted(by_path.get(dest, []))
+            if actual != expects:
+                failures += 1
+                print(f"FAIL {name} ({dest})")
+                print(f"  expected: {expects}")
+                print(f"  actual:   {actual}")
+            else:
+                print(f"ok   {name}: {len(expects)} finding(s)")
+
+    files = klink_lint.repo_files(
+        REPO, ["src", "tools", "tests", "bench", "examples"])
+    real = klink_lint.lint_paths(REPO, files)
+    if real:
+        failures += 1
+        print(f"FAIL real tree is not lint-clean ({len(real)} finding(s)):")
+        for finding in real:
+            print(f"  {finding}")
+    else:
+        print(f"ok   real tree clean ({len(files)} files)")
+
+    if failures:
+        print(f"lint_rules_test: {failures} FAILURE(S)")
+        return 1
+    print("lint_rules_test: all rules behave")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

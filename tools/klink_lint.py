@@ -40,13 +40,52 @@ contract mechanical:
                   `default:` silently swallows the new kind instead — the
                   exact bug class the wire decoder and exchange merge must
                   never have.
+  relaxed-atomics Every std::memory_order_relaxed in src/ carries an allow
+                  pragma citing the invariant that makes relaxed sound
+                  (monotonic counter merged under the executor barrier,
+                  test-only flag, ...). Unaudited relaxed atomics are how
+                  cross-thread protocols acquire invisible ordering bugs.
+  lock-order      (whole-tree) Builds the lock-order graph: an edge A -> B
+                  for every mutex B acquired while A is held — from nested
+                  MutexLock/Mutex::Lock scopes, from KLINK_REQUIRES
+                  contracts on the enclosing function, and from
+                  KLINK_ACQUIRED_BEFORE/_AFTER declarations — and rejects
+                  cycles. A cycle is one schedule away from deadlock; the
+                  schedule explorer (src/runtime/schedule_explorer.h) finds
+                  it dynamically, this rule finds it before the code runs.
+  guarded-by      (whole-tree) Every access to a KLINK_GUARDED_BY(mu) field
+                  must sit inside a MutexLock scope on mu, in a function
+                  annotated KLINK_REQUIRES(mu)/KLINK_ACQUIRE(mu), or in a
+                  constructor/destructor (clang's analysis exempts those).
+                  This is the lexical re-check of what a clang
+                  -Wthread-safety build proves exactly; it keeps GCC-only
+                  environments honest about the same annotations.
+
+The concurrency rules (lock-order, guarded-by) are deliberately a lexical
+approximation: brace-matched scopes, no type or alias analysis. Clang with
+-Werror=thread-safety (the CI thread-safety job) is the authoritative
+checker; these rules exist so a GCC-only checkout still gets a net.
+
+AST mode: with --ast=auto (default) the script uses libclang when the
+`clang.cindex` Python bindings are importable and upgrades the weakest
+lexical rules (raw-new-delete, event-kind-switch) to true AST checks —
+`= delete`d functions, prose in macros, and split-line expressions stop
+mattering. When libclang is absent the script says so once and every rule
+falls back to the lexical implementation; --ast=on makes libclang a hard
+requirement (CI), --ast=off never loads it.
 
 Suppression: append `// klink-lint: allow(<rule>): <reason>` to the line,
 or put it on the line directly above.
 
+Golden tests: tests/lint/lint_rules_test.py replays every rule against the
+fixture snippets in tests/lint/fixtures/ (each declares its intended repo
+path and expected findings) and then asserts the real tree is clean; ctest
+runs it as lint_rules_test.
+
 Usage:
-  tools/klink_lint.py [--repo DIR] [--changed] [--clang-tidy EXE]
-                      [--compile-commands PATH] [files...]
+  tools/klink_lint.py [--repo DIR] [--changed] [--ast {auto,on,off}]
+                      [--clang-tidy EXE] [--compile-commands PATH]
+                      [files...]
 
 Exit status is non-zero when any finding (or clang-tidy diagnostic) is
 reported. Run via `cmake --build build --target lint`.
@@ -54,6 +93,7 @@ reported. Run via `cmake --build build --target lint`.
 
 import argparse
 import concurrent.futures
+import json
 import os
 import re
 import subprocess
@@ -375,6 +415,441 @@ def check_event_kind_switch(path, raw, code):
     return
 
 
+def check_relaxed_atomics(path, raw, code):
+    # Relaxed ordering is a per-site proof obligation, not a default: it is
+    # sound only when the surrounding protocol supplies the ordering (the
+    # executor's cycle barrier, a test-only monotonic flag). The pragma
+    # reason is where that proof lives.
+    if not path.startswith("src/"):
+        return
+    for i, line in enumerate(code):
+        if "memory_order_relaxed" in line \
+                and not allowed_near("relaxed-atomics", raw, i, 3, 0):
+            yield Finding(path, i + 1, "relaxed-atomics",
+                          "memory_order_relaxed without an audit pragma; "
+                          "state the invariant that supplies the ordering "
+                          "(// klink-lint: allow(relaxed-atomics): <why>) "
+                          "or use acquire/release")
+
+
+# ---------------------------------------------------------------------------
+# Lexical C++ scope model shared by the concurrency rules (lock-order,
+# guarded-by). parse_functions() brace-matches a comment/string-stripped
+# file into class regions and function bodies; the rules then walk bodies
+# tracking MutexLock scopes by brace depth. Deliberately an approximation —
+# clang -Wthread-safety is the exact checker — but precise enough to be
+# zero-noise on this codebase, and it runs everywhere GCC does.
+
+CONTROL_KEYWORDS = {
+    "if", "for", "while", "switch", "catch", "do", "else", "return",
+    "case", "default", "sizeof", "alignof", "decltype", "new", "delete",
+}
+
+
+class FuncScope:
+    __slots__ = ("cls", "name", "sig", "line", "end")
+
+    def __init__(self, cls, name, sig, line):
+        self.cls = cls    # enclosing/qualifying class name, or None
+        self.name = name  # unqualified name ("~X" for a destructor)
+        self.sig = sig    # signature text up to the opening brace
+        self.line = line  # 0-based line of the opening '{'
+        self.end = line   # 0-based line of the closing '}'
+
+
+def _classify_scope(sig, in_func):
+    """Classifies the text before a '{': ('class', name) | ('func',
+    (qualifier, name, sig)) | ('block', None)."""
+    sig = sig.replace("\n", " ")
+    bare = re.sub(r"KLINK_\w+\s*(\([^()]*\))?", " ", sig).strip()
+    if not bare:
+        return "block", None
+    m = re.search(r"\b(class|struct|union|enum)\b", bare)
+    if m is not None and "(" not in bare[:m.start()]:
+        nm = re.search(
+            r"\b(?:class|struct|union|enum)\s+(?:class\s+|struct\s+)?"
+            r"([A-Za-z_]\w*)\s*(?:final\s*)?(?::[^{]*)?$", bare)
+        if nm is not None:
+            return "class", nm.group(1)
+    if re.match(r"(namespace|extern)\b", bare):
+        return "block", None
+    p = bare.find("(")
+    if p < 0 or in_func:
+        return "block", None
+    stripped = bare.rstrip()
+    if stripped.endswith(("=", "]")) or "](" in bare.replace(" ", ""):
+        return "block", None  # braced init / lambda, not a definition
+    head = bare[:p].rstrip()
+    nm = re.search(r"(?:([A-Za-z_]\w*)\s*::\s*)?(~?[A-Za-z_]\w*)$", head)
+    if nm is None or nm.group(2).lstrip("~") in CONTROL_KEYWORDS:
+        return "block", None
+    return "func", (nm.group(1), nm.group(2), sig.strip())
+
+
+def parse_functions(code):
+    """Returns (funcs, classes): top-level function bodies as FuncScope and
+    class regions as (name, first_line, last_line) over stripped lines."""
+    lines = ["" if l.lstrip().startswith("#") else l for l in code]
+    funcs, classes = [], []
+    class_stack = []  # (depth, name)
+    scopes = []       # one ('kind', meta, open_line) per open '{'
+    func_stack = []
+    depth = 0
+    line = 0
+    stmt = []
+    for ch in "\n".join(lines):
+        if ch == "\n":
+            line += 1
+            ch = " "
+        if ch == ";":
+            stmt = []
+        elif ch == "{":
+            kind, meta = _classify_scope("".join(stmt), bool(func_stack))
+            if kind == "class" and not func_stack:
+                class_stack.append((depth, meta))
+                scopes.append(("class", meta, line))
+            elif kind == "func" and not func_stack:
+                qual, name, sig = meta
+                cls = qual or (class_stack[-1][1] if class_stack else None)
+                fn = FuncScope(cls, name, sig, line)
+                func_stack.append(fn)
+                scopes.append(("func", fn, line))
+            else:
+                scopes.append(("block", None, line))
+            depth += 1
+            stmt = []
+        elif ch == "}":
+            depth -= 1
+            if scopes:
+                kind, meta, l0 = scopes.pop()
+                if kind == "class":
+                    class_stack.pop()
+                    classes.append((meta, l0, line))
+                elif kind == "func":
+                    meta.end = line
+                    funcs.append(meta)
+                    func_stack.pop()
+            stmt = []
+        else:
+            stmt.append(ch)
+    return funcs, classes
+
+
+def _resolve(cls, expr):
+    """Canonical lock-graph node for a mutex expression at a use site."""
+    expr = re.sub(r"\s+", "", expr)
+    expr = re.sub(r"^this->", "", expr)
+    if "." in expr or "->" in expr:
+        return expr  # a member of some other object: keep the path text
+    return f"{cls or '<file>'}::{expr}"
+
+
+def _held_on_entry(sig, cls):
+    """Mutex nodes a function may assume held, per its annotations."""
+    out = set()
+    for m in re.finditer(r"KLINK_(?:REQUIRES|ACQUIRE)(?:_SHARED)?"
+                         r"\s*\(([^)]*)\)", sig):
+        for a in m.group(1).split(","):
+            a = a.strip()
+            if a and not a.startswith("!"):
+                out.add(_resolve(cls, a))
+    return out
+
+
+LOCK_EVENT_RE = re.compile(
+    r"\bMutexLock\s+([A-Za-z_]\w*)\s*[({]\s*&\s*"
+    r"([A-Za-z_]\w*(?:(?:\.|->)[A-Za-z_]\w*)*)"
+    r"|\b([A-Za-z_]\w*(?:(?:\.|->)[A-Za-z_]\w*)*)\s*"
+    r"(?:\.|->)\s*(Lock|Unlock|Relock)\s*\(\s*\)")
+
+FIELD_GUARD_RE = re.compile(
+    r"\b([A-Za-z_]\w*)\s+KLINK_(?:PT_)?GUARDED_BY\s*\(\s*([^)]+?)\s*\)")
+
+DECL_ORDER_RE = re.compile(
+    r"\bMutex\s+([A-Za-z_]\w*)[^;]*"
+    r"KLINK_ACQUIRED_(BEFORE|AFTER)\s*\(([^)]*)\)")
+
+
+class ConcurrencyModel:
+    """Whole-tree aggregate for the lock-order and guarded-by rules: field
+    guards may be declared in a header while the violating method body
+    lives in the .cc, and a lock-order cycle may span files, so both rules
+    run after every file has been scanned."""
+
+    # The annotation/instrumentation substrate itself manipulates the raw
+    # std primitives by design; its safety argument is its own doc comment.
+    EXCLUDED = {"src/common/thread_annotations.h"}
+
+    def __init__(self):
+        self.files = {}        # path -> (funcs, raw, code)
+        self.fields = {}       # cls -> {field: (node, path, line)}
+        self.edges = []        # (holder, acquired, path, 0-based line)
+
+    def add_file(self, path, raw, code):
+        if not path.startswith("src/") or path in self.EXCLUDED:
+            return
+        text = "\n".join(code)
+        if not re.search(r"\bMutexLock\b|KLINK_GUARDED_BY|KLINK_PT_GUARDED"
+                         r"|KLINK_ACQUIRED_|\bMutex\b", text):
+            return
+        funcs, classes = parse_functions(code)
+        self.files[path] = (funcs, raw, code)
+        for i, line in enumerate(code):
+            if any(f.line <= i <= f.end for f in funcs):
+                continue  # declarations only; bodies are walked later
+            cls = self._innermost(classes, i)
+            for m in FIELD_GUARD_RE.finditer(line):
+                field, mu = m.group(1), m.group(2)
+                self.fields.setdefault(cls, {})[field] = \
+                    (_resolve(cls, mu), path, i)
+            dm = DECL_ORDER_RE.search(line)
+            if dm is not None and not allowed("lock-order", raw, i):
+                this_node = _resolve(cls, dm.group(1))
+                for other in dm.group(3).split(","):
+                    other = other.strip()
+                    if not other:
+                        continue
+                    pair = (this_node, _resolve(cls, other))
+                    if dm.group(2) == "AFTER":
+                        pair = (pair[1], pair[0])
+                    self.edges.append((*pair, path, i))
+
+    @staticmethod
+    def _innermost(classes, line):
+        best = None
+        for name, l0, l1 in classes:
+            if l0 <= line <= l1 and (best is None or l0 > best[1]):
+                best = (name, l0)
+        return best[0] if best else None
+
+    def _walk(self, path, fn, raw, code):
+        """Walks one function body. Returns {0-based line: held node set}
+        and appends lock-order edges discovered along the way."""
+        entry = _held_on_entry(fn.sig, fn.cls)
+        held = []       # [{node, var, mu, depth}] in acquisition order
+        lock_vars = {}  # MutexLock var -> node, for Relock() after Unlock()
+        depth = 0
+        held_lines = {}
+        for ln in range(fn.line, min(fn.end, len(code) - 1) + 1):
+            text = code[ln]
+            before = {h["node"] for h in held} | entry
+            events = [(m.start(), m) for m in LOCK_EVENT_RE.finditer(text)]
+            events += [(m.start(), m.group(0))
+                       for m in re.finditer(r"[{}]", text)]
+            for _, ev in sorted(events, key=lambda e: e[0]):
+                if ev == "{":
+                    depth += 1
+                elif ev == "}":
+                    depth -= 1
+                    held = [h for h in held if h["depth"] <= depth]
+                else:
+                    lockvar, mu, obj, op = ev.group(1, 2, 3, 4)
+                    if lockvar is not None:
+                        self._acquire(path, ln, raw, fn, held, entry,
+                                      _resolve(fn.cls, mu), lockvar,
+                                      re.sub(r"\s+", "", mu), depth)
+                        lock_vars[lockvar] = _resolve(fn.cls, mu)
+                    elif op == "Lock":
+                        self._acquire(path, ln, raw, fn, held, entry,
+                                      _resolve(fn.cls, obj), None,
+                                      re.sub(r"\s+", "", obj), depth)
+                    elif op == "Unlock":
+                        for h in reversed(held):
+                            if obj in (h["var"], h["mu"]):
+                                held.remove(h)
+                                break
+                    elif op == "Relock" and obj in lock_vars:
+                        self._acquire(path, ln, raw, fn, held, entry,
+                                      lock_vars[obj], obj, None, depth)
+            held_lines[ln] = before | {h["node"] for h in held} | entry
+        return held_lines
+
+    def _acquire(self, path, ln, raw, fn, held, entry, node, var, mu,
+                 depth):
+        if not allowed("lock-order", raw, ln):
+            for holder in sorted({h["node"] for h in held} | entry):
+                if holder != node:
+                    self.edges.append((holder, node, path, ln))
+        held.append({"node": node, "var": var, "mu": mu, "depth": depth})
+
+    def findings(self):
+        out = []
+        for path in sorted(self.files):
+            funcs, raw, code = self.files[path]
+            for fn in funcs:
+                held_lines = self._walk(path, fn, raw, code)
+                out.extend(self._check_guarded(path, fn, raw, code,
+                                               held_lines))
+        out.extend(self._check_cycles())
+        return out
+
+    def _check_guarded(self, path, fn, raw, code, held_lines):
+        guards = self.fields.get(fn.cls)
+        if not guards:
+            return
+        # Mirror clang: constructors/destructors run before/after sharing,
+        # and NO_THREAD_SAFETY_ANALYSIS opts a function out entirely.
+        if fn.name in (fn.cls, f"~{fn.cls}") \
+                or "KLINK_NO_THREAD_SAFETY_ANALYSIS" in fn.sig:
+            return
+        for ln in range(fn.line, min(fn.end, len(code) - 1) + 1):
+            for field, (node, dpath, dline) in sorted(guards.items()):
+                if not re.search(rf"\b{field}\b", code[ln]):
+                    continue
+                if node in held_lines.get(ln, set()):
+                    continue
+                if allowed("guarded-by", raw, ln):
+                    continue
+                yield Finding(
+                    path, ln + 1, "guarded-by",
+                    f"{fn.cls}::{field} is KLINK_GUARDED_BY"
+                    f"({node.split('::')[-1]}) ({dpath}:{dline + 1}) but "
+                    f"{fn.name}() touches it without the lock held; take "
+                    "a MutexLock, annotate the function KLINK_REQUIRES, "
+                    "or justify with an allow pragma")
+
+    def _check_cycles(self):
+        adj, sites = {}, {}
+        for holder, node, path, ln in self.edges:
+            adj.setdefault(holder, set()).add(node)
+            sites.setdefault((holder, node), (path, ln + 1))
+        seen = set()
+        for start in sorted(adj):
+            cycle = self._find_cycle(adj, start)
+            if cycle is None:
+                continue
+            # Normalize: rotate so the smallest node leads, dedup.
+            k = cycle.index(min(cycle))
+            cycle = cycle[k:] + cycle[:k]
+            if tuple(cycle) in seen:
+                continue
+            seen.add(tuple(cycle))
+            hops = []
+            for a, b in zip(cycle, cycle[1:] + cycle[:1]):
+                p, l = sites[(a, b)]
+                hops.append(f"{a} -> {b} ({p}:{l})")
+            path, line = sites[(cycle[0], cycle[1 % len(cycle)])]
+            yield Finding(
+                path, line, "lock-order",
+                "lock-order cycle (deadlock one schedule away): "
+                + "; ".join(hops))
+
+    @staticmethod
+    def _find_cycle(adj, start):
+        """First cycle reachable from `start` (DFS, sorted adjacency)."""
+        stack, on_path = [(start, iter(sorted(adj.get(start, ()))))], [start]
+        visited = {start}
+        while stack:
+            node, it = stack[-1]
+            advanced = False
+            for nxt in it:
+                if nxt in on_path:
+                    return on_path[on_path.index(nxt):]
+                if nxt not in visited:
+                    visited.add(nxt)
+                    stack.append((nxt, iter(sorted(adj.get(nxt, ())))))
+                    on_path.append(nxt)
+                    advanced = True
+                    break
+            if not advanced:
+                stack.pop()
+                on_path.pop()
+        return None
+
+
+# ---------------------------------------------------------------------------
+# Optional libclang AST mode. When the clang.cindex bindings are present
+# the weakest lexical rules are re-run on the real AST: raw-new-delete via
+# CXX_NEW_EXPR/CXX_DELETE_EXPR cursors (deleted functions and prose can no
+# longer confuse it) and event-kind-switch via SWITCH_STMT condition types
+# (a renamed local no longer dodges the check). Everything else stays
+# lexical — the concurrency rules are superseded by clang -Wthread-safety
+# itself when a clang build is available.
+
+AST_RULES = {"raw-new-delete", "event-kind-switch"}
+
+
+class ClangAst:
+    def __init__(self, repo, mode, compile_commands):
+        self.repo = repo
+        self.enabled = False
+        self.note = None
+        self.args_by_file = {}
+        if mode == "off":
+            return
+        try:
+            from clang import cindex  # noqa: provided by python3-clang
+            self.cindex = cindex
+            self.index = cindex.Index.create()
+            self.enabled = True
+        except Exception as e:  # ImportError or missing libclang .so
+            if mode == "on":
+                raise SystemExit(
+                    f"klink_lint: --ast=on but libclang is unusable ({e}); "
+                    "install python3-clang/libclang or drop to --ast=auto")
+            why = type(e).__name__
+            self.note = (f"klink_lint: libclang unavailable ({why}); AST "
+                         "checks fall back to the lexical implementations")
+            return
+        if compile_commands and os.path.exists(compile_commands):
+            try:
+                with open(compile_commands, encoding="utf-8") as f:
+                    for entry in json.load(f):
+                        args = entry.get("arguments") or \
+                            entry["command"].split()
+                        self.args_by_file[entry["file"]] = [
+                            a for a in args[1:]
+                            if a not in ("-c", "-o", entry["file"])
+                            and not a.endswith(".o")]
+            except Exception:
+                pass  # fall back to default args per file
+
+    def findings_for(self, path, raw):
+        """AST findings for the rules in AST_RULES, or None when the file
+        cannot be parsed (caller then runs the lexical versions)."""
+        full = os.path.join(self.repo, path)
+        try:
+            args = self.args_by_file.get(full) or \
+                ["-std=c++20", f"-I{self.repo}", "-xc++"]
+            tu = self.index.parse(full, args=args)
+            if any(d.severity >= self.cindex.Diagnostic.Fatal
+                   for d in tu.diagnostics):
+                return None
+            out = []
+            ck = self.cindex.CursorKind
+            for cur in tu.cursor.walk_preorder():
+                loc = cur.location
+                if loc.file is None or loc.file.name != full:
+                    continue
+                if cur.kind in (ck.CXX_NEW_EXPR, ck.CXX_DELETE_EXPR):
+                    if not allowed("raw-new-delete", raw, loc.line - 1):
+                        out.append(Finding(
+                            path, loc.line, "raw-new-delete",
+                            "raw new/delete; own memory with "
+                            "std::unique_ptr or a container"))
+                elif cur.kind == ck.SWITCH_STMT:
+                    out.extend(self._switch(path, raw, cur, ck))
+            return out
+        except Exception:
+            return None  # any binding hiccup: lexical fallback
+
+    @staticmethod
+    def _switch(path, raw, cur, ck):
+        kids = list(cur.get_children())
+        if not kids or "EventKind" not in kids[0].type.spelling:
+            return
+        for sub in cur.walk_preorder():
+            if sub.kind == ck.DEFAULT_STMT:
+                line = sub.location.line
+                if not allowed_near("event-kind-switch", raw, line - 1,
+                                    2, 1):
+                    yield Finding(
+                        path, line, "event-kind-switch",
+                        "default: arm in an EventKind switch; enumerate "
+                        "every kind so -Wswitch flags this site when a "
+                        "kind is added (see src/event/event.h)")
+
+
 RULES = [
     check_determinism,
     check_accounting,
@@ -384,10 +859,11 @@ RULES = [
     check_include_guard,
     check_iwyu,
     check_event_kind_switch,
+    check_relaxed_atomics,
 ]
 
 
-def lint_file(repo, path):
+def lint_file(repo, path, model=None, ast=None):
     try:
         with open(os.path.join(repo, path), encoding="utf-8") as f:
             raw = f.read().splitlines()
@@ -395,8 +871,30 @@ def lint_file(repo, path):
         return [Finding(path, 0, "io", str(e))]
     code = strip_code(raw)
     findings = []
+    ast_findings = None
+    if ast is not None and ast.enabled \
+            and (path.startswith("src/") or path.startswith("tools/")):
+        ast_findings = ast.findings_for(path, raw)
     for rule in RULES:
+        if ast_findings is not None and rule.__name__ in (
+                "check_raw_new_delete", "check_event_kind_switch"):
+            continue  # superseded by the AST versions this run
         findings.extend(rule(path, raw, code) or [])
+    if ast_findings is not None:
+        findings.extend(ast_findings)
+    if model is not None:
+        model.add_file(path, raw, code)
+    return findings
+
+
+def lint_paths(repo, files, ast=None):
+    """All findings for `files`: the per-file rules plus the whole-tree
+    concurrency rules. The entry point the golden tests replay."""
+    model = ConcurrencyModel()
+    findings = []
+    for path in files:
+        findings.extend(lint_file(repo, path, model, ast))
+    findings.extend(model.findings())
     return findings
 
 
@@ -434,6 +932,10 @@ def main():
         os.path.dirname(os.path.abspath(__file__))))
     ap.add_argument("--changed", action="store_true",
                     help="lint only files that differ from origin/main")
+    ap.add_argument("--ast", choices=("auto", "on", "off"), default="auto",
+                    help="libclang-backed AST checks: auto uses libclang "
+                         "when importable, on requires it, off never "
+                         "loads it")
     ap.add_argument("--clang-tidy", default=None,
                     help="clang-tidy executable to run over the same files")
     ap.add_argument("--compile-commands", default=None,
@@ -451,9 +953,13 @@ def main():
         files = repo_files(repo, ["src", "tools", "tests", "bench",
                                   "examples"])
 
-    findings = []
-    for path in files:
-        findings.extend(lint_file(repo, path))
+    cc_path = args.compile_commands or os.path.join(
+        repo, "build", "compile_commands.json")
+    ast = ClangAst(repo, args.ast, cc_path)
+    if ast.note:
+        print(ast.note, file=sys.stderr)
+
+    findings = lint_paths(repo, files, ast)
     for f in findings:
         print(f)
 
